@@ -1,0 +1,63 @@
+//! `cargo bench` entry point that regenerates every figure of the
+//! paper's evaluation at a reduced (bench-friendly) scale. For full
+//! figure runs, use the dedicated binaries:
+//! `cargo run --release -p preempt-bench --bin fig10 -- --full`, etc.
+//!
+//! This is a `harness = false` bench target: the experiments measure
+//! virtual-time distributions themselves, so Criterion's statistics
+//! machinery is not applicable.
+
+use preempt_bench::*;
+
+fn main() {
+    // Respect `cargo bench -- <filter>`: run only matching figures.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args
+        .iter()
+        .find(|a| !a.starts_with('-'))
+        .cloned()
+        .unwrap_or_default();
+    let wants = |name: &str| filter.is_empty() || name.contains(&filter);
+
+    let sc = Scenario {
+        duration_ms: 100,
+        ..Scenario::quick()
+    };
+
+    println!("# figure regeneration (bench scale: {} ms virtual)\n", sc.duration_ms);
+
+    if wants("uintr_latency") {
+        eprintln!("uintr_latency ...");
+        uintr_latency(500).print();
+    }
+    if wants("fig01") {
+        eprintln!("fig01 ...");
+        fig01(&sc).print();
+    }
+    if wants("fig08") {
+        eprintln!("fig08 ...");
+        fig08(&sc, &[4]).print();
+    }
+    if wants("fig09") {
+        eprintln!("fig09 ...");
+        fig09(&sc, &[4, 16]).print();
+    }
+    if wants("fig10") {
+        eprintln!("fig10 ...");
+        let (top, bottom) = fig10(&sc);
+        top.print();
+        bottom.print();
+    }
+    if wants("fig11") {
+        eprintln!("fig11 ...");
+        fig11(&sc, &[100, 10_000, 100_000]).print();
+    }
+    if wants("fig12") {
+        eprintln!("fig12 ...");
+        fig12(&sc, &[0.0, 0.75, 100.0]).print();
+    }
+    if wants("fig13") {
+        eprintln!("fig13 ...");
+        fig13(&sc, &[50, 1_000, 50_000]).print();
+    }
+}

@@ -1,0 +1,113 @@
+//! Criterion microbenchmarks for the mechanisms the paper's overhead
+//! claims rest on: context switch cost (§4.2 "very lightweight"),
+//! preemption-point cost, CLS access, queue operations, and the MVCC hot
+//! paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use preemptdb::context::cls::ClsCell;
+use preemptdb::context::nonpreempt::NonPreemptGuard;
+use preemptdb::context::switch::{switch_to, Context};
+use preemptdb::context::tcb;
+use preemptdb::sched::{Request, RequestQueue, WorkOutcome};
+use preemptdb::uintr::{UintrReceiver, UipiSender};
+use preemptdb::{Engine, EngineConfig};
+
+fn bench_context_switch(c: &mut Criterion) {
+    // Round trip root -> context -> root (two raw switches).
+    let root = tcb::root_ptr() as usize;
+    let ctx = Context::with_default_stack("bench", move || loop {
+        switch_to(unsafe { &*(root as *const tcb::Tcb) });
+    })
+    .unwrap();
+    c.bench_function("context_switch_round_trip", |b| {
+        b.iter(|| {
+            ctx.resume();
+        })
+    });
+    // The context parks suspended; dropping a suspended context is fine.
+}
+
+fn bench_preempt_point(c: &mut Criterion) {
+    c.bench_function("preempt_point_no_hook", |b| {
+        b.iter(|| preemptdb::context::runtime::preempt_point(black_box(100)))
+    });
+}
+
+fn bench_uintr(c: &mut Criterion) {
+    let mut rx = UintrReceiver::new();
+    rx.register_handler(|_| {});
+    let tx = UipiSender::new(rx.upid(), 0);
+    c.bench_function("uintr_poll_empty", |b| b.iter(|| black_box(rx.poll())));
+    c.bench_function("uintr_send_and_deliver", |b| {
+        b.iter(|| {
+            tx.send();
+            rx.poll()
+        })
+    });
+}
+
+fn bench_cls(c: &mut Criterion) {
+    static SLOT: ClsCell<u64> = ClsCell::new(|| 0);
+    c.bench_function("cls_access", |b| b.iter(|| SLOT.with(|v| *v += 1)));
+    c.bench_function("nonpreempt_region", |b| {
+        b.iter(|| {
+            let _g = NonPreemptGuard::enter();
+            black_box(())
+        })
+    });
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let q = RequestQueue::new(1024);
+    c.bench_function("queue_push_pop", |b| {
+        b.iter(|| {
+            q.push(Request::new("k", 1, 0, WorkOutcome::default))
+                .ok();
+            black_box(q.pop())
+        })
+    });
+}
+
+fn bench_mvcc(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig::default());
+    let table = engine.create_table("bench");
+    let mut tx = engine.begin_si();
+    let oid = tx.insert(&table, &[0u8; 64]).unwrap();
+    tx.commit().unwrap();
+
+    c.bench_function("mvcc_point_read_txn", |b| {
+        b.iter(|| {
+            let mut tx = engine.begin_si();
+            black_box(tx.read(&table, oid));
+            tx.commit().unwrap()
+        })
+    });
+    c.bench_function("mvcc_update_txn", |b| {
+        let payload = [1u8; 64];
+        b.iter(|| {
+            let mut tx = engine.begin_si();
+            tx.update(&table, oid, &payload).unwrap();
+            tx.commit().unwrap()
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut h = preemptdb::sched::Histogram::new();
+    let mut v = 1u64;
+    c.bench_function("histogram_record", |b| {
+        b.iter(|| {
+            v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(v >> 40)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_context_switch, bench_preempt_point, bench_uintr, bench_cls, bench_queue, bench_mvcc, bench_histogram
+}
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Ablation: how sensitive are PreemptDB's results to the emulated
+//! user-interrupt delivery latency? (DESIGN.md §5.1 — the fidelity
+//! argument for the software substitution of hardware UINTR.)
+
+use preempt_bench::{ablation_delivery, Scenario};
+
+fn main() {
+    let sc = if std::env::args().any(|a| a == "--full") {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let sweep = [0.1, 0.5, 2.0, 10.0, 50.0, 200.0];
+    eprintln!("running delivery-latency ablation with {sc:?} ...");
+    ablation_delivery(&sc, &sweep).print();
+    println!(
+        "expected: NewOrder latency tracks the delivery latency only once it\n\
+         dominates the transaction scale (>=10us); below that the mechanism's\n\
+         exact delivery cost is immaterial — hardware UINTR (<1us) and this\n\
+         emulation live on the flat part of the curve."
+    );
+}

@@ -1,0 +1,102 @@
+//! Automatic starvation-threshold tuning (paper §6.4: "we leave the
+//! automatic tuning of this threshold for future work").
+//!
+//! Given a target share of CPU the operator wants preserved for
+//! low-priority analytics under overload, this tool searches `L_max` by
+//! bisection over deterministic simulator runs: each probe replays the
+//! Figure 12 overload scenario and measures the achieved Q2 throughput
+//! fraction (relative to a fully-protected run). Determinism makes the
+//! objective monotone enough for bisection to converge in a handful of
+//! probes.
+//!
+//! ```sh
+//! cargo run --release -p preempt-bench --bin autotune_threshold -- [q2-share]
+//! ```
+
+use preempt_bench::{bench_tpcc_scale, bench_tpch_scale, Scenario, Table};
+use preemptdb::sched::{run, DriverConfig, Policy, Runtime};
+use preemptdb::workloads::{kinds, setup_mixed, MixedWorkload};
+use preemptdb::SimConfig;
+
+fn probe(threshold: f64, sc: &Scenario) -> (f64, f64) {
+    let sim = SimConfig::default();
+    let (_e, tpcc, tpch) = setup_mixed(
+        sc.workers as u64,
+        Some(bench_tpcc_scale(sc.workers as u64)),
+        Some(bench_tpch_scale()),
+        sc.seed,
+    );
+    let cfg = DriverConfig {
+        policy: Policy::Preemptive {
+            starvation_threshold: threshold,
+        },
+        n_workers: sc.workers,
+        queue_caps: vec![1, 100],
+        batch_size: 100 * sc.workers,
+        arrival_interval: sim.us_to_cycles(sc.arrival_us),
+        duration: sim.ms_to_cycles(sc.duration_ms),
+        always_interrupt: false,
+    };
+    let r = run(
+        Runtime::Simulated(sim),
+        cfg,
+        Box::new(MixedWorkload::new(tpcc, tpch, sc.seed)),
+    );
+    (
+        r.tps(kinds::Q2),
+        r.tps(kinds::NEW_ORDER) + r.tps(kinds::PAYMENT),
+    )
+}
+
+fn main() {
+    let target_share: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.5);
+    let sc = Scenario {
+        duration_ms: 100,
+        ..Scenario::quick()
+    };
+    eprintln!(
+        "tuning L_max for a >= {:.0}% Q2 share under the Figure 12 overload ...",
+        target_share * 100.0
+    );
+
+    // Reference: fully protected run (threshold 0) ≈ max Q2 throughput.
+    let (q2_max, _) = probe(0.0, &sc);
+    let target = q2_max * target_share;
+
+    let mut table = Table::new(
+        format!("Auto-tuning L_max (target Q2 >= {target:.0} tps)"),
+        &["probe", "L_max", "q2 tps", "high tps", "verdict"],
+    );
+
+    // Bisect on threshold: higher L_max → more high-priority CPU → less
+    // Q2. Find the largest threshold still meeting the Q2 target.
+    let (mut lo, mut hi) = (0.0f64, 4.0f64);
+    let mut best = 0.0;
+    for i in 0..8 {
+        let mid = (lo + hi) / 2.0;
+        let (q2, high) = probe(mid, &sc);
+        let ok = q2 >= target;
+        table.row(vec![
+            (i + 1).to_string(),
+            format!("{mid:.3}"),
+            format!("{q2:.0}"),
+            format!("{high:.0}"),
+            if ok { "meets target" } else { "too starved" }.into(),
+        ]);
+        if ok {
+            best = mid;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    table.print();
+    println!(
+        "recommended starvation threshold: L_max = {best:.3} \
+         (largest probed value meeting the Q2 target; higher values favor \
+         high-priority latency)"
+    );
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 1 (right): scheduling-latency distribution of
+//! high-priority transactions under Wait / Yield / PreemptDB.
+//!
+//! `--full` for a longer, closer-to-paper run.
+
+use preempt_bench::{fig01, Scenario};
+
+fn main() {
+    let sc = if std::env::args().any(|a| a == "--full") {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    eprintln!("running fig01 with {sc:?} ...");
+    fig01(&sc).print();
+}

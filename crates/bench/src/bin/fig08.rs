@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: standard TPC-C throughput with and without the
+//! user-interrupt machinery (expected: a few percent overhead at most).
+
+use preempt_bench::{fig08, Scenario};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let workers: &[usize] = if full { &[1, 2, 4, 8, 16] } else { &[4, 16] };
+    eprintln!("running fig08 with {sc:?} workers={workers:?} ...");
+    fig08(&sc, workers).print();
+}

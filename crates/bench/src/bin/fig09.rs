@@ -1,0 +1,20 @@
+//! Regenerates Figure 9: mixed-workload throughput scalability across
+//! worker counts under Wait / Cooperative / PreemptDB.
+
+use preempt_bench::{fig09, Scenario};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let workers: &[usize] = if full {
+        &[1, 2, 4, 8, 16]
+    } else {
+        &[2, 8, 16]
+    };
+    eprintln!("running fig09 with {sc:?} workers={workers:?} ...");
+    fig09(&sc, workers).print();
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 10: end-to-end latency percentiles of NewOrder
+//! (top) and Q2 (bottom) under the three scheduling policies.
+
+use preempt_bench::{fig10, Scenario};
+
+fn main() {
+    let sc = if std::env::args().any(|a| a == "--full") {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    eprintln!("running fig10 with {sc:?} ...");
+    let (top, bottom) = fig10(&sc);
+    top.print();
+    bottom.print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 11: Cooperative's yield-interval sensitivity vs
+//! the handcrafted variant and PreemptDB.
+
+use preempt_bench::{fig11, Scenario};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let intervals: &[u64] = if full {
+        &[1, 10, 100, 1_000, 10_000, 100_000]
+    } else {
+        &[10, 1_000, 10_000, 100_000]
+    };
+    eprintln!("running fig11 with {sc:?} intervals={intervals:?} ...");
+    fig11(&sc, intervals).print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 12: starvation-threshold sweep under overload
+//! (high queue 100, 100×workers high-priority transactions per 1 ms).
+
+use preempt_bench::{fig12, Scenario};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let thresholds: &[f64] = if full {
+        &[0.0, 0.25, 0.5, 0.75, 1.0, 100.0]
+    } else {
+        &[0.0, 0.75, 100.0]
+    };
+    eprintln!("running fig12 with {sc:?} thresholds={thresholds:?} ...");
+    fig12(&sc, thresholds).print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 13: robustness across high-priority arrival
+//! intervals (geomean end-to-end latency of NewOrder and Q2).
+
+use preempt_bench::{fig13, Scenario};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sc = if full {
+        Scenario::full()
+    } else {
+        Scenario::quick()
+    };
+    let arrivals: &[u64] = if full {
+        &[50, 158, 500, 1_580, 5_000, 15_800, 50_000]
+    } else {
+        &[50, 500, 5_000, 50_000]
+    };
+    eprintln!("running fig13 with {sc:?} arrivals(us)={arrivals:?} ...");
+    fig13(&sc, arrivals).print();
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §6.1 delivery-latency measurement: user-level vs
+//! kernel-mediated (signal) interrupt delivery between two POSIX threads.
+
+use preempt_bench::uintr_latency;
+
+fn main() {
+    let samples = if std::env::args().any(|a| a == "--full") {
+        5_000
+    } else {
+        1_000
+    };
+    eprintln!("measuring delivery latency over {samples} samples per mechanism ...");
+    uintr_latency(samples).print();
+    println!(
+        "note: on a single-core host both paths include OS-scheduler noise;\n\
+         medians carry the comparison (see DESIGN.md §1.1)."
+    );
+}

@@ -1,0 +1,116 @@
+//! Minimal markdown table printer for experiment output.
+
+/// A markdown table assembled row by row.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as github-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}:|", "-".repeat(w + 1)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the markdown to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_markdown());
+    }
+}
+
+/// Formats a microsecond value compactly.
+pub fn us(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}ms", v / 1000.0)
+    } else {
+        format!("{v:.1}us")
+    }
+}
+
+/// Formats a throughput value compactly.
+pub fn tps(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}k", v / 1000.0)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("demo", &["policy", "p50"]);
+        t.row(vec!["Wait".into(), "123.0us".into()]);
+        t.row(vec!["PreemptDB".into(), "4.2us".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### demo"));
+        assert!(md.contains("| PreemptDB |"));
+        assert!(md.lines().count() >= 5);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(us(42.34), "42.3us");
+        assert_eq!(us(42_000.0), "42.0ms");
+        assert_eq!(tps(950.0), "950");
+        assert_eq!(tps(15_500.0), "15.5k");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Context-local storage (CLS), paper §4.3.
+//!
+//! Thread-local storage breaks once a worker thread multiplexes several
+//! transaction contexts: both contexts would read and write the *same* TLS
+//! variable (e.g. a per-thread redo-log buffer), corrupting each other. The
+//! paper solves this by giving every context its own CLS area with the TLS
+//! layout and swapping the `fs`/`gs` base at context-switch time so that
+//! unmodified code transparently lands in the right copy.
+//!
+//! In Rust we control the accessor, so we get the same transparency with a
+//! pointer swap that is already part of the switch: a [`ClsCell`] indexes
+//! into the CLS area of the *current* TCB ([`crate::tcb::current_ptr`]),
+//! which the switch machinery re-points. Code using `ClsCell` needs no
+//! changes to run under one context per thread (where it behaves exactly
+//! like `thread_local!`) or many.
+//!
+//! ```
+//! use preempt_context::cls::ClsCell;
+//! // Per-*context* (not per-thread) redo-log buffer:
+//! static LOG_BUF: ClsCell<Vec<u8>> = ClsCell::new(Vec::new);
+//! LOG_BUF.with(|buf| buf.push(0xAB));
+//! assert_eq!(LOG_BUF.with(|buf| buf.len()), 1);
+//! ```
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::tcb;
+
+/// Global allocator of CLS slot indices; each `ClsCell` claims one lazily.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+/// Per-context backing store: a sparse vector of type-erased slots.
+///
+/// Slots are `Box<RefCell<T>>` so that (a) their address is stable while
+/// the vector grows during nested accesses, and (b) accidental reentrant
+/// access to the *same* variable is caught by the `RefCell` instead of
+/// aliasing.
+pub struct ClsArea {
+    slots: Vec<Option<Box<dyn Any>>>,
+}
+
+impl ClsArea {
+    pub(crate) fn new() -> ClsArea {
+        ClsArea { slots: Vec::new() }
+    }
+
+    /// Number of initialized slots (diagnostics).
+    pub fn initialized_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn get_or_init<T: 'static>(&mut self, slot: usize, init: fn() -> T) -> *const RefCell<T> {
+        if self.slots.len() <= slot {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        let entry = &mut self.slots[slot];
+        if entry.is_none() {
+            *entry = Some(Box::new(RefCell::new(init())));
+        }
+        entry
+            .as_ref()
+            .expect("just initialized")
+            .downcast_ref::<RefCell<T>>()
+            .expect("CLS slot type mismatch: two ClsCells share a slot id")
+            as *const RefCell<T>
+    }
+}
+
+/// A context-local variable. Declare as a `static`; each transaction
+/// context (including each thread's root context) observes an independent
+/// copy, lazily initialized by `init`.
+pub struct ClsCell<T: 'static> {
+    slot: OnceLock<usize>,
+    init: fn() -> T,
+}
+
+impl<T: 'static> ClsCell<T> {
+    /// Creates a CLS variable with the given initializer.
+    pub const fn new(init: fn() -> T) -> ClsCell<T> {
+        ClsCell {
+            slot: OnceLock::new(),
+            init,
+        }
+    }
+
+    #[inline]
+    fn slot(&self) -> usize {
+        *self
+            .slot
+            .get_or_init(|| NEXT_SLOT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Accesses the current context's copy of the variable.
+    ///
+    /// Nested access to *different* CLS variables is fine; nested access to
+    /// the same variable panics (like a `RefCell` double borrow) — this is
+    /// the CLS analog of the intra-thread data race the paper warns about.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let slot = self.slot();
+        let cell_ptr = tcb::with_current(|t| {
+            // SAFETY: the CLS area is only touched from the owning thread,
+            // and the `&mut` borrow ends before `f` runs (the slot's
+            // contents are behind a stable Box).
+            let area = unsafe { &mut *t.cls.get() };
+            area.get_or_init::<T>(slot, self.init)
+        });
+        // SAFETY: the Box<RefCell<T>> lives as long as the TCB, which
+        // outlives this call; growth of the slot vector does not move it.
+        let cell = unsafe { &*cell_ptr };
+        let mut guard = cell
+            .try_borrow_mut()
+            .expect("reentrant access to the same CLS variable");
+        f(&mut guard)
+    }
+
+    /// Replaces the current context's value, returning the old one.
+    pub fn replace(&self, value: T) -> T {
+        self.with(|v| std::mem::replace(v, value))
+    }
+}
+
+impl<T: Copy + 'static> ClsCell<T> {
+    /// Reads the current context's value (for `Copy` payloads).
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+
+    /// Overwrites the current context's value (for `Copy` payloads).
+    pub fn set(&self, value: T) {
+        self.with(|v| *v = value);
+    }
+}
+
+// SAFETY: the cell itself holds only a slot id and an `fn` pointer; the
+// per-context values never cross threads through it.
+unsafe impl<T: 'static> Sync for ClsCell<T> {}
+unsafe impl<T: 'static> Send for ClsCell<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::switch::{switch_to, Context};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    static COUNTER: ClsCell<u64> = ClsCell::new(|| 0);
+    static NAME: ClsCell<String> = ClsCell::new(String::new);
+
+    #[test]
+    fn behaves_like_thread_local_on_root() {
+        COUNTER.set(0);
+        COUNTER.with(|c| *c += 5);
+        assert_eq!(COUNTER.get(), 5);
+        COUNTER.set(0);
+    }
+
+    #[test]
+    fn isolated_across_threads() {
+        static TL: ClsCell<u64> = ClsCell::new(|| 7);
+        TL.set(100);
+        let other = std::thread::spawn(|| {
+            assert_eq!(TL.get(), 7, "fresh thread sees initializer value");
+            TL.set(1);
+            TL.get()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(other, 1);
+        assert_eq!(TL.get(), 100, "our copy untouched");
+    }
+
+    #[test]
+    fn isolated_across_contexts_on_one_thread() {
+        // The core §4.3 property: two contexts on the same OS thread write
+        // the "same" variable without interference.
+        static V: ClsCell<Vec<u32>> = ClsCell::new(Vec::new);
+        V.with(|v| v.clear());
+        V.with(|v| v.push(0)); // root's copy
+
+        let root = crate::tcb::root_ptr() as usize;
+        let observed = Arc::new(AtomicU64::new(0));
+        let obs = observed.clone();
+        let ctx = Context::with_default_stack("cls", move || {
+            // Fresh context: initializer value, not root's.
+            assert_eq!(V.with(|v| v.len()), 0);
+            V.with(|v| v.extend([1, 2, 3]));
+            obs.store(V.with(|v| v.len()) as u64, Ordering::Relaxed);
+            switch_to(unsafe { &*(root as *const crate::tcb::Tcb) });
+            // Resumed: our copy survived suspension.
+            assert_eq!(V.with(|v| v.clone()), vec![1, 2, 3]);
+        })
+        .unwrap();
+        ctx.resume();
+        assert_eq!(observed.load(Ordering::Relaxed), 3);
+        // Root's copy untouched by the context's writes.
+        assert_eq!(V.with(|v| v.clone()), vec![0]);
+        ctx.resume();
+        assert_eq!(ctx.tcb().state(), crate::tcb::CtxState::Finished);
+    }
+
+    #[test]
+    fn nested_access_to_different_vars_is_fine() {
+        NAME.with(|n| {
+            n.push_str("outer");
+            COUNTER.with(|c| *c += 1);
+        });
+        assert_eq!(NAME.with(std::mem::take), "outer");
+    }
+
+    #[test]
+    #[should_panic(expected = "reentrant access")]
+    fn reentrant_same_var_panics() {
+        static X: ClsCell<u32> = ClsCell::new(|| 0);
+        X.with(|_| {
+            X.with(|_| {});
+        });
+    }
+
+    #[test]
+    fn replace_returns_old() {
+        static S: ClsCell<u32> = ClsCell::new(|| 11);
+        assert_eq!(S.replace(22), 11);
+        assert_eq!(S.get(), 22);
+        S.set(11);
+    }
+
+    #[test]
+    fn many_vars_get_distinct_slots() {
+        // Regression guard for the slot allocator.
+        static A: ClsCell<u8> = ClsCell::new(|| 1);
+        static B: ClsCell<u8> = ClsCell::new(|| 2);
+        static C: ClsCell<u8> = ClsCell::new(|| 3);
+        assert_eq!((A.get(), B.get(), C.get()), (1, 2, 3));
+        A.set(10);
+        assert_eq!((A.get(), B.get(), C.get()), (10, 2, 3));
+        A.set(1);
+    }
+}

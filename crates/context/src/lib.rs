@@ -1,0 +1,59 @@
+//! # preempt-context
+//!
+//! Userspace transaction contexts for PreemptDB (SIGMOD '25, §4.2–4.4):
+//! the mechanism that lets one worker thread time-share a CPU core between
+//! multiple in-flight transactions with microsecond-scale switches, purely
+//! in userspace.
+//!
+//! The crate provides:
+//!
+//! * [`switch::Context`] / [`switch::switch_to`] — stackful transaction
+//!   contexts with a hand-written x86-64 switch (the paper's
+//!   `swap_context`, Algorithm 2), including the **atomic active switch**
+//!   discipline;
+//! * [`tcb::Tcb`] — transaction control blocks holding saved state, the
+//!   non-preemptible lock counter and the CLS area;
+//! * [`cls::ClsCell`] — transparent **context-local storage** (§4.3),
+//!   the fix for thread-local state shared by co-resident contexts;
+//! * [`nonpreempt::NonPreemptGuard`] — nested **non-preemptible
+//!   regions** (§4.4) protecting latch-holding code from same-worker
+//!   deadlocks;
+//! * [`runtime::preempt_point`] — the preemption points where emulated
+//!   user interrupts are delivered (see `DESIGN.md` §1.1 for the fidelity
+//!   argument of this substitution).
+//!
+//! ## Example: a worker with two contexts
+//!
+//! ```
+//! use preempt_context::switch::{switch_to, Context};
+//! use preempt_context::tcb;
+//!
+//! // "Low-priority" work that yields control back to the root (scheduler)
+//! // context midway — in PreemptDB this switch is triggered by a user
+//! // interrupt instead.
+//! let root = tcb::root_ptr() as usize;
+//! let low = Context::with_default_stack("low-prio", move || {
+//!     // ... first half of a long scan ...
+//!     switch_to(unsafe { &*(root as *const tcb::Tcb) }); // preempted here
+//!     // ... scan resumes exactly where it paused ...
+//! }).unwrap();
+//!
+//! low.resume();                       // runs until the pause
+//! // (scheduler would now run a high-priority transaction)
+//! low.resume();                       // resumes the scan to completion
+//! assert_eq!(low.tcb().state(), preempt_context::tcb::CtxState::Finished);
+//! ```
+
+pub mod arch;
+pub mod cls;
+pub mod nonpreempt;
+pub mod runtime;
+pub mod stack;
+pub mod switch;
+pub mod tcb;
+
+pub use cls::ClsCell;
+pub use nonpreempt::{non_preemptible, NonPreemptGuard};
+pub use runtime::{preempt_point, with_hook, PreemptHook};
+pub use switch::{switch_in_progress, switch_to, Context};
+pub use tcb::{CtxState, Tcb};

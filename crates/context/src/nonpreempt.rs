@@ -1,0 +1,148 @@
+//! Non-preemptible regions (paper §4.4), as RAII guards.
+//!
+//! The paper wraps latch-holding code — index operations, the memory
+//! allocator, OCC validation/commit/abort — in nested non-preemptible
+//! regions so that a context is never paused while holding a latch that its
+//! sibling context on the *same* worker might spin on (a same-thread
+//! deadlock no lock-ordering discipline can prevent). Entry/exit are a CLS
+//! counter increment/decrement (`TCB::lock`/`TCB::unlock`); when the
+//! outermost region exits with a deferred delivery recorded, the pending
+//! interrupt is re-examined immediately.
+
+use crate::runtime;
+use crate::tcb::{self, Tcb};
+
+/// RAII guard for a non-preemptible region on the current context.
+///
+/// While at least one guard is alive, preemption points will not divert
+/// into the interrupt handler; the delivery is deferred and re-polled when
+/// the outermost guard drops.
+#[must_use = "the region ends when the guard drops"]
+pub struct NonPreemptGuard {
+    /// The TCB the guard was opened on; regions must not straddle a context
+    /// switch boundary in a way that would unlock a different context.
+    tcb: *const Tcb,
+}
+
+impl NonPreemptGuard {
+    /// Enters a non-preemptible region on the current context.
+    #[inline]
+    pub fn enter() -> NonPreemptGuard {
+        let tcb = tcb::current_ptr();
+        // SAFETY: current_ptr is valid for the current thread.
+        unsafe { (*tcb).lock() };
+        NonPreemptGuard { tcb }
+    }
+
+    /// Current nesting depth, for diagnostics and tests.
+    pub fn depth() -> u32 {
+        tcb::with_current(|t| t.lock_depth())
+    }
+}
+
+impl Drop for NonPreemptGuard {
+    #[inline]
+    fn drop(&mut self) {
+        debug_assert!(
+            std::ptr::eq(self.tcb, tcb::current_ptr()),
+            "NonPreemptGuard dropped on a different context than it was opened on"
+        );
+        // SAFETY: guard construction proved the pointer valid; context
+        // identity is asserted above.
+        let repoll = unsafe { (*self.tcb).unlock() };
+        if repoll {
+            // A delivery was deferred while we were non-preemptible; give
+            // the runtime a chance to take it *now* (paper §4.4: "return
+            // directly back to its current context" happened at delivery
+            // time; the handler fires at the next opportunity — this is
+            // that opportunity).
+            runtime::preempt_point(0);
+        }
+    }
+}
+
+/// Runs `f` inside a non-preemptible region.
+#[inline]
+pub fn non_preemptible<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = NonPreemptGuard::enter();
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{with_hook, PreemptHook};
+    use std::cell::Cell;
+
+    #[test]
+    fn guards_nest() {
+        assert_eq!(NonPreemptGuard::depth(), 0);
+        let a = NonPreemptGuard::enter();
+        {
+            let _b = NonPreemptGuard::enter();
+            assert_eq!(NonPreemptGuard::depth(), 2);
+        }
+        assert_eq!(NonPreemptGuard::depth(), 1);
+        drop(a);
+        assert_eq!(NonPreemptGuard::depth(), 0);
+    }
+
+    #[test]
+    fn closure_form() {
+        let depth = non_preemptible(NonPreemptGuard::depth);
+        assert_eq!(depth, 1);
+        assert_eq!(NonPreemptGuard::depth(), 0);
+    }
+
+    /// A hook that emulates a pending interrupt: it wants to fire at every
+    /// point, but respects non-preemptible regions by deferring.
+    struct DeferringHook {
+        fired: Cell<u32>,
+        deferred: Cell<u32>,
+    }
+    impl PreemptHook for DeferringHook {
+        fn preempt_point(&self, _cost: u64) {
+            crate::tcb::with_current(|t| {
+                if t.is_nonpreemptible() {
+                    t.note_deferred();
+                    self.deferred.set(self.deferred.get() + 1);
+                } else {
+                    self.fired.set(self.fired.get() + 1);
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn outermost_drop_triggers_repoll() {
+        let hook = DeferringHook {
+            fired: Cell::new(0),
+            deferred: Cell::new(0),
+        };
+        with_hook(&hook, || {
+            {
+                let _g = NonPreemptGuard::enter();
+                crate::runtime::preempt_point(100); // deferred
+                crate::runtime::preempt_point(100); // deferred
+            } // drop re-polls -> fires
+            assert_eq!(hook.deferred.get(), 2);
+            assert_eq!(hook.fired.get(), 1, "deferral re-polled at region exit");
+        });
+    }
+
+    #[test]
+    fn no_repoll_without_deferral() {
+        let hook = DeferringHook {
+            fired: Cell::new(0),
+            deferred: Cell::new(0),
+        };
+        with_hook(&hook, || {
+            {
+                let _g = NonPreemptGuard::enter();
+                // No preempt point fires inside the region.
+            }
+            assert_eq!(hook.fired.get(), 0);
+            assert_eq!(hook.deferred.get(), 0);
+        });
+    }
+}

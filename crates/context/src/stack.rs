@@ -1,0 +1,174 @@
+//! Execution stacks for transaction contexts.
+//!
+//! Each preemptive transaction context (paper §4.2, Figure 6) owns its own
+//! stack. Stacks are `mmap`-allocated with an inaccessible guard page at the
+//! low end so that an overflow faults deterministically instead of silently
+//! corrupting a neighbouring context — the same layout the paper relies on
+//! for its per-context stacks.
+
+use std::io;
+use std::ptr::NonNull;
+
+/// Default usable stack size for a transaction context.
+///
+/// TPC-C/TPC-H transaction logic in this workspace is shallow (no SQL layer,
+/// no recursion beyond a nested query block), so 256 KiB leaves a wide
+/// margin while keeping 32+ contexts cheap.
+pub const DEFAULT_STACK_SIZE: usize = 256 * 1024;
+
+/// Minimum usable stack size accepted by [`Stack::new`].
+pub const MIN_STACK_SIZE: usize = 16 * 1024;
+
+/// An `mmap`-allocated stack with a low-end guard page.
+///
+/// The mapping is `guard page | usable bytes`; [`Stack::top`] returns the
+/// high end, which is where a descending x86-64 stack begins.
+pub struct Stack {
+    /// Base of the whole mapping (the guard page).
+    base: NonNull<u8>,
+    /// Length of the whole mapping including the guard page.
+    map_len: usize,
+    /// Usable bytes (excludes the guard page).
+    usable: usize,
+}
+
+// The mapping is plain memory uniquely owned by this struct.
+unsafe impl Send for Stack {}
+
+impl Stack {
+    /// Allocates a stack with `usable` usable bytes (rounded up to the page
+    /// size) plus one guard page.
+    pub fn new(usable: usize) -> io::Result<Self> {
+        let page = page_size();
+        let usable = usable.max(MIN_STACK_SIZE).next_multiple_of(page);
+        let map_len = usable + page;
+        // SAFETY: anonymous private mapping; no file descriptor involved.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                map_len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `ptr` is the start of the mapping we just created and the
+        // first page is entirely inside it.
+        let rc = unsafe { libc::mprotect(ptr, page, libc::PROT_NONE) };
+        if rc != 0 {
+            let err = io::Error::last_os_error();
+            // SAFETY: unmapping the region we just mapped.
+            unsafe { libc::munmap(ptr, map_len) };
+            return Err(err);
+        }
+        Ok(Stack {
+            base: NonNull::new(ptr.cast()).expect("mmap returned non-null"),
+            map_len,
+            usable,
+        })
+    }
+
+    /// Allocates a stack of [`DEFAULT_STACK_SIZE`].
+    pub fn with_default_size() -> io::Result<Self> {
+        Self::new(DEFAULT_STACK_SIZE)
+    }
+
+    /// Highest address of the stack; execution starts here and grows down.
+    /// Always 16-byte aligned (mappings are page aligned).
+    pub fn top(&self) -> *mut u8 {
+        // SAFETY: `map_len` is the exact length of the mapping.
+        unsafe { self.base.as_ptr().add(self.map_len) }
+    }
+
+    /// Lowest usable address (just above the guard page).
+    pub fn limit(&self) -> *mut u8 {
+        // SAFETY: guard page is the first page of the mapping.
+        unsafe { self.base.as_ptr().add(self.map_len - self.usable) }
+    }
+
+    /// Usable capacity in bytes.
+    pub fn usable(&self) -> usize {
+        self.usable
+    }
+
+    /// Whether `sp` points into this stack's usable range. Used by debug
+    /// assertions when suspending a context.
+    pub fn contains(&self, sp: *const u8) -> bool {
+        let sp = sp as usize;
+        sp >= self.limit() as usize && sp <= self.top() as usize
+    }
+}
+
+impl Drop for Stack {
+    fn drop(&mut self) {
+        // SAFETY: base/map_len describe the mapping created in `new`.
+        unsafe {
+            libc::munmap(self.base.as_ptr().cast(), self.map_len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stack")
+            .field("top", &self.top())
+            .field("usable", &self.usable)
+            .finish()
+    }
+}
+
+/// Returns the system page size.
+pub fn page_size() -> usize {
+    // SAFETY: sysconf with a valid name has no preconditions.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    if sz <= 0 {
+        4096
+    } else {
+        sz as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocates_and_aligns() {
+        let s = Stack::new(64 * 1024).unwrap();
+        assert_eq!(s.top() as usize % 16, 0);
+        assert!(s.usable() >= 64 * 1024);
+        assert!(s.contains(s.top()));
+        assert!(s.contains(s.limit()));
+        assert!(!s.contains(unsafe { s.limit().sub(1) }));
+    }
+
+    #[test]
+    fn rounds_small_sizes_up() {
+        let s = Stack::new(1).unwrap();
+        assert!(s.usable() >= MIN_STACK_SIZE);
+    }
+
+    #[test]
+    fn stack_is_writable_to_the_limit() {
+        let s = Stack::new(32 * 1024).unwrap();
+        // Touch first and last usable bytes.
+        unsafe {
+            s.limit().write(0xAB);
+            s.top().sub(1).write(0xCD);
+            assert_eq!(s.limit().read(), 0xAB);
+            assert_eq!(s.top().sub(1).read(), 0xCD);
+        }
+    }
+
+    #[test]
+    fn many_stacks_coexist() {
+        let stacks: Vec<_> = (0..64).map(|_| Stack::new(MIN_STACK_SIZE).unwrap()).collect();
+        for w in stacks.windows(2) {
+            assert_ne!(w[0].top(), w[1].top());
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Active and passive context switching.
+//!
+//! [`switch_to`] is the Rust analog of the paper's `swap_context`
+//! (Algorithm 2): a *voluntary* switch between two transaction contexts on
+//! the same worker thread. The paper's user-interrupt handler (Algorithm 1)
+//! performs the *passive* direction by invoking exactly the same machinery
+//! from inside the handler; in this workspace that is what
+//! `preempt-uintr`'s delivery path does.
+//!
+//! ## Atomicity of the active switch (paper §4.2, Algorithm 2)
+//!
+//! The paper must defend a small window where a user interrupt arriving
+//! mid-`swap_context` would save/restore torn register state; it disables
+//! delivery (`clui`) and adds an instruction-pointer range check in the
+//! handler. Our delivery is emulated at preemption points, so the analog is
+//! a per-thread [`switch_in_progress`] flag set for the duration of the
+//! switch: any delivery attempt observing it defers (and records the
+//! deferral on the interrupted TCB), exactly like Algorithm 1 lines 2–6
+//! returning early.
+
+use std::cell::Cell;
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::arch::{init_stack, raw_swap};
+use crate::stack::Stack;
+use crate::tcb::{self, CtxState, Tcb};
+
+thread_local! {
+    /// True while this thread is inside the critical instructions of a
+    /// context switch (the `.swap_context_start/_end` window).
+    static SWITCHING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is inside the active-switch critical window.
+/// Delivery paths (e.g. `preempt-uintr`) must defer when this is set.
+#[inline]
+pub fn switch_in_progress() -> bool {
+    SWITCHING.with(|s| s.get())
+}
+
+/// Test-only: force the switch window flag (used to exercise deferral).
+#[doc(hidden)]
+pub fn set_switch_in_progress(v: bool) {
+    SWITCHING.with(|s| s.set(v));
+}
+
+/// Switches execution from the current context to `to`.
+///
+/// `to` must be `Ready` (fresh) or `Suspended`; the current context becomes
+/// `Suspended` and resumes when someone later switches back to it. This is
+/// usable both as the paper's *active* switch (a worker voluntarily
+/// resuming a paused low-priority transaction) and as the tail of the
+/// *passive* switch (called from an interrupt handler).
+///
+/// # Panics
+/// If `to` is the current context, or is `Running`/`Finished`/`Poisoned`.
+pub fn switch_to(to: &Tcb) {
+    let from_ptr = tcb::current_ptr();
+    assert!(
+        !std::ptr::eq(from_ptr, to),
+        "cannot switch a context to itself"
+    );
+    // SAFETY: current_ptr is valid for this thread (see tcb.rs).
+    let from = unsafe { &*from_ptr };
+    debug_assert_eq!(from.state(), CtxState::Running);
+    match to.state() {
+        CtxState::Ready | CtxState::Suspended => {}
+        s => panic!("cannot switch to context {:?} in state {s:?}", to.name()),
+    }
+
+    SWITCHING.with(|s| s.set(true));
+    from.state.set(CtxState::Suspended);
+    to.state.set(CtxState::Running);
+    to.resumes.set(to.resumes.get() + 1);
+    tcb::set_current(to as *const Tcb);
+
+    if let Some(stack) = to.stack() {
+        debug_assert!(
+            to.saved_sp.get().is_null() || stack.contains(to.saved_sp.get()),
+            "saved stack pointer escaped its stack"
+        );
+    }
+
+    // SAFETY: `from.saved_sp` is this context's dedicated save slot;
+    // `to.saved_sp` was produced by `init_stack` (Ready) or a previous
+    // `raw_swap` (Suspended), and `to`'s stack is live (owned by a Context
+    // or by this thread's root).
+    unsafe {
+        raw_swap(from.saved_sp.as_ptr(), to.saved_sp.get());
+    }
+
+    // Someone switched back into `from`; they already set CURRENT and our
+    // state to Running. Close the critical window they opened.
+    SWITCHING.with(|s| s.set(false));
+}
+
+/// Entry shim executed (via the assembly trampoline) when a fresh context
+/// first runs. Diverges: when the entry closure finishes, control moves to
+/// the context's `return_to` target (or the thread's root context).
+pub(crate) extern "sysv64" fn context_entry_shim(arg: *mut u8) -> ! {
+    // The switch that started us opened the critical window; close it.
+    SWITCHING.with(|s| s.set(false));
+    let tcb_ptr = arg as *const Tcb;
+    // SAFETY: the trampoline receives the TCB pointer planted by
+    // Context::new; the owning Context outlives execution on it.
+    let tcb = unsafe { &*tcb_ptr };
+    // SAFETY: entry slot is only touched by the owning thread.
+    let entry = unsafe { (*tcb.entry.get()).take() }.expect("context entry ran twice");
+
+    let result = catch_unwind(AssertUnwindSafe(entry));
+    let final_state = match result {
+        Ok(()) => CtxState::Finished,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            // SAFETY: owning thread only.
+            unsafe { *tcb.panic_msg.get() = Some(msg) };
+            CtxState::Poisoned
+        }
+    };
+
+    let back_ptr = {
+        let p = tcb.return_to.get();
+        if p.is_null() {
+            tcb::root_ptr()
+        } else {
+            p
+        }
+    };
+    // SAFETY: return_to targets are either the thread root (lives as long
+    // as the thread) or a sibling Context the runtime keeps alive.
+    let back = unsafe { &*back_ptr };
+
+    SWITCHING.with(|s| s.set(true));
+    tcb.state.set(final_state);
+    back.state.set(CtxState::Running);
+    back.resumes.set(back.resumes.get() + 1);
+    tcb::set_current(back_ptr);
+    // SAFETY: same contract as in switch_to; we never return here, the
+    // save slot write is dead.
+    unsafe {
+        raw_swap(tcb.saved_sp.as_ptr(), back.saved_sp.get());
+    }
+    unreachable!("finished context was resumed");
+}
+
+/// An owned transaction context: a TCB plus its stack and entry closure.
+///
+/// In PreemptDB each worker thread owns one of these per extra priority
+/// level (the default configuration has two contexts per worker: the
+/// regular path and the preemptive path, Figure 5).
+pub struct Context {
+    // Box so the TCB address is stable across moves of `Context`.
+    tcb: Box<Tcb>,
+}
+
+// SAFETY: a Context may be created on one thread and moved to its worker
+// thread before first being resumed. The entry closure is `Send`, and all
+// interior mutability is only exercised by the thread currently running
+// the context. Migrating a *suspended* context to another thread and
+// resuming it there is not supported (documented on `switch_to`).
+unsafe impl Send for Context {}
+
+impl Context {
+    /// Creates a context with the given usable stack size that will run
+    /// `entry` when first switched to.
+    pub fn new(
+        stack_size: usize,
+        name: &'static str,
+        entry: impl FnOnce() + Send + 'static,
+    ) -> io::Result<Context> {
+        let stack = Stack::new(stack_size)?;
+        let tcb = Box::new(Tcb::new(stack, name, Box::new(entry)));
+        let sp = unsafe {
+            // SAFETY: stack.top() is the aligned high end of a live stack.
+            init_stack(
+                tcb.stack().expect("fresh context has a stack").top(),
+                (&*tcb as *const Tcb as *mut Tcb).cast(),
+            )
+        };
+        tcb.saved_sp.set(sp);
+        Ok(Context { tcb })
+    }
+
+    /// Creates a context with [`crate::stack::DEFAULT_STACK_SIZE`].
+    pub fn with_default_stack(
+        name: &'static str,
+        entry: impl FnOnce() + Send + 'static,
+    ) -> io::Result<Context> {
+        Self::new(crate::stack::DEFAULT_STACK_SIZE, name, entry)
+    }
+
+    /// The context's TCB, e.g. to pass to [`switch_to`].
+    pub fn tcb(&self) -> &Tcb {
+        &self.tcb
+    }
+
+    /// Raw TCB pointer, stable for the lifetime of this `Context`.
+    pub fn tcb_ptr(&self) -> *const Tcb {
+        &*self.tcb as *const Tcb
+    }
+
+    /// Sets where control should go when the entry closure returns.
+    /// By default it returns to the thread's root context.
+    pub fn set_return_to(&self, target: *const Tcb) {
+        self.tcb.return_to.set(target);
+    }
+
+    /// Re-arms a `Finished`/`Poisoned`/`Ready` context with a new entry
+    /// closure, reusing its stack. Panics if the context is `Running` or
+    /// `Suspended`.
+    pub fn reset(&mut self, entry: impl FnOnce() + Send + 'static) {
+        match self.tcb.state() {
+            CtxState::Finished | CtxState::Poisoned | CtxState::Ready => {}
+            s => panic!("cannot reset a context in state {s:?}"),
+        }
+        // SAFETY: not running, owning thread only.
+        unsafe {
+            *self.tcb.entry.get() = Some(Box::new(entry));
+            *self.tcb.panic_msg.get() = None;
+        }
+        let sp = unsafe {
+            init_stack(
+                self.tcb.stack().expect("context has a stack").top(),
+                (self.tcb_ptr() as *mut Tcb).cast(),
+            )
+        };
+        self.tcb.saved_sp.set(sp);
+        self.tcb.state.set(CtxState::Ready);
+        self.tcb.lock_count.set(0);
+        self.tcb.deferred.set(false);
+    }
+
+    /// Convenience: switch into this context now.
+    pub fn resume(&self) {
+        switch_to(self.tcb());
+    }
+}
+
+impl Drop for Context {
+    fn drop(&mut self) {
+        // Dropping a Suspended context abandons live frames on its stack:
+        // their destructors never run (a leak, not UB — same stance as
+        // stackful-coroutine libraries). Dropping a Running context would
+        // free the stack under our feet, so forbid it.
+        assert_ne!(
+            self.tcb.state(),
+            CtxState::Running,
+            "dropping the currently running context"
+        );
+    }
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.tcb.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// Tiny Send+Sync event log for single-threaded switch tests.
+    mod parking_free {
+        use std::sync::Mutex;
+        #[derive(Default)]
+        pub struct Log(Mutex<Vec<u32>>);
+        impl Log {
+            pub fn push(&self, v: u32) {
+                self.0.lock().unwrap().push(v);
+            }
+            pub fn snapshot(&self) -> Vec<u32> {
+                self.0.lock().unwrap().clone()
+            }
+        }
+    }
+
+    #[test]
+    fn runs_entry_and_returns_to_root() {
+        let hit = Arc::new(AtomicU32::new(0));
+        let h = hit.clone();
+        let ctx = Context::with_default_stack("t", move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        ctx.resume();
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+        assert_eq!(ctx.tcb().state(), CtxState::Finished);
+        assert!(!switch_in_progress());
+    }
+
+    #[test]
+    fn suspends_and_resumes_mid_body() {
+        // Classic generator pattern: context yields back to root N times.
+        let counter = Arc::new(AtomicU32::new(0));
+        let c = counter.clone();
+        let root = tcb::root_ptr() as usize;
+        let ctx = Context::with_default_stack("gen", move || {
+            for i in 1..=5u32 {
+                c.store(i, Ordering::Relaxed);
+                // SAFETY (test): root outlives the thread.
+                switch_to(unsafe { &*(root as *const Tcb) });
+            }
+        })
+        .unwrap();
+        for expect in 1..=5u32 {
+            ctx.resume();
+            assert_eq!(counter.load(Ordering::Relaxed), expect);
+            assert_eq!(ctx.tcb().state(), CtxState::Suspended);
+        }
+        ctx.resume(); // let the loop fall off the end
+        assert_eq!(ctx.tcb().state(), CtxState::Finished);
+    }
+
+    #[test]
+    fn two_contexts_ping_pong_directly() {
+        // a -> b -> a -> b ... without bouncing through root, the exact
+        // pattern a PreemptDB worker uses between its two contexts.
+        let log: Arc<parking_free::Log> = Default::default();
+        // Everything stays on one thread; we smuggle TCB addresses as
+        // usizes into the (Send) closures. The Contexts outlive the
+        // switching.
+        #[derive(Default)]
+        struct Cell2(std::sync::OnceLock<usize>, std::sync::OnceLock<usize>);
+        let tcbs = Arc::new(Cell2::default());
+
+        let (l1, t1) = (log.clone(), tcbs.clone());
+        let a = Context::with_default_stack("a", move || {
+            l1.push(1);
+            switch_to(unsafe { &*(*t1.1.get().unwrap() as *const Tcb) });
+            l1.push(3);
+            switch_to(unsafe { &*(*t1.1.get().unwrap() as *const Tcb) });
+        })
+        .unwrap();
+        let (l2, t2) = (log.clone(), tcbs.clone());
+        let b = Context::with_default_stack("b", move || {
+            l2.push(2);
+            switch_to(unsafe { &*(*t2.0.get().unwrap() as *const Tcb) });
+            l2.push(4);
+        })
+        .unwrap();
+        tcbs.0.set(a.tcb_ptr() as usize).unwrap();
+        tcbs.1.set(b.tcb_ptr() as usize).unwrap();
+
+        a.resume(); // runs a(1) -> b(2) -> a(3) -> b(4) -> root
+        assert_eq!(log.snapshot(), vec![1, 2, 3, 4]);
+        assert_eq!(a.tcb().state(), CtxState::Suspended); // a never finished its last line
+        assert_eq!(b.tcb().state(), CtxState::Finished);
+    }
+
+    #[test]
+    fn panic_in_context_is_captured_not_propagated() {
+        let ctx = Context::with_default_stack("boom", || {
+            panic!("kaboom {}", 42);
+        })
+        .unwrap();
+        ctx.resume();
+        assert_eq!(ctx.tcb().state(), CtxState::Poisoned);
+        assert!(ctx.tcb().panic_message().unwrap().contains("kaboom 42"));
+    }
+
+    #[test]
+    fn reset_reuses_stack() {
+        let n = Arc::new(AtomicU32::new(0));
+        let n1 = n.clone();
+        let mut ctx = Context::new(32 * 1024, "r", move || {
+            n1.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap();
+        ctx.resume();
+        assert_eq!(ctx.tcb().state(), CtxState::Finished);
+        let n2 = n.clone();
+        ctx.reset(move || {
+            n2.fetch_add(10, Ordering::Relaxed);
+        });
+        assert_eq!(ctx.tcb().state(), CtxState::Ready);
+        ctx.resume();
+        assert_eq!(n.load(Ordering::Relaxed), 11);
+    }
+
+    #[test]
+    fn resumes_counter_increments() {
+        let root = tcb::root_ptr() as usize;
+        let ctx = Context::with_default_stack("cnt", move || {
+            for _ in 0..3 {
+                switch_to(unsafe { &*(root as *const Tcb) });
+            }
+        })
+        .unwrap();
+        for _ in 0..3 {
+            ctx.resume();
+        }
+        assert_eq!(ctx.tcb().resumes(), 3);
+    }
+
+    #[test]
+    fn contexts_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Context>();
+        // And actually run one on another thread.
+        let ctx = Context::with_default_stack("moved", || {}).unwrap();
+        std::thread::spawn(move || {
+            ctx.resume();
+            assert_eq!(ctx.tcb().state(), CtxState::Finished);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn deep_call_stacks_work() {
+        fn recurse(n: u32) -> u32 {
+            // Thwart tail-call optimization with a data dependency.
+            if n == 0 {
+                0
+            } else {
+                std::hint::black_box(recurse(n - 1)) + 1
+            }
+        }
+        let ctx = Context::new(128 * 1024, "deep", || {
+            assert_eq!(recurse(500), 500);
+        })
+        .unwrap();
+        ctx.resume();
+        assert_eq!(ctx.tcb().state(), CtxState::Finished);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot switch a context to itself")]
+    fn self_switch_panics() {
+        tcb::with_current(switch_to);
+    }
+}

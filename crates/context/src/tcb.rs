@@ -1,0 +1,315 @@
+//! Transaction control blocks (TCBs).
+//!
+//! A TCB (paper §4.2) is the userspace analog of an OS process control
+//! block: it stores everything needed to pause a transaction mid-flight and
+//! resume it later — the saved stack pointer, execution state, the
+//! non-preemptible-region nesting counter (paper §4.4), and the context's
+//! CLS area (paper §4.3).
+//!
+//! Every OS thread implicitly owns a *root* TCB describing the code running
+//! on the thread's original stack; additional TCBs are created by
+//! [`crate::switch::Context`]. Exactly one TCB per thread is `Running` at
+//! any moment; [`current_ptr`]/[`with_current`] return it.
+
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::cls::ClsArea;
+use crate::stack::Stack;
+
+/// Execution state of a context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CtxState {
+    /// Freshly created; will start at its entry closure when first resumed.
+    Ready,
+    /// Currently executing on its thread.
+    Running,
+    /// Paused mid-execution; `saved_sp` is valid.
+    Suspended,
+    /// Entry closure returned; must be [`reset`](crate::switch::Context::reset)
+    /// before being resumed again.
+    Finished,
+    /// Entry closure panicked; the payload was captured.
+    Poisoned,
+}
+
+static NEXT_TCB_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Transaction control block. See module docs.
+///
+/// All fields are interior-mutable because a context mutates its *own* TCB
+/// while being pointed at by others (e.g. the peer that will resume it).
+/// A TCB is only ever touched by the thread it currently lives on.
+pub struct Tcb {
+    /// Stack pointer saved by the last suspension (valid iff `Suspended`,
+    /// or `Ready` where it points at the trampoline frame).
+    pub(crate) saved_sp: Cell<*mut u8>,
+    pub(crate) state: Cell<CtxState>,
+    /// Nesting depth of non-preemptible regions (paper §4.4's CLS lock
+    /// counter). While non-zero, interrupt delivery at preemption points is
+    /// deferred.
+    pub(crate) lock_count: Cell<u32>,
+    /// Set when a delivery attempt was deferred by `lock_count` or by the
+    /// active-switch window; re-checked when the region/switch ends.
+    pub(crate) deferred: Cell<bool>,
+    /// Context-local storage backing store.
+    pub(crate) cls: UnsafeCell<ClsArea>,
+    /// Owned stack; `None` for a thread's root TCB.
+    pub(crate) stack: Option<Stack>,
+    /// Entry closure, consumed on first resume.
+    #[allow(clippy::type_complexity)]
+    pub(crate) entry: UnsafeCell<Option<Box<dyn FnOnce() + Send + 'static>>>,
+    /// TCB to switch to when the entry closure returns.
+    pub(crate) return_to: Cell<*const Tcb>,
+    /// Number of times this context has been switched *into*.
+    pub(crate) resumes: Cell<u64>,
+    /// Panic message captured if the entry closure panicked.
+    pub(crate) panic_msg: UnsafeCell<Option<String>>,
+    id: u64,
+    name: &'static str,
+}
+
+impl Tcb {
+    pub(crate) fn new_root() -> Tcb {
+        Tcb {
+            saved_sp: Cell::new(std::ptr::null_mut()),
+            state: Cell::new(CtxState::Running),
+            lock_count: Cell::new(0),
+            deferred: Cell::new(false),
+            cls: UnsafeCell::new(ClsArea::new()),
+            stack: None,
+            entry: UnsafeCell::new(None),
+            return_to: Cell::new(std::ptr::null()),
+            resumes: Cell::new(0),
+            panic_msg: UnsafeCell::new(None),
+            id: NEXT_TCB_ID.fetch_add(1, Ordering::Relaxed),
+            name: "root",
+        }
+    }
+
+    pub(crate) fn new(
+        stack: Stack,
+        name: &'static str,
+        entry: Box<dyn FnOnce() + Send + 'static>,
+    ) -> Tcb {
+        Tcb {
+            saved_sp: Cell::new(std::ptr::null_mut()),
+            state: Cell::new(CtxState::Ready),
+            lock_count: Cell::new(0),
+            deferred: Cell::new(false),
+            cls: UnsafeCell::new(ClsArea::new()),
+            stack: Some(stack),
+            entry: UnsafeCell::new(Some(entry)),
+            return_to: Cell::new(std::ptr::null()),
+            resumes: Cell::new(0),
+            panic_msg: UnsafeCell::new(None),
+            id: NEXT_TCB_ID.fetch_add(1, Ordering::Relaxed),
+            name,
+        }
+    }
+
+    /// Unique id (process-wide).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Human-readable context name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn state(&self) -> CtxState {
+        self.state.get()
+    }
+
+    /// Number of times this context has been resumed (switched into);
+    /// the paper reports this kind of counter when quantifying switch
+    /// overhead.
+    pub fn resumes(&self) -> u64 {
+        self.resumes.get()
+    }
+
+    /// If the context [`CtxState::Poisoned`], the captured panic message.
+    pub fn panic_message(&self) -> Option<String> {
+        // SAFETY: only the owning thread reads/writes the slot, and never
+        // while the context itself is running.
+        unsafe { (*self.panic_msg.get()).clone() }
+    }
+
+    /// Enters a non-preemptible region (paper `TCB::lock()`): increments
+    /// the CLS lock counter. Nests freely; no synchronization needed since
+    /// only the owning thread touches it.
+    #[inline]
+    pub fn lock(&self) {
+        self.lock_count.set(self.lock_count.get() + 1);
+    }
+
+    /// Leaves a non-preemptible region (paper `TCB::unlock()`). Returns
+    /// `true` if this exit unlocked the outermost region *and* a delivery
+    /// was deferred meanwhile — the caller (the runtime hook) should then
+    /// re-poll for pending interrupts promptly.
+    #[inline]
+    pub fn unlock(&self) -> bool {
+        let n = self.lock_count.get();
+        debug_assert!(n > 0, "TCB::unlock without matching lock");
+        self.lock_count.set(n - 1);
+        n == 1 && self.deferred.replace(false)
+    }
+
+    /// Whether the context is currently inside a non-preemptible region.
+    #[inline]
+    pub fn is_nonpreemptible(&self) -> bool {
+        self.lock_count.get() > 0
+    }
+
+    /// Current non-preemptible nesting depth.
+    #[inline]
+    pub fn lock_depth(&self) -> u32 {
+        self.lock_count.get()
+    }
+
+    /// Records that a delivery attempt was deferred (by a non-preemptible
+    /// region or the active-switch window).
+    #[inline]
+    pub fn note_deferred(&self) {
+        self.deferred.set(true);
+    }
+
+    /// True if a deferred delivery is pending re-examination.
+    #[inline]
+    pub fn has_deferred(&self) -> bool {
+        self.deferred.get()
+    }
+
+    pub(crate) fn stack(&self) -> Option<&Stack> {
+        self.stack.as_ref()
+    }
+}
+
+impl std::fmt::Debug for Tcb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tcb")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("state", &self.state.get())
+            .field("lock_count", &self.lock_count.get())
+            .field("resumes", &self.resumes.get())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The thread's root TCB (its original stack).
+    static ROOT: Box<Tcb> = Box::new(Tcb::new_root());
+    /// Pointer to the TCB currently running on this thread.
+    static CURRENT: Cell<*const Tcb> = const { Cell::new(std::ptr::null()) };
+}
+
+/// Raw pointer to the current TCB, initializing the thread's root TCB on
+/// first use. The pointer is valid for the lifetime of the thread (root) or
+/// of the owning [`crate::switch::Context`].
+#[inline]
+pub fn current_ptr() -> *const Tcb {
+    CURRENT.with(|c| {
+        let p = c.get();
+        if p.is_null() {
+            let root = ROOT.with(|r| &**r as *const Tcb);
+            c.set(root);
+            root
+        } else {
+            p
+        }
+    })
+}
+
+pub(crate) fn set_current(tcb: *const Tcb) {
+    CURRENT.with(|c| c.set(tcb));
+}
+
+/// Raw pointer to this thread's root TCB (the code running on the thread's
+/// original stack). Valid for the thread's lifetime.
+pub fn root_ptr() -> *const Tcb {
+    // Ensure the root is initialized even if nothing ran on it yet.
+    let _ = current_ptr();
+    ROOT.with(|r| &**r as *const Tcb)
+}
+
+/// Runs `f` with a reference to the current TCB.
+#[inline]
+pub fn with_current<R>(f: impl FnOnce(&Tcb) -> R) -> R {
+    // SAFETY: `current_ptr` returns a pointer that stays valid while this
+    // thread runs (roots live in a thread-local; Contexts must outlive any
+    // execution happening on them, enforced by `Context`'s API).
+    unsafe { f(&*current_ptr()) }
+}
+
+/// Convenience: enter a non-preemptible region on the current context.
+#[inline]
+pub fn current_lock() {
+    with_current(|t| t.lock());
+}
+
+/// Convenience: leave a non-preemptible region on the current context.
+/// Returns `true` when a deferred delivery should be re-polled.
+#[inline]
+pub fn current_unlock() -> bool {
+    with_current(|t| t.unlock())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_tcb_is_running_and_stable() {
+        let a = current_ptr();
+        let b = current_ptr();
+        assert_eq!(a, b);
+        with_current(|t| {
+            assert_eq!(t.state(), CtxState::Running);
+            assert_eq!(t.name(), "root");
+            assert!(!t.is_nonpreemptible());
+        });
+    }
+
+    #[test]
+    fn lock_unlock_nesting() {
+        with_current(|t| {
+            t.lock();
+            t.lock();
+            assert_eq!(t.lock_depth(), 2);
+            assert!(!t.unlock());
+            assert!(t.is_nonpreemptible());
+            assert!(!t.unlock());
+            assert!(!t.is_nonpreemptible());
+        });
+    }
+
+    #[test]
+    fn deferred_reported_only_at_outermost_unlock() {
+        with_current(|t| {
+            t.lock();
+            t.lock();
+            t.note_deferred();
+            assert!(!t.unlock(), "inner unlock must not report");
+            assert!(t.has_deferred());
+            assert!(t.unlock(), "outermost unlock reports deferral");
+            assert!(!t.has_deferred(), "deferral consumed");
+        });
+    }
+
+    #[test]
+    fn roots_differ_across_threads() {
+        let here = current_ptr() as usize;
+        let there = std::thread::spawn(|| current_ptr() as usize).join().unwrap();
+        assert_ne!(here, there);
+    }
+
+    #[test]
+    #[should_panic(expected = "unlock without matching lock")]
+    #[cfg(debug_assertions)]
+    fn unbalanced_unlock_panics_in_debug() {
+        let t = Tcb::new_root();
+        t.unlock();
+    }
+}

@@ -1,0 +1,54 @@
+//! Nominal CPU cost model (cycles per engine operation).
+//!
+//! Every engine operation reports its cost to
+//! [`preempt_context::runtime::preempt_point`]; under the virtual-time
+//! simulator these cycles *are* the clock (DESIGN.md §1.3). The constants
+//! are calibrated to the magnitudes published for memory-optimized engines
+//! on ~2.4 GHz Xeons (ERMIA- and Cicada-class systems): an index
+//! probe is a few hundred cycles, a version-chain hop is an L2/L3-bounded
+//! pointer chase, commit includes timestamp allocation and log buffering.
+//! Absolute numbers need not match the paper's testbed — only ratios
+//! matter for the scheduling shapes (§6), and those are robust: a TPC-H Q2
+//! is ~10^5 operations while a NewOrder is ~10^2.
+
+/// Beginning a transaction: timestamp read + slot registration.
+pub const TXN_BEGIN: u64 = 150;
+/// Committing: timestamp allocation, version stamping per write is extra.
+pub const TXN_COMMIT_BASE: u64 = 500;
+/// Aborting: unlinking pending versions is charged per write.
+pub const TXN_ABORT_BASE: u64 = 300;
+/// Stamping / unlinking one written version at commit/abort.
+pub const PER_WRITE_FINALIZE: u64 = 120;
+/// Validating one read-set entry (Serializable only).
+pub const PER_READ_VALIDATE: u64 = 90;
+
+/// Hash-index point lookup (hash + bucket probe).
+pub const HASH_LOOKUP: u64 = 250;
+/// Hash-index insert/remove.
+pub const HASH_WRITE: u64 = 350;
+/// Ordered-index point lookup (B-tree descent).
+pub const BTREE_LOOKUP: u64 = 400;
+/// Ordered-index insert/remove.
+pub const BTREE_WRITE: u64 = 550;
+/// One step of an ordered-index range scan (amortized leaf walk).
+pub const BTREE_SCAN_STEP: u64 = 80;
+
+/// Reading a record: indirection-array load + visibility check.
+pub const RECORD_READ: u64 = 200;
+/// Each additional version-chain hop during visibility search.
+pub const VERSION_HOP: u64 = 60;
+/// Installing a new version (allocation + CAS + conflict check).
+pub const RECORD_WRITE: u64 = 450;
+/// Creating a record (insert).
+pub const RECORD_INSERT: u64 = 500;
+
+/// Appending one redo entry to the context-local log buffer.
+pub const LOG_APPEND: u64 = 100;
+/// Per-byte cost of copying the payload into the log buffer.
+pub const LOG_BYTE: u64 = 1;
+/// Flushing the context-local buffer to the shared log at commit.
+pub const LOG_FLUSH: u64 = 400;
+
+/// In-memory computation per row of post-read processing (sorts,
+/// aggregates) used by analytic workloads like Q2.
+pub const COMPUTE_PER_ROW: u64 = 40;

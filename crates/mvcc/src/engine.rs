@@ -1,0 +1,201 @@
+//! The engine facade: catalog, timestamp authority, statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::log::LogManager;
+use crate::registry::ActiveTxns;
+use crate::table::{Table, TableId};
+use crate::txn::{IsolationLevel, Transaction};
+use crate::version::Timestamp;
+
+/// Engine construction options.
+#[derive(Clone, Copy, Debug)]
+#[derive(Default)]
+pub struct EngineConfig {
+    /// Retain flushed log chunks in memory for inspection (tests/tools).
+    pub capture_log: bool,
+}
+
+
+/// Cumulative engine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    pub commits: u64,
+    pub aborts: u64,
+    pub conflicts: u64,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    conflicts: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+struct Inner {
+    /// Latest committed timestamp (the paper's centralized counter, §2.2).
+    ts: AtomicU64,
+    /// Transaction-id allocator (pending-version tags).
+    next_txid: AtomicU64,
+    tables: RwLock<Vec<Arc<Table>>>,
+    by_name: RwLock<HashMap<String, TableId>>,
+    registry: ActiveTxns,
+    /// Cached GC watermark, refreshed periodically at begin.
+    watermark: AtomicU64,
+    log: LogManager,
+    stats: AtomicStats,
+}
+
+/// A shareable handle to the storage engine. Cloning is cheap.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Engine {
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            inner: Arc::new(Inner {
+                ts: AtomicU64::new(0),
+                next_txid: AtomicU64::new(1),
+                tables: RwLock::new(Vec::new()),
+                by_name: RwLock::new(HashMap::new()),
+                registry: ActiveTxns::new(),
+                watermark: AtomicU64::new(0),
+                log: LogManager::new(cfg.capture_log),
+                stats: AtomicStats::default(),
+            }),
+        }
+    }
+
+    /// Creates a table; panics if the name exists.
+    pub fn create_table(&self, name: &str) -> Arc<Table> {
+        let mut tables = self.inner.tables.write();
+        let mut by_name = self.inner.by_name.write();
+        assert!(
+            !by_name.contains_key(name),
+            "table '{name}' already exists"
+        );
+        let id = TableId(tables.len() as u32);
+        let t = Arc::new(Table::new(id, name));
+        tables.push(t.clone());
+        by_name.insert(name.to_string(), id);
+        t
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<Arc<Table>> {
+        let id = *self.inner.by_name.read().get(name)?;
+        self.table_by_id(id)
+    }
+
+    /// Looks a table up by id.
+    pub fn table_by_id(&self, id: TableId) -> Option<Arc<Table>> {
+        self.inner.tables.read().get(id.0 as usize).cloned()
+    }
+
+    /// Number of tables in the catalog.
+    pub fn table_count(&self) -> usize {
+        self.inner.tables.read().len()
+    }
+
+    /// Begins a transaction at the given isolation level.
+    pub fn begin(&self, iso: IsolationLevel) -> Transaction<'_> {
+        let txid = self.inner.next_txid.fetch_add(1, Ordering::Relaxed);
+        let begin_ts = self.inner.ts.load(Ordering::Acquire);
+        // Periodically refresh the cached GC watermark (cheap scan).
+        if txid & 0xFF == 0 {
+            let wm = self.inner.registry.watermark(begin_ts);
+            self.inner.watermark.store(wm, Ordering::Relaxed);
+        }
+        let slot = self.inner.registry.enter(begin_ts);
+        Transaction::new(self, txid, begin_ts, iso, slot)
+    }
+
+    /// Begins a snapshot-isolation transaction (the default, §2.2).
+    pub fn begin_si(&self) -> Transaction<'_> {
+        self.begin(IsolationLevel::SnapshotIsolation)
+    }
+
+    /// Latest committed timestamp.
+    pub fn current_ts(&self) -> Timestamp {
+        self.inner.ts.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn allocate_commit_ts(&self) -> Timestamp {
+        self.inner.ts.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Recovery: advances the commit clock to at least `ts` so new
+    /// transactions order after every replayed one.
+    pub fn fast_forward_ts(&self, ts: Timestamp) {
+        self.inner.ts.fetch_max(ts, Ordering::AcqRel);
+    }
+
+    /// Most recently cached GC watermark (refreshed periodically at
+    /// `begin`; trims use the live registry value).
+    pub fn cached_watermark(&self) -> Timestamp {
+        self.inner.watermark.load(Ordering::Relaxed)
+    }
+
+    /// The shared redo log.
+    pub fn log(&self) -> &LogManager {
+        &self.inner.log
+    }
+
+    /// The active-transaction registry (snapshot watermark source).
+    pub fn registry(&self) -> &ActiveTxns {
+        &self.inner.registry
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.inner.stats;
+        EngineStats {
+            commits: s.commits.load(Ordering::Relaxed),
+            aborts: s.aborts.load(Ordering::Relaxed),
+            conflicts: s.conflicts.load(Ordering::Relaxed),
+            reads: s.reads.load(Ordering::Relaxed),
+            writes: s.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn note_commit(&self) {
+        self.inner.stats.commits.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_abort(&self) {
+        self.inner.stats.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_conflict(&self) {
+        self.inner.stats.conflicts.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_read(&self) {
+        self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn note_write(&self) {
+        self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The registry slot of the engine's Arc, for identity checks.
+    pub fn ptr_eq(&self, other: &Engine) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("tables", &self.table_count())
+            .field("ts", &self.current_ts())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,30 @@
+//! Transaction error types.
+
+/// Why a transaction operation or commit failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// Write-write conflict: the record has a concurrent uncommitted
+    /// write, or a version committed after this transaction's snapshot
+    /// (first-updater-wins under snapshot isolation).
+    WriteConflict,
+    /// Serializable validation failed: a read-set record changed between
+    /// the snapshot and commit.
+    ValidationFailed,
+    /// The transaction was already aborted by an earlier failure.
+    AlreadyAborted,
+}
+
+impl std::fmt::Display for TxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TxError::WriteConflict => write!(f, "write-write conflict"),
+            TxError::ValidationFailed => write!(f, "serializable validation failed"),
+            TxError::AlreadyAborted => write!(f, "transaction already aborted"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// Result alias for transactional operations.
+pub type TxResult<T> = Result<T, TxError>;

@@ -1,0 +1,469 @@
+//! Transactions: optimistic reads, first-updater-wins writes, and the
+//! commit pipeline.
+//!
+//! The lifecycle follows ERMIA (§2.2): `begin` takes a snapshot from the
+//! central timestamp counter; reads traverse version chains with no
+//! pessimistic locks; writes install pending versions at chain heads;
+//! commit allocates a timestamp and stamps the pending versions. Under
+//! `Serializable`, commit additionally performs OCC-style backward
+//! validation, latching the read-set records **in address order** inside a
+//! non-preemptible region — the paper's §4.4 example of code that must
+//! not be preempted (the regression tests exercise exactly that).
+
+use std::sync::Arc;
+
+use preempt_context::nonpreempt::NonPreemptGuard;
+use preempt_context::runtime::preempt_point;
+
+use crate::costs;
+use crate::engine::Engine;
+use crate::error::{TxError, TxResult};
+use crate::index::{HashIndex, OrderedIndex};
+use crate::log;
+use crate::registry::ActiveSlot;
+use crate::table::Table;
+use crate::version::{payload, Oid, Payload, Record, Timestamp, Version};
+
+/// Supported isolation levels (§2.2: snapshot isolation is the common
+/// case; read committed reads the newest committed version; serializable
+/// adds OCC certification).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    ReadCommitted,
+    #[default]
+    SnapshotIsolation,
+    Serializable,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+struct WriteEntry {
+    table: Arc<Table>,
+    oid: Oid,
+    record: Arc<Record>,
+    version: Arc<Version>,
+}
+
+struct ReadEntry {
+    record: Arc<Record>,
+}
+
+enum IndexUndo {
+    Hash { index: Arc<HashIndex>, key: u64 },
+    Ordered { index: Arc<OrderedIndex>, key: u64 },
+    ReinsertHash { index: Arc<HashIndex>, key: u64, oid: Oid },
+    ReinsertOrdered { index: Arc<OrderedIndex>, key: u64, oid: Oid },
+}
+
+/// An in-flight transaction. Aborts automatically if dropped while
+/// active.
+pub struct Transaction<'e> {
+    engine: &'e Engine,
+    txid: u64,
+    begin_ts: Timestamp,
+    iso: IsolationLevel,
+    state: TxnState,
+    writes: Vec<WriteEntry>,
+    reads: Vec<ReadEntry>,
+    index_undos: Vec<IndexUndo>,
+    _slot: ActiveSlot<'e>,
+}
+
+impl<'e> Transaction<'e> {
+    pub(crate) fn new(
+        engine: &'e Engine,
+        txid: u64,
+        begin_ts: Timestamp,
+        iso: IsolationLevel,
+        slot: ActiveSlot<'e>,
+    ) -> Transaction<'e> {
+        preempt_point(costs::TXN_BEGIN);
+        Transaction {
+            engine,
+            txid,
+            begin_ts,
+            iso,
+            state: TxnState::Active,
+            writes: Vec::new(),
+            reads: Vec::new(),
+            index_undos: Vec::new(),
+            _slot: slot,
+        }
+    }
+
+    /// The transaction's unique id.
+    pub fn txid(&self) -> u64 {
+        self.txid
+    }
+
+    /// The snapshot timestamp taken at begin.
+    pub fn begin_ts(&self) -> Timestamp {
+        self.begin_ts
+    }
+
+    pub fn isolation(&self) -> IsolationLevel {
+        self.iso
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    #[inline]
+    fn snapshot_for_read(&self) -> Timestamp {
+        match self.iso {
+            // Read committed always sees the newest committed version.
+            IsolationLevel::ReadCommitted => u64::MAX,
+            _ => self.begin_ts,
+        }
+    }
+
+    /// Reads a record by OID. `None` if the record is invisible in this
+    /// snapshot (absent or deleted).
+    pub fn read(&mut self, table: &Table, oid: Oid) -> Option<Payload> {
+        let Some(rec) = table.record(oid) else {
+            preempt_point(costs::RECORD_READ);
+            return None;
+        };
+        let vis = rec.visible(self.snapshot_for_read(), self.txid);
+        preempt_point(costs::RECORD_READ + vis.hops * costs::VERSION_HOP);
+        if self.iso == IsolationLevel::Serializable {
+            self.reads.push(ReadEntry { record: rec });
+        }
+        self.engine.note_read();
+        vis.data
+    }
+
+    /// Updates a record, installing a pending version.
+    pub fn update(&mut self, table: &Arc<Table>, oid: Oid, data: &[u8]) -> TxResult<()> {
+        self.write_internal(table, oid, Some(payload(data)))
+    }
+
+    /// Deletes a record (installs a tombstone).
+    pub fn delete(&mut self, table: &Arc<Table>, oid: Oid) -> TxResult<()> {
+        self.write_internal(table, oid, None)
+    }
+
+    fn write_internal(
+        &mut self,
+        table: &Arc<Table>,
+        oid: Oid,
+        data: Option<Payload>,
+    ) -> TxResult<()> {
+        self.check_active()?;
+        preempt_point(costs::RECORD_WRITE);
+        let rec = table.record(oid).ok_or(TxError::WriteConflict)?;
+        let si_writes = self.iso != IsolationLevel::ReadCommitted;
+        let version = {
+            let _np = NonPreemptGuard::enter();
+            rec.install(self.txid, self.begin_ts, si_writes, data.clone())
+        }
+        .inspect_err(|_| self.engine.note_conflict())?;
+
+        let bytes = match &data {
+            Some(p) => log::append_redo(self.txid, table.id(), oid, p),
+            None => log::append_redo_delete(self.txid, table.id(), oid),
+        };
+        preempt_point(costs::LOG_APPEND + bytes as u64 * costs::LOG_BYTE);
+
+        self.maybe_trim(&rec, table);
+        self.writes.push(WriteEntry {
+            table: table.clone(),
+            oid,
+            record: rec,
+            version,
+        });
+        self.engine.note_write();
+        Ok(())
+    }
+
+    /// Inserts a new record and returns its OID. The record is invisible
+    /// to others until commit.
+    pub fn insert(&mut self, table: &Arc<Table>, data: &[u8]) -> TxResult<Oid> {
+        self.check_active()?;
+        preempt_point(costs::RECORD_INSERT);
+        let (oid, rec) = table.create_record();
+        let version = {
+            let _np = NonPreemptGuard::enter();
+            rec.install(self.txid, self.begin_ts, true, Some(payload(data)))
+        }
+        .expect("fresh record cannot conflict");
+        let bytes = log::append_redo(self.txid, table.id(), oid, data);
+        preempt_point(costs::LOG_APPEND + bytes as u64 * costs::LOG_BYTE);
+        self.writes.push(WriteEntry {
+            table: table.clone(),
+            oid,
+            record: rec,
+            version,
+        });
+        self.engine.note_write();
+        Ok(oid)
+    }
+
+    /// Inserts a record and registers it in a hash index, undoing the
+    /// index entry if the transaction aborts. Fails on duplicate key.
+    pub fn insert_indexed(
+        &mut self,
+        table: &Arc<Table>,
+        index: &Arc<HashIndex>,
+        key: u64,
+        data: &[u8],
+    ) -> TxResult<Oid> {
+        let oid = self.insert(table, data)?;
+        if !index.insert(key, oid) {
+            // Duplicate key: roll back just this insert's side effects by
+            // aborting the transaction (simplest correct policy).
+            self.do_abort();
+            return Err(TxError::WriteConflict);
+        }
+        self.index_undos.push(IndexUndo::Hash {
+            index: index.clone(),
+            key,
+        });
+        Ok(oid)
+    }
+
+    /// Like [`insert_indexed`](Self::insert_indexed) for an ordered index.
+    pub fn insert_indexed_ordered(
+        &mut self,
+        table: &Arc<Table>,
+        index: &Arc<OrderedIndex>,
+        key: u64,
+        data: &[u8],
+    ) -> TxResult<Oid> {
+        let oid = self.insert(table, data)?;
+        if !index.insert(key, oid) {
+            self.do_abort();
+            return Err(TxError::WriteConflict);
+        }
+        self.index_undos.push(IndexUndo::Ordered {
+            index: index.clone(),
+            key,
+        });
+        Ok(oid)
+    }
+
+    /// Adds a secondary hash-index entry with abort-time undo.
+    pub fn index_insert(&mut self, index: &Arc<HashIndex>, key: u64, oid: Oid) -> TxResult<()> {
+        self.check_active()?;
+        if !index.insert(key, oid) {
+            return Err(TxError::WriteConflict);
+        }
+        self.index_undos.push(IndexUndo::Hash {
+            index: index.clone(),
+            key,
+        });
+        Ok(())
+    }
+
+    /// Adds a secondary ordered-index entry with abort-time undo.
+    pub fn index_insert_ordered(
+        &mut self,
+        index: &Arc<OrderedIndex>,
+        key: u64,
+        oid: Oid,
+    ) -> TxResult<()> {
+        self.check_active()?;
+        if !index.insert(key, oid) {
+            return Err(TxError::WriteConflict);
+        }
+        self.index_undos.push(IndexUndo::Ordered {
+            index: index.clone(),
+            key,
+        });
+        Ok(())
+    }
+
+    /// Removes a hash-index entry, restoring it on abort. Returns the
+    /// removed OID (None if the key was absent).
+    pub fn index_remove(&mut self, index: &Arc<HashIndex>, key: u64) -> TxResult<Option<Oid>> {
+        self.check_active()?;
+        let removed = index.remove(key);
+        if let Some(oid) = removed {
+            self.index_undos.push(IndexUndo::ReinsertHash {
+                index: index.clone(),
+                key,
+                oid,
+            });
+        }
+        Ok(removed)
+    }
+
+    /// Removes an ordered-index entry, restoring it on abort.
+    pub fn index_remove_ordered(
+        &mut self,
+        index: &Arc<OrderedIndex>,
+        key: u64,
+    ) -> TxResult<Option<Oid>> {
+        self.check_active()?;
+        let removed = index.remove(key);
+        if let Some(oid) = removed {
+            self.index_undos.push(IndexUndo::ReinsertOrdered {
+                index: index.clone(),
+                key,
+                oid,
+            });
+        }
+        Ok(removed)
+    }
+
+    fn maybe_trim(&self, rec: &Record, table: &Table) {
+        // Amortized inline GC: every 64th transaction trims the chains it
+        // touches down to the live active-snapshot watermark.
+        if self.txid & 63 == 0 {
+            let wm = self.engine.registry().watermark(self.begin_ts);
+            let n = rec.trim(wm);
+            table.note_trimmed(n);
+        }
+    }
+
+    fn check_active(&self) -> TxResult<()> {
+        match self.state {
+            TxnState::Active => Ok(()),
+            _ => Err(TxError::AlreadyAborted),
+        }
+    }
+
+    /// Commits, returning the commit timestamp.
+    ///
+    /// Read-only transactions commit at their snapshot without touching
+    /// the counter. Serializable transactions may fail validation, in
+    /// which case all effects are rolled back and
+    /// [`TxError::ValidationFailed`] is returned.
+    pub fn commit(mut self) -> TxResult<Timestamp> {
+        self.check_active()?;
+        if self.writes.is_empty() {
+            // Read-only: a snapshot read is trivially consistent.
+            self.state = TxnState::Committed;
+            self.engine.note_commit();
+            log::discard();
+            return Ok(self.begin_ts);
+        }
+
+        preempt_point(
+            costs::TXN_COMMIT_BASE
+                + self.writes.len() as u64 * costs::PER_WRITE_FINALIZE
+                + self.reads.len() as u64 * costs::PER_READ_VALIDATE,
+        );
+
+        // The paper wraps validation/commit in a non-preemptible region
+        // (§4.4): a preemption while holding validation latches could
+        // deadlock against the sibling context on this worker.
+        let _np = NonPreemptGuard::enter();
+
+        if self.iso == IsolationLevel::Serializable && !self.validate() {
+            drop(_np);
+            self.do_abort();
+            self.engine.note_conflict();
+            return Err(TxError::ValidationFailed);
+        }
+
+        let commit_ts = self.engine.allocate_commit_ts();
+        for w in &self.writes {
+            w.version.stamp(commit_ts);
+        }
+        preempt_point(costs::LOG_FLUSH);
+        log::flush_commit(self.engine.log(), self.txid, commit_ts);
+        self.state = TxnState::Committed;
+        self.engine.note_commit();
+        Ok(commit_ts)
+    }
+
+    /// OCC backward validation: every read-set record must still have no
+    /// committed version newer than our snapshot. Read-set record latches
+    /// are taken in **increasing address order** (the paper's §4.4
+    /// consistent-ordering example).
+    fn validate(&mut self) -> bool {
+        let mut targets: Vec<*const Record> =
+            self.reads.iter().map(|r| Arc::as_ptr(&r.record)).collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let own_writes: Vec<*const Record> =
+            self.writes.iter().map(|w| Arc::as_ptr(&w.record)).collect();
+
+        let mut guards = Vec::with_capacity(targets.len());
+        for &ptr in &targets {
+            if own_writes.contains(&ptr) {
+                // Our own pending version heads this chain; the install
+                // already certified there is no newer committed version.
+                continue;
+            }
+            // SAFETY: the Arc in self.reads keeps the record alive.
+            let rec = unsafe { &*ptr };
+            guards.push(rec.latch().read());
+            if rec.newest_committed_ts() > self.begin_ts {
+                return false;
+            }
+        }
+        // Guards drop here; stamping happens immediately after under the
+        // same non-preemptible region, so no conflicting commit can
+        // interleave on this worker.
+        true
+    }
+
+    /// Aborts the transaction, rolling back pending versions and index
+    /// entries.
+    pub fn abort(mut self) {
+        if self.state == TxnState::Active {
+            self.do_abort();
+        }
+    }
+
+    fn do_abort(&mut self) {
+        preempt_point(
+            costs::TXN_ABORT_BASE + self.writes.len() as u64 * costs::PER_WRITE_FINALIZE,
+        );
+        {
+            let _np = NonPreemptGuard::enter();
+            for w in self.writes.drain(..).rev() {
+                w.record.unlink_pending(self.txid);
+                let _ = (w.table, w.oid);
+            }
+        }
+        for undo in self.index_undos.drain(..).rev() {
+            match undo {
+                IndexUndo::Hash { index, key } => {
+                    index.remove(key);
+                }
+                IndexUndo::Ordered { index, key } => {
+                    index.remove(key);
+                }
+                IndexUndo::ReinsertHash { index, key, oid } => {
+                    index.insert(key, oid);
+                }
+                IndexUndo::ReinsertOrdered { index, key, oid } => {
+                    index.insert(key, oid);
+                }
+            }
+        }
+        log::discard();
+        self.state = TxnState::Aborted;
+        self.engine.note_abort();
+    }
+}
+
+impl Drop for Transaction<'_> {
+    fn drop(&mut self) {
+        if self.state == TxnState::Active {
+            self.do_abort();
+        }
+    }
+}
+
+impl std::fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("txid", &self.txid)
+            .field("begin_ts", &self.begin_ts)
+            .field("iso", &self.iso)
+            .field("state", &self.state)
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}

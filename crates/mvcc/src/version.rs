@@ -1,0 +1,516 @@
+//! Multi-version records (paper §2.2, the ERMIA data model).
+//!
+//! Each record is an ordered new-to-old chain of versions, each tagged
+//! with the global commit timestamp of the transaction that created it.
+//! Readers traverse the chain without taking any pessimistic *lock* — the
+//! property that makes pausing a long reader harmless and preemption
+//! viable (§1.2). Writers install a *pending* version at the head
+//! (first-updater-wins) and stamp it with the commit timestamp at commit.
+//!
+//! Chain access is protected by the record's [`Latch`] (the indirection-
+//! array slot latch): readers hold it in shared mode for the few pointer
+//! hops of a visibility search, writers exclusively across the conflict
+//! check + prepend/unlink/trim. Both are sub-microsecond critical
+//! sections executed inside non-preemptible regions (§4.4), so no
+//! preemption point — and therefore no emulated user interrupt — ever
+//! lands while a latch is held by well-behaved code. (The §4.4 regression
+//! tests show what happens when it is *not* inside a region.)
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::TxError;
+use crate::latch::Latch;
+
+/// Object identifier: index into a table's indirection array.
+pub type Oid = u64;
+
+/// Global commit timestamp.
+pub type Timestamp = u64;
+
+/// High bit marks an uncommitted version; the low bits then hold the
+/// writer's transaction id.
+pub const PENDING_BIT: u64 = 1 << 63;
+
+/// Row payload. `Arc` so reads are zero-copy snapshots.
+pub type Payload = Arc<[u8]>;
+
+/// One version of a record.
+///
+/// `next` is only read or written while holding the owning record's
+/// latch; `begin` is atomic so commit stamping needs no latch.
+pub struct Version {
+    /// Commit timestamp, or `PENDING_BIT | txid` while uncommitted.
+    begin: AtomicU64,
+    /// `None` is a tombstone (the record was deleted by this version).
+    data: Option<Payload>,
+    /// Next-older version. Guarded by the record latch.
+    next: UnsafeCell<Option<Arc<Version>>>,
+}
+
+// SAFETY: `next` is guarded by the owning Record's latch (see Record);
+// `begin` is atomic; `data` is immutable after construction.
+unsafe impl Send for Version {}
+unsafe impl Sync for Version {}
+
+impl Version {
+    fn new_pending(txid: u64, data: Option<Payload>, next: Option<Arc<Version>>) -> Arc<Version> {
+        Arc::new(Version {
+            begin: AtomicU64::new(PENDING_BIT | txid),
+            data,
+            next: UnsafeCell::new(next),
+        })
+    }
+
+    /// Raw begin word (timestamp or pending marker).
+    #[inline]
+    pub fn begin_word(&self) -> u64 {
+        self.begin.load(Ordering::Acquire)
+    }
+
+    /// Commit timestamp, if committed.
+    #[inline]
+    pub fn commit_ts(&self) -> Option<Timestamp> {
+        let w = self.begin_word();
+        (w & PENDING_BIT == 0).then_some(w)
+    }
+
+    /// The uncommitted writer's txid, if pending.
+    #[inline]
+    pub fn pending_txid(&self) -> Option<u64> {
+        let w = self.begin_word();
+        (w & PENDING_BIT != 0).then_some(w & !PENDING_BIT)
+    }
+
+    /// Stamps the version with its commit timestamp (called by the owning
+    /// transaction at commit; needs no latch).
+    pub(crate) fn stamp(&self, ts: Timestamp) {
+        debug_assert!(ts & PENDING_BIT == 0);
+        debug_assert!(self.begin_word() & PENDING_BIT != 0, "double stamp");
+        self.begin.store(ts, Ordering::Release);
+    }
+
+    /// Payload (`None` for tombstones).
+    pub fn data(&self) -> Option<&Payload> {
+        self.data.as_ref()
+    }
+
+    /// # Safety
+    /// The owning record's latch must be held (shared suffices).
+    unsafe fn next_ref(&self) -> Option<&Arc<Version>> {
+        unsafe { (*self.next.get()).as_ref() }
+    }
+}
+
+impl std::fmt::Debug for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.begin_word();
+        if w & PENDING_BIT != 0 {
+            write!(f, "Version(pending txid={})", w & !PENDING_BIT)
+        } else {
+            write!(f, "Version(ts={w})")
+        }
+    }
+}
+
+/// Outcome of a visibility search.
+#[derive(Debug)]
+pub struct VisibleRead {
+    /// The visible payload; `None` if the record does not exist in the
+    /// snapshot (never inserted, or tombstoned).
+    pub data: Option<Payload>,
+    /// Commit timestamp of the visible version (0 for own pending writes
+    /// and non-existent records). Used by serializable validation.
+    pub observed_ts: Timestamp,
+    /// Version-chain hops performed (for cost accounting).
+    pub hops: u64,
+}
+
+/// A record: a latched head pointer to its version chain.
+pub struct Record {
+    latch: Latch,
+    head: UnsafeCell<Option<Arc<Version>>>,
+}
+
+// SAFETY: `head` (and every version's `next`) is only accessed under
+// `latch`.
+unsafe impl Send for Record {}
+unsafe impl Sync for Record {}
+
+impl Record {
+    pub fn new() -> Record {
+        Record {
+            latch: Latch::new(),
+            head: UnsafeCell::new(None),
+        }
+    }
+
+    /// The record-head latch; serializable validation latches read-set
+    /// records in address order through this (paper §4.4).
+    pub fn latch(&self) -> &Latch {
+        &self.latch
+    }
+
+    /// Snapshot of the current head (brief shared latch).
+    pub fn head(&self) -> Option<Arc<Version>> {
+        let _g = self.latch.read();
+        // SAFETY: under latch.
+        unsafe { (*self.head.get()).clone() }
+    }
+
+    /// Finds the version visible to a reader.
+    ///
+    /// * `snapshot_ts` — the reader's snapshot (`u64::MAX` for
+    ///   read-committed, which takes the newest committed version).
+    /// * `txid` — the reader's transaction id, so it sees its own
+    ///   uncommitted writes.
+    ///
+    /// Holds the record latch in *shared* mode for the handful of pointer
+    /// hops; no pessimistic lock outlives the call — the optimistic read
+    /// the whole paper builds on.
+    pub fn visible(&self, snapshot_ts: Timestamp, txid: u64) -> VisibleRead {
+        let g = self.latch.read();
+        let mut hops = 0u64;
+        // SAFETY: under latch for the whole traversal.
+        let mut cursor = unsafe { (*self.head.get()).as_ref() };
+        while let Some(v) = cursor {
+            let w = v.begin_word();
+            if w & PENDING_BIT != 0 {
+                if w & !PENDING_BIT == txid {
+                    // Read-your-own-writes.
+                    let data = v.data().cloned();
+                    drop(g);
+                    return VisibleRead {
+                        data,
+                        observed_ts: 0,
+                        hops,
+                    };
+                }
+                // Uncommitted by someone else: skip.
+            } else if w <= snapshot_ts {
+                let data = v.data().cloned();
+                drop(g);
+                return VisibleRead {
+                    data,
+                    observed_ts: w,
+                    hops,
+                };
+            }
+            hops += 1;
+            // SAFETY: still under latch.
+            cursor = unsafe { v.next_ref() };
+        }
+        drop(g);
+        VisibleRead {
+            data: None,
+            observed_ts: 0,
+            hops,
+        }
+    }
+
+    /// Newest committed timestamp on the chain (0 if none). Used by
+    /// serializable validation.
+    pub fn newest_committed_ts(&self) -> Timestamp {
+        let _g = self.latch.read();
+        // SAFETY: under latch.
+        let mut cursor = unsafe { (*self.head.get()).as_ref() };
+        while let Some(v) = cursor {
+            if let Some(ts) = v.commit_ts() {
+                return ts;
+            }
+            // SAFETY: under latch.
+            cursor = unsafe { v.next_ref() };
+        }
+        0
+    }
+
+    /// Installs a pending version for `txid` (update/insert/delete all
+    /// flow through here; `data = None` is a delete).
+    ///
+    /// Conflict rules at the head:
+    /// * pending by another transaction → [`TxError::WriteConflict`]
+    ///   (first-updater-wins);
+    /// * committed after `snapshot_ts` and `si_writes` → conflict
+    ///   (snapshot-isolation first-committer-wins); read-committed passes
+    ///   `si_writes = false` and may overwrite any committed version.
+    ///
+    /// The caller must be inside a non-preemptible region (§4.4); debug
+    /// builds assert it.
+    pub fn install(
+        &self,
+        txid: u64,
+        snapshot_ts: Timestamp,
+        si_writes: bool,
+        data: Option<Payload>,
+    ) -> Result<Arc<Version>, TxError> {
+        debug_assert!(
+            preempt_context::tcb::with_current(|t| t.is_nonpreemptible()),
+            "Record::install outside a non-preemptible region"
+        );
+        let _g = self.latch.write();
+        // SAFETY: under latch.
+        let head = unsafe { &mut *self.head.get() };
+        if let Some(h) = head.as_ref() {
+            let w = h.begin_word();
+            if w & PENDING_BIT != 0 {
+                if w & !PENDING_BIT != txid {
+                    return Err(TxError::WriteConflict);
+                }
+                // Our own pending version: stack another (newest wins).
+            } else if si_writes && w > snapshot_ts {
+                return Err(TxError::WriteConflict);
+            }
+        }
+        let v = Version::new_pending(txid, data, head.clone());
+        *head = Some(v.clone());
+        Ok(v)
+    }
+
+    /// Removes `txid`'s pending versions from the head of the chain
+    /// (abort path). The caller must be inside a non-preemptible region.
+    pub fn unlink_pending(&self, txid: u64) {
+        let _g = self.latch.write();
+        // SAFETY: under latch.
+        let head = unsafe { &mut *self.head.get() };
+        while let Some(h) = head.as_ref() {
+            if h.pending_txid() == Some(txid) {
+                // SAFETY: under latch; taking the next pointer out of the
+                // version being unlinked.
+                *head = unsafe { (*h.next.get()).take() };
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drops versions no active snapshot can see: keeps everything newer
+    /// than `watermark` plus the first committed version at/below it.
+    ///
+    /// Returns the number of versions freed.
+    pub fn trim(&self, watermark: Timestamp) -> usize {
+        let _g = self.latch.write();
+        // SAFETY: under latch for the whole walk.
+        let mut cursor = unsafe { (*self.head.get()).clone() };
+        while let Some(v) = cursor {
+            if let Some(ts) = v.commit_ts() {
+                if ts <= watermark {
+                    // `v` is the horizon version: everything older is
+                    // invisible to all current and future snapshots.
+                    // SAFETY: under the exclusive latch.
+                    let tail = unsafe { (*v.next.get()).take() };
+                    return count_chain(tail);
+                }
+            }
+            // SAFETY: under latch.
+            cursor = unsafe { (*v.next.get()).clone() };
+        }
+        0
+    }
+
+    /// Number of versions currently linked (diagnostics/tests).
+    pub fn chain_len(&self) -> usize {
+        let _g = self.latch.read();
+        // SAFETY: under latch.
+        let mut n = 0;
+        let mut cursor = unsafe { (*self.head.get()).as_ref() };
+        while let Some(v) = cursor {
+            n += 1;
+            // SAFETY: under latch.
+            cursor = unsafe { v.next_ref() };
+        }
+        n
+    }
+}
+
+impl Default for Record {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn count_chain(mut cursor: Option<Arc<Version>>) -> usize {
+    let mut n = 0;
+    while let Some(v) = cursor {
+        n += 1;
+        // SAFETY: this chain segment was just detached under the latch and
+        // is exclusively owned here.
+        cursor = unsafe { (*v.next.get()).clone() };
+    }
+    n
+}
+
+/// Encodes a payload from bytes.
+pub fn payload(bytes: &[u8]) -> Payload {
+    Arc::from(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preempt_context::nonpreempt::NonPreemptGuard;
+
+    fn install(r: &Record, txid: u64, snap: u64, data: &[u8]) -> Result<Arc<Version>, TxError> {
+        let _np = NonPreemptGuard::enter();
+        r.install(txid, snap, true, Some(payload(data)))
+    }
+
+    #[test]
+    fn empty_record_is_invisible() {
+        let r = Record::new();
+        let vis = r.visible(100, 1);
+        assert!(vis.data.is_none());
+        assert_eq!(vis.hops, 0);
+    }
+
+    #[test]
+    fn pending_version_visible_only_to_owner() {
+        let r = Record::new();
+        let v = install(&r, 7, 0, b"x").unwrap();
+        assert!(r.visible(u64::MAX, 7).data.is_some(), "owner sees it");
+        assert!(r.visible(u64::MAX, 8).data.is_none(), "others do not");
+        v.stamp(5);
+        assert!(r.visible(u64::MAX, 8).data.is_some(), "committed: visible");
+    }
+
+    #[test]
+    fn snapshot_reads_pick_correct_version() {
+        let r = Record::new();
+        install(&r, 1, 0, b"v1").unwrap().stamp(10);
+        install(&r, 2, 10, b"v2").unwrap().stamp(20);
+        install(&r, 3, 20, b"v3").unwrap().stamp(30);
+
+        let at = |snap: u64| -> Option<Vec<u8>> { r.visible(snap, 999).data.map(|d| d.to_vec()) };
+        assert_eq!(at(5), None, "before first commit");
+        assert_eq!(at(10).as_deref(), Some(b"v1".as_ref()));
+        assert_eq!(at(25).as_deref(), Some(b"v2".as_ref()));
+        assert_eq!(at(u64::MAX).as_deref(), Some(b"v3".as_ref()));
+    }
+
+    #[test]
+    fn write_write_conflict_first_updater_wins() {
+        let r = Record::new();
+        let _v = install(&r, 1, 0, b"a").unwrap();
+        let err = install(&r, 2, 0, b"b").unwrap_err();
+        assert_eq!(err, TxError::WriteConflict);
+    }
+
+    #[test]
+    fn si_conflict_on_newer_committed_version() {
+        let r = Record::new();
+        install(&r, 1, 0, b"a").unwrap().stamp(50);
+        // Tx with snapshot 40 cannot overwrite a version committed at 50.
+        let err = install(&r, 2, 40, b"b").unwrap_err();
+        assert_eq!(err, TxError::WriteConflict);
+        // But a read-committed writer can.
+        let _np = NonPreemptGuard::enter();
+        assert!(r.install(3, 40, false, Some(payload(b"c"))).is_ok());
+    }
+
+    #[test]
+    fn unlink_pending_restores_previous_head() {
+        let r = Record::new();
+        install(&r, 1, 0, b"committed").unwrap().stamp(10);
+        install(&r, 2, 10, b"dirty").unwrap();
+        assert_eq!(r.chain_len(), 2);
+        {
+            let _np = NonPreemptGuard::enter();
+            r.unlink_pending(2);
+        }
+        assert_eq!(r.chain_len(), 1);
+        assert_eq!(r.visible(u64::MAX, 99).data.unwrap().as_ref(), b"committed");
+    }
+
+    #[test]
+    fn tombstone_reads_as_absent() {
+        let r = Record::new();
+        install(&r, 1, 0, b"x").unwrap().stamp(10);
+        {
+            let _np = NonPreemptGuard::enter();
+            r.install(2, 10, true, None).unwrap().stamp(20);
+        }
+        assert!(r.visible(15, 99).data.is_some(), "old snapshot still sees");
+        assert!(r.visible(25, 99).data.is_none(), "new snapshot sees delete");
+    }
+
+    #[test]
+    fn trim_drops_invisible_tail() {
+        let r = Record::new();
+        for (i, ts) in [(1u64, 10u64), (2, 20), (3, 30), (4, 40)] {
+            install(&r, i, ts.saturating_sub(10), b"v").unwrap().stamp(ts);
+        }
+        assert_eq!(r.chain_len(), 4);
+        // Watermark 25: keep 40, 30, and the horizon version 20.
+        let freed = r.trim(25);
+        assert_eq!(freed, 1);
+        assert_eq!(r.chain_len(), 3);
+        // A snapshot at 25 still reads correctly.
+        assert!(r.visible(25, 99).data.is_some());
+        // Everything visible at watermark stays intact.
+        assert_eq!(r.newest_committed_ts(), 40);
+    }
+
+    #[test]
+    fn own_double_update_stacks_and_newest_wins() {
+        let r = Record::new();
+        install(&r, 1, 0, b"first").unwrap();
+        install(&r, 1, 0, b"second").unwrap();
+        assert_eq!(r.visible(u64::MAX, 1).data.unwrap().as_ref(), b"second");
+        {
+            let _np = NonPreemptGuard::enter();
+            r.unlink_pending(1);
+        }
+        assert_eq!(r.chain_len(), 0, "abort removes both pendings");
+    }
+
+    #[test]
+    fn concurrent_readers_while_writer_installs() {
+        // Readers share the latch and never block each other; writers get
+        // brief exclusive windows. Smoke test with real threads.
+        let r = std::sync::Arc::new(Record::new());
+        install(&r, 1, 0, b"base").unwrap().stamp(1);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5000 {
+                    let vis = r.visible(u64::MAX, 0);
+                    assert!(vis.data.is_some());
+                }
+            }));
+        }
+        for i in 0..100u64 {
+            let _np = NonPreemptGuard::enter();
+            let v = r.install(100 + i, i + 1, true, Some(payload(b"newer"))).unwrap();
+            v.stamp(i + 2);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn trim_with_concurrent_readers() {
+        let r = std::sync::Arc::new(Record::new());
+        for i in 1..=50u64 {
+            install(&r, i, i.saturating_sub(1), b"v").unwrap().stamp(i);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let r = r.clone();
+            handles.push(std::thread::spawn(move || {
+                for snap in (30..=50u64).cycle().take(2000) {
+                    let vis = r.visible(snap, 0);
+                    assert!(vis.data.is_some());
+                }
+            }));
+        }
+        for wm in [10u64, 20, 30] {
+            r.trim(wm);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(r.chain_len() <= 21);
+    }
+}

@@ -1,0 +1,200 @@
+//! Admission control (paper §4.1: the scheduling thread obtains
+//! transactions "from an admission control component (not shown in the
+//! figure)").
+//!
+//! A token-bucket limiter in virtual-or-real cycles: the scheduler asks
+//! it before generating each high-priority request, so offered load can
+//! be bounded independently of the arrival process. Combined with the
+//! batch-expiry rule (§6.1) this gives the two standard shedding points:
+//! at admission (here) and at dispatch (queue overflow / interval expiry).
+
+use crate::clock::now_cycles;
+
+/// A token bucket measured in transactions, refilled continuously at
+/// `rate` transactions per second (converted to cycles on first use).
+#[derive(Debug)]
+pub struct AdmissionControl {
+    /// Cycles that must elapse to mint one token.
+    cycles_per_token: u64,
+    /// Maximum tokens the bucket holds.
+    burst: u64,
+    /// Token balance, in *cycles* of accumulated credit.
+    credit_cycles: u64,
+    last_refill: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionControl {
+    /// A limiter allowing `tps` transactions per second with bursts of up
+    /// to `burst` transactions. `freq_hz` is the cycle clock frequency
+    /// ([`crate::clock::freq_hz`]).
+    pub fn new(tps: u64, burst: u64, freq_hz: u64) -> AdmissionControl {
+        assert!(tps > 0);
+        AdmissionControl {
+            cycles_per_token: (freq_hz / tps).max(1),
+            burst: burst.max(1),
+            credit_cycles: burst.max(1) * (freq_hz / tps).max(1),
+            last_refill: now_cycles(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// An unlimited admission controller (every request admitted).
+    pub fn unlimited() -> AdmissionControl {
+        AdmissionControl {
+            cycles_per_token: 0,
+            burst: u64::MAX,
+            credit_cycles: u64::MAX,
+            last_refill: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn refill(&mut self) {
+        if self.cycles_per_token == 0 {
+            return;
+        }
+        let now = now_cycles();
+        let elapsed = now.saturating_sub(self.last_refill);
+        self.last_refill = now;
+        self.credit_cycles = self
+            .credit_cycles
+            .saturating_add(elapsed)
+            .min(self.burst.saturating_mul(self.cycles_per_token));
+    }
+
+    /// Attempts to admit one transaction.
+    pub fn try_admit(&mut self) -> bool {
+        if self.cycles_per_token == 0 {
+            self.admitted += 1;
+            return true;
+        }
+        self.refill();
+        if self.credit_cycles >= self.cycles_per_token {
+            self.credit_cycles -= self.cycles_per_token;
+            self.admitted += 1;
+            true
+        } else {
+            self.rejected += 1;
+            false
+        }
+    }
+
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+/// A [`crate::scheduler::WorkloadFactory`] adapter that applies admission
+/// control to the high-priority stream of an inner factory.
+pub struct AdmittedFactory<F> {
+    inner: F,
+    control: AdmissionControl,
+}
+
+impl<F: crate::scheduler::WorkloadFactory> AdmittedFactory<F> {
+    pub fn new(inner: F, control: AdmissionControl) -> AdmittedFactory<F> {
+        AdmittedFactory { inner, control }
+    }
+
+    pub fn control(&self) -> &AdmissionControl {
+        &self.control
+    }
+}
+
+impl<F: crate::scheduler::WorkloadFactory> crate::scheduler::WorkloadFactory
+    for AdmittedFactory<F>
+{
+    fn make_low(&mut self, now: u64) -> Option<crate::request::Request> {
+        self.inner.make_low(now)
+    }
+
+    fn make_high(&mut self, now: u64) -> Option<crate::request::Request> {
+        if self.control.try_admit() {
+            self.inner.make_high(now)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preempt_sim::{SimConfig, Simulation};
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let mut ac = AdmissionControl::unlimited();
+        for _ in 0..10_000 {
+            assert!(ac.try_admit());
+        }
+        assert_eq!(ac.admitted(), 10_000);
+        assert_eq!(ac.rejected(), 0);
+    }
+
+    #[test]
+    fn burst_is_bounded() {
+        // In virtual time nothing elapses between calls, so only the
+        // initial burst is admitted.
+        let sim = Simulation::new(SimConfig::default());
+        sim.spawn_core("c", 64 * 1024, || {
+            let mut ac = AdmissionControl::new(1_000, 8, 2_400_000_000);
+            let admitted = (0..100).filter(|_| ac.try_admit()).count();
+            assert_eq!(admitted, 8, "exactly the burst");
+            assert_eq!(ac.rejected(), 92);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn refills_at_the_configured_rate() {
+        let sim = Simulation::new(SimConfig::default());
+        sim.spawn_core("c", 64 * 1024, || {
+            let freq = 2_400_000_000u64;
+            let mut ac = AdmissionControl::new(1_000, 1, freq); // 1 tx/ms
+            assert!(ac.try_admit(), "initial burst");
+            assert!(!ac.try_admit(), "bucket empty");
+            // Advance 2 ms of virtual time: 2 tokens mintable, capped at
+            // burst = 1.
+            preempt_sim::api::sleep(freq / 500);
+            assert!(ac.try_admit());
+            assert!(!ac.try_admit(), "burst cap holds");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn admitted_factory_filters_high_stream() {
+        struct Infinite;
+        impl crate::scheduler::WorkloadFactory for Infinite {
+            fn make_low(&mut self, _now: u64) -> Option<crate::request::Request> {
+                None
+            }
+            fn make_high(&mut self, now: u64) -> Option<crate::request::Request> {
+                Some(crate::request::Request::new("h", 1, now, || {
+                    crate::request::WorkOutcome::default()
+                }))
+            }
+        }
+        let sim = Simulation::new(SimConfig::default());
+        sim.spawn_core("c", 64 * 1024, || {
+            use crate::scheduler::WorkloadFactory;
+            let mut f = AdmittedFactory::new(
+                Infinite,
+                AdmissionControl::new(1_000, 4, 2_400_000_000),
+            );
+            let produced = (0..50).filter_map(|_| f.make_high(0)).count();
+            assert_eq!(produced, 4, "admission caps the stream");
+            assert!(f.make_low(0).is_none());
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,54 @@
+//! Unified cycle clock: virtual time inside a simulation, `rdtscp`
+//! (paper §5) on real threads.
+
+use preempt_uintr::cycles;
+
+/// Current time in cycles. Inside a running simulation this is the
+/// virtual clock; otherwise the TSC.
+#[inline]
+pub fn now_cycles() -> u64 {
+    match preempt_sim::api::try_now_cycles() {
+        Some(t) => t,
+        None => cycles::rdtsc(),
+    }
+}
+
+/// Cycles per second of [`now_cycles`]'s time base.
+pub fn freq_hz() -> u64 {
+    if preempt_sim::api::active() {
+        preempt_sim::api::config().freq_hz
+    } else {
+        cycles::tsc_hz()
+    }
+}
+
+/// Converts a cycle count from [`now_cycles`]'s time base to microseconds.
+pub fn cycles_to_us(cycles: u64) -> f64 {
+    cycles as f64 * 1e6 / freq_hz() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_clock_advances() {
+        let a = now_cycles();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let b = now_cycles();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn sim_clock_wins_inside_simulation() {
+        use preempt_sim::{SimConfig, Simulation};
+        let sim = Simulation::new(SimConfig::default());
+        sim.spawn_core("c", 64 * 1024, || {
+            assert_eq!(now_cycles(), 0);
+            preempt_context::runtime::preempt_point(777);
+            assert_eq!(now_cycles(), 777);
+            assert_eq!(freq_hz(), 2_400_000_000);
+        });
+        sim.run();
+    }
+}

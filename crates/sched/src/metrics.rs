@@ -1,0 +1,327 @@
+//! Latency histograms and run reports.
+//!
+//! The paper reports latency at the 50/90/99/99.9 percentiles and geometric
+//! means (§6). [`Histogram`] is a log-bucketed (HDR-style) histogram with
+//! ~1.5 % relative error: values are bucketed by (exponent, 5 mantissa
+//! bits), recording is two shifts and an increment, and histograms merge
+//! by bucket addition so each worker records locally with no
+//! synchronization.
+
+/// Mantissa bits per octave: 32 sub-buckets, ≤ 3.1 % bucket width.
+const SUB_BITS: u32 = 5;
+const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// 64 octaves × 32 sub-buckets covers the full u64 range.
+const BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// A log-bucketed latency histogram (values are in cycles or any unit).
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    /// Sum of natural logs, for geometric means (paper Figure 13).
+    log_sum: f64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            log_sum: 0.0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_of(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Values below one octave of sub-buckets are stored exactly.
+            return value as usize;
+        }
+        let exp = 63 - value.leading_zeros() as usize; // floor(log2 v)
+        let mantissa = (value >> (exp - SUB_BITS as usize)) as usize - SUB_BUCKETS;
+        exp * SUB_BUCKETS + mantissa
+    }
+
+    /// Representative (lower-bound) value of a bucket.
+    fn bucket_value(bucket: usize) -> u64 {
+        if bucket < SUB_BUCKETS {
+            bucket as u64
+        } else {
+            let exp = bucket / SUB_BUCKETS;
+            let mantissa = bucket % SUB_BUCKETS;
+            ((SUB_BUCKETS + mantissa) as u64) << (exp - SUB_BITS as usize)
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.log_sum += (value.max(1) as f64).ln();
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Geometric mean (0 if empty) — Figure 13's reporting statistic.
+    pub fn geomean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            (self.log_sum / self.count as f64).exp()
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at percentile `p` in [0, 100].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_value(b);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.log_sum += other.log_sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Histogram(n={}, p50={}, p99={}, max={})",
+            self.count,
+            self.percentile(50.0),
+            self.percentile(99.0),
+            self.max
+        )
+    }
+}
+
+/// Per-transaction-kind metrics a worker records locally.
+#[derive(Clone, Default)]
+pub struct KindMetrics {
+    /// End-to-end latency: generation → completion (paper Figures 10–13).
+    pub latency: Histogram,
+    /// Scheduling latency: generation → first instruction (Figure 1).
+    pub sched_latency: Histogram,
+    /// Completed (committed) transactions.
+    pub completed: u64,
+    /// User-level aborts/retries absorbed inside the request.
+    pub retries: u64,
+}
+
+impl KindMetrics {
+    pub fn merge(&mut self, other: &KindMetrics) {
+        self.latency.merge(&other.latency);
+        self.sched_latency.merge(&other.sched_latency);
+        self.completed += other.completed;
+        self.retries += other.retries;
+    }
+}
+
+/// Metrics for a fixed set of transaction kinds, recorded lock-free by a
+/// single owner (one per worker) and merged at the end of a run.
+#[derive(Clone, Default)]
+pub struct Metrics {
+    kinds: Vec<(&'static str, KindMetrics)>,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn entry(&mut self, kind: &'static str) -> &mut KindMetrics {
+        if let Some(i) = self.kinds.iter().position(|(k, _)| *k == kind) {
+            &mut self.kinds[i].1
+        } else {
+            self.kinds.push((kind, KindMetrics::default()));
+            &mut self.kinds.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Records a completed request.
+    pub fn record(&mut self, kind: &'static str, latency: u64, sched_latency: u64, retries: u64) {
+        let e = self.entry(kind);
+        e.latency.record(latency);
+        e.sched_latency.record(sched_latency);
+        e.completed += 1;
+        e.retries += retries;
+    }
+
+    pub fn merge(&mut self, other: &Metrics) {
+        for (kind, m) in &other.kinds {
+            self.entry(kind).merge(m);
+        }
+    }
+
+    pub fn kind(&self, kind: &str) -> Option<&KindMetrics> {
+        self.kinds
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, m)| m)
+    }
+
+    pub fn kinds(&self) -> impl Iterator<Item = (&'static str, &KindMetrics)> {
+        self.kinds.iter().map(|(k, m)| (*k, m))
+    }
+
+    /// Total completions across kinds.
+    pub fn total_completed(&self) -> u64 {
+        self.kinds.iter().map(|(_, m)| m.completed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_uniform_values() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(50.0);
+        assert!((470..=530).contains(&p50), "p50={p50}");
+        let p99 = h.percentile(99.0);
+        assert!((950..=1000).contains(&p99), "p99={p99}");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 7, 31] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(100.0), 31);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        let v = 1_234_567_890u64;
+        h.record(v);
+        let got = h.percentile(50.0);
+        let err = (got as f64 - v as f64).abs() / v as f64;
+        assert!(err < 0.032, "err={err}");
+    }
+
+    #[test]
+    fn geomean_matches_closed_form() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(1000);
+        // geomean(10, 1000) = 100
+        assert!((h.geomean() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_equals_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut u = Histogram::new();
+        for v in 1..500u64 {
+            a.record(v);
+            u.record(v);
+        }
+        for v in 500..1000u64 {
+            b.record(v * 7);
+            u.record(v * 7);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), u.count());
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(a.percentile(p), u.percentile(p));
+        }
+        assert_eq!(a.max(), u.max());
+    }
+
+    #[test]
+    fn metrics_record_and_merge() {
+        let mut m1 = Metrics::new();
+        let mut m2 = Metrics::new();
+        m1.record("neworder", 100, 10, 0);
+        m2.record("neworder", 200, 20, 1);
+        m2.record("q2", 5000, 1, 0);
+        m1.merge(&m2);
+        let no = m1.kind("neworder").unwrap();
+        assert_eq!(no.completed, 2);
+        assert_eq!(no.retries, 1);
+        assert_eq!(m1.kind("q2").unwrap().completed, 1);
+        assert_eq!(m1.total_completed(), 3);
+        assert!(m1.kind("nonexistent").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.geomean(), 0.0);
+        assert_eq!(h.min(), 0);
+    }
+}

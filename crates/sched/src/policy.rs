@@ -1,0 +1,119 @@
+//! Scheduling policies (paper §5, §6.1 "Competing Methods").
+//!
+//! All policies share the same regular path (a worker drains its
+//! high-priority queue first, then takes a low-priority transaction); they
+//! differ in what can happen *during* a low-priority transaction:
+//!
+//! * [`Policy::Wait`] — nothing: strict run-to-completion (the
+//!   non-preemptive FIFO baseline with a dual queue).
+//! * [`Policy::Cooperative`] — the worker checks the high-priority queue
+//!   every `yield_interval` record operations and voluntarily switches if
+//!   work is pending (engine-instrumented yield points).
+//! * [`Policy::CooperativeHandcrafted`] — yield checks happen only at
+//!   workload-annotated points (e.g. Q2's nested-query-block boundary)
+//!   every `block_interval` hints — the hand-tuned variant of Figure 11
+//!   that is "unrealistic to expect" in practice.
+//! * [`Policy::Preemptive`] — PreemptDB: the scheduler sends a user
+//!   interrupt after enqueuing a batch; the handler switches to the
+//!   preemptive context immediately (batched on-demand preemption),
+//!   subject to starvation prevention with threshold `starvation_threshold`.
+
+/// Scheduling policy for a run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Policy {
+    /// Non-preemptive dual-queue FIFO ("Wait").
+    Wait,
+    /// Engine-level cooperative yielding every `yield_interval` record
+    /// operations (paper default: 10 000).
+    Cooperative { yield_interval: u64 },
+    /// Workload-level handcrafted yielding every `block_interval`
+    /// annotated blocks (paper: every 1 000 nested query blocks of Q2).
+    CooperativeHandcrafted { block_interval: u64 },
+    /// PreemptDB: user-interrupt-driven preemption with starvation
+    /// prevention (threshold 100.0 effectively disables prevention; 0.0
+    /// disables preemptive execution).
+    Preemptive { starvation_threshold: f64 },
+}
+
+impl Policy {
+    /// The paper's default PreemptDB configuration (light mixes do not
+    /// need starvation prevention, §6.1).
+    pub fn preemptdb() -> Policy {
+        Policy::Preemptive {
+            starvation_threshold: 100.0,
+        }
+    }
+
+    /// The paper's default Cooperative configuration.
+    pub fn cooperative() -> Policy {
+        Policy::Cooperative {
+            yield_interval: 10_000,
+        }
+    }
+
+    /// Whether the scheduler should send user interrupts.
+    pub fn sends_uintr(&self) -> bool {
+        matches!(self, Policy::Preemptive { .. })
+    }
+
+    /// Starvation threshold if applicable.
+    pub fn starvation_threshold(&self) -> Option<f64> {
+        match self {
+            Policy::Preemptive {
+                starvation_threshold,
+            } => Some(*starvation_threshold),
+            _ => None,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Policy::Wait => "Wait".into(),
+            Policy::Cooperative { yield_interval } => {
+                format!("Cooperative(yield={yield_interval})")
+            }
+            Policy::CooperativeHandcrafted { block_interval } => {
+                format!("Coop-Handcrafted(blocks={block_interval})")
+            }
+            Policy::Preemptive {
+                starvation_threshold,
+            } => format!("PreemptDB(Lmax={starvation_threshold})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(
+            Policy::cooperative(),
+            Policy::Cooperative {
+                yield_interval: 10_000
+            }
+        );
+        assert!(Policy::preemptdb().sends_uintr());
+        assert_eq!(Policy::preemptdb().starvation_threshold(), Some(100.0));
+        assert!(!Policy::Wait.sends_uintr());
+        assert_eq!(Policy::Wait.starvation_threshold(), None);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = [
+            Policy::Wait,
+            Policy::cooperative(),
+            Policy::CooperativeHandcrafted { block_interval: 1000 },
+            Policy::preemptdb(),
+        ]
+        .iter()
+        .map(|p| p.label())
+        .collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels, dedup);
+    }
+}

@@ -1,0 +1,351 @@
+//! Run orchestration: stand up workers + scheduler on the virtual-time
+//! simulator (the default for experiments) or on real OS threads, run a
+//! workload to completion, and collect a [`RunReport`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use preempt_sim::{SimConfig, Simulation};
+
+use crate::metrics::Metrics;
+use crate::scheduler::{scheduler_main, DriverConfig, SchedulerStats, WorkloadFactory};
+use crate::worker::{worker_main, WakeTarget, WorkerShared};
+
+/// Worker main-context stack size (runs full transaction logic).
+const WORKER_STACK: usize = 512 * 1024;
+/// Scheduler stack size.
+const SCHED_STACK: usize = 256 * 1024;
+
+/// Where to run.
+#[derive(Clone, Debug)]
+pub enum Runtime {
+    /// Deterministic virtual-time simulation (the experiments' substrate).
+    Simulated(SimConfig),
+    /// Real OS threads (functional tests, examples, latency microbench).
+    Threads,
+}
+
+/// Aggregated worker-side counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerTotals {
+    pub preemptions: u64,
+    pub coop_yields: u64,
+    pub high_on_regular: u64,
+    pub uintr_delivered: u64,
+    pub uintr_deferred: u64,
+    /// Cycles spent executing requests, summed over workers.
+    pub busy_cycles: u64,
+}
+
+/// Everything measured in one run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    pub policy_label: String,
+    pub metrics: Metrics,
+    pub scheduler: SchedulerStats,
+    pub workers: WorkerTotals,
+    /// Configured duration, cycles.
+    pub duration_cycles: u64,
+    /// Cycles per second of the run's time base.
+    pub freq_hz: u64,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_map();
+        for (k, m) in self.kinds() {
+            d.entry(&k, &m.completed);
+        }
+        d.finish()
+    }
+}
+
+impl RunReport {
+    fn seconds(&self) -> f64 {
+        self.duration_cycles as f64 / self.freq_hz as f64
+    }
+
+    /// Committed transactions per second for `kind` (0 if absent).
+    pub fn tps(&self, kind: &str) -> f64 {
+        self.metrics
+            .kind(kind)
+            .map(|m| m.completed as f64 / self.seconds())
+            .unwrap_or(0.0)
+    }
+
+    /// Total transactions per second across kinds.
+    pub fn total_tps(&self) -> f64 {
+        self.metrics.total_completed() as f64 / self.seconds()
+    }
+
+    fn to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.freq_hz as f64
+    }
+
+    /// End-to-end latency percentile in microseconds.
+    pub fn latency_us(&self, kind: &str, pct: f64) -> f64 {
+        self.metrics
+            .kind(kind)
+            .map(|m| self.to_us(m.latency.percentile(pct)))
+            .unwrap_or(0.0)
+    }
+
+    /// Scheduling-latency percentile in microseconds (Figure 1).
+    pub fn sched_latency_us(&self, kind: &str, pct: f64) -> f64 {
+        self.metrics
+            .kind(kind)
+            .map(|m| self.to_us(m.sched_latency.percentile(pct)))
+            .unwrap_or(0.0)
+    }
+
+    /// Geometric-mean end-to-end latency in microseconds (Figure 13).
+    pub fn geomean_latency_us(&self, kind: &str) -> f64 {
+        self.metrics
+            .kind(kind)
+            .map(|m| m.latency.geomean() * 1e6 / self.freq_hz as f64)
+            .unwrap_or(0.0)
+    }
+
+    /// Completions of `kind`.
+    pub fn completed(&self, kind: &str) -> u64 {
+        self.metrics.kind(kind).map(|m| m.completed).unwrap_or(0)
+    }
+
+    /// Mean worker utilization over the run: request-execution cycles
+    /// divided by total worker-core cycles. (>1.0 is possible only
+    /// through measurement skew at run edges.)
+    pub fn utilization(&self, n_workers: usize) -> f64 {
+        if self.duration_cycles == 0 || n_workers == 0 {
+            return 0.0;
+        }
+        self.workers.busy_cycles as f64 / (self.duration_cycles as f64 * n_workers as f64)
+    }
+}
+
+/// Runs `factory`'s workload under `cfg` on the chosen runtime.
+pub fn run(runtime: Runtime, cfg: DriverConfig, factory: Box<dyn WorkloadFactory>) -> RunReport {
+    match runtime {
+        Runtime::Simulated(sim_cfg) => run_simulated(sim_cfg, cfg, factory),
+        Runtime::Threads => run_threads(cfg, factory),
+    }
+}
+
+fn collect(
+    cfg: &DriverConfig,
+    workers: &[Arc<WorkerShared>],
+    sched_stats: SchedulerStats,
+    freq_hz: u64,
+) -> RunReport {
+    use std::sync::atomic::Ordering;
+    let mut metrics = Metrics::new();
+    let mut totals = WorkerTotals::default();
+    for w in workers {
+        metrics.merge(&w.metrics.lock());
+        totals.preemptions += w.preemptions.load(Ordering::Relaxed);
+        totals.coop_yields += w.coop_yields.load(Ordering::Relaxed);
+        totals.high_on_regular += w.high_on_regular.load(Ordering::Relaxed);
+        totals.uintr_delivered += w.uintr_delivered.load(Ordering::Relaxed);
+        totals.uintr_deferred += w.uintr_deferred.load(Ordering::Relaxed);
+        totals.busy_cycles += w.busy_cycles.load(Ordering::Relaxed);
+    }
+    RunReport {
+        policy_label: cfg.policy.label(),
+        metrics,
+        scheduler: sched_stats,
+        workers: totals,
+        duration_cycles: cfg.duration,
+        freq_hz,
+    }
+}
+
+fn run_simulated(
+    sim_cfg: SimConfig,
+    cfg: DriverConfig,
+    mut factory: Box<dyn WorkloadFactory>,
+) -> RunReport {
+    let sim = Simulation::new(sim_cfg);
+    let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
+        .map(|i| WorkerShared::new(i, &cfg.queue_caps))
+        .collect();
+    for w in &workers {
+        let ws = w.clone();
+        let policy = cfg.policy;
+        let core = sim.spawn_core("worker", WORKER_STACK, move || worker_main(ws, policy));
+        w.wake_target
+            .set(WakeTarget::Sim(core))
+            .expect("wake target set once");
+    }
+    let sched_stats = Arc::new(Mutex::new(SchedulerStats::default()));
+    {
+        let workers = workers.clone();
+        let cfg = cfg.clone();
+        let stats = sched_stats.clone();
+        sim.spawn_core("scheduler", SCHED_STACK, move || {
+            *stats.lock() = scheduler_main(&cfg, &workers, &mut *factory);
+        });
+    }
+    sim.run();
+    let stats = *sched_stats.lock();
+    collect(&cfg, &workers, stats, sim_cfg.freq_hz)
+}
+
+fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunReport {
+    let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
+        .map(|i| WorkerShared::new(i, &cfg.queue_caps))
+        .collect();
+    let mut handles = Vec::new();
+    for w in &workers {
+        let ws = w.clone();
+        let policy = cfg.policy;
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("worker-{}", w.id))
+                .spawn(move || worker_main(ws, policy))
+                .expect("spawn worker"),
+        );
+    }
+    let stats = scheduler_main(&cfg, &workers, &mut *factory);
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+    collect(&cfg, &workers, stats, crate::clock::freq_hz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::request::{Request, WorkOutcome};
+
+    #[test]
+    fn report_math_converts_cycles_correctly() {
+        let mut metrics = Metrics::new();
+        // 2.4 GHz: 2400 cycles = 1 us.
+        metrics.record("k", 2_400, 240, 1);
+        metrics.record("k", 24_000, 2_400, 0);
+        let r = RunReport {
+            policy_label: "test".into(),
+            metrics,
+            scheduler: SchedulerStats::default(),
+            workers: WorkerTotals::default(),
+            duration_cycles: 2_400_000_000, // 1 s
+            freq_hz: 2_400_000_000,
+        };
+        assert_eq!(r.completed("k"), 2);
+        assert!((r.tps("k") - 2.0).abs() < 1e-9);
+        assert!((r.total_tps() - 2.0).abs() < 1e-9);
+        // p100 end-to-end = 24000 cycles = 10 us (within bucket error).
+        let p100 = r.latency_us("k", 100.0);
+        assert!((9.3..=10.0).contains(&p100), "p100={p100}");
+        let s100 = r.sched_latency_us("k", 100.0);
+        assert!((0.9..=1.0).contains(&s100), "s100={s100}");
+        // geomean(1us, 10us) ~ 3.16us.
+        let g = r.geomean_latency_us("k");
+        assert!((2.9..=3.3).contains(&g), "g={g}");
+        // Absent kinds are zero.
+        assert_eq!(r.tps("absent"), 0.0);
+        assert_eq!(r.latency_us("absent", 50.0), 0.0);
+    }
+
+    /// Synthetic workload: long low-priority "scans" (5 M cycles ≈ 2 ms)
+    /// and short high-priority txns (20 k cycles ≈ 8 µs).
+    struct Synthetic;
+    impl WorkloadFactory for Synthetic {
+        fn make_low(&mut self, now: u64) -> Option<Request> {
+            Some(Request::new("scan", 0, now, || {
+                for _ in 0..5_000 {
+                    preempt_context::runtime::preempt_point(1_000);
+                }
+                WorkOutcome::default()
+            }))
+        }
+        fn make_high(&mut self, now: u64) -> Option<Request> {
+            Some(Request::new("point", 1, now, || {
+                for _ in 0..20 {
+                    preempt_context::runtime::preempt_point(1_000);
+                }
+                WorkOutcome::default()
+            }))
+        }
+    }
+
+    fn small_cfg(policy: Policy) -> DriverConfig {
+        DriverConfig {
+            policy,
+            n_workers: 4,
+            queue_caps: vec![1, 4],
+            batch_size: 16,
+            arrival_interval: 2_400_000, // 1 ms
+            duration: 120_000_000,       // 50 ms
+            always_interrupt: false,
+        }
+    }
+
+    #[test]
+    fn preemptdb_beats_wait_on_high_priority_latency() {
+        let wait = run(
+            Runtime::Simulated(SimConfig::default()),
+            small_cfg(Policy::Wait),
+            Box::new(Synthetic),
+        );
+        let pre = run(
+            Runtime::Simulated(SimConfig::default()),
+            small_cfg(Policy::preemptdb()),
+            Box::new(Synthetic),
+        );
+
+        assert!(wait.completed("point") > 100);
+        assert!(pre.completed("point") > 100);
+        let wait_p50 = wait.latency_us("point", 50.0);
+        let pre_p50 = pre.latency_us("point", 50.0);
+        // The low txns are ~2 ms; under Wait a high txn typically waits
+        // for one, under PreemptDB it runs within ~microseconds.
+        assert!(
+            pre_p50 * 10.0 < wait_p50,
+            "expected order-of-magnitude gap: pre={pre_p50:.1}us wait={wait_p50:.1}us"
+        );
+        assert!(pre.workers.preemptions > 0);
+        assert_eq!(wait.workers.preemptions, 0);
+
+        // Low-priority throughput is not destroyed by preemption (§6.2).
+        let (wq2, pq2) = (wait.tps("scan"), pre.tps("scan"));
+        assert!(
+            pq2 > wq2 * 0.7,
+            "scan throughput: wait={wq2:.0}, preempt={pq2:.0}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let a = run(
+            Runtime::Simulated(SimConfig::default()),
+            small_cfg(Policy::preemptdb()),
+            Box::new(Synthetic),
+        );
+        let b = run(
+            Runtime::Simulated(SimConfig::default()),
+            small_cfg(Policy::preemptdb()),
+            Box::new(Synthetic),
+        );
+        assert_eq!(a.completed("point"), b.completed("point"));
+        assert_eq!(a.completed("scan"), b.completed("scan"));
+        assert_eq!(
+            a.metrics.kind("point").unwrap().latency.percentile(99.0),
+            b.metrics.kind("point").unwrap().latency.percentile(99.0),
+            "determinism: identical p99"
+        );
+        assert_eq!(a.workers.preemptions, b.workers.preemptions);
+    }
+
+    #[test]
+    fn thread_runtime_works_small() {
+        let mut cfg = small_cfg(Policy::preemptdb());
+        cfg.n_workers = 2;
+        // Short real-time run: 20 ms at the TSC frequency.
+        cfg.arrival_interval = crate::clock::freq_hz() / 1_000;
+        cfg.duration = crate::clock::freq_hz() / 50;
+        let report = run(Runtime::Threads, cfg, Box::new(Synthetic));
+        assert!(report.completed("point") > 0, "high txns completed");
+        assert!(report.metrics.total_completed() > 0);
+    }
+}

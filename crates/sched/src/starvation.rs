@@ -1,0 +1,134 @@
+//! Starvation prevention (paper §5, Figure 7).
+//!
+//! Unrestricted preemption lets a constant stream of high-priority
+//! transactions starve the low-priority ones. PreemptDB monitors the
+//! *starvation level* `L = T_h / (T_1 − T_0)` per worker — the share of
+//! cycles spent on high-priority transactions since the currently paused
+//! low-priority transaction started — and compares it against a tunable
+//! threshold `L_max` at two decision sites:
+//!
+//! 1. the **scheduler**, before pushing a batch and sending the user
+//!    interrupt (skip the worker if `L > L_max`), and
+//! 2. the **preemptive context**, after each high-priority transaction
+//!    (switch back early without draining the queue if `L > L_max`).
+//!
+//! All three quantities live in shared atomics so both the scheduler
+//! thread and both contexts of the worker read/update them (the paper
+//! stores them "in a shared memory location across both contexts").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared per-worker starvation state.
+#[derive(Debug)]
+pub struct StarvationState {
+    /// Start timestamp (cycles) of the worker's current low-priority
+    /// transaction; 0 when none is running.
+    t0: AtomicU64,
+    /// Cycles spent on high-priority transactions since `t0`.
+    th: AtomicU64,
+}
+
+impl StarvationState {
+    pub fn new() -> StarvationState {
+        StarvationState {
+            t0: AtomicU64::new(0),
+            th: AtomicU64::new(0),
+        }
+    }
+
+    /// Called by the worker when a low-priority transaction starts:
+    /// records `T_0` and zeroes the accumulator.
+    pub fn low_priority_started(&self, now: u64) {
+        // 0 is the "idle" sentinel; clamp a start at cycle 0 to 1.
+        self.t0.store(now.max(1), Ordering::Relaxed);
+        self.th.store(0, Ordering::Relaxed);
+    }
+
+    /// Called by the worker when its low-priority transaction concludes.
+    pub fn low_priority_finished(&self) {
+        self.t0.store(0, Ordering::Relaxed);
+        self.th.store(0, Ordering::Relaxed);
+    }
+
+    /// Accumulates `cycles` of high-priority execution into `T_h`.
+    pub fn add_high_cycles(&self, cycles: u64) {
+        self.th.fetch_add(cycles, Ordering::Relaxed);
+    }
+
+    /// The starvation level `L` at time `now`; 0 when no low-priority
+    /// transaction is in flight (nothing can starve).
+    pub fn level(&self, now: u64) -> f64 {
+        let t0 = self.t0.load(Ordering::Relaxed);
+        if t0 == 0 {
+            return 0.0;
+        }
+        let elapsed = now.saturating_sub(t0);
+        if elapsed == 0 {
+            return 0.0;
+        }
+        self.th.load(Ordering::Relaxed) as f64 / elapsed as f64
+    }
+
+    /// Whether the starvation level exceeds `threshold` at `now`.
+    pub fn starving(&self, now: u64, threshold: f64) -> bool {
+        self.level(now) > threshold
+    }
+}
+
+impl Default for StarvationState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_worker_never_starves() {
+        let s = StarvationState::new();
+        assert_eq!(s.level(1_000_000), 0.0);
+        assert!(!s.starving(1_000_000, 0.0));
+    }
+
+    #[test]
+    fn level_is_high_share_of_elapsed() {
+        let s = StarvationState::new();
+        s.low_priority_started(1_000);
+        s.add_high_cycles(500);
+        // At t=2000: elapsed 1000, high 500 → L = 0.5.
+        assert!((s.level(2_000) - 0.5).abs() < 1e-9);
+        assert!(s.starving(2_000, 0.25));
+        assert!(!s.starving(2_000, 0.75));
+    }
+
+    #[test]
+    fn finishing_low_priority_resets() {
+        let s = StarvationState::new();
+        s.low_priority_started(100);
+        s.add_high_cycles(1_000);
+        s.low_priority_finished();
+        assert_eq!(s.level(10_000), 0.0);
+    }
+
+    #[test]
+    fn accumulation_is_additive() {
+        let s = StarvationState::new();
+        s.low_priority_started(0); // clamped to t0 = 1
+        for _ in 0..10 {
+            s.add_high_cycles(10);
+        }
+        assert!((s.level(1_001) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn threshold_one_hundred_disables_prevention() {
+        // The paper uses threshold 100 to effectively disable the
+        // mechanism: L ≤ 1 by construction.
+        let s = StarvationState::new();
+        s.low_priority_started(1);
+        s.add_high_cycles(u32::MAX as u64);
+        assert!(!s.starving(u32::MAX as u64, 100.0));
+    }
+}

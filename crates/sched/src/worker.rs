@@ -1,0 +1,792 @@
+//! The PreemptDB worker (paper Figure 5/6).
+//!
+//! A worker owns one context per priority level:
+//!
+//! * **level 0** — the *regular scheduling path*: a loop that drains the
+//!   worker's queues highest-priority-first and runs each transaction to
+//!   completion;
+//! * **levels ≥ 1** — *preemptive contexts*: each runs a drain loop over
+//!   its priority's queue and switches back to the context it preempted.
+//!
+//! A passive switch into a preemptive context is triggered by the
+//! user-interrupt handler (`WorkerCtx::on_uintr`, the paper's
+//! Algorithm 1 + `uintr_handler_helper`); the same switch is reached
+//! voluntarily under cooperative policies at yield checks. Both use the
+//! identical `switch_to` machinery, and both respect starvation
+//! prevention and the "do not interrupt an equal-or-higher-priority
+//! transaction" rule.
+//!
+//! The worker integrates with whichever runtime hosts it through the
+//! preemption-point hook chain: its `WorkerHook` first delegates to the
+//! outer hook (the virtual-time simulator, if any), then polls the
+//! worker's user-interrupt receiver and performs cooperative yield
+//! accounting.
+
+use std::cell::Cell;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::Mutex;
+use preempt_context::runtime::{self, PreemptHook};
+use preempt_context::switch::{switch_to, Context};
+use preempt_context::tcb::{self, Tcb};
+use preempt_uintr::{UintrReceiver, Upid};
+
+use crate::clock::now_cycles;
+use crate::metrics::Metrics;
+use crate::policy::Policy;
+use crate::request::{Request, RequestQueue};
+use crate::starvation::StarvationState;
+
+/// Cycles charged for dequeuing a request and setting it up.
+const DISPATCH_POP_COST: u64 = 150;
+/// Virtual cost of one userspace context switch (save/restore registers,
+/// CLS swap; the paper measures the mechanism at sub-microsecond scale).
+const SWITCH_COST: u64 = 800;
+/// Virtual cost of one cooperative yield check (queue-length peek).
+const COOP_CHECK_COST: u64 = 40;
+/// Virtual cost of the per-operation user-interrupt poll (one relaxed
+/// load + branch) — the distributed overhead Figure 8 quantifies.
+const UINTR_POLL_COST: u64 = 3;
+
+/// Charges virtual cycles when running under the simulator (on real
+/// threads the work itself costs real time).
+#[inline]
+fn charge(cycles: u64) {
+    if preempt_sim::api::active() {
+        preempt_sim::api::advance(cycles);
+    }
+}
+
+/// How the scheduler wakes an idle worker.
+#[derive(Clone, Debug)]
+pub enum WakeTarget {
+    /// A simulated core.
+    Sim(preempt_sim::CoreId),
+    /// A real OS thread (unparked).
+    Thread(std::thread::Thread),
+}
+
+impl WakeTarget {
+    pub fn wake(&self) {
+        match self {
+            WakeTarget::Sim(id) => preempt_sim::api::wake(*id),
+            WakeTarget::Thread(t) => t.unpark(),
+        }
+    }
+}
+
+/// The scheduler-visible half of a worker.
+pub struct WorkerShared {
+    pub id: usize,
+    /// `queues[level]`: level 0 = low priority; the paper's default has
+    /// `queues[0]` (capacity 1) and `queues[1]` (capacity 4).
+    pub queues: Vec<Arc<RequestQueue>>,
+    /// Set by the worker at startup; the scheduler's UITT entry target.
+    pub upid: OnceLock<Arc<Upid>>,
+    /// Set by the runner (sim) or the worker itself (threads).
+    pub wake_target: OnceLock<WakeTarget>,
+    pub starvation: StarvationState,
+    pub stopped: AtomicBool,
+    /// Worker-local metrics, flushed here when the worker exits.
+    pub metrics: Mutex<Metrics>,
+    // ---- counters (relaxed; reporting only) ----
+    /// Passive (uintr-triggered) context switches taken.
+    pub preemptions: AtomicU64,
+    /// Cooperative yield switches taken.
+    pub coop_yields: AtomicU64,
+    /// High-priority requests executed on the regular path.
+    pub high_on_regular: AtomicU64,
+    /// User interrupts delivered / deferred (from the receiver, at exit).
+    pub uintr_delivered: AtomicU64,
+    pub uintr_deferred: AtomicU64,
+    /// Cycles spent executing requests (utilization numerator).
+    pub busy_cycles: AtomicU64,
+}
+
+impl WorkerShared {
+    /// Creates the shared half with per-level queue capacities
+    /// (`caps[0]` = low-priority queue, `caps[1..]` = higher levels).
+    pub fn new(id: usize, caps: &[usize]) -> Arc<WorkerShared> {
+        assert!(caps.len() >= 2, "need at least two priority levels");
+        Arc::new(WorkerShared {
+            id,
+            queues: caps
+                .iter()
+                .map(|&c| Arc::new(RequestQueue::new(c)))
+                .collect(),
+            upid: OnceLock::new(),
+            wake_target: OnceLock::new(),
+            starvation: StarvationState::new(),
+            stopped: AtomicBool::new(false),
+            metrics: Mutex::new(Metrics::new()),
+            preemptions: AtomicU64::new(0),
+            coop_yields: AtomicU64::new(0),
+            high_on_regular: AtomicU64::new(0),
+            uintr_delivered: AtomicU64::new(0),
+            uintr_deferred: AtomicU64::new(0),
+            busy_cycles: AtomicU64::new(0),
+        })
+    }
+
+    pub fn levels(&self) -> u8 {
+        self.queues.len() as u8
+    }
+
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        if let Some(w) = self.wake_target.get() {
+            w.wake();
+        }
+    }
+
+    pub fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::Acquire)
+    }
+}
+
+/// Worker-thread-local state. Lives in a `Box` on the worker's stack
+/// frame; preemptive contexts and the uintr handler reach it through a
+/// stable raw pointer (everything stays on this worker's thread).
+struct WorkerCtx {
+    shared: Arc<WorkerShared>,
+    policy: Policy,
+    receiver: UintrReceiver,
+    /// Sub-contexts for levels 1.. (index `level - 1`).
+    contexts: Vec<Context>,
+    /// TCBs per level; `[0]` is the worker's main context.
+    level_tcbs: Vec<Cell<*const Tcb>>,
+    current_level: Cell<u8>,
+    /// Priority of the transaction currently executing (None = between
+    /// transactions).
+    current_txn_priority: Cell<Option<u8>>,
+    /// Stack of levels to return to after a preemption/yield.
+    return_levels: Cell<[u8; 16]>,
+    return_depth: Cell<usize>,
+    /// Cooperative yield accounting.
+    ops_since_check: Cell<u64>,
+    hints_since_check: Cell<u64>,
+    metrics: std::cell::RefCell<Metrics>,
+}
+
+/// The worker whose transaction is executing on the current *context*
+/// (context-local, not thread-local: simulated cores share one OS
+/// thread). Used by workload-level yield hints.
+static CURRENT_WORKER: preempt_context::cls::ClsCell<usize> =
+    preempt_context::cls::ClsCell::new(|| 0);
+
+/// Workload-annotated yield point (the paper's "Cooperative
+/// (Handcrafted)" variant inserts these outside Q2's nested query block).
+/// A no-op except under [`Policy::CooperativeHandcrafted`].
+pub fn yield_hint() {
+    let wc = CURRENT_WORKER.get();
+    if wc != 0 {
+        // SAFETY: set for the lifetime of worker_main on this context.
+        unsafe { (*(wc as *const WorkerCtx)).on_yield_hint() };
+    }
+}
+
+impl WorkerCtx {
+    // ---- switching machinery ----
+
+    fn push_return(&self, level: u8) {
+        let mut arr = self.return_levels.get();
+        let d = self.return_depth.get();
+        assert!(d < arr.len(), "preemption nesting too deep");
+        arr[d] = level;
+        self.return_levels.set(arr);
+        self.return_depth.set(d + 1);
+    }
+
+    fn pop_return(&self) -> u8 {
+        let d = self.return_depth.get();
+        assert!(d > 0, "return-level stack underflow");
+        self.return_depth.set(d - 1);
+        self.return_levels.get()[d - 1]
+    }
+
+    /// Switches from the current level into `level`'s context (passive
+    /// preemption or cooperative yield — the paper's Figure 6 flow).
+    fn enter_level(&self, level: u8) {
+        let from = self.current_level.get();
+        debug_assert!(level > from);
+        self.push_return(from);
+        self.current_level.set(level);
+        charge(SWITCH_COST);
+        // SAFETY: level TCBs point at contexts owned by this WorkerCtx
+        // (or the worker's main context), alive for the worker's run.
+        switch_to(unsafe { &*self.level_tcbs[level as usize].get() });
+        // Resumed: the drain loop restored current_level on its way back.
+    }
+
+    /// Switches from a drain loop back to the preempted context.
+    fn leave_level(&self) {
+        let back = self.pop_return();
+        self.current_level.set(back);
+        charge(SWITCH_COST);
+        // SAFETY: as in enter_level.
+        switch_to(unsafe { &*self.level_tcbs[back as usize].get() });
+        // Resumed: someone preempted back into this level; enter_level
+        // already set current_level for us.
+    }
+
+    /// The user-interrupt handler body (Algorithm 1's helper): decide
+    /// whether to take the preemption, then perform the passive switch.
+    fn on_uintr(&self, vector: u8) {
+        let level = vector;
+        if level as usize >= self.level_tcbs.len() {
+            return; // unknown vector: ignore
+        }
+        if self.shared.is_stopped() {
+            return;
+        }
+        // Do not interrupt an equal-or-higher-priority transaction
+        // (paper §4.1: in-progress high-priority transactions are not
+        // further interrupted in the default two-level configuration).
+        let cur = self.current_txn_priority.get().unwrap_or(0);
+        if level <= cur.max(self.current_level.get()) {
+            return;
+        }
+        if self.shared.queues[level as usize].is_empty() {
+            // Spurious/empty interrupt (Figure 8's overhead experiment):
+            // switch to the preemptive context and straight back, which is
+            // exactly what the paper measures as pure overhead.
+        }
+        self.shared.preemptions.fetch_add(1, Ordering::Relaxed);
+        self.enter_level(level);
+    }
+
+    // ---- cooperative yielding ----
+
+    /// Called at every preemption point (through the hook).
+    fn on_point(&self) {
+        // Deliver pending user interrupts (no-op fast path). Only the
+        // preemptive policy arms the machinery; the baselines run without
+        // it, exactly like the paper's Figure 8 "without uintr" side.
+        if self.policy.sends_uintr() {
+            charge(UINTR_POLL_COST);
+            self.receiver.poll();
+        }
+
+        if let Policy::Cooperative { yield_interval } = self.policy {
+            if self.current_level.get() == 0 && self.current_txn_priority.get() == Some(0) {
+                let n = self.ops_since_check.get() + 1;
+                if n >= yield_interval {
+                    self.ops_since_check.set(0);
+                    // The check itself costs cycles; at yield-interval 1
+                    // this is the per-record overhead the paper shows
+                    // hurting Q2 (Figure 11, left of the sweep).
+                    charge(COOP_CHECK_COST);
+                    self.maybe_coop_switch();
+                } else {
+                    self.ops_since_check.set(n);
+                }
+            }
+        }
+    }
+
+    /// Called at workload-annotated yield hints.
+    fn on_yield_hint(&self) {
+        if let Policy::CooperativeHandcrafted { block_interval } = self.policy {
+            if self.current_level.get() == 0 && self.current_txn_priority.get() == Some(0) {
+                let n = self.hints_since_check.get() + 1;
+                if n >= block_interval {
+                    self.hints_since_check.set(0);
+                    charge(COOP_CHECK_COST);
+                    self.maybe_coop_switch();
+                } else {
+                    self.hints_since_check.set(n);
+                }
+            }
+        }
+    }
+
+    /// Voluntary switch if any higher-priority queue has work.
+    fn maybe_coop_switch(&self) {
+        for level in (1..self.level_tcbs.len() as u8).rev() {
+            if !self.shared.queues[level as usize].is_empty() {
+                self.shared.coop_yields.fetch_add(1, Ordering::Relaxed);
+                self.enter_level(level);
+                return;
+            }
+        }
+    }
+
+    // ---- execution ----
+
+    /// Runs one request to completion, recording metrics and starvation
+    /// bookkeeping.
+    fn run_request(&self, req: Request, at_level: u8) -> u64 {
+        let started = now_cycles();
+        let sched_latency = started.saturating_sub(req.created_at);
+        let is_low = req.priority == 0;
+        if at_level == 0 && is_low {
+            self.shared.starvation.low_priority_started(started);
+        }
+        self.current_txn_priority.set(Some(req.priority));
+        let kind = req.kind;
+        let created = req.created_at;
+        let outcome = (req.work)();
+        self.current_txn_priority.set(None);
+        let finished = now_cycles();
+        if at_level == 0 && is_low {
+            self.shared.starvation.low_priority_finished();
+        }
+        self.metrics.borrow_mut().record(
+            kind,
+            finished.saturating_sub(created),
+            sched_latency,
+            outcome.retries,
+        );
+        let dur = finished.saturating_sub(started);
+        self.shared.busy_cycles.fetch_add(dur, Ordering::Relaxed);
+        dur
+    }
+
+    /// The preemptive context's program for `level` (paper Figure 5 ③:
+    /// drain the level's queue, then ④ resume the preempted context).
+    fn drain_loop(&self, level: u8) -> ! {
+        loop {
+            // We were just switched into (passively or cooperatively).
+            loop {
+                if self.shared.is_stopped() {
+                    break;
+                }
+                let Some(req) = self.shared.queues[level as usize].pop() else {
+                    break;
+                };
+                runtime::preempt_point(DISPATCH_POP_COST);
+                let dur = self.run_request(req, level);
+                self.shared.starvation.add_high_cycles(dur);
+                // Starvation decision site 2 (paper §5): stop draining
+                // early if the paused low-priority transaction is starved.
+                if let Policy::Preemptive {
+                    starvation_threshold,
+                } = self.policy
+                {
+                    if self
+                        .shared
+                        .starvation
+                        .starving(now_cycles(), starvation_threshold)
+                    {
+                        break;
+                    }
+                }
+            }
+            self.leave_level();
+        }
+    }
+
+    /// The regular scheduling path (paper Figure 5 ①/②), run on the
+    /// worker's main context at level 0.
+    ///
+    /// Queue preference is policy-dependent (§4.1: "the worker thread may
+    /// also be configured to prefer taking transactions from the
+    /// high-priority queue based on the scheduling policy"):
+    /// * Wait/Cooperative exhaust the high-priority queue first (§6.1);
+    /// * PreemptDB serves the low-priority stream here — high-priority
+    ///   transactions arrive through preemption, and gating them behind
+    ///   the preemptive path is what lets starvation prevention actually
+    ///   bound their CPU share (Figure 12's Lmax=0 restores full Q2
+    ///   throughput). With an empty low queue the high queue still runs
+    ///   here (path ②).
+    fn regular_loop(&self) {
+        let prefer_high = !matches!(self.policy, Policy::Preemptive { .. });
+        while !self.shared.is_stopped() {
+            let mut found = None;
+            let levels = self.level_tcbs.len() as u8;
+            let order: Vec<u8> = if prefer_high {
+                (0..levels).rev().collect()
+            } else {
+                (0..levels).collect()
+            };
+            for level in order {
+                if let Some(req) = self.shared.queues[level as usize].pop() {
+                    found = Some((req, level));
+                    break;
+                }
+            }
+            match found {
+                Some((req, from_level)) => {
+                    runtime::preempt_point(DISPATCH_POP_COST);
+                    if from_level > 0 {
+                        self.shared.high_on_regular.fetch_add(1, Ordering::Relaxed);
+                    }
+                    self.run_request(req, 0);
+                }
+                None => idle_wait(&self.shared),
+            }
+        }
+    }
+}
+
+/// Parks the worker until the scheduler wakes it (or a timeout passes on
+/// real threads, to self-heal missed wake-ups).
+fn idle_wait(shared: &WorkerShared) {
+    if shared.is_stopped() {
+        return;
+    }
+    if preempt_sim::api::active() {
+        // No preemption point between the check above and block():
+        // within the simulator's grant model this makes check+block
+        // atomic with respect to the scheduler core.
+        preempt_sim::api::block();
+    } else {
+        std::thread::park_timeout(std::time::Duration::from_micros(100));
+    }
+}
+
+/// The worker's preemption-point hook: chains to the hosting runtime's
+/// hook (virtual time), then runs delivery/yield logic.
+struct WorkerHook {
+    wc: usize,
+    parent: Option<NonNull<dyn PreemptHook>>,
+}
+
+impl PreemptHook for WorkerHook {
+    fn preempt_point(&self, cost_cycles: u64) {
+        if let Some(p) = self.parent {
+            // SAFETY: the parent hook outlives the worker's scope (it was
+            // installed by the runtime that spawned this worker).
+            unsafe { p.as_ref().preempt_point(cost_cycles) };
+        }
+        // SAFETY: `wc` outlives the hook's installation (both are scoped
+        // to worker_main's frame).
+        unsafe { (*(self.wc as *const WorkerCtx)).on_point() };
+    }
+}
+
+/// Stack size for preemptive contexts.
+pub const PREEMPTIVE_CTX_STACK: usize = 256 * 1024;
+
+/// Runs a worker until [`WorkerShared::stop`]. Call on the worker's
+/// dedicated thread or simulated core.
+pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
+    let levels = shared.levels();
+    if shared.wake_target.get().is_none() {
+        // Real-thread mode: register our own thread handle.
+        let _ = shared
+            .wake_target
+            .set(WakeTarget::Thread(std::thread::current()));
+    }
+
+    let mut wc = Box::new(WorkerCtx {
+        shared: shared.clone(),
+        policy,
+        receiver: UintrReceiver::new(),
+        contexts: Vec::new(),
+        level_tcbs: Vec::new(),
+        current_level: Cell::new(0),
+        current_txn_priority: Cell::new(None),
+        return_levels: Cell::new([0; 16]),
+        return_depth: Cell::new(0),
+        ops_since_check: Cell::new(0),
+        hints_since_check: Cell::new(0),
+        metrics: std::cell::RefCell::new(Metrics::new()),
+    });
+    let wc_ptr = &*wc as *const WorkerCtx as usize;
+
+    // Register the user-interrupt handler (Algorithm 1's entry into the
+    // helper) and publish the UPID for the scheduler's UITT.
+    wc.receiver
+        .register_handler(move |vector| unsafe { (*(wc_ptr as *const WorkerCtx)).on_uintr(vector) });
+    shared
+        .upid
+        .set(wc.receiver.upid())
+        .expect("worker started twice");
+
+    // Level 0 runs on this (main) context.
+    wc.level_tcbs.push(Cell::new(tcb::current_ptr()));
+    // Preemptive contexts for levels 1..
+    for level in 1..levels {
+        let ctx = Context::new(PREEMPTIVE_CTX_STACK, "preemptive", move || {
+            CURRENT_WORKER.set(wc_ptr);
+            // SAFETY: wc outlives all its contexts (dropped after them).
+            unsafe { (*(wc_ptr as *const WorkerCtx)).drain_loop(level) }
+        })
+        .expect("context stack allocation failed");
+        wc.level_tcbs.push(Cell::new(ctx.tcb_ptr()));
+        wc.contexts.push(ctx);
+    }
+
+    CURRENT_WORKER.set(wc_ptr);
+    if preempt_sim::api::active() {
+        // Simulator: per-core hook (a thread-local hook would fire for
+        // whichever core happens to be running on this shared OS thread).
+        preempt_sim::api::set_core_hook(std::rc::Rc::new(move |_cost| {
+            // SAFETY: the hook is cleared before wc drops, below.
+            unsafe { (*(wc_ptr as *const WorkerCtx)).on_point() }
+        }));
+        wc.regular_loop();
+        preempt_sim::api::clear_core_hook();
+    } else {
+        let hook = WorkerHook {
+            wc: wc_ptr,
+            parent: runtime::current_hook_raw(),
+        };
+        runtime::with_hook(&hook, || wc.regular_loop());
+    }
+    CURRENT_WORKER.set(0);
+
+    // Flush local metrics and receiver stats to the shared side.
+    shared.metrics.lock().merge(&wc.metrics.borrow());
+    let rs = wc.receiver.stats();
+    shared.uintr_delivered.store(rs.delivered, Ordering::Relaxed);
+    shared.uintr_deferred.store(rs.deferred, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkOutcome;
+    use preempt_sim::{SimConfig, Simulation};
+
+    fn mk_req(kind: &'static str, priority: u8, created: u64, cost: u64) -> Request {
+        Request::new(kind, priority, created, move || {
+            runtime::preempt_point(cost);
+            WorkOutcome::default()
+        })
+    }
+
+    /// End-to-end smoke test in the simulator: one worker, one scheduler
+    /// core pushing a low and a high request, PreemptDB policy.
+    #[test]
+    fn worker_runs_requests_in_sim() {
+        let sim = Simulation::new(SimConfig::default());
+        let shared = WorkerShared::new(0, &[1, 4]);
+
+        let ws = shared.clone();
+        let core = sim.spawn_core("worker", 256 * 1024, move || {
+            worker_main(ws, Policy::preemptdb());
+        });
+        shared
+            .wake_target
+            .set(WakeTarget::Sim(core))
+            .expect("set once");
+
+        let ws = shared.clone();
+        sim.spawn_core("sched", 128 * 1024, move || {
+            preempt_sim::api::sleep_until(1_000);
+            ws.queues[0].push(mk_req("low", 0, 1_000, 50_000)).ok();
+            ws.queues[1].push(mk_req("high", 1, 1_000, 2_000)).ok();
+            if let Some(w) = ws.wake_target.get() {
+                w.wake();
+            }
+            preempt_sim::api::sleep_until(200_000);
+            ws.stop();
+        });
+
+        sim.run();
+        let m = shared.metrics.lock();
+        assert_eq!(m.kind("low").unwrap().completed, 1);
+        assert_eq!(m.kind("high").unwrap().completed, 1);
+    }
+
+    /// Preemption actually interrupts a long low-priority request: the
+    /// high request must complete before the low one finishes.
+    #[test]
+    fn uintr_preempts_long_low_priority_txn() {
+        use std::sync::atomic::AtomicU64;
+        let sim = Simulation::new(SimConfig::default());
+        let shared = WorkerShared::new(0, &[1, 4]);
+        let high_done = Arc::new(AtomicU64::new(0));
+        let low_done = Arc::new(AtomicU64::new(0));
+
+        let ws = shared.clone();
+        let core = sim.spawn_core("worker", 256 * 1024, move || {
+            worker_main(ws, Policy::preemptdb());
+        });
+        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+
+        let ws = shared.clone();
+        let (hd, ld) = (high_done.clone(), low_done.clone());
+        sim.spawn_core("sched", 128 * 1024, move || {
+            // Long low txn: 10M cycles (~4ms), in 1k-cycle ops.
+            let ld2 = ld.clone();
+            ws.queues[0]
+                .push(Request::new("q2", 0, 0, move || {
+                    for _ in 0..10_000 {
+                        runtime::preempt_point(1_000);
+                    }
+                    ld2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            if let Some(w) = ws.wake_target.get() {
+                w.wake();
+            }
+            // Mid-flight (1M cycles in), dispatch a high txn + uintr.
+            preempt_sim::api::sleep_until(1_000_000);
+            let hd2 = hd.clone();
+            let now = crate::clock::now_cycles();
+            ws.queues[1]
+                .push(Request::new("neworder", 1, now, move || {
+                    runtime::preempt_point(20_000);
+                    hd2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            let upid = ws.upid.get().unwrap().clone();
+            preempt_sim::SimUipiSender::new(upid, 1, core).send();
+            // Give everything time to finish, then stop.
+            preempt_sim::api::sleep_until(60_000_000);
+            ws.stop();
+        });
+
+        sim.run();
+        let h = high_done.load(Ordering::Relaxed);
+        let l = low_done.load(Ordering::Relaxed);
+        assert!(h > 0 && l > 0, "both completed: h={h}, l={l}");
+        assert!(
+            h < l,
+            "high-priority txn finished mid-low-priority txn (h={h}, l={l})"
+        );
+        // Delivered ~1.5µs (3600 cycles) after the 1M-cycle send; the high
+        // txn is 20k cycles; it must finish well before 1.1M.
+        assert!(h < 1_100_000, "high finished promptly at {h}");
+        assert_eq!(shared.preemptions.load(Ordering::Relaxed), 1);
+        let m = shared.metrics.lock();
+        assert_eq!(m.kind("q2").unwrap().completed, 1);
+        assert_eq!(m.kind("neworder").unwrap().completed, 1);
+    }
+
+    /// Under Wait, the same scenario makes the high txn wait for the low.
+    #[test]
+    fn wait_policy_does_not_preempt() {
+        use std::sync::atomic::AtomicU64;
+        let sim = Simulation::new(SimConfig::default());
+        let shared = WorkerShared::new(0, &[1, 4]);
+        let high_done = Arc::new(AtomicU64::new(0));
+        let low_done = Arc::new(AtomicU64::new(0));
+
+        let ws = shared.clone();
+        let core = sim.spawn_core("worker", 256 * 1024, move || {
+            worker_main(ws, Policy::Wait);
+        });
+        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+
+        let ws = shared.clone();
+        let (hd, ld) = (high_done.clone(), low_done.clone());
+        sim.spawn_core("sched", 128 * 1024, move || {
+            let ld2 = ld.clone();
+            ws.queues[0]
+                .push(Request::new("q2", 0, 0, move || {
+                    for _ in 0..10_000 {
+                        runtime::preempt_point(1_000);
+                    }
+                    ld2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            ws.wake_target.get().unwrap().wake();
+            preempt_sim::api::sleep_until(1_000_000);
+            let hd2 = hd.clone();
+            let now = crate::clock::now_cycles();
+            ws.queues[1]
+                .push(Request::new("neworder", 1, now, move || {
+                    runtime::preempt_point(20_000);
+                    hd2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            ws.wake_target.get().unwrap().wake();
+            preempt_sim::api::sleep_until(60_000_000);
+            ws.stop();
+        });
+
+        sim.run();
+        let h = high_done.load(Ordering::Relaxed);
+        let l = low_done.load(Ordering::Relaxed);
+        assert!(h > l, "Wait runs the high txn only after the low finishes");
+        assert_eq!(shared.preemptions.load(Ordering::Relaxed), 0);
+    }
+
+    /// Cooperative yields at the configured interval.
+    #[test]
+    fn cooperative_yields_at_interval() {
+        use std::sync::atomic::AtomicU64;
+        let sim = Simulation::new(SimConfig::default());
+        let shared = WorkerShared::new(0, &[1, 4]);
+        let high_done = Arc::new(AtomicU64::new(0));
+        let low_done = Arc::new(AtomicU64::new(0));
+
+        let ws = shared.clone();
+        let core = sim.spawn_core("worker", 256 * 1024, move || {
+            worker_main(
+                ws,
+                Policy::Cooperative {
+                    yield_interval: 1_000,
+                },
+            );
+        });
+        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+
+        let ws = shared.clone();
+        let (hd, ld) = (high_done.clone(), low_done.clone());
+        sim.spawn_core("sched", 128 * 1024, move || {
+            let ld2 = ld.clone();
+            ws.queues[0]
+                .push(Request::new("q2", 0, 0, move || {
+                    for _ in 0..10_000 {
+                        runtime::preempt_point(1_000);
+                    }
+                    ld2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            ws.wake_target.get().unwrap().wake();
+            preempt_sim::api::sleep_until(1_000_000);
+            let hd2 = hd.clone();
+            let now = crate::clock::now_cycles();
+            ws.queues[1]
+                .push(Request::new("neworder", 1, now, move || {
+                    runtime::preempt_point(20_000);
+                    hd2.store(crate::clock::now_cycles(), Ordering::Relaxed);
+                    WorkOutcome::default()
+                }))
+                .ok();
+            // No uintr under Cooperative: the worker notices at its next
+            // yield check.
+            preempt_sim::api::sleep_until(60_000_000);
+            ws.stop();
+        });
+
+        sim.run();
+        let h = high_done.load(Ordering::Relaxed);
+        let l = low_done.load(Ordering::Relaxed);
+        assert!(h < l, "cooperative lets the high txn in mid-low txn");
+        assert!(shared.coop_yields.load(Ordering::Relaxed) >= 1);
+        assert_eq!(shared.preemptions.load(Ordering::Relaxed), 0);
+    }
+
+    /// Worker also runs on a plain OS thread (no simulator).
+    #[test]
+    fn worker_runs_on_real_thread() {
+        let shared = WorkerShared::new(0, &[2, 4]);
+        let ws = shared.clone();
+        let handle = std::thread::spawn(move || worker_main(ws, Policy::preemptdb()));
+        // Wait for startup.
+        while shared.upid.get().is_none() {
+            std::thread::yield_now();
+        }
+        let t0 = now_cycles();
+        shared.queues[1].push(mk_req("high", 1, t0, 100)).ok();
+        shared.queues[0].push(mk_req("low", 0, t0, 100)).ok();
+        if let Some(w) = shared.wake_target.get() {
+            w.wake();
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            if shared.queues[0].is_empty() && shared.queues[1].is_empty() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "worker stuck");
+            std::thread::yield_now();
+        }
+        shared.stop();
+        handle.join().unwrap();
+        let m = shared.metrics.lock();
+        assert_eq!(m.total_completed(), 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulation configuration and the calibrated cost model's time base.
+
+/// Configuration of the virtual-time multicore substrate.
+///
+/// Virtual time is measured in **cycles** of a nominal clock, mirroring the
+/// paper's 2.4 GHz Xeon (§6.1); engine operations report their costs in the
+/// same unit, so a TPC-H Q2 that consumes ~10 M cycles lasts ~4.2 ms of
+/// virtual time regardless of the host.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Nominal core frequency (cycles per second). Default 2.4 GHz.
+    pub freq_hz: u64,
+    /// Virtual user-interrupt delivery latency, post→deliverable, in
+    /// cycles. Default ≈ 0.5 µs, the sub-µs figure the paper measures for
+    /// UINTR between two threads (§6.1).
+    pub uintr_delivery_cycles: u64,
+    /// Upper bound on one uninterrupted grant to a core, in cycles. Bounds
+    /// how far one core's virtual clock may run ahead of the others
+    /// between interactions. Default ≈ 100 µs.
+    pub max_slice_cycles: u64,
+}
+
+impl SimConfig {
+    /// Converts nanoseconds to cycles at the configured frequency.
+    pub fn ns_to_cycles(&self, ns: u64) -> u64 {
+        (ns as u128 * self.freq_hz as u128 / 1_000_000_000) as u64
+    }
+
+    /// Converts microseconds to cycles at the configured frequency.
+    pub fn us_to_cycles(&self, us: u64) -> u64 {
+        self.ns_to_cycles(us * 1_000)
+    }
+
+    /// Converts milliseconds to cycles at the configured frequency.
+    pub fn ms_to_cycles(&self, ms: u64) -> u64 {
+        self.ns_to_cycles(ms * 1_000_000)
+    }
+
+    /// Converts cycles back to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        (cycles as u128 * 1_000_000_000 / self.freq_hz as u128) as u64
+    }
+
+    /// Converts cycles to (fractional) microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.freq_hz as f64
+    }
+
+    /// Converts cycles to (fractional) milliseconds.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e3 / self.freq_hz as f64
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        let freq_hz = 2_400_000_000;
+        SimConfig {
+            freq_hz,
+            uintr_delivery_cycles: freq_hz / 2_000_000, // 0.5 µs
+            max_slice_cycles: freq_hz / 10_000,         // 100 µs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_like() {
+        let c = SimConfig::default();
+        assert_eq!(c.freq_hz, 2_400_000_000);
+        assert_eq!(c.uintr_delivery_cycles, 1200); // 0.5 µs at 2.4 GHz
+    }
+
+    #[test]
+    fn conversions() {
+        let c = SimConfig::default();
+        assert_eq!(c.ms_to_cycles(1), 2_400_000);
+        assert_eq!(c.us_to_cycles(1), 2_400);
+        assert_eq!(c.cycles_to_ns(2_400), 1_000);
+        assert!((c.cycles_to_us(2_400) - 1.0).abs() < 1e-9);
+        assert!((c.cycles_to_ms(2_400_000) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,70 @@
+//! Cycle-accurate timing, the `rdtscp` the paper's starvation monitor uses.
+//!
+//! The starvation-prevention policy (paper §5, Figure 7) measures the share
+//! of CPU cycles consumed by high-priority transactions with `rdtscp`.
+//! This module wraps the TSC and calibrates it against the OS clock so
+//! cycle counts can be reported in nanoseconds.
+
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Reads the time-stamp counter (serialized like `rdtscp`).
+#[inline]
+pub fn rdtsc() -> u64 {
+    // SAFETY: `_rdtsc` has no preconditions on x86_64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// Estimated TSC frequency in Hz, calibrated once on first use.
+pub fn tsc_hz() -> u64 {
+    static HZ: OnceLock<u64> = OnceLock::new();
+    *HZ.get_or_init(|| {
+        // Short calibration: good to ~1% which is plenty for reporting.
+        let t0 = Instant::now();
+        let c0 = rdtsc();
+        while t0.elapsed() < Duration::from_millis(20) {
+            std::hint::spin_loop();
+        }
+        let cycles = rdtsc().wrapping_sub(c0);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        (cycles as u128 * 1_000_000_000u128 / nanos as u128) as u64
+    })
+}
+
+/// Converts a TSC delta to nanoseconds using the calibrated frequency.
+pub fn cycles_to_ns(cycles: u64) -> u64 {
+    (cycles as u128 * 1_000_000_000u128 / tsc_hz() as u128) as u64
+}
+
+/// Converts nanoseconds to TSC cycles.
+pub fn ns_to_cycles(ns: u64) -> u64 {
+    (ns as u128 * tsc_hz() as u128 / 1_000_000_000u128) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsc_is_monotonic_nondecreasing_locally() {
+        let a = rdtsc();
+        let b = rdtsc();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn calibration_is_sane() {
+        let hz = tsc_hz();
+        // Any x86_64 of the last two decades: 0.5 GHz .. 6 GHz.
+        assert!(hz > 500_000_000, "tsc {hz} Hz too low");
+        assert!(hz < 6_000_000_000, "tsc {hz} Hz too high");
+    }
+
+    #[test]
+    fn conversions_round_trip_approximately() {
+        let ns = 1_000_000; // 1 ms
+        let cycles = ns_to_cycles(ns);
+        let back = cycles_to_ns(cycles);
+        assert!((back as i64 - ns as i64).unsigned_abs() < 1_000);
+    }
+}

@@ -1,0 +1,44 @@
+//! # preempt-uintr
+//!
+//! A software user-interrupt (UINTR) layer with the hardware's programming
+//! model (paper §2.3): senders post into a receiver's UPID through a UITT
+//! (`senduipi` analog), the receiver is diverted into a registered handler,
+//! `clui`/`stui` mask delivery, and handlers run to completion.
+//!
+//! **Substitution note** (DESIGN.md §1.1): this environment has no
+//! UINTR-capable CPU/kernel, so *notification* is emulated — pending bits
+//! are observed at engine preemption points (`preempt_context::runtime`)
+//! rather than between arbitrary instructions. Everything above the
+//! notification (masking, deferral inside non-preemptible regions, the
+//! handler diverting into a real userspace context switch) is the paper's
+//! mechanism, not a model of it. A kernel-mediated [`signal`] backend
+//! reproduces the pre-UINTR baseline the paper motivates against, and
+//! [`latency`] measures both.
+//!
+//! ```
+//! use preempt_uintr::{UintrReceiver, UipiSender};
+//! use std::cell::Cell;
+//! use std::rc::Rc;
+//!
+//! let fired = Rc::new(Cell::new(false));
+//! let f = fired.clone();
+//! let mut rx = UintrReceiver::new();
+//! rx.register_handler(move |vector| {
+//!     assert_eq!(vector, 7);
+//!     f.set(true);
+//! });
+//!
+//! let tx = UipiSender::new(rx.upid(), 7); // one UITT entry
+//! tx.send();                              // senduipi
+//! rx.poll();                              // next preemption point
+//! assert!(fired.get());
+//! ```
+
+pub mod cycles;
+pub mod latency;
+pub mod receiver;
+pub mod signal;
+pub mod upid;
+
+pub use receiver::{clui, stui, testui, DeliveryStats, MaskGuard, UintrReceiver};
+pub use upid::{Uitt, UipiSender, Upid, NUM_VECTORS};

@@ -1,0 +1,152 @@
+//! Kernel-mediated delivery baseline: POSIX signals.
+//!
+//! The paper's motivation (§1, §2.3): before UINTR, the only way to divert
+//! a running thread was a kernel-mediated software interrupt (a signal),
+//! whose delivery latency is an order of magnitude worse and which is why
+//! "the evolution of preemption in database engines has been slow". This
+//! module provides that baseline so the workspace can *measure* the claim
+//! (experiment `uintr_latency`, DESIGN.md §4):
+//!
+//! * [`SignalKicker`] — posts the pending bit into the same [`Upid`] as a
+//!   regular sender, then `pthread_kill`s the receiver so a thread blocked
+//!   in a syscall wakes up (EINTR) — the "notification" half hardware UINTR
+//!   performs with an IPI.
+//! * The installed handler is async-signal-safe: it only stamps arrival
+//!   time and a counter into process-global atomics.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::cycles::rdtsc;
+use crate::upid::Upid;
+
+/// Signal used for kicks. SIGURG is ignored by default and rarely used,
+/// which is why runtimes (e.g. Go's preemption) pick it.
+pub const KICK_SIGNAL: libc::c_int = libc::SIGURG;
+
+/// TSC stamp written by the signal handler on arrival.
+static LAST_ARRIVAL_TSC: AtomicU64 = AtomicU64::new(0);
+/// Number of kick signals handled process-wide.
+static HANDLED: AtomicU64 = AtomicU64::new(0);
+
+extern "C" fn kick_handler(_sig: libc::c_int) {
+    // Async-signal-safe: plain atomic stores only.
+    LAST_ARRIVAL_TSC.store(rdtsc(), Ordering::Release);
+    HANDLED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Installs the process-wide kick handler (idempotent).
+pub fn install_handler() -> io::Result<()> {
+    static INSTALLED: OnceLock<io::Result<()>> = OnceLock::new();
+    INSTALLED
+        .get_or_init(|| {
+            // SAFETY: sigaction with a valid handler; sa_mask zeroed.
+            unsafe {
+                let mut sa: libc::sigaction = std::mem::zeroed();
+                sa.sa_sigaction = kick_handler as *const () as usize;
+                sa.sa_flags = libc::SA_RESTART;
+                libc::sigemptyset(&mut sa.sa_mask);
+                if libc::sigaction(KICK_SIGNAL, &sa, std::ptr::null_mut()) != 0 {
+                    return Err(io::Error::last_os_error());
+                }
+            }
+            Ok(())
+        })
+        .as_ref()
+        .map(|_| ())
+        .map_err(|e| io::Error::new(e.kind(), e.to_string()))
+}
+
+/// TSC stamp of the most recent handled kick (0 if none yet).
+pub fn last_arrival_tsc() -> u64 {
+    LAST_ARRIVAL_TSC.load(Ordering::Acquire)
+}
+
+/// Total kicks handled by this process.
+pub fn handled_count() -> u64 {
+    HANDLED.load(Ordering::Relaxed)
+}
+
+/// A kernel-mediated sending endpoint: posts into the UPID like a normal
+/// sender, then signals the receiver thread.
+pub struct SignalKicker {
+    upid: Arc<Upid>,
+    vector: u8,
+    target: libc::pthread_t,
+}
+
+// SAFETY: pthread_t is a thread handle valid process-wide; pthread_kill
+// from any thread is allowed.
+unsafe impl Send for SignalKicker {}
+unsafe impl Sync for SignalKicker {}
+
+impl SignalKicker {
+    /// Creates a kicker targeting the *calling* thread. Call this on the
+    /// receiver thread, then hand the kicker to the scheduler.
+    pub fn for_current_thread(upid: Arc<Upid>, vector: u8) -> io::Result<SignalKicker> {
+        install_handler()?;
+        // SAFETY: pthread_self has no preconditions.
+        let target = unsafe { libc::pthread_self() };
+        Ok(SignalKicker {
+            upid,
+            vector,
+            target,
+        })
+    }
+
+    /// Posts the vector and signals the receiver thread. Returns the TSC
+    /// stamp taken just before `pthread_kill`, for latency measurement.
+    pub fn kick(&self) -> io::Result<u64> {
+        self.upid.post(self.vector);
+        let t = rdtsc();
+        // SAFETY: target is a live pthread handle (receiver's lifetime is
+        // managed by the runtime that created the kicker).
+        let rc = unsafe { libc::pthread_kill(self.target, KICK_SIGNAL) };
+        if rc != 0 {
+            return Err(io::Error::from_raw_os_error(rc));
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn handler_installs_idempotently() {
+        install_handler().unwrap();
+        install_handler().unwrap();
+    }
+
+    #[test]
+    fn kick_posts_bit_and_delivers_signal() {
+        let upid = Upid::new();
+        let (tx, rx) = mpsc::channel::<SignalKicker>();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let u = upid.clone();
+        let handle = std::thread::spawn(move || {
+            let kicker = SignalKicker::for_current_thread(u, 3).unwrap();
+            tx.send(kicker).unwrap();
+            // Stay alive until the kick arrived so pthread_kill has a
+            // valid target.
+            done_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        });
+        let kicker = rx.recv().unwrap();
+        let before = handled_count();
+        kicker.kick().unwrap();
+        // The signal is asynchronous; wait briefly for the handler.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while handled_count() == before && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(handled_count() > before, "signal handler ran");
+        assert_eq!(upid.take_pending(), 1 << 3, "pending bit was posted");
+        done_tx.send(()).unwrap();
+        handle.join().unwrap();
+    }
+}

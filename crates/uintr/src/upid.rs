@@ -1,0 +1,244 @@
+//! User posted-interrupt descriptors (UPID) and sender tables (UITT).
+//!
+//! Hardware UINTR posts interrupts by setting a bit in the receiver's UPID
+//! and (optionally) notifying the target CPU; the sender finds the UPID
+//! through its user-interrupt target table (UITT) and the `senduipi`
+//! instruction's operand is an index into that table (paper §2.3).
+//!
+//! This module reproduces the model in software: a [`Upid`] is a shared
+//! pending-bit word, a [`UipiSender`] posts bits into it with a release
+//! store, and a [`Uitt`] is the per-sender table indexed by `senduipi`.
+//! Delivery to the receiving code happens when the receiver's thread
+//! executes a preemption point (see `receiver.rs` and DESIGN.md §1.1).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::cycles::rdtsc;
+
+/// Number of user-interrupt vectors, matching the hardware's UIRR width.
+pub const NUM_VECTORS: u8 = 64;
+
+/// User posted-interrupt descriptor: one per receiver thread.
+///
+/// Sharable across threads; senders hold `Arc<Upid>` through their UITT.
+#[derive(Debug)]
+pub struct Upid {
+    /// Posted-interrupt requests, one bit per vector (the UIRR analog).
+    pending: AtomicU64,
+    /// Suppress-notification analog: `false` once the receiver tears down.
+    active: AtomicBool,
+    /// TSC stamp of the most recent post, for delivery-latency accounting.
+    last_post_tsc: AtomicU64,
+    /// Total posts (senduipi executions) targeting this descriptor.
+    posts: AtomicU64,
+}
+
+impl Upid {
+    pub fn new() -> Arc<Upid> {
+        Arc::new(Upid {
+            pending: AtomicU64::new(0),
+            active: AtomicBool::new(true),
+            last_post_tsc: AtomicU64::new(0),
+            posts: AtomicU64::new(0),
+        })
+    }
+
+    /// Posts vector `vector` (the core of `senduipi`). Returns `false` if
+    /// the receiver has shut down.
+    #[inline]
+    pub fn post(&self, vector: u8) -> bool {
+        debug_assert!(vector < NUM_VECTORS);
+        if !self.active.load(Ordering::Acquire) {
+            return false;
+        }
+        self.last_post_tsc.store(rdtsc(), Ordering::Relaxed);
+        // Release pairs with the Acquire swap in the receiver so that
+        // everything the sender wrote (e.g. the enqueued transaction)
+        // happens-before the handler observing the vector.
+        self.pending.fetch_or(1u64 << vector, Ordering::Release);
+        self.posts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Receiver-side: atomically takes all pending vectors (returns the
+    /// bitmask and clears it). Acquire pairs with [`Upid::post`].
+    #[inline]
+    pub fn take_pending(&self) -> u64 {
+        // Fast path for the overwhelmingly common empty case: a single
+        // relaxed load — this runs at *every* preemption point.
+        if self.pending.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        self.pending.swap(0, Ordering::Acquire)
+    }
+
+    /// Whether any vector is pending (no side effects).
+    #[inline]
+    pub fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Relaxed) != 0
+    }
+
+    /// Re-posts vectors that could not be delivered (deferral by a
+    /// non-preemptible region or masked UIF).
+    #[inline]
+    pub fn repost(&self, vectors: u64) {
+        self.pending.fetch_or(vectors, Ordering::Release);
+    }
+
+    /// Marks the receiver as gone; subsequent posts fail.
+    pub fn deactivate(&self) {
+        self.active.store(false, Ordering::Release);
+    }
+
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// TSC stamp of the most recent post.
+    pub fn last_post_tsc(&self) -> u64 {
+        self.last_post_tsc.load(Ordering::Relaxed)
+    }
+
+    /// Total number of posts so far.
+    pub fn posts(&self) -> u64 {
+        self.posts.load(Ordering::Relaxed)
+    }
+}
+
+/// A sending endpoint: one UITT entry (target UPID + vector).
+#[derive(Clone, Debug)]
+pub struct UipiSender {
+    upid: Arc<Upid>,
+    vector: u8,
+}
+
+impl UipiSender {
+    pub fn new(upid: Arc<Upid>, vector: u8) -> UipiSender {
+        assert!(vector < NUM_VECTORS, "vector out of range");
+        UipiSender { upid, vector }
+    }
+
+    /// Sends the user interrupt (the `senduipi` analog). Returns `false`
+    /// if the receiver has shut down.
+    #[inline]
+    pub fn send(&self) -> bool {
+        self.upid.post(self.vector)
+    }
+
+    /// The target descriptor (for tests and stats).
+    pub fn upid(&self) -> &Arc<Upid> {
+        &self.upid
+    }
+
+    pub fn vector(&self) -> u8 {
+        self.vector
+    }
+}
+
+/// User-interrupt target table: the sender-side register file of
+/// [`UipiSender`] entries, indexed like the operand of `senduipi`.
+#[derive(Default, Debug)]
+pub struct Uitt {
+    entries: Vec<UipiSender>,
+}
+
+impl Uitt {
+    pub fn new() -> Uitt {
+        Uitt::default()
+    }
+
+    /// Registers a target; returns its UITT index.
+    pub fn register(&mut self, upid: Arc<Upid>, vector: u8) -> usize {
+        self.entries.push(UipiSender::new(upid, vector));
+        self.entries.len() - 1
+    }
+
+    /// `senduipi(index)`: posts the interrupt described by entry `index`.
+    #[inline]
+    pub fn senduipi(&self, index: usize) -> bool {
+        self.entries[index].send()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn entry(&self, index: usize) -> &UipiSender {
+        &self.entries[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn post_and_take_round_trip() {
+        let upid = Upid::new();
+        assert_eq!(upid.take_pending(), 0);
+        assert!(upid.post(3));
+        assert!(upid.post(10));
+        assert!(upid.has_pending());
+        assert_eq!(upid.take_pending(), (1 << 3) | (1 << 10));
+        assert_eq!(upid.take_pending(), 0, "cleared after take");
+    }
+
+    #[test]
+    fn duplicate_posts_coalesce() {
+        let upid = Upid::new();
+        upid.post(5);
+        upid.post(5);
+        upid.post(5);
+        assert_eq!(upid.posts(), 3);
+        assert_eq!(upid.take_pending(), 1 << 5, "edge-triggered: one bit");
+    }
+
+    #[test]
+    fn deactivated_receiver_rejects_posts() {
+        let upid = Upid::new();
+        upid.deactivate();
+        assert!(!upid.post(0));
+        assert_eq!(upid.take_pending(), 0);
+    }
+
+    #[test]
+    fn repost_restores_bits() {
+        let upid = Upid::new();
+        upid.post(1);
+        let taken = upid.take_pending();
+        upid.repost(taken);
+        assert_eq!(upid.take_pending(), 1 << 1);
+    }
+
+    #[test]
+    fn uitt_indexes_targets() {
+        let a = Upid::new();
+        let b = Upid::new();
+        let mut uitt = Uitt::new();
+        let ia = uitt.register(a.clone(), 0);
+        let ib = uitt.register(b.clone(), 7);
+        assert_eq!((ia, ib), (0, 1));
+        uitt.senduipi(ib);
+        assert_eq!(a.take_pending(), 0);
+        assert_eq!(b.take_pending(), 1 << 7);
+    }
+
+    #[test]
+    fn cross_thread_post_is_visible() {
+        let upid = Upid::new();
+        let sender = UipiSender::new(upid.clone(), 9);
+        std::thread::spawn(move || sender.send()).join().unwrap();
+        assert_eq!(upid.take_pending(), 1 << 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector out of range")]
+    fn vector_range_checked() {
+        let _ = UipiSender::new(Upid::new(), 64);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fixed-layout row encoding.
+//!
+//! Rows are flat little-endian byte layouts (the benchmark invokes the
+//! storage engine's native interface directly, like the paper's driver —
+//! no SQL layer). A tiny cursor keeps encode/decode symmetric and panics
+//! loudly on layout drift.
+
+/// Sequential writer over a row buffer.
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn with_capacity(n: usize) -> Enc {
+        Enc {
+            buf: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Fixed-width string: truncated or zero-padded to `n` bytes.
+    pub fn str_fixed(&mut self, s: &str, n: usize) -> &mut Self {
+        let bytes = s.as_bytes();
+        let take = bytes.len().min(n);
+        self.buf.extend_from_slice(&bytes[..take]);
+        self.buf.extend(std::iter::repeat_n(0u8, n - take));
+        self
+    }
+
+    /// Opaque filler to reach a representative row width.
+    pub fn pad(&mut self, n: usize) -> &mut Self {
+        self.buf.extend(std::iter::repeat_n(0u8, n));
+        self
+    }
+
+    pub fn finish(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Sequential reader over a row buffer.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("u64"))
+    }
+
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("u32"))
+    }
+
+    pub fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().expect("i64"))
+    }
+
+    pub fn str_fixed(&mut self, n: usize) -> String {
+        let raw = self.take(n);
+        let end = raw.iter().position(|&b| b == 0).unwrap_or(n);
+        String::from_utf8_lossy(&raw[..end]).into_owned()
+    }
+
+    pub fn skip(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_field_types() {
+        let row = Enc::with_capacity(64)
+            .u64(0xDEAD_BEEF)
+            .u32(42)
+            .i64(-7)
+            .str_fixed("BARBARBAR", 16)
+            .pad(8)
+            .finish();
+        assert_eq!(row.len(), 8 + 4 + 8 + 16 + 8);
+        let mut d = Dec::new(&row);
+        assert_eq!(d.u64(), 0xDEAD_BEEF);
+        assert_eq!(d.u32(), 42);
+        assert_eq!(d.i64(), -7);
+        assert_eq!(d.str_fixed(16), "BARBARBAR");
+        d.skip(8);
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn long_strings_truncate() {
+        let row = Enc::with_capacity(4).str_fixed("TOOLONG", 4).finish();
+        let mut d = Dec::new(&row);
+        assert_eq!(d.str_fixed(4), "TOOL");
+    }
+}

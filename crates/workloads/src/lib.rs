@@ -1,0 +1,21 @@
+//! # preempt-workloads
+//!
+//! The paper's benchmark workloads over the `preempt-mvcc` engine
+//! (§6.1): full TPC-C (all five transactions, warehouses = workers, 15 %
+//! remote), the TPC-H subset needed for Q2, and the mixed
+//! high-priority-OLTP / low-priority-analytics workload every scheduling
+//! experiment uses. Benchmark code calls the storage engine's Rust API
+//! directly — no SQL parsing, network, or optimizer — matching the
+//! paper's methodology.
+
+pub mod codec;
+pub mod mixed;
+pub mod rand_util;
+pub mod tpcc;
+pub mod tpch;
+pub mod ycsb;
+
+pub use mixed::{kinds, setup_mixed, MixedWorkload, TpccWorkload};
+pub use tpcc::{TpccDb, TpccScale};
+pub use tpch::{Q2Params, TpchDb, TpchScale};
+pub use ycsb::{YcsbConfig, YcsbDb, YcsbMix, YcsbWorkload, Zipfian};

@@ -1,0 +1,248 @@
+//! Workload factories for the scheduling runtime.
+//!
+//! * [`MixedWorkload`] — the paper's target mix (§6.1): TPC-H Q2 as the
+//!   long-running low-priority stream, TPC-C NewOrder and Payment as the
+//!   short high-priority stream.
+//! * [`TpccWorkload`] — the standard five-transaction TPC-C mix, all sent
+//!   at low priority (Figure 8's overhead experiment and general OLTP
+//!   runs).
+//!
+//! Factories pre-generate each request's parameters on the scheduling
+//! thread with a seeded RNG, so runs are deterministic under the
+//! virtual-time simulator.
+
+use std::sync::Arc;
+
+use preempt_sched::{Request, WorkOutcome, WorkloadFactory};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tpcc::{NewOrderParams, PaymentParams, TpccDb, TpccScale};
+use crate::tpch::{Q2Params, TpchDb, TpchScale};
+
+/// Transaction kind labels used in metrics and reports.
+pub mod kinds {
+    pub const NEW_ORDER: &str = "neworder";
+    pub const PAYMENT: &str = "payment";
+    pub const ORDER_STATUS: &str = "orderstatus";
+    pub const DELIVERY: &str = "delivery";
+    pub const STOCK_LEVEL: &str = "stocklevel";
+    pub const Q2: &str = "q2";
+}
+
+/// Builds the engine and loads both databases for the mixed workload.
+pub fn setup_mixed(
+    warehouses: u64,
+    tpcc_scale: Option<TpccScale>,
+    tpch_scale: Option<TpchScale>,
+    seed: u64,
+) -> (preempt_mvcc::Engine, Arc<TpccDb>, Arc<TpchDb>) {
+    let engine = preempt_mvcc::Engine::new(preempt_mvcc::EngineConfig::default());
+    let tpcc = TpccDb::load(
+        &engine,
+        tpcc_scale.unwrap_or_else(|| TpccScale::new(warehouses)),
+        seed,
+    )
+    .expect("TPC-C load");
+    let tpch = TpchDb::load(
+        &engine,
+        tpch_scale.unwrap_or_else(TpchScale::default_mix),
+        seed.wrapping_add(1),
+    )
+    .expect("TPC-H load");
+    (engine, tpcc, tpch)
+}
+
+/// The paper's mixed workload: low = Q2, high = NewOrder/Payment.
+pub struct MixedWorkload {
+    tpcc: Arc<TpccDb>,
+    tpch: Arc<TpchDb>,
+    rng: SmallRng,
+    counter: u64,
+    /// Percent of high-priority requests that are Payments (rest are
+    /// NewOrders). The paper uses both; an even split by default.
+    pub payment_pct: u32,
+}
+
+impl MixedWorkload {
+    pub fn new(tpcc: Arc<TpccDb>, tpch: Arc<TpchDb>, seed: u64) -> MixedWorkload {
+        MixedWorkload {
+            tpcc,
+            tpch,
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+            payment_pct: 50,
+        }
+    }
+
+    fn next_home_warehouse(&mut self) -> u64 {
+        self.counter += 1;
+        (self.counter % self.tpcc.scale.warehouses) + 1
+    }
+}
+
+impl WorkloadFactory for MixedWorkload {
+    fn make_low(&mut self, now: u64) -> Option<Request> {
+        let params = Q2Params::generate(&mut self.rng, &self.tpch.scale);
+        let db = self.tpch.clone();
+        Some(Request::new(kinds::Q2, 0, now, move || {
+            let rows = db.q2(&params).expect("q2 is read-only");
+            std::hint::black_box(rows.len());
+            WorkOutcome::default()
+        }))
+    }
+
+    fn make_high(&mut self, now: u64) -> Option<Request> {
+        let home = self.next_home_warehouse();
+        if self.rng.random_range(0..100) < self.payment_pct {
+            let params = PaymentParams::generate(&mut self.rng, &self.tpcc.scale, home);
+            let db = self.tpcc.clone();
+            Some(Request::new(kinds::PAYMENT, 1, now, move || WorkOutcome {
+                retries: db.run_payment(&params),
+            }))
+        } else {
+            let params = NewOrderParams::generate(&mut self.rng, &self.tpcc.scale, home);
+            let db = self.tpcc.clone();
+            Some(Request::new(kinds::NEW_ORDER, 1, now, move || WorkOutcome {
+                retries: db.run_new_order(&params),
+            }))
+        }
+    }
+}
+
+/// The standard TPC-C mix (spec §5.2.3 proportions), dispatched on the
+/// low-priority stream.
+pub struct TpccWorkload {
+    db: Arc<TpccDb>,
+    rng: SmallRng,
+    counter: u64,
+}
+
+impl TpccWorkload {
+    pub fn new(db: Arc<TpccDb>, seed: u64) -> TpccWorkload {
+        TpccWorkload {
+            db,
+            rng: SmallRng::seed_from_u64(seed),
+            counter: 0,
+        }
+    }
+
+    fn next_home_warehouse(&mut self) -> u64 {
+        self.counter += 1;
+        (self.counter % self.db.scale.warehouses) + 1
+    }
+}
+
+impl WorkloadFactory for TpccWorkload {
+    fn make_low(&mut self, now: u64) -> Option<Request> {
+        let home = self.next_home_warehouse();
+        let db = self.db.clone();
+        // Spec §5.2.3 minimum mix: 45/43/4/4/4.
+        let roll = self.rng.random_range(0..100u32);
+        let seed = self.rng.random::<u64>();
+        Some(if roll < 45 {
+            let params = NewOrderParams::generate(&mut self.rng, &db.scale.clone(), home);
+            Request::new(kinds::NEW_ORDER, 0, now, move || WorkOutcome {
+                retries: db.run_new_order(&params),
+            })
+        } else if roll < 88 {
+            let params = PaymentParams::generate(&mut self.rng, &db.scale.clone(), home);
+            Request::new(kinds::PAYMENT, 0, now, move || WorkOutcome {
+                retries: db.run_payment(&params),
+            })
+        } else if roll < 92 {
+            Request::new(kinds::ORDER_STATUS, 0, now, move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                WorkOutcome {
+                    retries: db.run_order_status(&mut rng),
+                }
+            })
+        } else if roll < 96 {
+            Request::new(kinds::DELIVERY, 0, now, move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                WorkOutcome {
+                    retries: db.run_delivery(&mut rng),
+                }
+            })
+        } else {
+            Request::new(kinds::STOCK_LEVEL, 0, now, move || {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                WorkOutcome {
+                    retries: db.run_stock_level(&mut rng),
+                }
+            })
+        })
+    }
+
+    fn make_high(&mut self, _now: u64) -> Option<Request> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_setup() -> (preempt_mvcc::Engine, Arc<TpccDb>, Arc<TpchDb>) {
+        setup_mixed(1, Some(TpccScale::tiny()), Some(TpchScale::tiny()), 5)
+    }
+
+    #[test]
+    fn mixed_factory_produces_both_streams() {
+        let (_e, tpcc, tpch) = tiny_setup();
+        let mut f = MixedWorkload::new(tpcc, tpch, 9);
+        let low = f.make_low(100).unwrap();
+        assert_eq!(low.kind, kinds::Q2);
+        assert_eq!(low.priority, 0);
+        assert_eq!(low.created_at, 100);
+
+        let mut kinds_seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let high = f.make_high(0).unwrap();
+            assert_eq!(high.priority, 1);
+            kinds_seen.insert(high.kind);
+        }
+        assert!(kinds_seen.contains(kinds::NEW_ORDER));
+        assert!(kinds_seen.contains(kinds::PAYMENT));
+    }
+
+    #[test]
+    fn mixed_requests_actually_run() {
+        let (engine, tpcc, tpch) = tiny_setup();
+        let mut f = MixedWorkload::new(tpcc, tpch, 10);
+        let commits_before = engine.stats().commits;
+        ((f.make_low(0).unwrap()).work)();
+        ((f.make_high(0).unwrap()).work)();
+        assert!(engine.stats().commits > commits_before);
+    }
+
+    #[test]
+    fn tpcc_factory_follows_spec_mix() {
+        let (_e, tpcc, _tpch) = tiny_setup();
+        let mut f = TpccWorkload::new(tpcc, 11);
+        assert!(f.make_high(0).is_none(), "no high-priority stream");
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let r = f.make_low(0).unwrap();
+            *counts.entry(r.kind).or_insert(0u32) += 1;
+        }
+        let no = counts[kinds::NEW_ORDER] as f64 / 2000.0;
+        let pay = counts[kinds::PAYMENT] as f64 / 2000.0;
+        assert!((0.40..0.50).contains(&no), "neworder {no}");
+        assert!((0.38..0.48).contains(&pay), "payment {pay}");
+        assert!(counts.contains_key(kinds::DELIVERY));
+        assert!(counts.contains_key(kinds::STOCK_LEVEL));
+        assert!(counts.contains_key(kinds::ORDER_STATUS));
+    }
+
+    #[test]
+    fn tpcc_requests_run_all_kinds() {
+        let (engine, tpcc, _tpch) = tiny_setup();
+        let mut f = TpccWorkload::new(tpcc, 12);
+        for _ in 0..40 {
+            let r = f.make_low(0).unwrap();
+            (r.work)();
+        }
+        assert!(engine.stats().commits > 30);
+    }
+}

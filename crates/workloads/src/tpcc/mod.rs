@@ -1,0 +1,8 @@
+//! TPC-C: schema/loader ([`schema`]) and the five transactions
+//! ([`txns`]).
+
+pub mod schema;
+pub mod txns;
+
+pub use schema::{TpccDb, TpccScale};
+pub use txns::{CustomerSelector, NewOrderParams, PaymentParams};

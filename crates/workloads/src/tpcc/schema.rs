@@ -1,0 +1,716 @@
+//! TPC-C schema, key packing, row layouts, and loader (TPC-C spec rev
+//! 5.11, scaled for a laptop-class reproduction — see DESIGN.md §1.4).
+
+use std::sync::Arc;
+
+use preempt_mvcc::{Engine, HashIndex, OrderedIndex, Table, TxResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{Dec, Enc};
+use crate::rand_util::{last_name, name_hash16};
+
+/// Scale knobs. The paper runs warehouses = #threads with spec-sized
+/// tables; this reproduction defaults to spec districts/customers but
+/// 10 k items (spec: 100 k) so 16-warehouse experiments load in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct TpccScale {
+    pub warehouses: u64,
+    pub districts_per_wh: u64,
+    pub customers_per_district: u64,
+    pub items: u64,
+    /// Orders (with lines and a third as new-orders) preloaded per
+    /// district so OrderStatus/Delivery/StockLevel have data at start.
+    pub preloaded_orders: u64,
+}
+
+impl TpccScale {
+    pub fn new(warehouses: u64) -> TpccScale {
+        TpccScale {
+            warehouses,
+            districts_per_wh: 10,
+            customers_per_district: 3000,
+            items: 10_000,
+            preloaded_orders: 30,
+        }
+    }
+
+    /// A small scale for unit tests.
+    pub fn tiny() -> TpccScale {
+        TpccScale {
+            warehouses: 1,
+            districts_per_wh: 2,
+            customers_per_district: 30,
+            items: 100,
+            preloaded_orders: 5,
+        }
+    }
+}
+
+// ---- key packing ----
+
+pub fn wh_key(w: u64) -> u64 {
+    w
+}
+pub fn dist_key(w: u64, d: u64) -> u64 {
+    (w << 8) | d
+}
+pub fn cust_key(w: u64, d: u64, c: u64) -> u64 {
+    (w << 24) | (d << 16) | c
+}
+/// Ordered customer-name index: (w, d, hash16(last), c).
+pub fn cust_name_key(w: u64, d: u64, last: &str, c: u64) -> u64 {
+    (w << 40) | (d << 32) | (name_hash16(last) << 16) | c
+}
+pub fn order_key(w: u64, d: u64, o: u64) -> u64 {
+    (w << 40) | (d << 32) | o
+}
+/// Ordered order-by-customer index: (w, d, c, o).
+pub fn order_cust_key(w: u64, d: u64, c: u64, o: u64) -> u64 {
+    (w << 48) | (d << 40) | (c << 24) | (o & 0xFF_FFFF)
+}
+pub fn new_order_key(w: u64, d: u64, o: u64) -> u64 {
+    order_key(w, d, o)
+}
+pub fn order_line_key(w: u64, d: u64, o: u64, ol: u64) -> u64 {
+    (w << 48) | (d << 40) | (o << 8) | ol
+}
+pub fn stock_key(w: u64, i: u64) -> u64 {
+    (w << 32) | i
+}
+pub fn item_key(i: u64) -> u64 {
+    i
+}
+
+// ---- row layouts ----
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarehouseRow {
+    pub id: u64,
+    pub ytd: i64,
+    pub tax_bp: u32, // basis points
+    pub name: String,
+}
+
+impl WarehouseRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.id)
+            .i64(self.ytd)
+            .u32(self.tax_bp)
+            .str_fixed(&self.name, 10)
+            .pad(58) // address fields, abbreviated
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> WarehouseRow {
+        let mut d = Dec::new(b);
+        WarehouseRow {
+            id: d.u64(),
+            ytd: d.i64(),
+            tax_bp: d.u32(),
+            name: d.str_fixed(10),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistrictRow {
+    pub id: u64,
+    pub w_id: u64,
+    pub next_o_id: u64,
+    pub ytd: i64,
+    pub tax_bp: u32,
+}
+
+impl DistrictRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.id)
+            .u64(self.w_id)
+            .u64(self.next_o_id)
+            .i64(self.ytd)
+            .u32(self.tax_bp)
+            .pad(59)
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> DistrictRow {
+        let mut d = Dec::new(b);
+        DistrictRow {
+            id: d.u64(),
+            w_id: d.u64(),
+            next_o_id: d.u64(),
+            ytd: d.i64(),
+            tax_bp: d.u32(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomerRow {
+    pub id: u64,
+    pub d_id: u64,
+    pub w_id: u64,
+    pub balance: i64,
+    pub ytd_payment: i64,
+    pub payment_cnt: u32,
+    pub delivery_cnt: u32,
+    pub credit_bad: u32, // 1 = BC
+    pub last: String,
+}
+
+impl CustomerRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(256)
+            .u64(self.id)
+            .u64(self.d_id)
+            .u64(self.w_id)
+            .i64(self.balance)
+            .i64(self.ytd_payment)
+            .u32(self.payment_cnt)
+            .u32(self.delivery_cnt)
+            .u32(self.credit_bad)
+            .str_fixed(&self.last, 16)
+            .pad(180) // first/middle/street/city/state/zip/phone/data
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> CustomerRow {
+        let mut d = Dec::new(b);
+        CustomerRow {
+            id: d.u64(),
+            d_id: d.u64(),
+            w_id: d.u64(),
+            balance: d.i64(),
+            ytd_payment: d.i64(),
+            payment_cnt: d.u32(),
+            delivery_cnt: d.u32(),
+            credit_bad: d.u32(),
+            last: d.str_fixed(16),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderRow {
+    pub id: u64,
+    pub c_id: u64,
+    pub d_id: u64,
+    pub w_id: u64,
+    pub entry_d: u64,
+    pub carrier_id: u32, // 0 = not delivered
+    pub ol_cnt: u32,
+    pub all_local: u32,
+}
+
+impl OrderRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(56)
+            .u64(self.id)
+            .u64(self.c_id)
+            .u64(self.d_id)
+            .u64(self.w_id)
+            .u64(self.entry_d)
+            .u32(self.carrier_id)
+            .u32(self.ol_cnt)
+            .u32(self.all_local)
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> OrderRow {
+        let mut d = Dec::new(b);
+        OrderRow {
+            id: d.u64(),
+            c_id: d.u64(),
+            d_id: d.u64(),
+            w_id: d.u64(),
+            entry_d: d.u64(),
+            carrier_id: d.u32(),
+            ol_cnt: d.u32(),
+            all_local: d.u32(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewOrderRow {
+    pub o_id: u64,
+    pub d_id: u64,
+    pub w_id: u64,
+}
+
+impl NewOrderRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(24)
+            .u64(self.o_id)
+            .u64(self.d_id)
+            .u64(self.w_id)
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> NewOrderRow {
+        let mut d = Dec::new(b);
+        NewOrderRow {
+            o_id: d.u64(),
+            d_id: d.u64(),
+            w_id: d.u64(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderLineRow {
+    pub o_id: u64,
+    pub d_id: u64,
+    pub w_id: u64,
+    pub number: u32,
+    pub i_id: u64,
+    pub supply_w_id: u64,
+    pub delivery_d: u64, // 0 = not delivered
+    pub quantity: u32,
+    pub amount: i64,
+}
+
+impl OrderLineRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.o_id)
+            .u64(self.d_id)
+            .u64(self.w_id)
+            .u32(self.number)
+            .u64(self.i_id)
+            .u64(self.supply_w_id)
+            .u64(self.delivery_d)
+            .u32(self.quantity)
+            .i64(self.amount)
+            .pad(24) // dist_info
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> OrderLineRow {
+        let mut d = Dec::new(b);
+        OrderLineRow {
+            o_id: d.u64(),
+            d_id: d.u64(),
+            w_id: d.u64(),
+            number: d.u32(),
+            i_id: d.u64(),
+            supply_w_id: d.u64(),
+            delivery_d: d.u64(),
+            quantity: d.u32(),
+            amount: d.i64(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct ItemRow {
+    pub id: u64,
+    pub price: i64, // cents
+    pub name: String,
+}
+
+impl ItemRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(80)
+            .u64(self.id)
+            .i64(self.price)
+            .str_fixed(&self.name, 24)
+            .pad(26) // i_data
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> ItemRow {
+        let mut d = Dec::new(b);
+        ItemRow {
+            id: d.u64(),
+            price: d.i64(),
+            name: d.str_fixed(24),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct StockRow {
+    pub i_id: u64,
+    pub w_id: u64,
+    pub quantity: i64,
+    pub ytd: i64,
+    pub order_cnt: u32,
+    pub remote_cnt: u32,
+}
+
+impl StockRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.i_id)
+            .u64(self.w_id)
+            .i64(self.quantity)
+            .i64(self.ytd)
+            .u32(self.order_cnt)
+            .u32(self.remote_cnt)
+            .pad(48) // s_dist_xx, s_data abbreviated
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> StockRow {
+        let mut d = Dec::new(b);
+        StockRow {
+            i_id: d.u64(),
+            w_id: d.u64(),
+            quantity: d.i64(),
+            ytd: d.i64(),
+            order_cnt: d.u32(),
+            remote_cnt: d.u32(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    pub c_id: u64,
+    pub d_id: u64,
+    pub w_id: u64,
+    pub amount: i64,
+}
+
+impl HistoryRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(56)
+            .u64(self.c_id)
+            .u64(self.d_id)
+            .u64(self.w_id)
+            .i64(self.amount)
+            .pad(24) // h_date, h_data
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> HistoryRow {
+        let mut d = Dec::new(b);
+        HistoryRow {
+            c_id: d.u64(),
+            d_id: d.u64(),
+            w_id: d.u64(),
+            amount: d.i64(),
+        }
+    }
+}
+
+/// The loaded TPC-C database: tables + indexes + scale.
+pub struct TpccDb {
+    pub engine: Engine,
+    pub scale: TpccScale,
+    pub warehouse: Arc<Table>,
+    pub district: Arc<Table>,
+    pub customer: Arc<Table>,
+    pub history: Arc<Table>,
+    pub order: Arc<Table>,
+    pub new_order: Arc<Table>,
+    pub order_line: Arc<Table>,
+    pub item: Arc<Table>,
+    pub stock: Arc<Table>,
+    pub idx_warehouse: Arc<HashIndex>,
+    pub idx_district: Arc<HashIndex>,
+    pub idx_customer: Arc<HashIndex>,
+    pub idx_customer_name: Arc<OrderedIndex>,
+    pub idx_order: Arc<HashIndex>,
+    pub idx_order_cust: Arc<OrderedIndex>,
+    pub idx_new_order: Arc<OrderedIndex>,
+    pub idx_order_line: Arc<OrderedIndex>,
+    pub idx_item: Arc<HashIndex>,
+    pub idx_stock: Arc<HashIndex>,
+}
+
+impl TpccDb {
+    /// Creates the schema and loads `scale` worth of data.
+    pub fn load(engine: &Engine, scale: TpccScale, seed: u64) -> TxResult<Arc<TpccDb>> {
+        let db = TpccDb {
+            engine: engine.clone(),
+            scale,
+            warehouse: engine.create_table("warehouse"),
+            district: engine.create_table("district"),
+            customer: engine.create_table("customer"),
+            history: engine.create_table("history"),
+            order: engine.create_table("orders"),
+            new_order: engine.create_table("new_order"),
+            order_line: engine.create_table("order_line"),
+            item: engine.create_table("item"),
+            stock: engine.create_table("stock"),
+            idx_warehouse: Arc::new(HashIndex::new("warehouse_pk")),
+            idx_district: Arc::new(HashIndex::new("district_pk")),
+            idx_customer: Arc::new(HashIndex::new("customer_pk")),
+            idx_customer_name: Arc::new(OrderedIndex::new("customer_name")),
+            idx_order: Arc::new(HashIndex::new("orders_pk")),
+            idx_order_cust: Arc::new(OrderedIndex::new("orders_by_customer")),
+            idx_new_order: Arc::new(OrderedIndex::new("new_order_pk")),
+            idx_order_line: Arc::new(OrderedIndex::new("order_line_pk")),
+            idx_item: Arc::new(HashIndex::new("item_pk")),
+            idx_stock: Arc::new(HashIndex::new("stock_pk")),
+        };
+        db.populate(seed)?;
+        Ok(Arc::new(db))
+    }
+
+    fn populate(&self, seed: u64) -> TxResult<()> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = self.scale;
+
+        // Items (global).
+        let mut tx = self.engine.begin_si();
+        for i in 1..=s.items {
+            let row = ItemRow {
+                id: i,
+                price: rng.random_range(100..=10_000),
+                name: format!("item-{i}"),
+            };
+            tx.insert_indexed(&self.item, &self.idx_item, item_key(i), &row.encode())?;
+            if i % 2000 == 0 {
+                tx.commit()?;
+                tx = self.engine.begin_si();
+            }
+        }
+        tx.commit()?;
+
+        for w in 1..=s.warehouses {
+            self.populate_warehouse(w, &mut rng)?;
+        }
+        Ok(())
+    }
+
+    fn populate_warehouse(&self, w: u64, rng: &mut SmallRng) -> TxResult<()> {
+        let s = self.scale;
+        let mut tx = self.engine.begin_si();
+        let row = WarehouseRow {
+            id: w,
+            ytd: 30_000_000,
+            tax_bp: rng.random_range(0..=2000),
+            name: format!("wh-{w}"),
+        };
+        tx.insert_indexed(&self.warehouse, &self.idx_warehouse, wh_key(w), &row.encode())?;
+
+        // Stock for every item.
+        for i in 1..=s.items {
+            let row = StockRow {
+                i_id: i,
+                w_id: w,
+                quantity: rng.random_range(10..=100),
+                ytd: 0,
+                order_cnt: 0,
+                remote_cnt: 0,
+            };
+            tx.insert_indexed(&self.stock, &self.idx_stock, stock_key(w, i), &row.encode())?;
+            if i % 2000 == 0 {
+                tx.commit()?;
+                tx = self.engine.begin_si();
+            }
+        }
+
+        for d in 1..=s.districts_per_wh {
+            let row = DistrictRow {
+                id: d,
+                w_id: w,
+                next_o_id: s.preloaded_orders + 1,
+                ytd: 3_000_000,
+                tax_bp: rng.random_range(0..=2000),
+            };
+            tx.insert_indexed(
+                &self.district,
+                &self.idx_district,
+                dist_key(w, d),
+                &row.encode(),
+            )?;
+
+            // Customers.
+            for c in 1..=s.customers_per_district {
+                // Spec: first 1000 customers get sequential last names.
+                let lname = if c <= 1000 {
+                    last_name(c - 1)
+                } else {
+                    last_name(rng.random_range(0..1000))
+                };
+                let row = CustomerRow {
+                    id: c,
+                    d_id: d,
+                    w_id: w,
+                    balance: -1_000,
+                    ytd_payment: 1_000,
+                    payment_cnt: 1,
+                    delivery_cnt: 0,
+                    credit_bad: u32::from(rng.random_range(0..10) == 0),
+                    last: lname.clone(),
+                };
+                let c_oid = tx.insert_indexed(
+                    &self.customer,
+                    &self.idx_customer,
+                    cust_key(w, d, c),
+                    &row.encode(),
+                )?;
+                self.idx_customer_name
+                    .insert(cust_name_key(w, d, &lname, c), c_oid);
+                if c % 1000 == 0 {
+                    tx.commit()?;
+                    tx = self.engine.begin_si();
+                }
+            }
+
+            // Pre-loaded orders; the newest third are undelivered
+            // new-orders (spec §4.3.3.1 proportions, scaled).
+            for o in 1..=s.preloaded_orders {
+                let c_id = rng.random_range(1..=s.customers_per_district);
+                let ol_cnt = rng.random_range(5..=15u32);
+                let delivered = o <= s.preloaded_orders * 2 / 3;
+                let orow = OrderRow {
+                    id: o,
+                    c_id,
+                    d_id: d,
+                    w_id: w,
+                    entry_d: 1,
+                    carrier_id: if delivered {
+                        rng.random_range(1..=10)
+                    } else {
+                        0
+                    },
+                    ol_cnt,
+                    all_local: 1,
+                };
+                tx.insert_indexed(&self.order, &self.idx_order, order_key(w, d, o), &orow.encode())?;
+                self.idx_order_cust
+                    .insert(order_cust_key(w, d, c_id, o), order_key(w, d, o));
+                if !delivered {
+                    let nrow = NewOrderRow {
+                        o_id: o,
+                        d_id: d,
+                        w_id: w,
+                    };
+                    tx.insert_indexed_ordered(
+                        &self.new_order,
+                        &self.idx_new_order,
+                        new_order_key(w, d, o),
+                        &nrow.encode(),
+                    )?;
+                }
+                for ol in 1..=ol_cnt as u64 {
+                    let lrow = OrderLineRow {
+                        o_id: o,
+                        d_id: d,
+                        w_id: w,
+                        number: ol as u32,
+                        i_id: rng.random_range(1..=s.items),
+                        supply_w_id: w,
+                        delivery_d: u64::from(delivered),
+                        quantity: 5,
+                        amount: rng.random_range(1..=999_999),
+                    };
+                    tx.insert_indexed_ordered(
+                        &self.order_line,
+                        &self.idx_order_line,
+                        order_line_key(w, d, o, ol),
+                        &lrow.encode(),
+                    )?;
+                }
+            }
+            tx.commit()?;
+            tx = self.engine.begin_si();
+        }
+        tx.commit()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preempt_mvcc::EngineConfig;
+
+    #[test]
+    fn key_packing_is_injective_for_valid_ranges() {
+        let mut seen = std::collections::HashSet::new();
+        for w in 1..=3u64 {
+            for d in 1..=10 {
+                assert!(seen.insert(dist_key(w, d)));
+                for c in [1u64, 1500, 3000] {
+                    assert!(seen.insert(cust_key(w, d, c)));
+                    for o in [1u64, 5000] {
+                        assert!(seen.insert(order_cust_key(w, d, c, o)));
+                    }
+                }
+                for o in [1u64, 100, 9999] {
+                    assert!(seen.insert(order_key(w, d, o)));
+                    for ol in 1..=3 {
+                        assert!(seen.insert(order_line_key(w, d, o, ol)));
+                    }
+                }
+            }
+            for i in [1u64, 9_999] {
+                assert!(seen.insert(stock_key(w, i)));
+            }
+        }
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let c = CustomerRow {
+            id: 42,
+            d_id: 3,
+            w_id: 7,
+            balance: -12345,
+            ytd_payment: 999,
+            payment_cnt: 2,
+            delivery_cnt: 1,
+            credit_bad: 1,
+            last: "BARPRIESE".into(),
+        };
+        assert_eq!(CustomerRow::decode(&c.encode()), c);
+
+        let ol = OrderLineRow {
+            o_id: 9,
+            d_id: 2,
+            w_id: 1,
+            number: 7,
+            i_id: 555,
+            supply_w_id: 2,
+            delivery_d: 0,
+            quantity: 5,
+            amount: 4200,
+        };
+        assert_eq!(OrderLineRow::decode(&ol.encode()), ol);
+
+        let st = StockRow {
+            i_id: 1,
+            w_id: 1,
+            quantity: 50,
+            ytd: 10,
+            order_cnt: 3,
+            remote_cnt: 1,
+        };
+        assert_eq!(StockRow::decode(&st.encode()), st);
+    }
+
+    #[test]
+    fn loader_populates_expected_cardinalities() {
+        let engine = Engine::new(EngineConfig::default());
+        let scale = TpccScale::tiny();
+        let db = TpccDb::load(&engine, scale, 42).unwrap();
+
+        assert_eq!(db.item.len() as u64, scale.items);
+        assert_eq!(db.warehouse.len() as u64, scale.warehouses);
+        assert_eq!(
+            db.district.len() as u64,
+            scale.warehouses * scale.districts_per_wh
+        );
+        assert_eq!(
+            db.customer.len() as u64,
+            scale.warehouses * scale.districts_per_wh * scale.customers_per_district
+        );
+        assert_eq!(db.stock.len() as u64, scale.warehouses * scale.items);
+        assert_eq!(
+            db.order.len() as u64,
+            scale.warehouses * scale.districts_per_wh * scale.preloaded_orders
+        );
+        // A third of preloaded orders are undelivered new-orders.
+        let expected_new = scale.preloaded_orders - scale.preloaded_orders * 2 / 3;
+        assert_eq!(
+            db.new_order.len() as u64,
+            scale.warehouses * scale.districts_per_wh * expected_new
+        );
+
+        // Point reads come back decodable.
+        let mut tx = engine.begin_si();
+        let oid = db.idx_district.get(dist_key(1, 1)).unwrap();
+        let drow = DistrictRow::decode(&tx.read(&db.district, oid).unwrap());
+        assert_eq!(drow.next_o_id, scale.preloaded_orders + 1);
+        tx.commit().unwrap();
+    }
+}

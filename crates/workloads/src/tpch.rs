@@ -1,0 +1,498 @@
+//! TPC-H subset: the tables Q2 touches (region, nation, supplier, part,
+//! partsupp) and the Q2 transaction itself — the paper's long-running,
+//! low-priority analytical transaction (§6.1).
+//!
+//! Q2 ("minimum-cost supplier"): for every part of a given size and type
+//! family, find the supplier in a given region offering the minimum
+//! `ps_supplycost`, and report the qualifying (supplier, part) pairs
+//! ordered by account balance. The implementation mirrors the paper's
+//! description: an outer scan over `part` with a **nested query block**
+//! per qualifying part (the block the handcrafted-cooperative variant
+//! yields behind, Figure 11); all reads are plain optimistic MVCC reads,
+//! which is exactly why preempting it is harmless (§1.2).
+
+use std::sync::Arc;
+
+use preempt_context::runtime::preempt_point;
+use preempt_mvcc::{costs, ControlFlow, Engine, HashIndex, OrderedIndex, Table, TxResult};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::codec::{Dec, Enc};
+
+/// Scale knobs, calibrated so one Q2 costs a few virtual milliseconds
+/// (the paper's Q2 latency regime — its p99 under light load is ~3.6 ms).
+#[derive(Clone, Copy, Debug)]
+pub struct TpchScale {
+    pub parts: u64,
+    pub suppliers: u64,
+    /// Suppliers per part (spec: 4).
+    pub suppliers_per_part: u64,
+    pub nations: u64,
+    pub regions: u64,
+    /// Distinct part sizes (Q2 picks one; spec: 50).
+    pub sizes: u64,
+    /// Distinct part type families (Q2 picks one; spec: 150/3 suffixes).
+    pub types: u64,
+}
+
+impl TpchScale {
+    pub fn default_mix() -> TpchScale {
+        TpchScale {
+            parts: 20_000,
+            suppliers: 1_000,
+            suppliers_per_part: 4,
+            nations: 25,
+            regions: 5,
+            sizes: 50,
+            types: 25,
+        }
+    }
+
+    pub fn tiny() -> TpchScale {
+        TpchScale {
+            parts: 200,
+            suppliers: 20,
+            suppliers_per_part: 4,
+            nations: 5,
+            regions: 5,
+            sizes: 5,
+            types: 5,
+        }
+    }
+}
+
+// ---- key packing ----
+
+pub fn part_key(p: u64) -> u64 {
+    p
+}
+pub fn supplier_key(s: u64) -> u64 {
+    s
+}
+pub fn nation_key(n: u64) -> u64 {
+    n
+}
+pub fn partsupp_key(p: u64, s: u64) -> u64 {
+    (p << 20) | s
+}
+
+// ---- rows ----
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartRow {
+    pub id: u64,
+    pub size: u64,
+    pub type_id: u64,
+    pub mfgr: u64,
+}
+
+impl PartRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.id)
+            .u64(self.size)
+            .u64(self.type_id)
+            .u64(self.mfgr)
+            .pad(64) // name, brand, container, comment
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> PartRow {
+        let mut d = Dec::new(b);
+        PartRow {
+            id: d.u64(),
+            size: d.u64(),
+            type_id: d.u64(),
+            mfgr: d.u64(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupplierRow {
+    pub id: u64,
+    pub nation: u64,
+    pub acctbal: i64,
+}
+
+impl SupplierRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(96)
+            .u64(self.id)
+            .u64(self.nation)
+            .i64(self.acctbal)
+            .pad(72) // name, address, phone, comment
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> SupplierRow {
+        let mut d = Dec::new(b);
+        SupplierRow {
+            id: d.u64(),
+            nation: d.u64(),
+            acctbal: d.i64(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct NationRow {
+    pub id: u64,
+    pub region: u64,
+}
+
+impl NationRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(48).u64(self.id).u64(self.region).pad(32).finish()
+    }
+    pub fn decode(b: &[u8]) -> NationRow {
+        let mut d = Dec::new(b);
+        NationRow {
+            id: d.u64(),
+            region: d.u64(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartSuppRow {
+    pub part: u64,
+    pub supplier: u64,
+    pub supplycost: i64,
+    pub availqty: i64,
+}
+
+impl PartSuppRow {
+    pub fn encode(&self) -> Vec<u8> {
+        Enc::with_capacity(64)
+            .u64(self.part)
+            .u64(self.supplier)
+            .i64(self.supplycost)
+            .i64(self.availqty)
+            .pad(32) // comment
+            .finish()
+    }
+    pub fn decode(b: &[u8]) -> PartSuppRow {
+        let mut d = Dec::new(b);
+        PartSuppRow {
+            part: d.u64(),
+            supplier: d.u64(),
+            supplycost: d.i64(),
+            availqty: d.i64(),
+        }
+    }
+}
+
+/// Q2 parameters (size, type family, region).
+#[derive(Clone, Copy, Debug)]
+pub struct Q2Params {
+    pub size: u64,
+    pub type_id: u64,
+    pub region: u64,
+}
+
+impl Q2Params {
+    pub fn generate(rng: &mut SmallRng, scale: &TpchScale) -> Q2Params {
+        Q2Params {
+            size: rng.random_range(0..scale.sizes),
+            type_id: rng.random_range(0..scale.types),
+            region: rng.random_range(0..scale.regions),
+        }
+    }
+}
+
+/// One Q2 result row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Q2Row {
+    pub acctbal: i64,
+    pub supplier: u64,
+    pub part: u64,
+    pub supplycost: i64,
+}
+
+/// The loaded TPC-H subset.
+pub struct TpchDb {
+    pub engine: Engine,
+    pub scale: TpchScale,
+    pub region: Arc<Table>,
+    pub nation: Arc<Table>,
+    pub supplier: Arc<Table>,
+    pub part: Arc<Table>,
+    pub partsupp: Arc<Table>,
+    pub idx_nation: Arc<HashIndex>,
+    pub idx_supplier: Arc<HashIndex>,
+    /// Ordered so Q2's outer pass is a range scan (preemptible, chunked).
+    pub idx_part: Arc<OrderedIndex>,
+    pub idx_partsupp: Arc<HashIndex>,
+    /// Immutable ps_partkey "index": the suppliers stocking each part,
+    /// built by the loader (partsupp associations never change in Q2-only
+    /// workloads).
+    suppliers_by_part: Vec<Box<[u32]>>,
+}
+
+impl TpchDb {
+    pub fn load(engine: &Engine, scale: TpchScale, seed: u64) -> TxResult<Arc<TpchDb>> {
+        let mut db = TpchDb {
+            engine: engine.clone(),
+            scale,
+            region: engine.create_table("region"),
+            nation: engine.create_table("nation"),
+            supplier: engine.create_table("supplier"),
+            part: engine.create_table("part"),
+            partsupp: engine.create_table("partsupp"),
+            idx_nation: Arc::new(HashIndex::new("nation_pk")),
+            idx_supplier: Arc::new(HashIndex::new("supplier_pk")),
+            idx_part: Arc::new(OrderedIndex::new("part_pk")),
+            idx_partsupp: Arc::new(HashIndex::new("partsupp_pk")),
+            suppliers_by_part: Vec::new(),
+        };
+        db.populate(seed)?;
+        Ok(Arc::new(db))
+    }
+
+    fn populate(&mut self, seed: u64) -> TxResult<()> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let s = self.scale;
+        // Clone the handle so transactions don't hold a borrow of `self`
+        // (we push into `suppliers_by_part` while loading).
+        let engine = self.engine.clone();
+        let mut tx = engine.begin_si();
+
+        for r in 0..s.regions {
+            tx.insert(&self.region, &r.to_le_bytes())?;
+        }
+        for n in 0..s.nations {
+            let row = NationRow {
+                id: n,
+                region: n % s.regions,
+            };
+            tx.insert_indexed(&self.nation, &self.idx_nation, nation_key(n), &row.encode())?;
+        }
+        for sup in 0..s.suppliers {
+            let row = SupplierRow {
+                id: sup,
+                nation: rng.random_range(0..s.nations),
+                acctbal: rng.random_range(-99_999..=999_999),
+            };
+            tx.insert_indexed(
+                &self.supplier,
+                &self.idx_supplier,
+                supplier_key(sup),
+                &row.encode(),
+            )?;
+        }
+        tx.commit()?;
+
+        let mut tx = engine.begin_si();
+        for p in 0..s.parts {
+            let row = PartRow {
+                id: p,
+                size: rng.random_range(0..s.sizes),
+                type_id: rng.random_range(0..s.types),
+                mfgr: rng.random_range(0..5),
+            };
+            let p_oid = tx.insert(&self.part, &row.encode())?;
+            tx.index_insert_ordered(&self.idx_part, part_key(p), p_oid)?;
+            // `suppliers_per_part` distinct suppliers stocked per part.
+            let base = rng.random_range(0..s.suppliers);
+            let mut sups = Vec::with_capacity(s.suppliers_per_part as usize);
+            for k in 0..s.suppliers_per_part {
+                let sup = (base + k * (s.suppliers / s.suppliers_per_part + 1)) % s.suppliers;
+                if sups.contains(&(sup as u32)) {
+                    continue;
+                }
+                let ps = PartSuppRow {
+                    part: p,
+                    supplier: sup,
+                    supplycost: rng.random_range(100..=100_000),
+                    availqty: rng.random_range(1..=9_999),
+                };
+                tx.insert_indexed(
+                    &self.partsupp,
+                    &self.idx_partsupp,
+                    partsupp_key(p, sup),
+                    &ps.encode(),
+                )?;
+                sups.push(sup as u32);
+            }
+            self.suppliers_by_part.push(sups.into_boxed_slice());
+            if p % 1000 == 999 {
+                tx.commit()?;
+                tx = engine.begin_si();
+            }
+        }
+        tx.commit()?;
+        Ok(())
+    }
+
+    /// TPC-H Q2 as one read-only snapshot transaction. Returns the result
+    /// rows (sorted by `acctbal` descending, as the query specifies).
+    ///
+    /// Structure matches the paper's Figure 3 sketch: an outer range scan
+    /// over `part`, a *nested query block* per qualifying part, and a
+    /// final sort. [`preempt_sched::yield_hint`] fires after every nested
+    /// block for the handcrafted-cooperative baseline.
+    pub fn q2(&self, p: &Q2Params) -> TxResult<Vec<Q2Row>> {
+        let mut tx = self.engine.begin_si();
+        let mut results: Vec<Q2Row> = Vec::new();
+
+        // Outer pass: chunked, preemptible scan of all parts.
+        let mut qualifying: Vec<u64> = Vec::new();
+        let mut part_oids: Vec<(u64, u64)> = Vec::new();
+        self.idx_part.range_scan(0, u64::MAX, |k, oid| {
+            part_oids.push((k, oid));
+            ControlFlow::Continue(())
+        });
+        for &(pkey, oid) in &part_oids {
+            let Some(raw) = tx.read(&self.part, oid) else {
+                continue;
+            };
+            let part = PartRow::decode(&raw);
+            if part.size == p.size && part.type_id == p.type_id {
+                qualifying.push(pkey);
+            }
+            // The handcrafted yield point the paper inserts "right
+            // outside the nested query block" (Figure 11): structurally
+            // the correlated block is evaluated once per scanned part
+            // (trivially empty for non-qualifying ones).
+            preempt_sched::yield_hint();
+        }
+
+        // Nested query block per qualifying part: find the min supplycost
+        // among suppliers located in the target region, then emit rows
+        // matching that minimum.
+        for &part in &qualifying {
+            let mut block: Vec<(i64, u64, i64)> = Vec::new(); // (cost, supplier, acctbal)
+            for sup in self.suppliers_of(part) {
+                let Some(ps_oid) = self.idx_partsupp.get(partsupp_key(part, sup)) else {
+                    continue;
+                };
+                let Some(ps_raw) = tx.read(&self.partsupp, ps_oid) else {
+                    continue;
+                };
+                let ps = PartSuppRow::decode(&ps_raw);
+                let s_oid = self.idx_supplier.get(supplier_key(sup)).expect("supplier");
+                let srow = SupplierRow::decode(&tx.read(&self.supplier, s_oid).expect("supplier"));
+                let n_oid = self.idx_nation.get(nation_key(srow.nation)).expect("nation");
+                let nrow = NationRow::decode(&tx.read(&self.nation, n_oid).expect("nation"));
+                if nrow.region != p.region {
+                    continue;
+                }
+                block.push((ps.supplycost, sup, srow.acctbal));
+                preempt_point(costs::COMPUTE_PER_ROW);
+            }
+            if let Some(&(min_cost, _, _)) = block.iter().min_by_key(|&&(c, _, _)| c) {
+                for &(cost, sup, acctbal) in &block {
+                    if cost == min_cost {
+                        results.push(Q2Row {
+                            acctbal,
+                            supplier: sup,
+                            part,
+                            supplycost: cost,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Final sort by account balance, descending.
+        preempt_point(results.len() as u64 * costs::COMPUTE_PER_ROW);
+        results.sort_by_key(|r| std::cmp::Reverse(r.acctbal));
+        tx.commit()?;
+        Ok(results)
+    }
+
+    /// The suppliers stocking a part (the ps_partkey index prefix a real
+    /// system would walk).
+    fn suppliers_of(&self, part: u64) -> impl Iterator<Item = u64> + '_ {
+        self.suppliers_by_part[part as usize]
+            .iter()
+            .map(|&s| s as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preempt_mvcc::EngineConfig;
+
+    fn tiny() -> (Engine, Arc<TpchDb>) {
+        let engine = Engine::new(EngineConfig::default());
+        let db = TpchDb::load(&engine, TpchScale::tiny(), 11).unwrap();
+        (engine, db)
+    }
+
+    #[test]
+    fn loader_cardinalities() {
+        let (_e, db) = tiny();
+        let s = db.scale;
+        assert_eq!(db.part.len() as u64, s.parts);
+        assert_eq!(db.supplier.len() as u64, s.suppliers);
+        assert_eq!(db.nation.len() as u64, s.nations);
+        // Stride collisions may drop a few duplicates per part.
+        assert!(db.partsupp.len() as u64 <= s.parts * s.suppliers_per_part);
+        assert!(db.partsupp.len() as u64 >= s.parts);
+        assert_eq!(db.idx_part.len() as u64, s.parts);
+        assert_eq!(db.suppliers_by_part.len() as u64, s.parts);
+    }
+
+    #[test]
+    fn q2_returns_minimum_cost_suppliers() {
+        let (_e, db) = tiny();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut nonempty = 0;
+        for _ in 0..10 {
+            let p = Q2Params::generate(&mut rng, &db.scale);
+            let rows = db.q2(&p).unwrap();
+            if rows.is_empty() {
+                continue;
+            }
+            nonempty += 1;
+            // Sorted by acctbal descending.
+            for w in rows.windows(2) {
+                assert!(w[0].acctbal >= w[1].acctbal);
+            }
+            // Every emitted row really is the minimum for its part among
+            // the region's suppliers.
+            for row in &rows {
+                let min = min_cost_in_region(&db, row.part, p.region).expect("part has suppliers");
+                assert_eq!(row.supplycost, min);
+            }
+        }
+        assert!(nonempty > 0, "no Q2 produced results at tiny scale");
+    }
+
+    fn min_cost_in_region(db: &TpchDb, part: u64, region: u64) -> Option<i64> {
+        let mut tx = db.engine.begin_si();
+        let mut min = None;
+        for sup in 0..db.scale.suppliers {
+            let Some(ps_oid) = db.idx_partsupp.get(partsupp_key(part, sup)) else {
+                continue;
+            };
+            let Some(raw) = tx.read(&db.partsupp, ps_oid) else {
+                continue;
+            };
+            let ps = PartSuppRow::decode(&raw);
+            let s_oid = db.idx_supplier.get(supplier_key(sup)).unwrap();
+            let srow = SupplierRow::decode(&tx.read(&db.supplier, s_oid).unwrap());
+            let n_oid = db.idx_nation.get(nation_key(srow.nation)).unwrap();
+            let nrow = NationRow::decode(&tx.read(&db.nation, n_oid).unwrap());
+            if nrow.region != region {
+                continue;
+            }
+            min = Some(min.map_or(ps.supplycost, |m: i64| m.min(ps.supplycost)));
+        }
+        tx.commit().unwrap();
+        min
+    }
+
+    #[test]
+    fn q2_is_deterministic_for_fixed_params() {
+        let (_e, db) = tiny();
+        let p = Q2Params {
+            size: 1,
+            type_id: 2,
+            region: 0,
+        };
+        assert_eq!(db.q2(&p).unwrap(), db.q2(&p).unwrap());
+    }
+}

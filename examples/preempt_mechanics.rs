@@ -1,0 +1,94 @@
+//! A guided tour of the low-level mechanisms (paper §4), bottom-up:
+//!
+//! 1. userspace context switching between transaction contexts,
+//! 2. context-local storage keeping per-context state separate,
+//! 3. user-interrupt posting, masking, and deferred delivery,
+//! 4. non-preemptible regions protecting latch-holding code.
+//!
+//! ```sh
+//! cargo run --release --example preempt_mechanics
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use preemptdb::context::cls::ClsCell;
+use preemptdb::context::nonpreempt::NonPreemptGuard;
+use preemptdb::context::switch::{switch_to, Context};
+use preemptdb::context::tcb;
+use preemptdb::uintr::{UintrReceiver, UipiSender};
+
+static SCRATCH: ClsCell<Vec<u32>> = ClsCell::new(Vec::new);
+
+fn main() {
+    // ---- 1. Context switching (the paper's swap_context) ----
+    println!("== 1. userspace context switch ==");
+    let root = tcb::root_ptr() as usize;
+    let scan = Context::with_default_stack("scan", move || {
+        println!("  [scan ] phase 1 (will be 'preempted' here)");
+        switch_to(unsafe { &*(root as *const tcb::Tcb) });
+        println!("  [scan ] phase 2 (resumed exactly where it paused)");
+    })
+    .unwrap();
+    scan.resume();
+    println!("  [main ] high-priority work runs while the scan is paused");
+    scan.resume();
+    println!("  scan resumes: {} (2 expected)", scan.tcb().resumes());
+
+    // ---- 2. Context-local storage (§4.3) ----
+    println!("\n== 2. context-local storage ==");
+    SCRATCH.with(|v| v.push(1)); // root context's copy
+    let witness = Arc::new(AtomicUsize::new(0));
+    let w = witness.clone();
+    let ctx = Context::with_default_stack("cls-demo", move || {
+        SCRATCH.with(|v| {
+            v.extend([10, 20, 30]); // a *separate* copy
+            w.store(v.len(), Ordering::Relaxed);
+        });
+    })
+    .unwrap();
+    ctx.resume();
+    println!(
+        "  root's copy has {} item(s); the other context saw {} of its own",
+        SCRATCH.with(|v| v.len()),
+        witness.load(Ordering::Relaxed)
+    );
+
+    // ---- 3. User interrupts: post, mask, deliver ----
+    println!("\n== 3. user interrupts ==");
+    let mut rx = UintrReceiver::new();
+    rx.register_handler(|vector| println!("  [handler] delivered vector {vector}"));
+    let tx = UipiSender::new(rx.upid(), 1);
+
+    tx.send();
+    println!("  posted; pending until the next preemption point ...");
+    rx.poll(); // the preemption point
+
+    preemptdb::uintr::clui();
+    tx.send();
+    assert_eq!(rx.poll(), 0);
+    println!("  masked with clui: delivery deferred ({} so far)", rx.stats().deferred);
+    preemptdb::uintr::stui();
+    rx.poll();
+    println!("  stui re-enabled: delivered {} total", rx.stats().delivered);
+
+    // ---- 4. Non-preemptible regions (§4.4) ----
+    println!("\n== 4. non-preemptible regions ==");
+    tx.send();
+    {
+        let _guard = NonPreemptGuard::enter();
+        // Inside: think "holding a record latch during OCC validation".
+        assert_eq!(rx.poll(), 0);
+        println!("  inside region: interrupt deferred (latch is safe)");
+    }
+    // The guard's drop re-polls deferred deliveries promptly — but in
+    // this standalone demo there is no runtime hook installed, so poll
+    // explicitly like the worker's next preemption point would.
+    rx.poll();
+    println!("  region exited: delivered {} total", rx.stats().delivered);
+
+    println!("\nAll four mechanisms compose into the PreemptDB worker");
+    println!("(crates/sched/src/worker.rs): the uintr handler performs the");
+    println!("context switch, CLS keeps the log buffers apart, and engine");
+    println!("critical sections defer delivery.");
+}

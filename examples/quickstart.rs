@@ -1,0 +1,97 @@
+//! Quickstart: open an embedded PreemptDB, run transactions, and submit
+//! prioritized work to the preemption-capable worker pool.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use preemptdb::{Database, DatabaseConfig, Priority, WorkOutcome};
+
+fn main() {
+    // A small pool; each worker owns a regular and a preemptive context.
+    let db = Database::open(DatabaseConfig::default().workers(2));
+    println!("opened PreemptDB with {} workers", db.worker_count());
+
+    // --- plain transactional access (snapshot isolation) ---
+    let accounts = db.engine().create_table("accounts");
+    let mut tx = db.engine().begin_si();
+    let alice = tx.insert(&accounts, &100i64.to_le_bytes()).unwrap();
+    let bob = tx.insert(&accounts, &50i64.to_le_bytes()).unwrap();
+    tx.commit().unwrap();
+
+    // Transfer with conflict-retry, the idiomatic write pattern.
+    {
+        let engine = db.engine().clone();
+        let t = accounts.clone();
+        loop {
+            let mut tx = engine.begin_si();
+            let f = read_i64(&mut tx, &t, alice);
+            let b = read_i64(&mut tx, &t, bob);
+            if tx.update(&t, alice, &(f - 25).to_le_bytes()).is_err() {
+                continue;
+            }
+            if tx.update(&t, bob, &(b + 25).to_le_bytes()).is_err() {
+                continue;
+            }
+            if tx.commit().is_ok() {
+                break;
+            }
+        }
+    }
+
+    let mut tx = db.engine().begin_si();
+    println!(
+        "after transfer: alice={}, bob={}",
+        read_i64(&mut tx, &accounts, alice),
+        read_i64(&mut tx, &accounts, bob)
+    );
+    tx.commit().unwrap();
+
+    // --- prioritized execution ---
+    // A long, low-priority "report" runs on a worker; a high-priority
+    // lookup submitted meanwhile preempts it via a user interrupt.
+    let engine = db.engine().clone();
+    let t = accounts.clone();
+    db.submit("report", Priority::Low, move || {
+        let mut tx = engine.begin_si();
+        let mut total = 0i64;
+        for _pass in 0..20_000 {
+            for oid in 0..2u64 {
+                if let Some(p) = tx.read(&t, oid) {
+                    total += i64::from_le_bytes(p.as_ref().try_into().unwrap());
+                }
+            }
+        }
+        tx.commit().unwrap();
+        println!("report finished (total accumulator {total})");
+        WorkOutcome::default()
+    });
+
+    let engine = db.engine().clone();
+    let t = accounts.clone();
+    let started = std::time::Instant::now();
+    let alice_balance = db.call("lookup", Priority::High, move || {
+        let mut tx = engine.begin_si();
+        let v = read_i64(&mut tx, &t, alice);
+        tx.commit().unwrap();
+        v
+    });
+    println!(
+        "high-priority lookup returned {} in {:?} (while the report was running)",
+        alice_balance,
+        started.elapsed()
+    );
+
+    let metrics = db.shutdown();
+    for (kind, m) in metrics.kinds() {
+        println!("  {kind:>8}: {} completed", m.completed);
+    }
+}
+
+fn read_i64(
+    tx: &mut preemptdb::mvcc::Transaction,
+    table: &preemptdb::Table,
+    oid: u64,
+) -> i64 {
+    i64::from_le_bytes(tx.read(table, oid).unwrap().as_ref().try_into().unwrap())
+}

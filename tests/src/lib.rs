@@ -1,0 +1,1 @@
+//! Integration tests live in `tests/tests/`; this library is empty.

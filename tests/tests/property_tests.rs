@@ -1,0 +1,319 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: histogram accuracy, MVCC snapshot semantics vs a model,
+//! key-packing injectivity, log round trips, and queue order.
+
+use proptest::prelude::*;
+
+use preemptdb::sched::Histogram;
+use preemptdb::{Engine, EngineConfig, IsolationLevel};
+
+// ---- Histogram vs an exact reference ----
+
+fn exact_percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Recorded percentiles stay within the histogram's ~3.2% relative
+    /// error bound of an exact computation, at every percentile.
+    #[test]
+    fn histogram_percentiles_are_accurate(
+        mut values in prop::collection::vec(0u64..u64::MAX >> 8, 1..400),
+        p in 0.0f64..=100.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let exact = exact_percentile(&values, p);
+        let got = h.percentile(p);
+        // Bucket lower bound: got <= exact, within one bucket width.
+        prop_assert!(got <= exact);
+        let bound = (exact as f64) * (1.0 - 1.0 / 32.0) - 1.0;
+        prop_assert!(
+            (got as f64) >= bound.floor(),
+            "got {got}, exact {exact}"
+        );
+    }
+
+    /// merge(a, b) is observationally the union of the two sample sets.
+    #[test]
+    fn histogram_merge_is_union(
+        a in prop::collection::vec(0u64..1 << 48, 0..200),
+        b in prop::collection::vec(0u64..1 << 48, 0..200),
+    ) {
+        let mut ha = Histogram::new();
+        let mut hb = Histogram::new();
+        let mut hu = Histogram::new();
+        for &v in &a {
+            ha.record(v);
+            hu.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+            hu.record(v);
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hu.count());
+        prop_assert_eq!(ha.max(), hu.max());
+        prop_assert_eq!(ha.min(), hu.min());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(ha.percentile(p), hu.percentile(p));
+        }
+    }
+
+    /// Geomean matches a direct computation within float tolerance.
+    #[test]
+    fn histogram_geomean_is_correct(
+        values in prop::collection::vec(1u64..1 << 40, 1..100),
+    ) {
+        let mut h = Histogram::new();
+        let mut log_sum = 0.0f64;
+        for &v in &values {
+            h.record(v);
+            log_sum += (v as f64).ln();
+        }
+        let expected = (log_sum / values.len() as f64).exp();
+        let got = h.geomean();
+        prop_assert!(
+            (got - expected).abs() / expected < 1e-9,
+            "got {got}, expected {expected}"
+        );
+    }
+}
+
+// ---- MVCC vs a sequential model ----
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8),
+    Update { slot: u8, val: u8 },
+    Delete { slot: u8 },
+    ReadCheck { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Insert),
+        (any::<u8>(), any::<u8>()).prop_map(|(slot, val)| Op::Update { slot, val }),
+        any::<u8>().prop_map(|slot| Op::Delete { slot }),
+        any::<u8>().prop_map(|slot| Op::ReadCheck { slot }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sequentially-committed transactions over the MVCC engine agree
+    /// with a plain map model at every step, including within-transaction
+    /// read-your-writes; each op sequence runs as a chain of small
+    /// transactions.
+    #[test]
+    fn mvcc_matches_sequential_model(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let engine = Engine::new(EngineConfig::default());
+        let table = engine.create_table("prop");
+        let mut model: Vec<Option<u8>> = Vec::new(); // slot -> value
+        let mut oids: Vec<u64> = Vec::new();
+
+        for chunk in ops.chunks(5) {
+            let mut tx = engine.begin(IsolationLevel::SnapshotIsolation);
+            let mut model_txn = model.clone();
+            for op in chunk {
+                match *op {
+                    Op::Insert(v) => {
+                        let oid = tx.insert(&table, &[v]).unwrap();
+                        oids.push(oid);
+                        model_txn.push(Some(v));
+                    }
+                    Op::Update { slot, val } => {
+                        if model_txn.is_empty() { continue; }
+                        let s = slot as usize % model_txn.len();
+                        if model_txn[s].is_some() {
+                            tx.update(&table, oids[s], &[val]).unwrap();
+                            model_txn[s] = Some(val);
+                        }
+                    }
+                    Op::Delete { slot } => {
+                        if model_txn.is_empty() { continue; }
+                        let s = slot as usize % model_txn.len();
+                        if model_txn[s].is_some() {
+                            tx.delete(&table, oids[s]).unwrap();
+                            model_txn[s] = None;
+                        }
+                    }
+                    Op::ReadCheck { slot } => {
+                        if model_txn.is_empty() { continue; }
+                        let s = slot as usize % model_txn.len();
+                        let got = tx.read(&table, oids[s]).map(|p| p[0]);
+                        prop_assert_eq!(got, model_txn[s], "slot {} mid-txn", s);
+                    }
+                }
+            }
+            tx.commit().unwrap();
+            model = model_txn;
+        }
+
+        // Final audit from a fresh snapshot.
+        let mut audit = engine.begin_si();
+        for (s, expected) in model.iter().enumerate() {
+            let got = audit.read(&table, oids[s]).map(|p| p[0]);
+            prop_assert_eq!(got, *expected, "slot {} post-commit", s);
+        }
+        audit.commit().unwrap();
+    }
+
+    /// Snapshot stability: a reader that begins before a batch of updates
+    /// keeps seeing the old values afterwards, for arbitrary interleaving
+    /// choices.
+    #[test]
+    fn mvcc_snapshots_are_stable(
+        initial in prop::collection::vec(any::<u8>(), 1..30),
+        updates in prop::collection::vec((any::<u8>(), any::<u8>()), 0..60),
+    ) {
+        let engine = Engine::new(EngineConfig::default());
+        let table = engine.create_table("snap");
+        let mut setup = engine.begin_si();
+        let oids: Vec<u64> = initial
+            .iter()
+            .map(|&v| setup.insert(&table, &[v]).unwrap())
+            .collect();
+        setup.commit().unwrap();
+
+        let mut reader = engine.begin_si();
+        // Touch one record to pin expectations before the churn.
+        let _ = reader.read(&table, oids[0]);
+
+        for (slot, val) in &updates {
+            let s = *slot as usize % oids.len();
+            let mut w = engine.begin_si();
+            // May conflict with nothing (sequential); must succeed.
+            w.update(&table, oids[s], &[*val]).unwrap();
+            w.commit().unwrap();
+        }
+
+        for (s, &v) in initial.iter().enumerate() {
+            let got = reader.read(&table, oids[s]).map(|p| p[0]);
+            prop_assert_eq!(got, Some(v), "reader slot {}", s);
+        }
+        reader.commit().unwrap();
+    }
+}
+
+// ---- Key packing ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// TPC-C key packing is injective over the valid domain.
+    #[test]
+    fn tpcc_keys_are_injective(
+        a in (1u64..=255, 1u64..=255, 1u64..=65_535, 1u64..=1_000_000, 1u64..=255),
+        b in (1u64..=255, 1u64..=255, 1u64..=65_535, 1u64..=1_000_000, 1u64..=255),
+    ) {
+        use preemptdb::workloads::tpcc::schema as k;
+        let ka = (
+            k::dist_key(a.0, a.1),
+            k::cust_key(a.0, a.1, a.2),
+            k::order_key(a.0, a.1, a.3),
+            k::order_line_key(a.0, a.1, a.3, a.4),
+            k::stock_key(a.0, a.3),
+        );
+        let kb = (
+            k::dist_key(b.0, b.1),
+            k::cust_key(b.0, b.1, b.2),
+            k::order_key(b.0, b.1, b.3),
+            k::order_line_key(b.0, b.1, b.3, b.4),
+            k::stock_key(b.0, b.3),
+        );
+        if a != b {
+            // At least the tuple of keys must differ; and individually,
+            // equal keys imply equal inputs for their fields.
+            if a.0 == b.0 && a.1 == b.1 {
+                if a.2 != b.2 {
+                    prop_assert_ne!(ka.1, kb.1);
+                }
+                if a.3 != b.3 {
+                    prop_assert_ne!(ka.2, kb.2);
+                }
+            } else {
+                prop_assert_ne!(ka.0, kb.0);
+            }
+        } else {
+            prop_assert_eq!(ka, kb);
+        }
+    }
+}
+
+// ---- Redo log round trip ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn redo_log_round_trips(
+        entries in prop::collection::vec(
+            (any::<u64>(), any::<u32>(), any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)),
+            1..20,
+        ),
+        commit_ts in any::<u64>(),
+    ) {
+        use preemptdb::mvcc::log;
+        use preemptdb::mvcc::TableId;
+        // Isolate from other tests' context-local buffers by running on a
+        // fresh context (each proptest case reuses the thread).
+        log::discard();
+        let mgr = log::LogManager::new(true);
+        for (txid, table, oid, payload) in &entries {
+            log::append_redo(*txid, TableId(*table), *oid, payload);
+        }
+        log::flush_commit(&mgr, 7, commit_ts);
+        let chunks = mgr.captured();
+        prop_assert_eq!(chunks.len(), 1);
+        let parsed = log::parse_chunk(&chunks[0]).unwrap();
+        prop_assert_eq!(parsed.len(), entries.len() + 1);
+        for (got, (txid, table, oid, payload)) in parsed.iter().zip(&entries) {
+            prop_assert_eq!(got.txid, *txid);
+            prop_assert_eq!(got.table, *table);
+            prop_assert_eq!(got.oid, *oid);
+            prop_assert_eq!(&got.payload, payload);
+        }
+        let marker = parsed.last().unwrap();
+        prop_assert_eq!(marker.table, log::COMMIT_MARKER);
+        prop_assert_eq!(marker.oid, commit_ts);
+    }
+}
+
+// ---- Request queue order ----
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interleaved pushes and pops preserve FIFO order and capacity.
+    #[test]
+    fn request_queue_is_fifo(ops in prop::collection::vec(any::<bool>(), 1..200)) {
+        use preemptdb::sched::{Request, RequestQueue, WorkOutcome};
+        let q = RequestQueue::new(16);
+        let mut model = std::collections::VecDeque::new();
+        let mut seq = 0u64;
+        for push in ops {
+            if push {
+                let r = Request::new("p", 0, seq, WorkOutcome::default);
+                match q.push(r) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < 16);
+                        model.push_back(seq);
+                    }
+                    Err(_) => prop_assert_eq!(model.len(), 16),
+                }
+                seq += 1;
+            } else {
+                let got = q.pop().map(|r| r.created_at);
+                prop_assert_eq!(got, model.pop_front());
+            }
+        }
+    }
+}
