@@ -36,6 +36,7 @@ fn probe(threshold: f64, sc: &Scenario) -> (f64, f64) {
         arrival_interval: sim.us_to_cycles(sc.arrival_us),
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
+        robustness: Default::default(),
     };
     let r = run(
         Runtime::Simulated(sim),

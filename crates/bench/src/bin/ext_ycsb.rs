@@ -36,9 +36,7 @@ impl WorkloadFactory for YcsbQ2 {
         let seed = self.rng.random::<u64>();
         Some(Request::new("ycsb", 1, now, move || {
             let mut rng = SmallRng::seed_from_u64(seed);
-            WorkOutcome {
-                retries: db.run_op(YcsbMix::B, &mut rng),
-            }
+            WorkOutcome::committed(db.run_op(YcsbMix::B, &mut rng))
         }))
     }
 }
@@ -66,6 +64,7 @@ fn main() {
             arrival_interval: sim.us_to_cycles(sc.arrival_us),
             duration: sim.ms_to_cycles(sc.duration_ms),
             always_interrupt: false,
+            robustness: Default::default(),
         };
         let factory = YcsbQ2 {
             ycsb,

@@ -99,6 +99,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                 arrival_interval: sim.us_to_cycles(sc.arrival_us),
                 duration: sim.ms_to_cycles(sc.duration_ms),
                 always_interrupt: on,
+                robustness: Default::default(),
             };
             let factory = TpccWorkload::new(tpcc.clone(), sc.seed);
             results.push(run(Runtime::Simulated(sim), cfg, Box::new(factory)));
@@ -313,6 +314,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
             arrival_interval: sim.us_to_cycles(sc.arrival_us),
             duration: sim.ms_to_cycles(sc.duration_ms),
             always_interrupt: false,
+            robustness: Default::default(),
         };
         let factory = MixedWorkload::new(tpcc.clone(), tpch.clone(), sc.seed);
         let r = run(Runtime::Simulated(sim), cfg, Box::new(factory));

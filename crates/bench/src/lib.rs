@@ -111,6 +111,7 @@ pub fn run_mixed(
         arrival_interval: sim.us_to_cycles(sc.arrival_us),
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
+        robustness: Default::default(),
     };
     let factory = MixedWorkload::new(tpcc, tpch, sc.seed);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))

@@ -187,7 +187,17 @@ impl Database {
         work: impl FnOnce() -> WorkOutcome + Send + 'static,
     ) {
         let level = priority.level() as usize;
-        let mut req = Request::new(kind, priority.level(), sched::clock::now_cycles(), work);
+        // Request work is FnMut (re-executable under a retry budget);
+        // `submit` takes one-shot closures, and never sets a retry budget,
+        // so re-execution cannot happen — the None arm is a typed
+        // impossibility, not a reachable path.
+        let mut work = Some(work);
+        let mut req = Request::new(kind, priority.level(), sched::clock::now_cycles(), move || {
+            match work.take() {
+                Some(f) => f(),
+                None => WorkOutcome::failed(0),
+            }
+        });
         // Round-robin with overflow to the next worker (spin if all full:
         // backpressure).
         loop {
@@ -257,7 +267,9 @@ impl Database {
             let outcome = self.call(kind, priority, move || f2());
             match outcome {
                 Ok(r) => return (r, retries, retries >= boost_after),
-                Err(TxError::WriteConflict) | Err(TxError::ValidationFailed) => {
+                Err(
+                    TxError::WriteConflict | TxError::ValidationFailed | TxError::FaultInjected,
+                ) => {
                     retries += 1;
                 }
                 Err(e) => panic!("unexpected transaction error: {e}"),

@@ -12,6 +12,10 @@ pub enum TxError {
     ValidationFailed,
     /// The transaction was already aborted by an earlier failure.
     AlreadyAborted,
+    /// The commit was force-aborted by an installed fault plan
+    /// (`preempt_faults`). Retryable, like a write conflict: the
+    /// transaction's effects are rolled back.
+    FaultInjected,
 }
 
 impl std::fmt::Display for TxError {
@@ -20,6 +24,7 @@ impl std::fmt::Display for TxError {
             TxError::WriteConflict => write!(f, "write-write conflict"),
             TxError::ValidationFailed => write!(f, "serializable validation failed"),
             TxError::AlreadyAborted => write!(f, "transaction already aborted"),
+            TxError::FaultInjected => write!(f, "commit force-aborted by fault injection"),
         }
     }
 }

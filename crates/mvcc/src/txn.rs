@@ -352,6 +352,15 @@ impl<'e> Transaction<'e> {
                 + self.reads.len() as u64 * costs::PER_READ_VALIDATE,
         );
 
+        // Fault-plan hook: a forced abort takes the same rollback path as
+        // a validation failure, so injected aborts exercise exactly the
+        // recovery code a real conflict would.
+        if preempt_faults::on_txn_commit() {
+            self.do_abort();
+            self.engine.note_conflict();
+            return Err(TxError::FaultInjected);
+        }
+
         // The paper wraps validation/commit in a non-preemptible region
         // (§4.4): a preemption while holding validation latches could
         // deadlock against the sibling context on this worker.

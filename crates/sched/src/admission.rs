@@ -31,10 +31,15 @@ impl AdmissionControl {
     /// ([`crate::clock::freq_hz`]).
     pub fn new(tps: u64, burst: u64, freq_hz: u64) -> AdmissionControl {
         assert!(tps > 0);
+        let cycles_per_token = (freq_hz / tps).max(1);
+        let burst = burst.max(1);
         AdmissionControl {
-            cycles_per_token: (freq_hz / tps).max(1),
-            burst: burst.max(1),
-            credit_cycles: burst.max(1) * (freq_hz / tps).max(1),
+            cycles_per_token,
+            burst,
+            // Saturating: extreme burst × cycles_per_token combinations
+            // (e.g. burst = u64::MAX) must clamp, not wrap to a tiny
+            // credit.
+            credit_cycles: burst.saturating_mul(cycles_per_token),
             last_refill: now_cycles(),
             admitted: 0,
             rejected: 0,
@@ -74,7 +79,7 @@ impl AdmissionControl {
         }
         self.refill();
         if self.credit_cycles >= self.cycles_per_token {
-            self.credit_cycles -= self.cycles_per_token;
+            self.credit_cycles = self.credit_cycles.saturating_sub(self.cycles_per_token);
             self.admitted += 1;
             true
         } else {
@@ -152,6 +157,15 @@ mod tests {
             assert_eq!(ac.rejected(), 92);
         });
         sim.run();
+    }
+
+    #[test]
+    fn extreme_parameters_do_not_overflow() {
+        // burst × cycles_per_token would wrap without saturation.
+        let mut ac = AdmissionControl::new(1, u64::MAX, u64::MAX);
+        assert!(ac.try_admit(), "saturated credit still admits");
+        let mut ac = AdmissionControl::new(u64::MAX, u64::MAX, 1);
+        assert!(ac.try_admit());
     }
 
     #[test]

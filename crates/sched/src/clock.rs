@@ -9,8 +9,27 @@ use preempt_uintr::cycles;
 pub fn now_cycles() -> u64 {
     match preempt_sim::api::try_now_cycles() {
         Some(t) => t,
-        None => cycles::rdtsc(),
+        None => monotonic_tsc(),
     }
+}
+
+/// TSC read clamped to a thread-local high-water mark. Raw TSC values can
+/// step backward (cross-socket migration, unsynchronized TSCs, VM
+/// migration); without the clamp, elapsed-time subtractions all over the
+/// scheduler would wrap to huge values. Sim virtual clocks are
+/// deliberately not clamped: distinct simulated cores share one OS
+/// thread, so their clocks legitimately interleave non-monotonically.
+#[inline]
+fn monotonic_tsc() -> u64 {
+    use std::cell::Cell;
+    thread_local! {
+        static HIGH_WATER: Cell<u64> = const { Cell::new(0) };
+    }
+    HIGH_WATER.with(|hw| {
+        let t = cycles::rdtsc().max(hw.get());
+        hw.set(t);
+        t
+    })
 }
 
 /// Cycles per second of [`now_cycles`]'s time base.
@@ -37,6 +56,16 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(1));
         let b = now_cycles();
         assert!(b > a);
+    }
+
+    #[test]
+    fn real_clock_never_steps_backward() {
+        let mut last = 0u64;
+        for _ in 0..100_000 {
+            let t = now_cycles();
+            assert!(t >= last, "non-monotonic: {t} < {last}");
+            last = t;
+        }
     }
 
     #[test]

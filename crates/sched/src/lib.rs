@@ -13,6 +13,11 @@
 //! ([`Runtime::Simulated`], the substitute for the paper's 32-core
 //! testbed) or on real OS threads ([`Runtime::Threads`]).
 
+// Scheduling is hot-path code driven by external state (queues, clocks,
+// workers that can die): recoverable conditions must be handled, not
+// unwrapped. Audited sites use expect() with an invariant message.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod admission;
 pub mod clock;
 pub mod metrics;
@@ -28,6 +33,8 @@ pub use metrics::{Histogram, KindMetrics, Metrics};
 pub use policy::Policy;
 pub use request::{Priority, Request, RequestQueue, WorkOutcome};
 pub use runner::{run, RunReport, Runtime, WorkerTotals};
-pub use scheduler::{scheduler_main, DriverConfig, SchedulerStats, WorkloadFactory};
+pub use scheduler::{
+    scheduler_main, DriverConfig, RobustnessConfig, SchedulerStats, WorkloadFactory,
+};
 pub use starvation::StarvationState;
 pub use worker::{worker_main, yield_hint, WakeTarget, WorkerShared};

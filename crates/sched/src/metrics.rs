@@ -167,6 +167,12 @@ pub struct KindMetrics {
     pub completed: u64,
     /// User-level aborts/retries absorbed inside the request.
     pub retries: u64,
+    /// Requests aborted because their deadline passed before they
+    /// committed (either still queued or mid-retry).
+    pub deadline_aborted: u64,
+    /// Requests that exhausted their worker-level retry budget without
+    /// committing.
+    pub failed: u64,
 }
 
 impl KindMetrics {
@@ -175,6 +181,8 @@ impl KindMetrics {
         self.sched_latency.merge(&other.sched_latency);
         self.completed += other.completed;
         self.retries += other.retries;
+        self.deadline_aborted += other.deadline_aborted;
+        self.failed += other.failed;
     }
 }
 
@@ -208,6 +216,19 @@ impl Metrics {
         e.retries += retries;
     }
 
+    /// Records a request abandoned at its deadline (no latency sample:
+    /// the transaction never completed).
+    pub fn record_deadline_abort(&mut self, kind: &'static str) {
+        self.entry(kind).deadline_aborted += 1;
+    }
+
+    /// Records a request that burned its retry budget without committing.
+    pub fn record_failed(&mut self, kind: &'static str, retries: u64) {
+        let e = self.entry(kind);
+        e.failed += 1;
+        e.retries += retries;
+    }
+
     pub fn merge(&mut self, other: &Metrics) {
         for (kind, m) in &other.kinds {
             self.entry(kind).merge(m);
@@ -228,6 +249,16 @@ impl Metrics {
     /// Total completions across kinds.
     pub fn total_completed(&self) -> u64 {
         self.kinds.iter().map(|(_, m)| m.completed).sum()
+    }
+
+    /// Total deadline aborts across kinds.
+    pub fn total_deadline_aborted(&self) -> u64 {
+        self.kinds.iter().map(|(_, m)| m.deadline_aborted).sum()
+    }
+
+    /// Total retry-budget exhaustions across kinds.
+    pub fn total_failed(&self) -> u64 {
+        self.kinds.iter().map(|(_, m)| m.failed).sum()
     }
 }
 
@@ -314,6 +345,24 @@ mod tests {
         assert_eq!(m1.kind("q2").unwrap().completed, 1);
         assert_eq!(m1.total_completed(), 3);
         assert!(m1.kind("nonexistent").is_none());
+    }
+
+    #[test]
+    fn deadline_aborts_and_failures_are_counted() {
+        let mut m = Metrics::new();
+        m.record_deadline_abort("point");
+        m.record_failed("point", 3);
+        let mut other = Metrics::new();
+        other.record_deadline_abort("point");
+        m.merge(&other);
+        let k = m.kind("point").unwrap();
+        assert_eq!(k.deadline_aborted, 2);
+        assert_eq!(k.failed, 1);
+        assert_eq!(k.retries, 3, "failed requests still report their retries");
+        assert_eq!(k.completed, 0);
+        assert_eq!(m.total_deadline_aborted(), 2);
+        assert_eq!(m.total_failed(), 1);
+        assert_eq!(m.total_completed(), 0);
     }
 
     #[test]

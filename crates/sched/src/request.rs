@@ -14,11 +14,42 @@ use crossbeam::queue::ArrayQueue;
 pub type Priority = u8;
 
 /// Outcome of running a request's work closure.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct WorkOutcome {
     /// Times the transaction had to retry due to conflicts before
-    /// committing (0 = first try).
+    /// committing (0 = first try). These are retries the closure absorbed
+    /// internally, distinct from worker-level re-executions.
     pub retries: u64,
+    /// Whether the work committed. `false` asks the worker to re-execute
+    /// the closure (bounded by [`Request::max_retries`], with backoff)
+    /// instead of recording a completion.
+    pub committed: bool,
+}
+
+impl WorkOutcome {
+    /// A committed outcome with `retries` internal retries.
+    pub fn committed(retries: u64) -> WorkOutcome {
+        WorkOutcome {
+            retries,
+            committed: true,
+        }
+    }
+
+    /// An uncommitted outcome: the worker may re-execute the closure.
+    pub fn failed(retries: u64) -> WorkOutcome {
+        WorkOutcome {
+            retries,
+            committed: false,
+        }
+    }
+}
+
+impl Default for WorkOutcome {
+    /// Committed on first try — what the overwhelming majority of
+    /// closures return.
+    fn default() -> WorkOutcome {
+        WorkOutcome::committed(0)
+    }
 }
 
 /// A transaction request as dispatched by the scheduling thread.
@@ -29,8 +60,16 @@ pub struct Request {
     /// Generation timestamp in cycles; the batch's shared start stamp
     /// (§6.1).
     pub created_at: u64,
-    /// The transaction logic, run to completion on a worker.
-    pub work: Box<dyn FnOnce() -> WorkOutcome + Send>,
+    /// Absolute cycle deadline: a worker that reaches it before the work
+    /// commits records a deadline abort instead of executing further.
+    /// `None` = no deadline.
+    pub deadline: Option<u64>,
+    /// Worker-level re-execution budget when the closure reports
+    /// `committed == false`. 0 = never re-execute.
+    pub max_retries: u32,
+    /// The transaction logic, run to completion on a worker. `FnMut` so
+    /// an uncommitted attempt can be re-executed under the retry budget.
+    pub work: Box<dyn FnMut() -> WorkOutcome + Send>,
 }
 
 impl Request {
@@ -38,14 +77,28 @@ impl Request {
         kind: &'static str,
         priority: Priority,
         created_at: u64,
-        work: impl FnOnce() -> WorkOutcome + Send + 'static,
+        work: impl FnMut() -> WorkOutcome + Send + 'static,
     ) -> Request {
         Request {
             kind,
             priority,
             created_at,
+            deadline: None,
+            max_retries: 0,
             work: Box::new(work),
         }
+    }
+
+    /// Sets an absolute cycle deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Request {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the worker-level re-execution budget.
+    pub fn with_max_retries(mut self, max_retries: u32) -> Request {
+        self.max_retries = max_retries;
+        self
     }
 }
 
@@ -130,11 +183,12 @@ mod tests {
     #[test]
     fn work_closure_runs() {
         let q = RequestQueue::new(1);
-        q.push(Request::new("w", 0, 42, || WorkOutcome { retries: 3 }))
+        q.push(Request::new("w", 0, 42, || WorkOutcome::committed(3)))
             .unwrap();
-        let r = q.pop().unwrap();
+        let mut r = q.pop().unwrap();
         assert_eq!(r.created_at, 42);
         assert_eq!((r.work)().retries, 3);
+        assert!((r.work)().committed, "FnMut work is re-executable");
     }
 
     #[test]

@@ -48,6 +48,12 @@ pub struct RunReport {
     pub duration_cycles: u64,
     /// Cycles per second of the run's time base.
     pub freq_hz: u64,
+    /// Injected-fault statistics, when the run executed under a fault
+    /// plan ([`SimConfig::faults`]); `None` otherwise.
+    pub faults: Option<preempt_faults::FaultStats>,
+    /// The deterministic fault-decision trace (one line per injection
+    /// decision) — byte-identical across same-seed runs.
+    pub fault_trace: Option<String>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -155,6 +161,8 @@ fn collect(
         workers: totals,
         duration_cycles: cfg.duration,
         freq_hz,
+        faults: None,
+        fault_trace: None,
     }
 }
 
@@ -186,7 +194,10 @@ fn run_simulated(
     }
     sim.run();
     let stats = *sched_stats.lock();
-    collect(&cfg, &workers, stats, sim_cfg.freq_hz)
+    let mut report = collect(&cfg, &workers, stats, sim_cfg.freq_hz);
+    report.faults = sim.fault_stats();
+    report.fault_trace = sim.fault_trace();
+    report
 }
 
 fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunReport {
@@ -230,6 +241,8 @@ mod tests {
             workers: WorkerTotals::default(),
             duration_cycles: 2_400_000_000, // 1 s
             freq_hz: 2_400_000_000,
+            faults: None,
+            fault_trace: None,
         };
         assert_eq!(r.completed("k"), 2);
         assert!((r.tps("k") - 2.0).abs() < 1e-9);
@@ -278,6 +291,7 @@ mod tests {
             arrival_interval: 2_400_000, // 1 ms
             duration: 120_000_000,       // 50 ms
             always_interrupt: false,
+            robustness: Default::default(),
         }
     }
 

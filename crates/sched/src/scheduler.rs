@@ -43,6 +43,62 @@ pub trait WorkloadFactory: Send {
     fn make_high(&mut self, now: u64) -> Option<Request>;
 }
 
+/// Robustness knobs: delivery watchdog, per-request deadlines/retries,
+/// and graceful degradation when interrupt delivery is failing.
+///
+/// User interrupts are fire-and-forget: a send can be lost (masked
+/// receiver, dead thread, injected fault) and nothing tells the sender.
+/// The scheduler therefore tracks a per-worker delivery **epoch** it
+/// bumps before each send; the worker's handler acknowledges by copying
+/// the epoch. An unacknowledged epoch with high-priority work still
+/// queued means a lost wakeup, and the watchdog re-sends with
+/// exponential backoff. Sustained failures downgrade notification to
+/// plain wakes + worker-side cooperative checks; a quiet period upgrades
+/// back.
+#[derive(Clone, Copy, Debug)]
+pub struct RobustnessConfig {
+    /// Re-send unacknowledged interrupts while work is queued.
+    pub watchdog: bool,
+    /// Initial watchdog re-send backoff, cycles (≈ 50 µs at 2.4 GHz).
+    pub watchdog_backoff_min: u64,
+    /// Backoff cap, cycles (≈ 4 ms at 2.4 GHz).
+    pub watchdog_backoff_max: u64,
+    /// Relative deadline stamped on dispatched high-priority requests
+    /// (cycles after the batch timestamp); `None` = no deadline.
+    pub high_deadline: Option<u64>,
+    /// Worker-level re-execution budget stamped on dispatched requests
+    /// whose factory did not set one.
+    pub max_retries: u32,
+    /// Failure rate (ppm of recent sends that failed or needed a
+    /// watchdog re-send) at which preemptive notification degrades to
+    /// plain wakes.
+    pub degrade_threshold_ppm: u32,
+    /// Number of sends per degradation evaluation window.
+    pub degrade_window: u64,
+    /// Failure-free cycles after which a degraded scheduler re-arms
+    /// user interrupts (≈ 10 ms at 2.4 GHz).
+    pub upgrade_quiet: u64,
+    /// Max no-progress dispatch retry rounds per tick before the batch
+    /// remainder is abandoned (bounds the full-queue busy-retry loop).
+    pub max_full_retries: u32,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            watchdog: true,
+            watchdog_backoff_min: 120_000,
+            watchdog_backoff_max: 9_600_000,
+            high_deadline: None,
+            max_retries: 4,
+            degrade_threshold_ppm: 400_000,
+            degrade_window: 32,
+            upgrade_quiet: 24_000_000,
+            max_full_retries: 8,
+        }
+    }
+}
+
 /// Driver configuration (§6.1 defaults in [`DriverConfig::paper_default`]).
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
@@ -60,6 +116,8 @@ pub struct DriverConfig {
     /// Send a user interrupt to every worker at every tick even without
     /// high-priority work — the pure-overhead mode of Figure 8.
     pub always_interrupt: bool,
+    /// Fault-tolerance knobs (watchdog, deadlines, degradation).
+    pub robustness: RobustnessConfig,
 }
 
 impl DriverConfig {
@@ -76,6 +134,7 @@ impl DriverConfig {
             arrival_interval: 2_400_000, // 1 ms at 2.4 GHz
             duration: 2_400_000_000,     // 1 s at 2.4 GHz
             always_interrupt: false,
+            robustness: RobustnessConfig::default(),
         }
     }
 
@@ -95,6 +154,19 @@ pub struct SchedulerStats {
     /// Workers skipped by starvation decision site 1.
     pub skipped_starving: u64,
     pub interrupts_sent: u64,
+    /// Watchdog re-sends of unacknowledged interrupts.
+    pub watchdog_resends: u64,
+    /// Ticks whose batch remainder was abandoned (full queues or the
+    /// no-progress retry cap).
+    pub abandoned_batches: u64,
+    /// Dispatch enqueues rejected by fault injection.
+    pub dispatch_faults: u64,
+    /// Interrupt sends that failed outright (no UPID / send error).
+    pub delivery_errors: u64,
+    /// Preemptive → cooperative notification downgrades.
+    pub policy_downgrades: u64,
+    /// Degraded → preemptive re-upgrades after a quiet period.
+    pub policy_upgrades: u64,
 }
 
 fn sleep_until_cycles(t: u64) {
@@ -130,6 +202,10 @@ fn send_uintr(w: &WorkerShared, level: u8) -> bool {
     let Some(upid) = w.upid.get() else {
         return false;
     };
+    // Bump the delivery epoch before posting: the handler acknowledges by
+    // copying it, so ack ≥ this value proves this (or a later) interrupt
+    // reached the worker. Release pairs with the handler's Acquire.
+    w.uintr_epoch.fetch_add(1, std::sync::atomic::Ordering::Release);
     match w.wake_target.get() {
         Some(WakeTarget::Sim(core)) if preempt_sim::api::active() => {
             preempt_sim::SimUipiSender::new(upid.clone(), level, *core).send();
@@ -175,6 +251,16 @@ pub fn scheduler_main(
     let mut pending: VecDeque<Request> = VecDeque::new();
     let mut kick = vec![false; workers.len()];
 
+    // Robustness state: per-worker watchdog timers and the degradation
+    // window (see `RobustnessConfig`).
+    let rb = cfg.robustness;
+    let mut degraded = false;
+    let mut recent_sends: u64 = 0;
+    let mut recent_failures: u64 = 0;
+    let mut last_failure_at = start;
+    let mut wd_backoff = vec![rb.watchdog_backoff_min.max(1); workers.len()];
+    let mut wd_next = vec![0u64; workers.len()];
+
     loop {
         let now = now_cycles();
         if now >= deadline {
@@ -216,17 +302,27 @@ pub fn scheduler_main(
             pending.clear();
 
             // Generate this tick's high-priority batch with one shared
-            // timestamp (§6.1).
+            // timestamp (§6.1), stamping the configured deadline and
+            // retry budget unless the factory set its own.
             for _ in 0..cfg.batch_size {
                 match factory.make_high(now) {
-                    Some(r) => pending.push_back(r),
+                    Some(mut r) => {
+                        if r.deadline.is_none() {
+                            r.deadline = rb.high_deadline.map(|d| now + d);
+                        }
+                        r.max_retries = r.max_retries.max(rb.max_retries);
+                        pending.push_back(r);
+                    }
                     None => break,
                 }
             }
 
-            // Dispatch round-robin until depleted or the interval passes.
+            // Dispatch round-robin until depleted, the interval passes,
+            // or the no-progress retry cap is hit (bounded busy-retry:
+            // fully-stuck queues must not pin the scheduler).
             kick.iter_mut().for_each(|k| *k = false);
             let tick_end = next_high_tick + cfg.arrival_interval;
+            let mut full_retries = 0u32;
             while !pending.is_empty() {
                 let mut progress = false;
                 for _ in 0..workers.len() {
@@ -247,6 +343,15 @@ pub fn scheduler_main(
                     }
                     let level = cfg.levels() as usize - 1; // highest level queue
                     if let Some(r) = pending.pop_front() {
+                        // Fault injection: a failed enqueue (e.g. a
+                        // transient allocation or queue error); the
+                        // request stays pending for a later round.
+                        if preempt_faults::on_dispatch() {
+                            stats.dispatch_faults += 1;
+                            charge(DISPATCH_PUSH_COST);
+                            pending.push_front(r);
+                            continue;
+                        }
                         match w.queues[level].push(r) {
                             Ok(()) => {
                                 stats.dispatched_high += 1;
@@ -262,23 +367,45 @@ pub fn scheduler_main(
                     break;
                 }
                 if !progress {
-                    if now_cycles() + FULL_RETRY_PAUSE >= tick_end {
+                    full_retries += 1;
+                    if full_retries > rb.max_full_retries
+                        || now_cycles() + FULL_RETRY_PAUSE >= tick_end
+                    {
                         break;
                     }
                     sleep_until_cycles(now_cycles() + FULL_RETRY_PAUSE);
+                } else {
+                    full_retries = 0;
                 }
+            }
+            if !pending.is_empty() {
+                // Remainder is dropped at the next tick (dropped_high).
+                stats.abandoned_batches += 1;
             }
 
             // Notify workers: user interrupts under the preemptive policy
             // (one per worker per batch — batched on-demand preemption),
-            // plain wake-ups otherwise.
+            // plain wake-ups otherwise or while degraded.
             for (i, w) in workers.iter().enumerate() {
                 let should_interrupt =
-                    cfg.policy.sends_uintr() && (kick[i] || cfg.always_interrupt);
+                    cfg.policy.sends_uintr() && !degraded && (kick[i] || cfg.always_interrupt);
                 if should_interrupt {
                     let level = cfg.levels() - 1;
                     if send_uintr(w, level) {
                         stats.interrupts_sent += 1;
+                        recent_sends += 1;
+                        wd_backoff[i] = rb.watchdog_backoff_min.max(1);
+                        wd_next[i] = now_cycles() + wd_backoff[i];
+                    } else {
+                        stats.delivery_errors += 1;
+                        recent_sends += 1;
+                        recent_failures += 1;
+                        last_failure_at = now_cycles();
+                        // Fall back to a plain wake so the work is not
+                        // stranded behind the failed interrupt.
+                        if let Some(wt) = w.wake_target.get() {
+                            wt.wake();
+                        }
                     }
                 } else if kick[i] {
                     if let Some(wt) = w.wake_target.get() {
@@ -290,9 +417,65 @@ pub fn scheduler_main(
             next_high_tick += cfg.arrival_interval;
         }
 
-        // Sleep until the earlier of the next low refill or the next
-        // high-priority arrival.
-        let wake = next_high_tick.min(now_cycles() + low_refill).min(deadline);
+        // Delivery watchdog: an unacknowledged epoch with high-priority
+        // work still queued means the interrupt was lost in flight —
+        // re-send it, backing off exponentially per worker.
+        let mut wd_earliest = u64::MAX;
+        if cfg.policy.sends_uintr() && rb.watchdog && !degraded {
+            let top = cfg.levels() as usize - 1;
+            let wnow = now_cycles();
+            for (i, w) in workers.iter().enumerate() {
+                let epoch = w.uintr_epoch.load(std::sync::atomic::Ordering::Acquire);
+                let ack = w.uintr_ack.load(std::sync::atomic::Ordering::Acquire);
+                if epoch > ack && !w.queues[top].is_empty() {
+                    if wnow >= wd_next[i] {
+                        if send_uintr(w, top as u8) {
+                            stats.interrupts_sent += 1;
+                        }
+                        stats.watchdog_resends += 1;
+                        recent_sends += 1;
+                        recent_failures += 1;
+                        last_failure_at = wnow;
+                        wd_backoff[i] =
+                            wd_backoff[i].saturating_mul(2).min(rb.watchdog_backoff_max);
+                        wd_next[i] = wnow + wd_backoff[i];
+                    }
+                    wd_earliest = wd_earliest.min(wd_next[i]);
+                } else {
+                    wd_backoff[i] = rb.watchdog_backoff_min.max(1);
+                }
+            }
+        }
+
+        // Graceful degradation: too many failures in the recent window →
+        // stop interrupting and lean on wakes + worker-side cooperative
+        // checks; a failure-free quiet period re-arms interrupts.
+        if !degraded && recent_sends >= rb.degrade_window.max(1) {
+            let rate_ppm = recent_failures.saturating_mul(1_000_000) / recent_sends;
+            if rate_ppm >= rb.degrade_threshold_ppm as u64 {
+                degraded = true;
+                stats.policy_downgrades += 1;
+                for w in workers {
+                    w.degraded.store(true, std::sync::atomic::Ordering::Release);
+                }
+            }
+            recent_sends = 0;
+            recent_failures = 0;
+        }
+        if degraded && now_cycles().saturating_sub(last_failure_at) >= rb.upgrade_quiet {
+            degraded = false;
+            stats.policy_upgrades += 1;
+            for w in workers {
+                w.degraded.store(false, std::sync::atomic::Ordering::Release);
+            }
+        }
+
+        // Sleep until the earliest of the next low refill, the next
+        // high-priority arrival, or a pending watchdog re-send.
+        let wake = next_high_tick
+            .min(now_cycles() + low_refill)
+            .min(deadline)
+            .min(wd_earliest);
         if wake > now_cycles() {
             sleep_until_cycles(wake);
         }
@@ -363,6 +546,7 @@ mod tests {
             arrival_interval: 2_400_000,  // 1 ms
             duration: 24_000_000,         // 10 ms
             always_interrupt: false,
+            robustness: RobustnessConfig::default(),
         };
         let workers: Vec<_> = (0..cfg.n_workers)
             .map(|i| WorkerShared::new(i, &cfg.queue_caps))

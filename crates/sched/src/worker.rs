@@ -49,6 +49,15 @@ const COOP_CHECK_COST: u64 = 40;
 /// Virtual cost of the per-operation user-interrupt poll (one relaxed
 /// load + branch) — the distributed overhead Figure 8 quantifies.
 const UINTR_POLL_COST: u64 = 3;
+/// Yield-check cadence while the scheduler has degraded this worker from
+/// preemptive to cooperative notification (delivery failures): frequent
+/// enough to bound high-priority latency, rare enough to stay cheap.
+const DEGRADED_YIELD_INTERVAL: u64 = 64;
+/// Base of the exponential backoff between worker-level re-executions of
+/// an uncommitted request, in cycles (≈ 1 µs at the nominal 2.4 GHz).
+const RETRY_BACKOFF_BASE: u64 = 2_400;
+/// Cap on the backoff shift (base << 6 ≈ 64 µs).
+const RETRY_BACKOFF_MAX_SHIFT: u32 = 6;
 
 /// Charges virtual cycles when running under the simulator (on real
 /// threads the work itself costs real time).
@@ -91,6 +100,18 @@ pub struct WorkerShared {
     pub stopped: AtomicBool,
     /// Worker-local metrics, flushed here when the worker exits.
     pub metrics: Mutex<Metrics>,
+    // ---- delivery watchdog state (scheduler ↔ worker handshake) ----
+    /// Bumped by the scheduler before every user-interrupt send.
+    pub uintr_epoch: AtomicU64,
+    /// Last epoch whose interrupt reached this worker's handler: the
+    /// handler copies `uintr_epoch` here on every delivery (even declined
+    /// ones). `ack < epoch` past the delivery latency means the interrupt
+    /// was lost and the watchdog should re-send.
+    pub uintr_ack: AtomicU64,
+    /// Set by the scheduler when interrupt delivery to this worker is
+    /// failing: the worker adds cooperative yield checks at level 0 so
+    /// high-priority work still gets in promptly.
+    pub degraded: AtomicBool,
     // ---- counters (relaxed; reporting only) ----
     /// Passive (uintr-triggered) context switches taken.
     pub preemptions: AtomicU64,
@@ -121,6 +142,9 @@ impl WorkerShared {
             starvation: StarvationState::new(),
             stopped: AtomicBool::new(false),
             metrics: Mutex::new(Metrics::new()),
+            uintr_epoch: AtomicU64::new(0),
+            uintr_ack: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
             preemptions: AtomicU64::new(0),
             coop_yields: AtomicU64::new(0),
             high_on_regular: AtomicU64::new(0),
@@ -234,9 +258,17 @@ impl WorkerCtx {
     /// The user-interrupt handler body (Algorithm 1's helper): decide
     /// whether to take the preemption, then perform the passive switch.
     fn on_uintr(&self, vector: u8) {
+        // Acknowledge delivery before any decline path: the watchdog only
+        // re-sends when the interrupt never *reached* the handler, not
+        // when the handler chose not to preempt. The Acquire load pairs
+        // with the scheduler's epoch bump before posting the UPID bit.
+        self.shared.uintr_ack.store(
+            self.shared.uintr_epoch.load(Ordering::Acquire),
+            Ordering::Release,
+        );
         let level = vector;
         if level as usize >= self.level_tcbs.len() {
-            return; // unknown vector: ignore
+            return; // unknown (spurious) vector: acknowledged, ignored
         }
         if self.shared.is_stopped() {
             return;
@@ -261,12 +293,36 @@ impl WorkerCtx {
 
     /// Called at every preemption point (through the hook).
     fn on_point(&self) {
+        // Fault injection: a stalled worker (page fault, scheduling blip,
+        // SMI) modeled as extra cycles at a preemption point.
+        if let Some(stall) = preempt_faults::on_preempt_point() {
+            charge(stall);
+        }
+
         // Deliver pending user interrupts (no-op fast path). Only the
         // preemptive policy arms the machinery; the baselines run without
         // it, exactly like the paper's Figure 8 "without uintr" side.
         if self.policy.sends_uintr() {
             charge(UINTR_POLL_COST);
             self.receiver.poll();
+
+            // Degraded mode: interrupt delivery to this worker is failing,
+            // so fall back to cooperative yield checks (the scheduler has
+            // stopped sending uintrs and is using plain wakes). Same
+            // guard as Cooperative: only level-0 low-priority work yields.
+            if self.shared.degraded.load(Ordering::Relaxed)
+                && self.current_level.get() == 0
+                && self.current_txn_priority.get() == Some(0)
+            {
+                let n = self.ops_since_check.get() + 1;
+                if n >= DEGRADED_YIELD_INTERVAL {
+                    self.ops_since_check.set(0);
+                    charge(COOP_CHECK_COST);
+                    self.maybe_coop_switch();
+                } else {
+                    self.ops_since_check.set(n);
+                }
+            }
         }
 
         if let Policy::Cooperative { yield_interval } = self.policy {
@@ -315,30 +371,71 @@ impl WorkerCtx {
 
     // ---- execution ----
 
-    /// Runs one request to completion, recording metrics and starvation
-    /// bookkeeping.
+    /// Runs one request, recording metrics and starvation bookkeeping.
+    ///
+    /// Robustness semantics:
+    /// * a request whose deadline already passed is abandoned without
+    ///   executing (deadline abort — it would be wasted work);
+    /// * an uncommitted outcome is re-executed up to `max_retries` times
+    ///   with exponential backoff, re-checking the deadline between
+    ///   attempts;
+    /// * exhausting the budget records a failure, not a completion.
     fn run_request(&self, req: Request, at_level: u8) -> u64 {
         let started = now_cycles();
-        let sched_latency = started.saturating_sub(req.created_at);
+        let kind = req.kind;
+        let created = req.created_at;
+        if let Some(dl) = req.deadline {
+            if started >= dl {
+                self.metrics.borrow_mut().record_deadline_abort(kind);
+                return 0;
+            }
+        }
+        let sched_latency = started.saturating_sub(created);
         let is_low = req.priority == 0;
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_started(started);
         }
         self.current_txn_priority.set(Some(req.priority));
-        let kind = req.kind;
-        let created = req.created_at;
-        let outcome = (req.work)();
+        let mut work = req.work;
+        let mut attempts: u32 = 0;
+        let mut timed_out = false;
+        let outcome = loop {
+            let o = work();
+            if o.committed {
+                break Some(o);
+            }
+            if attempts >= req.max_retries {
+                break None;
+            }
+            attempts += 1;
+            // Backoff between attempts runs at a preemption point, so a
+            // retrying low-priority transaction stays preemptible.
+            let shift = (attempts - 1).min(RETRY_BACKOFF_MAX_SHIFT);
+            runtime::preempt_point(RETRY_BACKOFF_BASE << shift);
+            if let Some(dl) = req.deadline {
+                if now_cycles() >= dl {
+                    timed_out = true;
+                    break None;
+                }
+            }
+        };
         self.current_txn_priority.set(None);
         let finished = now_cycles();
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_finished();
         }
-        self.metrics.borrow_mut().record(
-            kind,
-            finished.saturating_sub(created),
-            sched_latency,
-            outcome.retries,
-        );
+        let mut metrics = self.metrics.borrow_mut();
+        match outcome {
+            Some(o) => metrics.record(
+                kind,
+                finished.saturating_sub(created),
+                sched_latency,
+                o.retries + attempts as u64,
+            ),
+            None if timed_out => metrics.record_deadline_abort(kind),
+            None => metrics.record_failed(kind, attempts as u64),
+        }
+        drop(metrics);
         let dur = finished.saturating_sub(started);
         self.shared.busy_cycles.fetch_add(dur, Ordering::Relaxed);
         dur

@@ -9,7 +9,7 @@
 use std::rc::Rc;
 use std::sync::Arc;
 
-use preempt_uintr::{UintrReceiver, Upid};
+use preempt_uintr::{UintrReceiver, Upid, NUM_VECTORS};
 
 use crate::config::SimConfig;
 use crate::simulation::{suspend_current, try_with_sim, with_sim, CoreId};
@@ -165,7 +165,15 @@ impl SimUipiSender {
 
     /// Sends the user interrupt: deliverable `uintr_delivery_cycles`
     /// after the caller's current virtual time.
+    ///
+    /// When the simulation runs under a fault plan, the send may be
+    /// dropped (never scheduled — the sender cannot tell), delayed by
+    /// extra virtual cycles, duplicated, or accompanied by a spurious
+    /// vector; all decisions come from the deterministic injector, so
+    /// the same seed reproduces the same delivery schedule.
     pub fn send(&self) {
+        use preempt_faults::SendFault;
+        let fault = preempt_faults::on_uipi_send();
         with_sim(|s| {
             let mut st = s.borrow_mut();
             let now = match st.current_core() {
@@ -173,7 +181,23 @@ impl SimUipiSender {
                 None => st.floor(),
             };
             let at = now + st.cfg.uintr_delivery_cycles;
-            st.schedule_uintr(at, self.upid.clone(), self.vector, self.target);
+            match fault {
+                SendFault::Deliver => {
+                    st.schedule_uintr(at, self.upid.clone(), self.vector, self.target);
+                }
+                SendFault::Drop => {}
+                SendFault::Delay(extra) => {
+                    st.schedule_uintr(at + extra, self.upid.clone(), self.vector, self.target);
+                }
+                SendFault::Duplicate => {
+                    st.schedule_uintr(at, self.upid.clone(), self.vector, self.target);
+                    st.schedule_uintr(at, self.upid.clone(), self.vector, self.target);
+                }
+                SendFault::Spurious(v) => {
+                    st.schedule_uintr(at, self.upid.clone(), self.vector, self.target);
+                    st.schedule_uintr(at, self.upid.clone(), v % NUM_VECTORS, self.target);
+                }
+            }
         });
     }
 

@@ -18,6 +18,12 @@ pub struct SimConfig {
     /// how far one core's virtual clock may run ahead of the others
     /// between interactions. Default ≈ 100 µs.
     pub max_slice_cycles: u64,
+    /// Optional fault plan, installed for the duration of
+    /// [`Simulation::run`](crate::Simulation::run): interrupt sends,
+    /// dispatches, preemption points, and commits consult it through the
+    /// `preempt_faults` thread-local hooks. `None` (the default) injects
+    /// nothing.
+    pub faults: Option<preempt_faults::FaultPlan>,
 }
 
 impl SimConfig {
@@ -59,6 +65,7 @@ impl Default for SimConfig {
             freq_hz,
             uintr_delivery_cycles: freq_hz / 2_000_000, // 0.5 µs
             max_slice_cycles: freq_hz / 10_000,         // 100 µs
+            faults: None,
         }
     }
 }

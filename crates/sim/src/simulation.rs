@@ -166,6 +166,9 @@ pub(crate) fn try_with_sim<R>(f: impl FnOnce(&Rc<RefCell<SimState>>) -> R) -> Op
 /// A deterministic virtual-time multicore simulation.
 pub struct Simulation {
     state: Rc<RefCell<SimState>>,
+    /// Fault-injection results captured at the end of [`run`](Self::run)
+    /// when the config carried a [`FaultPlan`](preempt_faults::FaultPlan).
+    fault_report: RefCell<Option<(preempt_faults::FaultStats, String)>>,
 }
 
 impl Simulation {
@@ -181,6 +184,7 @@ impl Simulation {
                 floor: 0,
                 running: false,
             })),
+            fault_report: RefCell::new(None),
         }
     }
 
@@ -238,10 +242,21 @@ impl Simulation {
         }
         let _tl_reset = TlReset;
 
+        // Install the fault plan (if any) for exactly the duration of the
+        // event loop. All cores share this OS thread, so one thread-local
+        // injector covers every simulated core deterministically.
+        let fault_guard = {
+            let cfg = self.state.borrow().cfg;
+            cfg.faults.map(preempt_faults::install)
+        };
+
         let hook = SimHook {
             state: self.state.clone(),
         };
         runtime::with_hook(&hook, || self.event_loop());
+        if let Some(guard) = fault_guard {
+            *self.fault_report.borrow_mut() = Some((guard.stats(), guard.trace()));
+        }
         self.state.borrow_mut().running = false;
     }
 
@@ -409,6 +424,19 @@ impl Simulation {
             preempt_points: c.preempt_points,
             final_vclock: c.vclock,
         }
+    }
+
+    /// Injected-fault counters from the last [`run`](Self::run), if the
+    /// config carried a fault plan.
+    pub fn fault_stats(&self) -> Option<preempt_faults::FaultStats> {
+        self.fault_report.borrow().as_ref().map(|(s, _)| s.clone())
+    }
+
+    /// The deterministic fault trace from the last [`run`](Self::run):
+    /// one line per injected fault, byte-identical across same-seed
+    /// reruns of the same configuration.
+    pub fn fault_trace(&self) -> Option<String> {
+        self.fault_report.borrow().as_ref().map(|(_, t)| t.clone())
     }
 
     /// Final virtual time (cycles) when the simulation ended.

@@ -41,14 +41,18 @@ pub fn uintr_latency_samples(n: usize) -> Vec<u64> {
         rx.register_handler(move |_| {
             a2.store(rdtsc(), Ordering::Release);
         });
-        upid_tx.send(rx.upid()).unwrap();
+        upid_tx
+            .send(rx.upid())
+            .expect("main thread holds the receiving end for the whole run");
         r.store(true, Ordering::Release);
         while !s.load(Ordering::Acquire) {
             rx.poll();
             std::hint::spin_loop();
         }
     });
-    let upid = upid_rx.recv().unwrap();
+    let upid = upid_rx
+        .recv()
+        .expect("receiver thread sends its UPID before spinning");
     let sender = UipiSender::new(upid, 0);
     while !ready.load(Ordering::Acquire) {
         std::thread::yield_now();
@@ -71,7 +75,9 @@ pub fn uintr_latency_samples(n: usize) -> Vec<u64> {
         samples.push(t1.saturating_sub(t0));
     }
     stop.store(true, Ordering::Release);
-    handle.join().unwrap();
+    handle
+        .join()
+        .expect("measurement thread only exits via the stop flag");
     samples
 }
 
@@ -83,20 +89,27 @@ pub fn signal_latency_samples(n: usize) -> Vec<u64> {
     let (kick_tx, kick_rx) = std::sync::mpsc::channel();
     let handle = std::thread::spawn(move || {
         let upid = crate::upid::Upid::new();
-        let kicker = signal::SignalKicker::for_current_thread(upid, 0).unwrap();
-        kick_tx.send(kicker).unwrap();
+        let kicker = signal::SignalKicker::for_current_thread(upid, 0)
+            .expect("sigaction for the kick signal is installable");
+        kick_tx
+            .send(kicker)
+            .expect("main thread holds the receiving end for the whole run");
         // Busy loop so the signal interrupts running userspace code, the
         // scenario the paper's preemption targets.
         while !s.load(Ordering::Acquire) {
             std::hint::spin_loop();
         }
     });
-    let kicker = kick_rx.recv().unwrap();
+    let kicker = kick_rx
+        .recv()
+        .expect("target thread sends its kicker before spinning");
 
     let mut samples = Vec::with_capacity(n);
     for _ in 0..n {
         let before = signal::handled_count();
-        let t0 = kicker.kick().unwrap();
+        let t0 = kicker
+            .kick()
+            .expect("measurement target thread is pinned alive until stop");
         loop {
             if signal::handled_count() != before {
                 break;
@@ -107,7 +120,9 @@ pub fn signal_latency_samples(n: usize) -> Vec<u64> {
         samples.push(t1.saturating_sub(t0));
     }
     stop.store(true, Ordering::Release);
-    handle.join().unwrap();
+    handle
+        .join()
+        .expect("measurement thread only exits via the stop flag");
     samples
 }
 

@@ -34,6 +34,11 @@
 //! assert!(fired.get());
 //! ```
 
+// Delivery code must not panic on fallible sends: every unwrap in
+// non-test code has been audited away (typed `DeliveryError`s or
+// `expect` with an invariant the caller upholds).
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
 pub mod cycles;
 pub mod latency;
 pub mod receiver;
@@ -41,4 +46,5 @@ pub mod signal;
 pub mod upid;
 
 pub use receiver::{clui, stui, testui, DeliveryStats, MaskGuard, UintrReceiver};
+pub use signal::{DeliveryError, SignalKicker};
 pub use upid::{Uitt, UipiSender, Upid, NUM_VECTORS};

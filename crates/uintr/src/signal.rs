@@ -69,6 +69,46 @@ pub fn handled_count() -> u64 {
     HANDLED.load(Ordering::Relaxed)
 }
 
+/// Why a kernel-mediated kick failed to go out.
+///
+/// `pthread_kill` can legitimately fail while the engine is running —
+/// most commonly `ESRCH` when the receiver thread exited between the
+/// scheduler's snapshot and the send. Callers must treat these as
+/// delivery failures to route around, not programming errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryError {
+    /// The target thread no longer exists (`ESRCH`).
+    TargetGone,
+    /// The kernel rejected the send with this errno.
+    SendFailed(i32),
+    /// A transient failure injected by an installed fault plan.
+    Injected,
+}
+
+impl std::fmt::Display for DeliveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeliveryError::TargetGone => write!(f, "kick target thread is gone (ESRCH)"),
+            DeliveryError::SendFailed(errno) => {
+                write!(f, "pthread_kill failed (errno {errno})")
+            }
+            DeliveryError::Injected => write!(f, "injected signal-send failure"),
+        }
+    }
+}
+
+impl std::error::Error for DeliveryError {}
+
+impl From<DeliveryError> for io::Error {
+    fn from(e: DeliveryError) -> io::Error {
+        match e {
+            DeliveryError::TargetGone => io::Error::from_raw_os_error(libc::ESRCH),
+            DeliveryError::SendFailed(errno) => io::Error::from_raw_os_error(errno),
+            DeliveryError::Injected => io::Error::other(e.to_string()),
+        }
+    }
+}
+
 /// A kernel-mediated sending endpoint: posts into the UPID like a normal
 /// sender, then signals the receiver thread.
 pub struct SignalKicker {
@@ -98,16 +138,34 @@ impl SignalKicker {
 
     /// Posts the vector and signals the receiver thread. Returns the TSC
     /// stamp taken just before `pthread_kill`, for latency measurement.
-    pub fn kick(&self) -> io::Result<u64> {
+    ///
+    /// A dead target (`ESRCH`) surfaces as [`DeliveryError::TargetGone`]
+    /// rather than a panic — the scheduler downgrades or retries on
+    /// delivery errors instead of crashing the dispatch loop. Under an
+    /// installed fault plan, the kick may be silently swallowed (bit
+    /// posted, no signal) or fail with [`DeliveryError::Injected`].
+    pub fn kick(&self) -> Result<u64, DeliveryError> {
+        match preempt_faults::on_signal_send() {
+            preempt_faults::SignalFault::Deliver => {}
+            preempt_faults::SignalFault::Drop => {
+                // Lost kick: the bit is in the UPID but no signal goes
+                // out, and the sender cannot tell.
+                self.upid.post(self.vector);
+                return Ok(rdtsc());
+            }
+            preempt_faults::SignalFault::Error => return Err(DeliveryError::Injected),
+        }
         self.upid.post(self.vector);
         let t = rdtsc();
-        // SAFETY: target is a live pthread handle (receiver's lifetime is
-        // managed by the runtime that created the kicker).
+        // SAFETY: target is a pthread handle owned by the runtime that
+        // created the kicker; pthread_kill on a stale handle is reported
+        // as ESRCH, which we surface as a typed error.
         let rc = unsafe { libc::pthread_kill(self.target, KICK_SIGNAL) };
-        if rc != 0 {
-            return Err(io::Error::from_raw_os_error(rc));
+        match rc {
+            0 => Ok(t),
+            libc::ESRCH => Err(DeliveryError::TargetGone),
+            errno => Err(DeliveryError::SendFailed(errno)),
         }
-        Ok(t)
     }
 }
 

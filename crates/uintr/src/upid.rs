@@ -121,9 +121,31 @@ impl UipiSender {
 
     /// Sends the user interrupt (the `senduipi` analog). Returns `false`
     /// if the receiver has shut down.
+    ///
+    /// Consults the fault injector when a plan is installed: a dropped
+    /// send reports success (the sender cannot observe a lost
+    /// notification — re-delivery is the scheduler watchdog's job), a
+    /// duplicated send posts twice (coalesced by the edge-triggered
+    /// pending word), and a spurious send posts an extra unrelated
+    /// vector. Injected delays are only meaningful under the simulator's
+    /// timed sender; here they deliver immediately.
     #[inline]
     pub fn send(&self) -> bool {
-        self.upid.post(self.vector)
+        use preempt_faults::SendFault;
+        match preempt_faults::on_uipi_send() {
+            SendFault::Deliver | SendFault::Delay(_) => self.upid.post(self.vector),
+            SendFault::Drop => self.upid.is_active(),
+            SendFault::Duplicate => {
+                let ok = self.upid.post(self.vector);
+                self.upid.post(self.vector);
+                ok
+            }
+            SendFault::Spurious(v) => {
+                let ok = self.upid.post(self.vector);
+                self.upid.post(v % NUM_VECTORS);
+                ok
+            }
+        }
     }
 
     /// The target descriptor (for tests and stats).

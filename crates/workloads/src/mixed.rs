@@ -97,14 +97,14 @@ impl WorkloadFactory for MixedWorkload {
         if self.rng.random_range(0..100) < self.payment_pct {
             let params = PaymentParams::generate(&mut self.rng, &self.tpcc.scale, home);
             let db = self.tpcc.clone();
-            Some(Request::new(kinds::PAYMENT, 1, now, move || WorkOutcome {
-                retries: db.run_payment(&params),
+            Some(Request::new(kinds::PAYMENT, 1, now, move || {
+                WorkOutcome::committed(db.run_payment(&params))
             }))
         } else {
             let params = NewOrderParams::generate(&mut self.rng, &self.tpcc.scale, home);
             let db = self.tpcc.clone();
-            Some(Request::new(kinds::NEW_ORDER, 1, now, move || WorkOutcome {
-                retries: db.run_new_order(&params),
+            Some(Request::new(kinds::NEW_ORDER, 1, now, move || {
+                WorkOutcome::committed(db.run_new_order(&params))
             }))
         }
     }
@@ -142,34 +142,28 @@ impl WorkloadFactory for TpccWorkload {
         let seed = self.rng.random::<u64>();
         Some(if roll < 45 {
             let params = NewOrderParams::generate(&mut self.rng, &db.scale.clone(), home);
-            Request::new(kinds::NEW_ORDER, 0, now, move || WorkOutcome {
-                retries: db.run_new_order(&params),
+            Request::new(kinds::NEW_ORDER, 0, now, move || {
+                WorkOutcome::committed(db.run_new_order(&params))
             })
         } else if roll < 88 {
             let params = PaymentParams::generate(&mut self.rng, &db.scale.clone(), home);
-            Request::new(kinds::PAYMENT, 0, now, move || WorkOutcome {
-                retries: db.run_payment(&params),
+            Request::new(kinds::PAYMENT, 0, now, move || {
+                WorkOutcome::committed(db.run_payment(&params))
             })
         } else if roll < 92 {
             Request::new(kinds::ORDER_STATUS, 0, now, move || {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                WorkOutcome {
-                    retries: db.run_order_status(&mut rng),
-                }
+                WorkOutcome::committed(db.run_order_status(&mut rng))
             })
         } else if roll < 96 {
             Request::new(kinds::DELIVERY, 0, now, move || {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                WorkOutcome {
-                    retries: db.run_delivery(&mut rng),
-                }
+                WorkOutcome::committed(db.run_delivery(&mut rng))
             })
         } else {
             Request::new(kinds::STOCK_LEVEL, 0, now, move || {
                 let mut rng = SmallRng::seed_from_u64(seed);
-                WorkOutcome {
-                    retries: db.run_stock_level(&mut rng),
-                }
+                WorkOutcome::committed(db.run_stock_level(&mut rng))
             })
         })
     }
@@ -240,7 +234,7 @@ mod tests {
         let (engine, tpcc, _tpch) = tiny_setup();
         let mut f = TpccWorkload::new(tpcc, 12);
         for _ in 0..40 {
-            let r = f.make_low(0).unwrap();
+            let mut r = f.make_low(0).unwrap();
             (r.work)();
         }
         assert!(engine.stats().commits > 30);

@@ -453,7 +453,9 @@ impl TpccDb {
         loop {
             match f() {
                 Ok(()) => return retries,
-                Err(TxError::WriteConflict) | Err(TxError::ValidationFailed) => {
+                Err(
+                    TxError::WriteConflict | TxError::ValidationFailed | TxError::FaultInjected,
+                ) => {
                     retries += 1;
                 }
                 Err(e) => panic!("unexpected transaction error: {e}"),

@@ -178,7 +178,9 @@ impl YcsbDb {
             };
             match r {
                 Ok(()) => return retries,
-                Err(TxError::WriteConflict) | Err(TxError::ValidationFailed) => retries += 1,
+                Err(
+                    TxError::WriteConflict | TxError::ValidationFailed | TxError::FaultInjected,
+                ) => retries += 1,
                 Err(e) => panic!("ycsb: {e}"),
             }
         }
@@ -283,9 +285,7 @@ impl YcsbWorkload {
         let seed = self.rng.random::<u64>();
         preempt_sched::Request::new("ycsb", self.priority, now, move || {
             let mut rng = SmallRng::seed_from_u64(seed);
-            preempt_sched::WorkOutcome {
-                retries: db.run_op(mix, &mut rng),
-            }
+            preempt_sched::WorkOutcome::committed(db.run_op(mix, &mut rng))
         })
     }
 }

@@ -44,6 +44,7 @@ fn main() {
             arrival_interval: sim.ms_to_cycles(1),
             duration: sim.ms_to_cycles(250),
             always_interrupt: false,
+            robustness: Default::default(),
         };
         let report = run(Runtime::Simulated(sim), cfg, Box::new(factory));
 

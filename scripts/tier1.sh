@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (ROADMAP.md): build, full test suite, and a
+# warning-free clippy pass across the workspace. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings

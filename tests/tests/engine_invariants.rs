@@ -41,6 +41,7 @@ fn tpcc_consistency_survives_preemption() {
         arrival_interval: sim.us_to_cycles(500),
         duration: sim.ms_to_cycles(80),
         always_interrupt: false,
+        robustness: Default::default(),
     };
     let report = run(
         Runtime::Simulated(sim),
@@ -130,6 +131,7 @@ fn consistency_is_policy_independent() {
             arrival_interval: sim.us_to_cycles(1_000),
             duration: sim.ms_to_cycles(40),
             always_interrupt: false,
+            robustness: Default::default(),
         };
         run(
             Runtime::Simulated(sim),

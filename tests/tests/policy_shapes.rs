@@ -47,6 +47,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
         arrival_interval: sim.us_to_cycles(1_000),
         duration: sim.ms_to_cycles(duration_ms),
         always_interrupt: false,
+        robustness: Default::default(),
     };
     let factory = MixedWorkload::new(tpcc, tpch, 23);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))
@@ -112,6 +113,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
             arrival_interval: sim.us_to_cycles(1_000),
             duration: sim.ms_to_cycles(60),
             always_interrupt: false,
+            robustness: Default::default(),
         };
         run(
             Runtime::Simulated(sim),
@@ -165,6 +167,7 @@ fn uintr_machinery_overhead_is_small() {
             arrival_interval: sim.us_to_cycles(1_000),
             duration: sim.ms_to_cycles(60),
             always_interrupt: on,
+            robustness: Default::default(),
         };
         results.push(run(
             Runtime::Simulated(sim),

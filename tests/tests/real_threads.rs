@@ -16,6 +16,7 @@ fn thread_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         arrival_interval: freq / 1_000, // 1 ms of real time
         duration: freq / 1_000 * duration_ms,
         always_interrupt: false,
+        robustness: Default::default(),
     }
 }
 

@@ -1,0 +1,144 @@
+//! Offline stub of `criterion`: enough of the harness API for this
+//! workspace's benches to compile and run. Each `bench_function` call
+//! runs the closure for a bounded number of iterations and prints a
+//! mean wall-clock time per iteration; there is no outlier analysis,
+//! no plotting, and no baseline comparison.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver; mirrors the real builder API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters_per_sample: 1000,
+            total_iters: 0,
+            total_elapsed: Duration::ZERO,
+        };
+        let budget = self.measurement_time.min(Duration::from_secs(2));
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if start.elapsed() > budget {
+                break;
+            }
+        }
+        let per_iter = if bencher.total_iters > 0 {
+            bencher.total_elapsed.as_nanos() as f64 / bencher.total_iters as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{name:<40} {per_iter:>12.1} ns/iter ({} iters)",
+            bencher.total_iters
+        );
+        self
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    total_iters: u64,
+    total_elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(f());
+        }
+        self.total_elapsed += start.elapsed();
+        self.total_iters += self.iters_per_sample;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    criterion_group!(simple_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        simple_group();
+    }
+}

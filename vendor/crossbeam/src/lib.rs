@@ -1,0 +1,107 @@
+//! Offline stub of `crossbeam`: only [`queue::ArrayQueue`], which is what
+//! this workspace uses. The real crate's queue is lock-free; this
+//! stand-in is a mutex-guarded ring buffer with identical semantics
+//! (bounded, MPMC, FIFO, `push` returns the rejected value when full).
+//! The scheduling experiments run on the single-threaded virtual-time
+//! simulator where lock contention is zero, so the substitution does not
+//! distort measured behavior.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// A bounded MPMC FIFO queue.
+    #[derive(Debug)]
+    pub struct ArrayQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+        cap: usize,
+    }
+
+    impl<T> ArrayQueue<T> {
+        /// Creates a queue with capacity `cap`. Panics if `cap == 0`
+        /// (matching crossbeam).
+        pub fn new(cap: usize) -> ArrayQueue<T> {
+            assert!(cap > 0, "capacity must be non-zero");
+            ArrayQueue {
+                inner: Mutex::new(VecDeque::with_capacity(cap)),
+                cap,
+            }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Attempts to push, returning `Err(value)` when full.
+        pub fn push(&self, value: T) -> Result<(), T> {
+            let mut q = self.guard();
+            if q.len() >= self.cap {
+                return Err(value);
+            }
+            q.push_back(value);
+            Ok(())
+        }
+
+        /// Pops the oldest element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.guard().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.guard().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.guard().is_empty()
+        }
+
+        pub fn is_full(&self) -> bool {
+            self.len() >= self.cap
+        }
+
+        pub fn capacity(&self) -> usize {
+            self.cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::ArrayQueue;
+
+    #[test]
+    fn bounded_fifo() {
+        let q = ArrayQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = std::sync::Arc::new(ArrayQueue::new(8));
+        let qp = q.clone();
+        let producer = std::thread::spawn(move || {
+            let mut sent = 0;
+            while sent < 500 {
+                if qp.push(sent).is_ok() {
+                    sent += 1;
+                }
+            }
+        });
+        let mut got = 0;
+        while got < 500 {
+            if q.pop().is_some() {
+                got += 1;
+            }
+        }
+        producer.join().unwrap();
+        assert!(q.is_empty());
+    }
+}

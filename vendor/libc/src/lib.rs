@@ -1,0 +1,104 @@
+//! Offline stub of the `libc` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! stand-in declares exactly the subset of libc types, constants, and
+//! functions the workspace uses, with glibc x86_64-linux layouts. The
+//! extern declarations bind to the real system C library that Rust links
+//! anyway on Linux.
+
+#![allow(non_camel_case_types)]
+
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type c_char = i8;
+pub type c_void = core::ffi::c_void;
+pub type size_t = usize;
+pub type off_t = i64;
+pub type pthread_t = c_ulong;
+
+// ---- signals (glibc x86_64) ----
+
+pub const SIGURG: c_int = 23;
+pub const SA_RESTART: c_int = 0x10000000;
+
+/// glibc's sigset_t is 1024 bits (128 bytes).
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigset_t {
+    __val: [c_ulong; 16],
+}
+
+/// glibc x86_64 `struct sigaction`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct sigaction {
+    /// Handler or sigaction function pointer (union in C).
+    pub sa_sigaction: size_t,
+    pub sa_mask: sigset_t,
+    pub sa_flags: c_int,
+    pub sa_restorer: Option<extern "C" fn()>,
+}
+
+// ---- mmap ----
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// ---- sysconf ----
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+// ---- errno values used by callers ----
+
+pub const ESRCH: c_int = 3;
+pub const EINVAL: c_int = 22;
+
+extern "C" {
+    pub fn sigaction(signum: c_int, act: *const sigaction, oldact: *mut sigaction) -> c_int;
+    pub fn sigemptyset(set: *mut sigset_t) -> c_int;
+    pub fn pthread_self() -> pthread_t;
+    pub fn pthread_kill(thread: pthread_t, sig: c_int) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_match_glibc() {
+        assert_eq!(core::mem::size_of::<sigset_t>(), 128);
+        // sa_sigaction (8) + sa_mask (128) + sa_flags (4, padded to 8) +
+        // sa_restorer (8) = 152.
+        assert_eq!(core::mem::size_of::<sigaction>(), 152);
+    }
+
+    #[test]
+    fn pagesize_is_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "page size {ps}");
+    }
+
+    #[test]
+    fn pthread_self_and_kill_sig0() {
+        let me = unsafe { pthread_self() };
+        // Signal 0: existence check only.
+        assert_eq!(unsafe { pthread_kill(me, 0) }, 0);
+    }
+}
