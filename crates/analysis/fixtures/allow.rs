@@ -1,0 +1,13 @@
+// Fixture: suppression syntax. A reasoned allow silences its rule; a
+// reason-less allow still suppresses but is itself flagged.
+
+fn suppressed(p: *const u8) -> u8 {
+    // preempt-lint: allow(missing-safety-comment) — pointer validity is the caller's documented contract.
+    unsafe { *p }
+}
+
+fn suppressed_without_reason(p: *const u8) -> u8 {
+    // preempt-lint: allow(missing-safety-comment)
+    //~^ ERROR allow-missing-reason
+    unsafe { *p }
+}

@@ -1,0 +1,21 @@
+// Fixture: allocation / panic / blocking in handler-reachable code.
+// `on_uintr` is a call-graph root; `helper` is reachable from it;
+// `not_reachable` is not.
+
+fn on_uintr(vector: u8) {
+    helper(vector);
+}
+
+fn helper(v: u8) {
+    let boxed = Box::new(v); //~ ERROR handler-alloc
+    let opt: Option<u8> = maybe(v);
+    let x = opt.unwrap(); //~ ERROR handler-panic
+    thread::sleep(ms(x)); //~ ERROR handler-block
+    use_it(boxed);
+}
+
+fn not_reachable() {
+    let b = Box::new(7); // fine: not reachable from a handler root
+    b.unwrap();
+    thread::sleep(ms(1));
+}

@@ -1,0 +1,22 @@
+// Fixture: inconsistent latch acquisition order across two sites.
+
+fn transfer_ab(a: &Record, b: &Record) {
+    let _ga = a.latch.write();
+    let _gb = b.latch.write();
+    move_funds(a, b);
+}
+
+fn transfer_ba(a: &Record, b: &Record) {
+    let _gb = b.latch.write();
+    let _ga = a.latch.write(); //~ ERROR latch-order
+    move_funds(b, a);
+}
+
+fn sequential_ok(a: &Record, b: &Record) {
+    {
+        let _gb = b.latch.read();
+        peek(b);
+    }
+    let _ga = a.latch.read(); // fine: previous guard scope already closed
+    peek(a);
+}

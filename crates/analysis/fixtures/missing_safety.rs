@@ -1,0 +1,26 @@
+// Fixture: `unsafe` without a SAFETY comment.
+
+fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p } //~ ERROR missing-safety-comment
+}
+
+fn good_block(p: *const u8) -> u8 {
+    // SAFETY: caller contract guarantees p is valid for reads.
+    unsafe { *p }
+}
+
+/// # Safety
+///
+/// `p` must be valid for reads.
+unsafe fn good_fn(p: *const u8) -> u8 {
+    // SAFETY: forwarded from this fn's own contract.
+    unsafe { *p }
+}
+
+unsafe fn bad_fn() {} //~ ERROR missing-safety-comment
+
+fn good_stmt_start(p: *const u8) -> u8 {
+    // SAFETY: the comment sits above the statement, not the block.
+    let v = read_it(unsafe { *p });
+    v
+}

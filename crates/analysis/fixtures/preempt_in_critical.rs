@@ -1,0 +1,28 @@
+// Fixture: a preemption point inside a latch guard / nonpreempt region.
+// Not compiled — consumed by tests/fixtures.rs, which reads the
+// compiletest-style ERROR markers for the expected finding per line.
+
+fn bad_latch(r: &Record) {
+    let _g = r.latch.read();
+    preempt_point(0); //~ ERROR preempt-in-critical
+}
+
+fn bad_nonpreempt() {
+    let _np = NonPreemptGuard::enter();
+    poll(); //~ ERROR preempt-in-critical
+}
+
+fn good_dropped(r: &Record) {
+    let g = r.latch.read();
+    consume(&g);
+    drop(g);
+    preempt_point(0); // fine: guard explicitly dropped
+}
+
+fn good_scoped(r: &Record) {
+    {
+        let _g = r.latch.write();
+        touch();
+    }
+    preempt_point(0); // fine: guard scope closed
+}

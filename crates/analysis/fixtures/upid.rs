@@ -1,0 +1,23 @@
+// Fixture: atomic-ordering policy violations. Named `upid.rs` so the
+// per-file policy table for the UPID pending/active protocol applies.
+
+fn post_bad(p: &Upid) {
+    p.pending.fetch_or(1u64, Ordering::Relaxed); //~ ERROR atomic-ordering
+}
+
+fn post_good(p: &Upid) {
+    if p.active.load(Ordering::Acquire) {
+        p.pending.fetch_or(1u64, Ordering::Release);
+    }
+}
+
+fn drain_good(p: &Upid) -> u64 {
+    if p.pending.load(Ordering::Relaxed) == 0 {
+        return 0; // fast-path probe may be Relaxed: swap below is authoritative
+    }
+    p.pending.swap(0, Ordering::Acquire)
+}
+
+fn stats_good(p: &Upid) -> u64 {
+    p.posts.load(Ordering::Relaxed) // unlisted field: counters stay Relaxed
+}

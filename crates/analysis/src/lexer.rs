@@ -1,0 +1,299 @@
+//! A minimal, error-tolerant Rust lexer.
+//!
+//! preempt-lint does not need a full parser: every rule it enforces is
+//! expressible over a token stream with line numbers plus a side list of
+//! comments. Hand-rolling the lexer keeps the workspace hermetic (no
+//! `syn`/`proc-macro2`, which the offline CI image does not carry) and
+//! makes the analyzer robust to code that does not parse yet.
+//!
+//! The lexer understands exactly as much of Rust's lexical grammar as is
+//! needed to never mistake text for code: line and nested block comments,
+//! regular / raw / byte string literals, char literals vs. lifetimes, raw
+//! identifiers, and numeric literals. Everything else is an `Ident` or a
+//! single-character `Punct`.
+
+/// Token classification. Rules only ever inspect `Ident` text and
+/// single-character punctuation, so multi-character operators are not
+/// fused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    Ident,
+    Punct,
+    Literal,
+    Lifetime,
+}
+
+/// One token with the 1-based source line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub line: u32,
+    pub kind: TokKind,
+    pub text: String,
+}
+
+impl Tok {
+    pub fn is(&self, text: &str) -> bool {
+        self.text == text
+    }
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// One comment (line or block) with the 1-based line it starts on and the
+/// number of source lines it spans.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub lines: u32,
+    pub text: String,
+}
+
+/// Lex `src` into (tokens, comments). Never fails: unterminated literals
+/// or comments consume to end of input.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut toks: Vec<Tok> = Vec::new();
+    let mut comments: Vec<Comment> = Vec::new();
+
+    let push = |toks: &mut Vec<Tok>, line: u32, kind: TokKind, text: String| {
+        toks.push(Tok { line, kind, text });
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            if b[i + 1] == '/' {
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    lines: 1,
+                    text: b[start..i].iter().collect(),
+                });
+                continue;
+            }
+            if b[i + 1] == '*' {
+                let start = i;
+                let start_line = line;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    lines: line - start_line + 1,
+                    text: b[start..i.min(b.len())].iter().collect(),
+                });
+                continue;
+            }
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            if i + 1 < b.len() && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                // `'a'` is a char literal; `'a` (not followed by a closing
+                // quote) is a lifetime.
+                if i + 2 < b.len() && b[i + 2] == '\'' {
+                    push(&mut toks, line, TokKind::Literal, b[i..i + 3].iter().collect());
+                    i += 3;
+                    continue;
+                }
+                let start = i;
+                i += 1;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                push(&mut toks, line, TokKind::Lifetime, b[start..i].iter().collect());
+                continue;
+            }
+            // Escaped or symbolic char literal: consume to closing quote.
+            let start = i;
+            i += 1;
+            while i < b.len() && b[i] != '\'' {
+                if b[i] == '\\' {
+                    i += 1; // skip escaped char
+                }
+                if i < b.len() && b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            push(&mut toks, line, TokKind::Literal, b[start..i.min(b.len())].iter().collect());
+            continue;
+        }
+
+        // String literal (plain).
+        if c == '"' {
+            let start_line = line;
+            i += 1;
+            while i < b.len() && b[i] != '"' {
+                if b[i] == '\\' {
+                    i += 1;
+                }
+                if i < b.len() && b[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            i = (i + 1).min(b.len());
+            push(&mut toks, start_line, TokKind::Literal, String::from("\"…\""));
+            continue;
+        }
+
+        // Identifier, keyword, or raw/byte string prefix.
+        if c.is_alphabetic() || c == '_' {
+            // Raw strings: r"…", r#"…"#, br"…", b"…" etc.
+            let (is_r, skip) = match c {
+                'r' => (true, 1usize),
+                'b' if i + 1 < b.len() && b[i + 1] == 'r' => (true, 2),
+                'b' => (false, 1),
+                _ => (false, 0),
+            };
+            if skip > 0 {
+                let mut j = i + skip;
+                let mut hashes = 0usize;
+                if is_r {
+                    while j < b.len() && b[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                }
+                if j < b.len() && b[j] == '"' && (is_r || hashes == 0) {
+                    // Raw or byte string: scan for closing quote (+hashes).
+                    let start_line = line;
+                    j += 1;
+                    loop {
+                        if j >= b.len() {
+                            break;
+                        }
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if !is_r && b[j] == '\\' {
+                            j += 2;
+                            continue;
+                        }
+                        if b[j] == '"' {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while h < hashes && k < b.len() && b[k] == '#' {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                j = k;
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                    push(&mut toks, start_line, TokKind::Literal, String::from("\"…\""));
+                    continue;
+                }
+                if is_r && skip == 1 && hashes == 1 && j < b.len() && (b[j].is_alphabetic() || b[j] == '_') {
+                    // Raw identifier r#ident: emit the bare identifier.
+                    let start = j;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    push(&mut toks, line, TokKind::Ident, b[start..j].iter().collect());
+                    i = j;
+                    continue;
+                }
+            }
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                i += 1;
+            }
+            push(&mut toks, line, TokKind::Ident, b[start..i].iter().collect());
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len()
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            push(&mut toks, line, TokKind::Literal, b[start..i].iter().collect());
+            continue;
+        }
+
+        // Single-character punctuation.
+        push(&mut toks, line, TokKind::Punct, c.to_string());
+        i += 1;
+    }
+
+    (toks, comments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let src = r##"
+// unsafe in a comment
+/* unsafe /* nested */ still comment */
+let s = "unsafe { }";
+let r = r#"unsafe"#;
+let c = 'u';
+fn f<'a>(x: &'a u8) {}
+"##;
+        let (toks, comments) = lex(src);
+        assert!(toks.iter().all(|t| !(t.kind == TokKind::Ident && t.text == "unsafe")));
+        assert_eq!(comments.len(), 2);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let (toks, _) = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let (toks, _) = lex("r#fn r#loop normal");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["fn", "loop", "normal"]);
+    }
+}

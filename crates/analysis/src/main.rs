@@ -1,0 +1,55 @@
+//! `preempt-lint` — run the preemption-safety rules over the workspace.
+//!
+//! Usage: `preempt-lint [workspace-root]`. With no argument the tool
+//! walks upward from the current directory looking for a `Cargo.toml`
+//! next to a `crates/` directory. Exits non-zero iff findings remain
+//! after suppressions.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => match find_root() {
+            Some(r) => r,
+            None => {
+                eprintln!("preempt-lint: could not locate workspace root (Cargo.toml + crates/)");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let files = preempt_analysis::workspace_files(&root);
+    if files.is_empty() {
+        eprintln!("preempt-lint: no source files found under {}", root.display());
+        return ExitCode::from(2);
+    }
+    let findings = preempt_analysis::analyze_files(&root, &files);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!(
+            "preempt-lint: {} files clean (preempt-in-critical, missing-safety-comment, \
+             atomic-ordering, handler-alloc/panic/block, latch-order)",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("preempt-lint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,558 @@
+//! Per-file structural model built on top of the token stream.
+//!
+//! The model computes everything the rules share: brace matching, the
+//! token ranges of `#[cfg(test)]` / `#[cfg(loom)]` bodies (skipped —
+//! tests may intentionally violate production invariants and loom shims
+//! are not compiled in release), function definitions with body ranges,
+//! latch-guard / nonpreempt `let` bindings with their lexical scopes, and
+//! `// preempt-lint: allow(rule) — reason` suppressions.
+
+use std::collections::HashMap;
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+
+/// Kind of critical-section guard introduced by a `let` binding.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GuardKind {
+    /// An MVCC latch read/write guard (`… .latch … .read()/.write()`).
+    Latch,
+    /// A `NonPreemptGuard::enter()` region.
+    NonPreempt,
+}
+
+/// A `let` binding that holds a guard, with the token range over which
+/// the guard is lexically live (binding `;` → enclosing block close, cut
+/// short by an explicit `drop(name)`).
+#[derive(Clone, Debug)]
+pub struct GuardBinding {
+    pub kind: GuardKind,
+    /// Normalized receiver expression for latch guards (e.g. `self.latch`),
+    /// used by the lock-order rule. Empty for nonpreempt regions.
+    pub key: String,
+    pub line: u32,
+    /// Token index of the binding's terminating `;`.
+    pub start: usize,
+    /// Token index one past the last token the guard covers.
+    pub end: usize,
+    /// Index of the innermost function containing the binding, if any.
+    pub func: Option<usize>,
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    pub name: String,
+    pub line: u32,
+    /// Token range of the body, `(open_brace, close_brace)` inclusive.
+    pub body: Option<(usize, usize)>,
+}
+
+/// A `// preempt-lint: allow(<rule>) — <reason>` suppression.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub rule: String,
+    pub line: u32,
+    /// Lines the suppression applies to: its own line and the next line
+    /// that carries a token (comments in between are skipped).
+    pub covers: Vec<u32>,
+    pub has_reason: bool,
+}
+
+pub struct FileModel {
+    /// Display path (workspace-relative where possible).
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+    pub src_lines: Vec<String>,
+    /// `{` index → matching `}` index and vice versa.
+    pub braces: HashMap<usize, usize>,
+    /// Token ranges (inclusive) excluded from analysis.
+    pub skips: Vec<(usize, usize)>,
+    pub fns: Vec<FnDef>,
+    pub guards: Vec<GuardBinding>,
+    pub allows: Vec<Allow>,
+}
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+impl FileModel {
+    pub fn build(path: &str, src: &str) -> FileModel {
+        let (toks, comments) = lex(src);
+        let src_lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let braces = match_braces(&toks);
+        let skips = find_skips(&toks, &braces);
+        let mut m = FileModel {
+            path: path.to_string(),
+            toks,
+            comments,
+            src_lines,
+            braces,
+            skips,
+            fns: Vec::new(),
+            guards: Vec::new(),
+            allows: Vec::new(),
+        };
+        m.fns = m.find_fns();
+        m.guards = m.find_guards();
+        m.allows = m.find_allows();
+        m
+    }
+
+    /// Is token index `i` inside a skipped (`#[cfg(test)]`/`#[cfg(loom)]`)
+    /// region?
+    pub fn skipped(&self, i: usize) -> bool {
+        self.skips.iter().any(|&(a, b)| i >= a && i <= b)
+    }
+
+    fn tok(&self, i: usize) -> Option<&Tok> {
+        self.toks.get(i)
+    }
+
+    /// The innermost function whose body contains token `i`.
+    pub fn enclosing_fn(&self, i: usize) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_span = usize::MAX;
+        for (fi, f) in self.fns.iter().enumerate() {
+            if let Some((a, b)) = f.body {
+                if i > a && i < b && b - a < best_span {
+                    best = Some(fi);
+                    best_span = b - a;
+                }
+            }
+        }
+        best
+    }
+
+    fn find_fns(&self) -> Vec<FnDef> {
+        let mut out = Vec::new();
+        let toks = &self.toks;
+        let mut i = 0;
+        while i < toks.len() {
+            if toks[i].is_ident("fn") && !self.skipped(i) {
+                let Some(name_tok) = toks.get(i + 1) else { break };
+                if name_tok.kind != TokKind::Ident {
+                    i += 1;
+                    continue;
+                }
+                // Find the body `{` : first `{` at paren depth 0 after the
+                // name; a `;` at depth 0 first means no body (trait decl).
+                let mut depth = 0i32;
+                let mut j = i + 2;
+                let mut body = None;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        "{" if depth == 0 => {
+                            if let Some(&close) = self.braces.get(&j) {
+                                body = Some((j, close));
+                            }
+                            break;
+                        }
+                        ";" if depth == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                out.push(FnDef {
+                    name: name_tok.text.clone(),
+                    line: toks[i].line,
+                    body,
+                });
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn find_guards(&self) -> Vec<GuardBinding> {
+        let mut out = Vec::new();
+        let toks = &self.toks;
+        let mut open_stack: Vec<usize> = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            match toks[i].text.as_str() {
+                "{" => open_stack.push(i),
+                "}" => {
+                    open_stack.pop();
+                }
+                "let" if toks[i].kind == TokKind::Ident && !self.skipped(i) => {
+                    if let Some(g) = self.guard_at(i, &open_stack) {
+                        out.push(g);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Parse a potential guard binding starting at the `let` token.
+    fn guard_at(&self, let_idx: usize, open_stack: &[usize]) -> Option<GuardBinding> {
+        let toks = &self.toks;
+        // Binding name (for `drop(name)` scope cuts). Patterns other than
+        // a plain identifier get no name.
+        let mut j = let_idx + 1;
+        if toks.get(j)?.is_ident("mut") {
+            j += 1;
+        }
+        let name = toks.get(j).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.clone());
+
+        // Find `=` then the terminating `;` at bracket depth 0.
+        let mut depth = 0i32;
+        let mut eq = None;
+        let mut semi = None;
+        let mut k = let_idx + 1;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        return None; // malformed / end of block
+                    }
+                    depth -= 1;
+                }
+                "=" if depth == 0 && eq.is_none() => eq = Some(k),
+                ";" if depth == 0 => {
+                    semi = Some(k);
+                    break;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let (eq, semi) = (eq?, semi?);
+        // Classify using only brace-depth-0 tokens of the initializer: a
+        // guard constructed inside a nested block expression (e.g.
+        // `let v = { let _np = …; f() }.g();`) belongs to that inner
+        // block's binding, not to this one.
+        let mut bdepth = 0i32;
+        let init: Vec<&crate::lexer::Tok> = toks[eq + 1..semi]
+            .iter()
+            .filter(|t| match t.text.as_str() {
+                "{" => {
+                    bdepth += 1;
+                    false
+                }
+                "}" => {
+                    bdepth -= 1;
+                    false
+                }
+                _ => bdepth == 0,
+            })
+            .collect();
+
+        // Classify the initializer.
+        let is_nonpreempt = init.iter().any(|t| t.is_ident("NonPreemptGuard"))
+            && init.iter().any(|t| t.is_ident("enter"));
+        let mut kind = None;
+        let mut key = String::new();
+        if is_nonpreempt {
+            kind = Some(GuardKind::NonPreempt);
+        } else if init.iter().any(|t| t.is_ident("latch")) {
+            // Find `.read(` / `.write(` / `.try_write(` and build the key
+            // from everything before the method's `.`.
+            for (off, w) in init.windows(3).enumerate() {
+                if w[0].is(".")
+                    && matches!(w[1].text.as_str(), "read" | "write" | "try_write")
+                    && w[2].is("(")
+                {
+                    kind = Some(GuardKind::Latch);
+                    key = init[..off]
+                        .iter()
+                        .filter(|t| !matches!(t.text.as_str(), "&" | "*" | "mut"))
+                        .map(|t| t.text.as_str())
+                        .collect::<Vec<_>>()
+                        .join("");
+                    break;
+                }
+            }
+        }
+        let kind = kind?;
+
+        // Scope: from the `;` to the close of the innermost enclosing
+        // block, cut short by an explicit `drop(name)`.
+        let mut end = open_stack
+            .last()
+            .and_then(|open| self.braces.get(open).copied())
+            .unwrap_or(toks.len());
+        if let Some(name) = &name {
+            let mut d = semi;
+            while d + 2 < end {
+                if toks[d].is_ident("drop") && toks[d + 1].is("(") && toks[d + 2].is(name) {
+                    end = d;
+                    break;
+                }
+                d += 1;
+            }
+        }
+
+        Some(GuardBinding {
+            kind,
+            key,
+            line: toks[let_idx].line,
+            start: semi,
+            end,
+            func: self.enclosing_fn(let_idx),
+        })
+    }
+
+    fn find_allows(&self) -> Vec<Allow> {
+        let mut out = Vec::new();
+        for c in &self.comments {
+            let Some(pos) = c.text.find("preempt-lint: allow(") else { continue };
+            let rest = &c.text[pos + "preempt-lint: allow(".len()..];
+            let Some(close) = rest.find(')') else { continue };
+            let rule = rest[..close].trim().to_string();
+            let tail = &rest[close + 1..];
+            let has_reason = tail.chars().filter(|ch| ch.is_alphanumeric()).count() >= 3;
+            // Covered lines: the comment's own span plus the next line
+            // bearing a token.
+            let last = c.line + c.lines - 1;
+            let mut covers: Vec<u32> = (c.line..=last).collect();
+            if let Some(next) = self.toks.iter().map(|t| t.line).filter(|&l| l > last).min() {
+                covers.push(next);
+            }
+            out.push(Allow { rule, line: c.line, covers, has_reason });
+        }
+        out
+    }
+
+    /// Does a comment containing a safety justification (`SAFETY` or
+    /// `# Safety`) cover line `line` or the contiguous comment/attribute
+    /// lines directly above it?
+    pub fn has_safety_comment(&self, line: u32) -> bool {
+        // Walk upward through contiguous comment/attribute lines.
+        let mut top = line;
+        while top > 1 {
+            let prev = top - 1;
+            let Some(text) = self.src_lines.get(prev as usize - 1) else { break };
+            let t = text.trim_start();
+            let is_comment = t.starts_with("//")
+                || t.starts_with("/*")
+                || t.starts_with('*')
+                || self.comments.iter().any(|c| prev >= c.line && prev < c.line + c.lines);
+            let is_attr = t.starts_with("#[") || t.starts_with("#!");
+            if is_comment || is_attr {
+                top = prev;
+            } else {
+                break;
+            }
+        }
+        self.comments.iter().any(|c| {
+            let c_end = c.line + c.lines - 1;
+            c_end >= top && c.line <= line && (c.text.contains("SAFETY") || c.text.contains("# Safety"))
+        })
+    }
+
+    /// The source line on which the statement containing token `i`
+    /// starts (scan back to the nearest `;`/`{`/`}`/`,`).
+    pub fn stmt_start_line(&self, i: usize) -> u32 {
+        let mut j = i;
+        while j > 0 {
+            let t = &self.toks[j - 1];
+            if matches!(t.text.as_str(), ";" | "{" | "}" | ",") || t.is("]") && self.attr_close(j - 1)
+            {
+                break;
+            }
+            j -= 1;
+        }
+        self.tok(j).map(|t| t.line).unwrap_or(self.toks[i].line)
+    }
+
+    /// Is the `]` at index `i` the end of an outer attribute?
+    fn attr_close(&self, i: usize) -> bool {
+        // Scan back to the matching `[`; an attribute starts with `#`.
+        let mut depth = 1i32;
+        let mut j = i;
+        while j > 0 {
+            j -= 1;
+            match self.toks[j].text.as_str() {
+                "]" => depth += 1,
+                "[" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j > 0 && self.toks[j - 1].is("#");
+                    }
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Collect the `Ordering` idents appearing in the argument list that
+    /// starts at the `(` token index `open`.
+    pub fn orderings_in_call(&self, open: usize) -> Vec<&str> {
+        let Some(close) = self.matching_paren(open) else { return Vec::new() };
+        self.toks[open..=close]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident && ORDERINGS.contains(&t.text.as_str()))
+            .map(|t| t.text.as_str())
+            .collect()
+    }
+
+    /// Paren matching on demand (the braces map only covers `{}`).
+    /// Argument lists are short, so a bounded forward scan suffices.
+    pub fn matching_paren(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        for (off, t) in self.toks[open..].iter().enumerate() {
+            match t.text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(open + off);
+                    }
+                }
+                _ => {}
+            }
+            if off > 512 {
+                break; // degenerate; give up
+            }
+        }
+        None
+    }
+}
+
+fn match_braces(toks: &[Tok]) -> HashMap<usize, usize> {
+    let mut map = HashMap::new();
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => stack.push(i),
+            "}" => {
+                if let Some(open) = stack.pop() {
+                    map.insert(open, i);
+                    map.insert(i, open);
+                }
+            }
+            _ => {}
+        }
+    }
+    map
+}
+
+/// Find token ranges to exclude: bodies of items annotated
+/// `#[cfg(test)]` or `#[cfg(loom)]` (including `any(...)` forms, but not
+/// `not(...)` forms).
+fn find_skips(toks: &[Tok], braces: &HashMap<usize, usize>) -> Vec<(usize, usize)> {
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is("#") && toks[i + 1].is("[") {
+            // Find the matching `]`.
+            let mut depth = 0i32;
+            let mut close = None;
+            for (off, t) in toks[i + 1..].iter().enumerate() {
+                match t.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = Some(i + 1 + off);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some(close) = close else {
+                i += 1;
+                continue;
+            };
+            let attr = &toks[i + 2..close];
+            let has_cfg = attr.iter().any(|t| t.is_ident("cfg"));
+            let gated = attr.iter().any(|t| t.is_ident("test") || t.is_ident("loom"));
+            let negated = attr.iter().any(|t| t.is_ident("not"));
+            if has_cfg && gated && !negated {
+                // Skip further attributes, then the next `{ … }` before a
+                // `;` is the gated body.
+                let mut j = close + 1;
+                while j + 1 < toks.len() && toks[j].is("#") && toks[j + 1].is("[") {
+                    let mut d = 0i32;
+                    while j < toks.len() {
+                        match toks[j].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => depth -= 1,
+                        ";" if depth == 0 => break,
+                        "{" if depth == 0 => {
+                            if let Some(&end) = braces.get(&j) {
+                                skips.push((j, end));
+                            }
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    skips
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_bodies_are_skipped() {
+        let src = "fn a() { x(); }\n#[cfg(test)]\nmod tests { fn t() { y(); } }\n";
+        let m = FileModel::build("t.rs", src);
+        let y_idx = m.toks.iter().position(|t| t.is_ident("y")).unwrap();
+        let x_idx = m.toks.iter().position(|t| t.is_ident("x")).unwrap();
+        assert!(m.skipped(y_idx));
+        assert!(!m.skipped(x_idx));
+    }
+
+    #[test]
+    fn guards_and_scopes() {
+        let src = "fn f(r: &R) {\n    let g = r.latch.read();\n    touch();\n    drop(g);\n    after();\n}\n";
+        let m = FileModel::build("t.rs", src);
+        assert_eq!(m.guards.len(), 1);
+        let g = &m.guards[0];
+        assert_eq!(g.kind, GuardKind::Latch);
+        assert_eq!(g.key, "r.latch");
+        let after_idx = m.toks.iter().position(|t| t.is_ident("after")).unwrap();
+        assert!(g.end <= after_idx, "drop(g) should cut the scope");
+    }
+
+    #[test]
+    fn allow_parsing() {
+        let src = "// preempt-lint: allow(handler-panic) — abort is the contract here.\nfoo();\n// preempt-lint: allow(handler-alloc)\nbar();\n";
+        let m = FileModel::build("t.rs", src);
+        assert_eq!(m.allows.len(), 2);
+        assert!(m.allows[0].has_reason);
+        assert!(m.allows[0].covers.contains(&2));
+        assert!(!m.allows[1].has_reason);
+    }
+
+    #[test]
+    fn safety_comment_detection() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: p is valid.\n    unsafe { *p }\n}\nfn g(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let m = FileModel::build("t.rs", src);
+        assert!(m.has_safety_comment(3));
+        assert!(!m.has_safety_comment(6));
+    }
+}

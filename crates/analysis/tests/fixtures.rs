@@ -1,0 +1,88 @@
+//! Fixture gate: every seeded violation must be flagged (100% recall on
+//! the fixture suite) and nothing else may be flagged on those files
+//! (no false positives).
+//!
+//! Markers use compiletest syntax: `//~ ERROR <rule>` on the offending
+//! line, with one `^` per line the marker sits below the finding.
+
+use std::fs;
+use std::path::Path;
+
+fn markers(src: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let ln = i as u32 + 1;
+        let Some(pos) = line.find("//~") else { continue };
+        let rest = &line[pos + 3..];
+        let carets = rest.chars().take_while(|&c| c == '^').count();
+        let rest = rest[carets..].trim_start();
+        let rest = rest
+            .strip_prefix("ERROR")
+            .expect("marker must be `//~ ERROR <rule>`")
+            .trim();
+        let rule = rest.split_whitespace().next().expect("marker missing rule id");
+        out.push((ln - carets as u32, rule.to_string()));
+    }
+    out
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+#[test]
+fn every_seeded_violation_is_flagged_and_nothing_else() {
+    let mut total = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(fixture_dir())
+        .expect("fixtures dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "no fixtures found");
+    for path in entries {
+        let src = fs::read_to_string(&path).unwrap();
+        let label = format!("fixtures/{}", path.file_name().unwrap().to_string_lossy());
+        let findings = preempt_analysis::analyze_source(&label, &src);
+        let expected = markers(&src);
+        total += expected.len();
+        for (line, rule) in &expected {
+            assert!(
+                findings.iter().any(|f| f.line == *line && f.rule == rule),
+                "{label}: expected `{rule}` at line {line}, got:\n{findings:#?}"
+            );
+        }
+        for f in &findings {
+            assert!(
+                expected.iter().any(|(l, r)| f.line == *l && f.rule == r.as_str()),
+                "{label}: unexpected finding: {f}"
+            );
+        }
+    }
+    assert!(total >= 9, "fixture suite shrank unexpectedly ({total} markers)");
+}
+
+/// Satellite regression test: the analyzer must reject a fixture that
+/// takes two MVCC latches in inconsistent order. The companion
+/// workspace test proves the real engine defines a single order (no
+/// `latch-order` findings there).
+#[test]
+fn inconsistent_latch_order_is_rejected() {
+    let path = fixture_dir().join("latch_order.rs");
+    let src = fs::read_to_string(&path).unwrap();
+    let findings = preempt_analysis::analyze_source("fixtures/latch_order.rs", &src);
+    let latch: Vec<_> = findings.iter().filter(|f| f.rule == "latch-order").collect();
+    assert_eq!(latch.len(), 1, "expected exactly one latch-order finding: {findings:#?}");
+    assert!(latch[0].msg.contains("opposite order"));
+}
+
+/// The suppression mechanism must not silence a *different* rule.
+#[test]
+fn allow_only_suppresses_its_own_rule() {
+    let src = "fn f(p: *const u8) -> u8 {\n    // preempt-lint: allow(handler-panic) — wrong rule on purpose.\n    unsafe { *p }\n}\n";
+    let findings = preempt_analysis::analyze_source("fixtures/wrong_allow.rs", src);
+    assert!(
+        findings.iter().any(|f| f.rule == "missing-safety-comment"),
+        "mismatched allow must not suppress missing-safety-comment: {findings:#?}"
+    );
+}

@@ -1,0 +1,30 @@
+//! Workspace gate: the real engine must be clean under every rule.
+//! This is the test that forces SAFETY comments, ordering-policy
+//! conformance, and a single documented latch order to stay true as the
+//! codebase grows.
+
+use std::path::Path;
+
+#[test]
+fn real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let files = preempt_analysis::workspace_files(root);
+    assert!(
+        files.len() > 30,
+        "workspace scan found suspiciously few files ({}); wrong root?",
+        files.len()
+    );
+    let findings = preempt_analysis::analyze_files(root, &files);
+    assert!(
+        findings.is_empty(),
+        "preempt-lint findings on the real workspace:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

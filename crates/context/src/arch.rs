@@ -75,6 +75,11 @@ pub unsafe extern "sysv64" fn raw_swap(save: *mut *mut u8, restore: *mut u8) {
 /// frame; after `raw_swap`'s pops, it is live in R12. The trampoline moves
 /// it into the first argument register, fixes stack alignment, and calls
 /// the (diverging) Rust entry shim.
+///
+/// # Safety
+/// Must only be reached by `raw_swap` popping a frame laid out by
+/// [`init_stack`]; it assumes R12 holds the entry argument and never
+/// returns.
 #[unsafe(naked)]
 unsafe extern "sysv64" fn context_trampoline() {
     naked_asm!(
@@ -109,6 +114,9 @@ pub unsafe fn init_stack(top: *mut u8, arg: *mut u8) -> *mut u8 {
     //   [top-56] : r14 = 0
     //   [top-64] : r15 = 0  <- initial saved RSP
     let top = top.cast::<u64>();
+    // SAFETY: `top` is the aligned high end of a freshly mapped stack
+    // (this fn's contract); the eight slots written here are in bounds
+    // because Stack::new enforces a minimum usable size.
     unsafe {
         top.sub(1).write(0);
         top.sub(2).write(context_trampoline as *const () as usize as u64);

@@ -137,6 +137,8 @@ impl<T: Copy + 'static> ClsCell<T> {
 // SAFETY: the cell itself holds only a slot id and an `fn` pointer; the
 // per-context values never cross threads through it.
 unsafe impl<T: 'static> Sync for ClsCell<T> {}
+// SAFETY: same contract as Sync above — the cell carries no per-thread
+// state of its own, only the slot id used to reach context-local values.
 unsafe impl<T: 'static> Send for ClsCell<T> {}
 
 #[cfg(test)]

@@ -41,8 +41,9 @@ pub fn with_hook<R>(hook: &dyn PreemptHook, f: impl FnOnce() -> R) -> R {
     }
     let prev = HOOK.with(|h| {
         let prev = h.get();
-        // Lifetime erasure: the guard below guarantees the hook is
-        // deinstalled before `hook`'s borrow ends.
+        // SAFETY: lifetime erasure only — the drop guard below removes
+        // the hook before `hook`'s borrow ends, so the 'static pointer
+        // is never dereferenced past its real lifetime.
         let ptr = unsafe {
             std::mem::transmute::<NonNull<dyn PreemptHook + '_>, NonNull<dyn PreemptHook + 'static>>(
                 NonNull::from(hook),

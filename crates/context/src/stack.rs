@@ -32,7 +32,8 @@ pub struct Stack {
     usable: usize,
 }
 
-// The mapping is plain memory uniquely owned by this struct.
+// SAFETY: the mapping is plain memory uniquely owned by this struct;
+// moving it between threads moves sole ownership of the pages.
 unsafe impl Send for Stack {}
 
 impl Stack {

@@ -57,6 +57,9 @@ pub fn set_switch_in_progress(v: bool) {
 /// If `to` is the current context, or is `Running`/`Finished`/`Poisoned`.
 pub fn switch_to(to: &Tcb) {
     let from_ptr = tcb::current_ptr();
+    // preempt-lint: allow(handler-panic) — switching a context to itself
+    // means the scheduler state is corrupt; aborting is the documented
+    // contract (see `# Panics`), continuing would corrupt both stacks.
     assert!(
         !std::ptr::eq(from_ptr, to),
         "cannot switch a context to itself"
@@ -66,6 +69,9 @@ pub fn switch_to(to: &Tcb) {
     debug_assert_eq!(from.state(), CtxState::Running);
     match to.state() {
         CtxState::Ready | CtxState::Suspended => {}
+        // preempt-lint: allow(handler-panic) — resuming a Running/
+        // Finished/Poisoned context is unrecoverable state corruption;
+        // the documented contract is to abort.
         s => panic!("cannot switch to context {:?} in state {s:?}", to.name()),
     }
 
@@ -175,8 +181,8 @@ impl Context {
     ) -> io::Result<Context> {
         let stack = Stack::new(stack_size)?;
         let tcb = Box::new(Tcb::new(stack, name, Box::new(entry)));
+        // SAFETY: stack.top() is the aligned high end of a live stack.
         let sp = unsafe {
-            // SAFETY: stack.top() is the aligned high end of a live stack.
             init_stack(
                 tcb.stack().expect("fresh context has a stack").top(),
                 (&*tcb as *const Tcb as *mut Tcb).cast(),
@@ -223,6 +229,8 @@ impl Context {
             *self.tcb.entry.get() = Some(Box::new(entry));
             *self.tcb.panic_msg.get() = None;
         }
+        // SAFETY: the context is not running (checked above), so its
+        // stack is idle and top() is the aligned high end of live memory.
         let sp = unsafe {
             init_stack(
                 self.tcb.stack().expect("context has a stack").top(),

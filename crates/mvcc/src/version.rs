@@ -52,6 +52,8 @@ pub struct Version {
 // SAFETY: `next` is guarded by the owning Record's latch (see Record);
 // `begin` is atomic; `data` is immutable after construction.
 unsafe impl Send for Version {}
+// SAFETY: same contract as Send above — all shared mutation of `next`
+// is serialized by the owning record's latch.
 unsafe impl Sync for Version {}
 
 impl Version {
@@ -99,6 +101,8 @@ impl Version {
     /// # Safety
     /// The owning record's latch must be held (shared suffices).
     unsafe fn next_ref(&self) -> Option<&Arc<Version>> {
+        // SAFETY: forwarded from this fn's contract: the latch is held,
+        // so no writer can race the `next` read.
         unsafe { (*self.next.get()).as_ref() }
     }
 }
@@ -136,6 +140,8 @@ pub struct Record {
 // SAFETY: `head` (and every version's `next`) is only accessed under
 // `latch`.
 unsafe impl Send for Record {}
+// SAFETY: same contract as Send above — `latch` serializes all shared
+// access to `head`.
 unsafe impl Sync for Record {}
 
 impl Record {
@@ -311,8 +317,8 @@ impl Record {
     /// Number of versions currently linked (diagnostics/tests).
     pub fn chain_len(&self) -> usize {
         let _g = self.latch.read();
-        // SAFETY: under latch.
         let mut n = 0;
+        // SAFETY: under latch.
         let mut cursor = unsafe { (*self.head.get()).as_ref() };
         while let Some(v) = cursor {
             n += 1;

@@ -217,6 +217,10 @@ impl WorkerCtx {
     fn push_return(&self, level: u8) {
         let mut arr = self.return_levels.get();
         let d = self.return_depth.get();
+        // preempt-lint: allow(handler-panic) — overflowing the fixed
+        // return-level stack means more nested preemptions than levels
+        // exist, a scheduler invariant violation; aborting beats
+        // silently dropping a return level and resuming the wrong txn.
         assert!(d < arr.len(), "preemption nesting too deep");
         arr[d] = level;
         self.return_levels.set(arr);
@@ -310,7 +314,10 @@ impl WorkerCtx {
             // so fall back to cooperative yield checks (the scheduler has
             // stopped sending uintrs and is using plain wakes). Same
             // guard as Cooperative: only level-0 low-priority work yields.
-            if self.shared.degraded.load(Ordering::Relaxed)
+            // Acquire pairs with the scheduler's Release store when it
+            // flips degraded mode, so the worker also observes the queue
+            // state that justified the transition.
+            if self.shared.degraded.load(Ordering::Acquire)
                 && self.current_level.get() == 0
                 && self.current_txn_priority.get() == Some(0)
             {
@@ -586,6 +593,9 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
 
     // Register the user-interrupt handler (Algorithm 1's entry into the
     // helper) and publish the UPID for the scheduler's UITT.
+    // SAFETY: `wc_ptr` stays valid for every handler invocation: the
+    // receiver (and with it the handler closure) is dropped before `wc`
+    // at the end of this worker's run.
     wc.receiver
         .register_handler(move |vector| unsafe { (*(wc_ptr as *const WorkerCtx)).on_uintr(vector) });
     shared

@@ -154,6 +154,9 @@ pub(crate) fn with_sim<R>(f: impl FnOnce(&Rc<RefCell<SimState>>) -> R) -> R {
         let borrow = s.borrow();
         let rc = borrow
             .as_ref()
+            // preempt-lint: allow(handler-panic) — calling sim::* outside
+            // a running simulation is a harness wiring bug; the panic
+            // fires at test setup, never on a production path.
             .expect("not inside a running Simulation (sim::* called outside run())");
         f(rc)
     })
@@ -394,6 +397,8 @@ impl Simulation {
                     match main_state {
                         CtxState::Finished => c.status = CoreStatus::Done,
                         CtxState::Poisoned => {
+                            // SAFETY: main_tcb outlives the owning
+                            // Context in `c` (same contract as above).
                             let msg = unsafe { (*c.main_tcb).panic_message() }
                                 .unwrap_or_else(|| "unknown panic".into());
                             panic!("simulated core '{}' panicked: {msg}", c.name);

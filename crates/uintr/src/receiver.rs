@@ -194,6 +194,9 @@ impl UintrReceiver {
         let handler = self
             .handler
             .as_ref()
+            // preempt-lint: allow(handler-panic) — a delivery with no
+            // registered handler is a worker-startup wiring bug; abort
+            // is better than silently swallowing interrupts forever.
             .expect("user interrupt delivered with no handler registered");
         let mut delivered = 0u32;
         for vector in 0..NUM_VECTORS {

@@ -120,6 +120,8 @@ pub struct SignalKicker {
 // SAFETY: pthread_t is a thread handle valid process-wide; pthread_kill
 // from any thread is allowed.
 unsafe impl Send for SignalKicker {}
+// SAFETY: same contract as Send above — pthread_kill on a process-wide
+// thread handle is safe from any thread concurrently.
 unsafe impl Sync for SignalKicker {}
 
 impl SignalKicker {

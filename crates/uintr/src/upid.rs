@@ -11,7 +11,13 @@
 //! Delivery to the receiving code happens when the receiver's thread
 //! executes a preemption point (see `receiver.rs` and DESIGN.md §1.1).
 
+// Under `--cfg loom` the pending/active words become loom atomics so the
+// model checker in tests/loom.rs can exhaust every interleaving of the
+// post/take/repost protocol. Production builds keep std atomics.
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::cycles::rdtsc;

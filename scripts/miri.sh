@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Targeted Miri runs for the UB-sensitive corners that neither tests nor
+# preempt-lint can prove: the context-local storage (CLS) slot machinery
+# and the version-chain UnsafeCell accesses.
+#
+# Scope notes:
+#  * The raw stack switch itself (`arch::raw_swap`) is naked asm — Miri
+#    cannot execute it, so switch tests are excluded by name.
+#  * Stack allocation goes through mmap, which Miri's isolation rejects;
+#    `-Zmiri-disable-isolation` lets the FFI through where supported.
+#
+# The hermetic CI image has no network, so a missing miri component is a
+# graceful skip (exit 0), not a failure: the loom + preempt-lint gates in
+# tier1.sh still run everywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "miri.sh: miri not installed (offline image?) — skipping." >&2
+    echo "miri.sh: to enable: rustup +nightly component add miri" >&2
+    exit 0
+fi
+
+export MIRIFLAGS="-Zmiri-disable-isolation"
+
+# CLS: slot allocation, per-context value isolation, reentrancy guard.
+cargo +nightly miri test -p preempt-context --lib cls
+
+# Version chains: UnsafeCell head/next under the record latch.
+cargo +nightly miri test -p preempt-mvcc --lib version

@@ -1,9 +1,20 @@
 #!/usr/bin/env bash
-# Tier-1 verification gate (ROADMAP.md): build, full test suite, and a
-# warning-free clippy pass across the workspace. Run from the repo root.
+# Tier-1 verification gate (ROADMAP.md): build, full test suite, a
+# warning-free clippy pass, the preempt-lint static analyzer, and the
+# loom model-checking tests. Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Static preemption-safety analysis (DESIGN.md §7): exits non-zero on
+# any finding; suppressions require a written reason.
+cargo run -p preempt-analysis --release
+
+# Exhaustive interleaving checks for the UPID pending-bit and epoch/ack
+# watchdog protocols. `--cfg loom` changes every crate's fingerprint, so
+# a dedicated target dir keeps it from thrashing the main build cache.
+CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
+    cargo test -p preempt-uintr --test loom -q

@@ -1,0 +1,603 @@
+//! Offline stub of [loom](https://crates.io/crates/loom): a model checker
+//! for concurrent Rust code.
+//!
+//! The real loom simulates the C11 memory model (store buffering, relaxed
+//! reordering) with partial-order reduction. This stub implements the part
+//! that matters for the workspace's protocol checks: **exhaustive
+//! exploration of every thread interleaving under sequential
+//! consistency**. Each atomic operation is a scheduling point; a DFS over
+//! the scheduling decisions enumerates all executions, so a model that
+//! passes has no lost-wakeup/double-execution bug reachable by
+//! *reordering whole operations*.
+//!
+//! Known gap vs. real loom, by construction: executions only observable
+//! under weaker-than-SC orderings (e.g. a `Relaxed` store overtaking an
+//! earlier one) are not explored. The workspace compensates with
+//! `preempt-lint`'s atomic-ordering policy table, which pins the required
+//! acquire/release pairs statically (see DESIGN.md §7).
+//!
+//! Mechanics: each simulated thread is a real OS thread, but exactly one
+//! holds the execution token at any time. Every `loom` atomic op yields
+//! to the scheduler first; the scheduler replays a recorded decision
+//! prefix, then extends it (first-runnable choice), recording the branch
+//! fan-out. After an execution finishes, the deepest unexplored branch is
+//! flipped and the model re-runs. Deadlocks (all live threads blocked)
+//! and model panics fail `model()` with the offending schedule.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar, Mutex};
+
+/// Hard cap on explored executions; a model that exceeds it is too big
+/// for exhaustive search and should be restructured (bound its loops).
+const MAX_ITERATIONS: u64 = 1_000_000;
+/// Hard cap on scheduling decisions in a single execution (runaway /
+/// unbounded-spin guard).
+const MAX_DEPTH: usize = 100_000;
+
+/// Marker payload for secondary panics raised to unwind threads out of
+/// an already-poisoned execution (not reported as the failure).
+struct PoisonUnwind;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    /// Waiting for the thread with this id to finish.
+    Joining(usize),
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    /// Index into the runnable list chosen at this decision point.
+    chosen: usize,
+    /// Number of runnable threads at this decision point.
+    options: usize,
+}
+
+struct SchedState {
+    statuses: Vec<Status>,
+    /// Thread currently holding the execution token.
+    current: usize,
+    /// Decision sequence: replayed prefix + extensions from this run.
+    decisions: Vec<Choice>,
+    /// Length of the replay prefix still being consumed.
+    cursor: usize,
+    /// All threads finished (successful end of one execution).
+    done: bool,
+    /// First failure (panic message or deadlock) of this execution.
+    poisoned: Option<String>,
+}
+
+struct Explorer {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    /// Real thread handles, reaped at the end of each execution.
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// (explorer, simulated thread id) for threads inside a model run.
+    static CTX: RefCell<Option<(StdArc<Explorer>, usize)>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Option<(StdArc<Explorer>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+impl Explorer {
+    fn new(replay: Vec<Choice>) -> Explorer {
+        let cursor = replay.len();
+        Explorer {
+            state: Mutex::new(SchedState {
+                statuses: Vec::new(),
+                current: 0,
+                decisions: replay,
+                cursor,
+                done: false,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Picks the next thread to run among runnable ones, consuming or
+    /// extending the decision sequence. Returns `None` when nothing is
+    /// runnable (caller decides whether that is completion or deadlock).
+    fn pick(st: &mut SchedState) -> Option<usize> {
+        let runnable: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            return None;
+        }
+        let depth = st.decisions.len() - st.cursor.min(st.decisions.len());
+        assert!(depth < MAX_DEPTH, "loom stub: execution too deep (unbounded loop in model?)");
+        let idx = if st.cursor > 0 {
+            // Replaying the prefix. The recorded fan-out must match: the
+            // model must be deterministic apart from scheduling.
+            let c = st.decisions[st.decisions.len() - st.cursor];
+            st.cursor -= 1;
+            assert_eq!(
+                c.options,
+                runnable.len(),
+                "loom stub: non-deterministic model (branch fan-out changed on replay)"
+            );
+            c.chosen
+        } else {
+            st.decisions.push(Choice {
+                chosen: 0,
+                options: runnable.len(),
+            });
+            0
+        };
+        Some(runnable[idx])
+    }
+
+    fn poison(&self, st: &mut SchedState, msg: String) {
+        if st.poisoned.is_none() {
+            st.poisoned = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling simulated thread until it holds the token;
+    /// unwinds if the execution is poisoned meanwhile.
+    fn wait_for_token(&self, mut st: std::sync::MutexGuard<'_, SchedState>, me: usize) {
+        while st.current != me {
+            if st.poisoned.is_some() {
+                drop(st);
+                std::panic::panic_any(PoisonUnwind);
+            }
+            st = self.cv.wait(st).expect("loom stub: scheduler mutex poisoned");
+        }
+    }
+
+    /// A scheduling point: every shared-memory (atomic) access goes
+    /// through here before executing.
+    fn yield_point(&self, me: usize) {
+        let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(PoisonUnwind);
+        }
+        // The caller is running, hence runnable: pick() cannot fail.
+        let next = Self::pick(&mut st).expect("runnable set contains the caller");
+        st.current = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Registers a new simulated thread; returns its id.
+    fn register(&self) -> usize {
+        let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+        st.statuses.push(Status::Runnable);
+        st.statuses.len() - 1
+    }
+
+    /// Marks `me` finished, wakes joiners, hands the token on.
+    fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+        st.statuses[me] = Status::Finished;
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Joining(me) {
+                *s = Status::Runnable;
+            }
+        }
+        if st.poisoned.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        match Self::pick(&mut st) {
+            Some(next) => {
+                st.current = next;
+                self.cv.notify_all();
+            }
+            None => {
+                if st.statuses.iter().all(|s| *s == Status::Finished) {
+                    st.done = true;
+                } else {
+                    let msg =
+                        format!("deadlock: no runnable thread (statuses: {:?})", st.statuses);
+                    self.poison(&mut st, msg);
+                }
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Blocks `me` until `target` finishes (join edge).
+    fn join_wait(&self, me: usize, target: usize) {
+        loop {
+            let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+            if st.poisoned.is_some() {
+                drop(st);
+                std::panic::panic_any(PoisonUnwind);
+            }
+            if st.statuses[target] == Status::Finished {
+                return;
+            }
+            st.statuses[me] = Status::Joining(target);
+            match Self::pick(&mut st) {
+                Some(next) => {
+                    st.current = next;
+                    self.cv.notify_all();
+                }
+                None => {
+                    let msg =
+                        format!("deadlock: all threads joining (statuses: {:?})", st.statuses);
+                    self.poison(&mut st, msg);
+                    drop(st);
+                    std::panic::panic_any(PoisonUnwind);
+                }
+            }
+            self.wait_for_token(st, me);
+        }
+    }
+
+    /// Spawns a simulated thread running `body`. The new thread blocks
+    /// until scheduled.
+    fn spawn_sim<T: Send + 'static>(
+        self: &StdArc<Explorer>,
+        body: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        let tid = self.register();
+        let result = StdArc::new(Mutex::new(None));
+        let explorer = self.clone();
+        let slot = result.clone();
+        let handle = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((explorer.clone(), tid)));
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                let st = explorer
+                    .state
+                    .lock()
+                    .expect("loom stub: scheduler mutex poisoned");
+                explorer.wait_for_token(st, tid);
+                body()
+            }));
+            match r {
+                Ok(v) => {
+                    *slot.lock().expect("result slot poisoned") = Some(Ok(v));
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<PoisonUnwind>().is_none() {
+                        let msg = panic_message(payload.as_ref());
+                        let mut st = explorer
+                            .state
+                            .lock()
+                            .expect("loom stub: scheduler mutex poisoned");
+                        explorer.poison(&mut st, msg);
+                    }
+                    *slot.lock().expect("result slot poisoned") = Some(Err(()));
+                }
+            }
+            explorer.finish_thread(tid);
+            CTX.with(|c| *c.borrow_mut() = None);
+        });
+        self.handles
+            .lock()
+            .expect("handle list poisoned")
+            .push(handle);
+        JoinHandle {
+            explorer: self.clone(),
+            tid,
+            result,
+        }
+    }
+
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Explores every interleaving of the threads spawned by `f`.
+///
+/// Panics (failing the enclosing test) if any interleaving panics,
+/// asserts, or deadlocks — reporting the schedule that triggered it.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut iterations = 0u64;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= MAX_ITERATIONS,
+            "loom stub: exceeded {MAX_ITERATIONS} executions; restructure the model"
+        );
+        let explorer = StdArc::new(Explorer::new(replay.clone()));
+        let ff = f.clone();
+        // Thread 0 runs the model closure itself; it starts with the token.
+        let _root = explorer.spawn_sim(move || ff());
+
+        // Wait for the execution to finish or fail.
+        let decisions = {
+            let mut st = explorer
+                .state
+                .lock()
+                .expect("loom stub: scheduler mutex poisoned");
+            while !st.done && st.poisoned.is_none() {
+                st = explorer
+                    .cv
+                    .wait(st)
+                    .expect("loom stub: scheduler mutex poisoned");
+            }
+            if let Some(msg) = st.poisoned.clone() {
+                let sched: Vec<usize> = st.decisions.iter().map(|c| c.chosen).collect();
+                drop(st);
+                panic!(
+                    "loom stub: model failed after {iterations} executions: {msg}\n\
+                     failing schedule (choice indices): {sched:?}"
+                );
+            }
+            st.decisions.clone()
+        };
+        // All simulated threads finished; reap the real ones.
+        for h in explorer.handles.lock().expect("handle list poisoned").drain(..) {
+            let _ = h.join();
+        }
+
+        // DFS: flip the deepest decision with an unexplored branch.
+        let mut next = decisions;
+        let mut flipped = false;
+        while let Some(last) = next.pop() {
+            if last.chosen + 1 < last.options {
+                next.push(Choice {
+                    chosen: last.chosen + 1,
+                    options: last.options,
+                });
+                flipped = true;
+                break;
+            }
+        }
+        if !flipped {
+            return; // fully explored
+        }
+        replay = next;
+    }
+}
+
+/// Thread shims (`loom::thread`).
+pub mod thread {
+    use super::*;
+
+    pub struct JoinHandle<T> {
+        pub(crate) explorer: StdArc<Explorer>,
+        pub(crate) tid: usize,
+        pub(crate) result: StdArc<Mutex<Option<Result<T, ()>>>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Blocks (in model time) until the thread finishes.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send>> {
+            let (_, me) = current_ctx().expect("loom stub: join outside model");
+            self.explorer.join_wait(me, self.tid);
+            match self.result.lock().expect("result slot poisoned").take() {
+                Some(Ok(v)) => Ok(v),
+                // The panic itself already poisoned the execution; this
+                // result only matters if the caller uses unwrap_err.
+                _ => Err(Box::new("loom stub: joined thread panicked")),
+            }
+        }
+    }
+
+    /// Spawns a simulated thread inside the current model execution.
+    pub fn spawn<T: Send + 'static>(
+        body: impl FnOnce() -> T + Send + 'static,
+    ) -> JoinHandle<T> {
+        let (explorer, _) = current_ctx().expect("loom stub: spawn outside model");
+        explorer.spawn_sim(body)
+    }
+
+    /// An explicit scheduling point.
+    pub fn yield_now() {
+        if let Some((explorer, me)) = current_ctx() {
+            explorer.yield_point(me);
+        }
+    }
+}
+pub(crate) use thread::JoinHandle;
+
+/// Spin-loop hint: a plain scheduling point under the model.
+pub mod hint {
+    pub fn spin_loop() {
+        super::thread::yield_now();
+    }
+}
+
+/// Synchronization shims (`loom::sync`).
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Atomic shims: every operation is a scheduling point; the op itself
+    /// runs on the underlying std atomic with `SeqCst` (the stub explores
+    /// sequentially consistent executions only — see crate docs).
+    pub mod atomic {
+        use super::super::current_ctx;
+        pub use std::sync::atomic::Ordering;
+        use std::sync::atomic::Ordering::SeqCst;
+
+        fn sched_point() {
+            if let Some((explorer, me)) = current_ctx() {
+                explorer.yield_point(me);
+            }
+        }
+
+        /// A fence orders nothing extra under SC; it is still a point.
+        pub fn fence(_order: Ordering) {
+            sched_point();
+        }
+
+        macro_rules! atomic_int {
+            ($name:ident, $std:ty, $int:ty) => {
+                #[derive(Debug, Default)]
+                pub struct $name(pub(crate) $std);
+
+                impl $name {
+                    pub fn new(v: $int) -> Self {
+                        Self(<$std>::new(v))
+                    }
+                    pub fn load(&self, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.load(SeqCst)
+                    }
+                    pub fn store(&self, v: $int, _o: Ordering) {
+                        sched_point();
+                        self.0.store(v, SeqCst)
+                    }
+                    pub fn swap(&self, v: $int, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.swap(v, SeqCst)
+                    }
+                    pub fn fetch_add(&self, v: $int, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_add(v, SeqCst)
+                    }
+                    pub fn fetch_sub(&self, v: $int, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_sub(v, SeqCst)
+                    }
+                    pub fn fetch_or(&self, v: $int, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_or(v, SeqCst)
+                    }
+                    pub fn fetch_and(&self, v: $int, _o: Ordering) -> $int {
+                        sched_point();
+                        self.0.fetch_and(v, SeqCst)
+                    }
+                    pub fn compare_exchange(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$int, $int> {
+                        sched_point();
+                        self.0.compare_exchange(cur, new, SeqCst, SeqCst)
+                    }
+                    pub fn compare_exchange_weak(
+                        &self,
+                        cur: $int,
+                        new: $int,
+                        _s: Ordering,
+                        _f: Ordering,
+                    ) -> Result<$int, $int> {
+                        // Exhaustive search has no spurious failures to
+                        // model usefully; behave like the strong form.
+                        self.compare_exchange(cur, new, _s, _f)
+                    }
+                }
+            };
+        }
+
+        atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+        impl AtomicBool {
+            pub fn new(v: bool) -> Self {
+                Self(std::sync::atomic::AtomicBool::new(v))
+            }
+            pub fn load(&self, _o: Ordering) -> bool {
+                sched_point();
+                self.0.load(SeqCst)
+            }
+            pub fn store(&self, v: bool, _o: Ordering) {
+                sched_point();
+                self.0.store(v, SeqCst)
+            }
+            pub fn swap(&self, v: bool, _o: Ordering) -> bool {
+                sched_point();
+                self.0.swap(v, SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicU64, Ordering};
+    use super::sync::Arc;
+
+    /// Store/load race: both final values must be observed across the
+    /// exploration, proving more than one interleaving runs.
+    #[test]
+    fn explores_both_orders() {
+        use std::sync::atomic::AtomicBool as StdBool;
+        use std::sync::atomic::Ordering::SeqCst;
+        static SAW_ZERO: StdBool = StdBool::new(false);
+        static SAW_ONE: StdBool = StdBool::new(false);
+        super::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = x.clone();
+            let t = super::thread::spawn(move || {
+                x2.store(1, Ordering::Release);
+            });
+            let seen = x.load(Ordering::Acquire);
+            t.join().unwrap();
+            if seen == 0 {
+                SAW_ZERO.store(true, SeqCst);
+            } else {
+                SAW_ONE.store(true, SeqCst);
+            }
+        });
+        assert!(SAW_ZERO.load(SeqCst), "missed the load-first interleaving");
+        assert!(SAW_ONE.load(SeqCst), "missed the store-first interleaving");
+    }
+
+    /// A racy (check-then-act) counter must be caught in some schedule.
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn catches_lost_update() {
+        super::model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let mut ts = Vec::new();
+            for _ in 0..2 {
+                let c2 = c.clone();
+                ts.push(super::thread::spawn(move || {
+                    // Non-atomic read-modify-write.
+                    let v = c2.load(Ordering::Relaxed);
+                    c2.store(v + 1, Ordering::Relaxed);
+                }));
+            }
+            for t in ts {
+                t.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        });
+    }
+
+    /// Atomic RMW increments never lose updates in any schedule.
+    #[test]
+    fn atomic_rmw_is_sound() {
+        super::model(|| {
+            let c = Arc::new(AtomicU64::new(0));
+            let mut ts = Vec::new();
+            for _ in 0..2 {
+                let c2 = c.clone();
+                ts.push(super::thread::spawn(move || {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                }));
+            }
+            for t in ts {
+                t.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2);
+        });
+    }
+}
