@@ -37,6 +37,7 @@ fn probe(threshold: f64, sc: &Scenario) -> (f64, f64) {
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        trace: None,
     };
     let r = run(
         Runtime::Simulated(sim),

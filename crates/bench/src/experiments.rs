@@ -100,6 +100,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                 duration: sim.ms_to_cycles(sc.duration_ms),
                 always_interrupt: on,
                 robustness: Default::default(),
+                trace: None,
             };
             let factory = TpccWorkload::new(tpcc.clone(), sc.seed);
             results.push(run(Runtime::Simulated(sim), cfg, Box::new(factory)));
@@ -315,6 +316,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
             duration: sim.ms_to_cycles(sc.duration_ms),
             always_interrupt: false,
             robustness: Default::default(),
+            trace: None,
         };
         let factory = MixedWorkload::new(tpcc.clone(), tpch.clone(), sc.seed);
         let r = run(Runtime::Simulated(sim), cfg, Box::new(factory));

@@ -112,6 +112,7 @@ pub fn run_mixed(
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        trace: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, sc.seed);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))

@@ -116,6 +116,29 @@ impl<T: 'static> ClsCell<T> {
         f(&mut guard)
     }
 
+    /// Like [`ClsCell::with`], but returns `None` on reentrant access to
+    /// the same variable instead of panicking.
+    ///
+    /// This is the accessor for code that may legitimately run while the
+    /// variable is already borrowed — e.g. trace instrumentation fired
+    /// from inside another accessor — where degrading to a no-op is
+    /// correct and panicking is not an option (interrupt handlers).
+    pub fn try_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> Option<R> {
+        let slot = self.slot();
+        let cell_ptr = tcb::with_current(|t| {
+            // SAFETY: the CLS area is only touched from the owning thread,
+            // and the `&mut` borrow ends before `f` runs (the slot's
+            // contents are behind a stable Box).
+            let area = unsafe { &mut *t.cls.get() };
+            area.get_or_init::<T>(slot, self.init)
+        });
+        // SAFETY: the Box<RefCell<T>> lives as long as the TCB, which
+        // outlives this call; growth of the slot vector does not move it.
+        let cell = unsafe { &*cell_ptr };
+        let mut guard = cell.try_borrow_mut().ok()?;
+        Some(f(&mut guard))
+    }
+
     /// Replaces the current context's value, returning the old one.
     pub fn replace(&self, value: T) -> T {
         self.with(|v| std::mem::replace(v, value))

@@ -48,6 +48,7 @@ pub use preempt_context as context;
 pub use preempt_mvcc as mvcc;
 pub use preempt_sched as sched;
 pub use preempt_sim as sim;
+pub use preempt_trace as trace;
 pub use preempt_uintr as uintr;
 pub use preempt_workloads as workloads;
 

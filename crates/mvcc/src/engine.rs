@@ -110,13 +110,19 @@ impl Engine {
     /// Begins a transaction at the given isolation level.
     pub fn begin(&self, iso: IsolationLevel) -> Transaction<'_> {
         let txid = self.inner.next_txid.fetch_add(1, Ordering::Relaxed);
-        let begin_ts = self.inner.ts.load(Ordering::Acquire);
+        // Register a provisional ts-0 slot BEFORE reading the snapshot
+        // timestamp: a trimmer scanning the registry between our `ts`
+        // load and slot publication would otherwise compute a watermark
+        // above our snapshot and reclaim versions this transaction still
+        // needs. The ts-0 slot pins the watermark at 0 for that window.
+        let slot = self.inner.registry.enter(0);
+        let begin_ts = self.inner.ts.load(Ordering::SeqCst);
+        slot.publish(begin_ts);
         // Periodically refresh the cached GC watermark (cheap scan).
         if txid & 0xFF == 0 {
             let wm = self.inner.registry.watermark(begin_ts);
             self.inner.watermark.store(wm, Ordering::Relaxed);
         }
-        let slot = self.inner.registry.enter(begin_ts);
         Transaction::new(self, txid, begin_ts, iso, slot)
     }
 

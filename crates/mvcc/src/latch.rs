@@ -18,9 +18,15 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use preempt_context::runtime::preempt_point;
+use preempt_trace::TraceEvent;
 
 /// Writer-held marker in the state word.
 const WRITER: u32 = 1 << 31;
+
+/// Trace payload for shared acquisition.
+const MODE_READ: u8 = 0;
+/// Trace payload for exclusive acquisition.
+const MODE_WRITE: u8 = 1;
 
 /// Spin iterations before declaring a suspected deadlock. Latches here
 /// are held for nanoseconds inside non-preemptible regions; tens of
@@ -59,6 +65,7 @@ impl Latch {
                     .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
                     .is_ok()
             {
+                preempt_trace::emit(TraceEvent::LatchAcquire { mode: MODE_READ });
                 return ReadGuard { latch: self };
             }
             spins = Self::spin_once(spins);
@@ -74,6 +81,7 @@ impl Latch {
                 .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
                 .is_ok()
             {
+                preempt_trace::emit(TraceEvent::LatchAcquire { mode: MODE_WRITE });
                 return WriteGuard { latch: self };
             }
             spins = Self::spin_once(spins);
@@ -85,7 +93,10 @@ impl Latch {
         self.state
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
             .ok()
-            .map(|_| WriteGuard { latch: self })
+            .map(|_| {
+                preempt_trace::emit(TraceEvent::LatchAcquire { mode: MODE_WRITE });
+                WriteGuard { latch: self }
+            })
     }
 
     /// Whether the latch is currently held in any mode (diagnostics).
@@ -119,6 +130,7 @@ pub struct ReadGuard<'a> {
 
 impl Drop for ReadGuard<'_> {
     fn drop(&mut self) {
+        preempt_trace::emit(TraceEvent::LatchRelease { mode: MODE_READ });
         self.latch.state.fetch_sub(1, Ordering::Release);
     }
 }
@@ -130,6 +142,7 @@ pub struct WriteGuard<'a> {
 
 impl Drop for WriteGuard<'_> {
     fn drop(&mut self) {
+        preempt_trace::emit(TraceEvent::LatchRelease { mode: MODE_WRITE });
         self.latch.state.store(0, Ordering::Release);
     }
 }

@@ -34,7 +34,7 @@ impl ActiveTxns {
         for i in 0..MAX_ACTIVE {
             let idx = (start + i) % MAX_ACTIVE;
             if self.slots[idx]
-                .compare_exchange(0, encoded, Ordering::AcqRel, Ordering::Relaxed)
+                .compare_exchange(0, encoded, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
                 set_slot_hint(idx);
@@ -53,7 +53,7 @@ impl ActiveTxns {
     pub fn watermark(&self, fallback: Timestamp) -> Timestamp {
         let mut min = u64::MAX;
         for s in self.slots.iter() {
-            let v = s.load(Ordering::Acquire);
+            let v = s.load(Ordering::SeqCst);
             if v != 0 {
                 min = min.min(v - 1);
             }
@@ -96,6 +96,16 @@ fn set_slot_hint(idx: usize) {
 pub struct ActiveSlot<'r> {
     registry: &'r ActiveTxns,
     idx: usize,
+}
+
+impl ActiveSlot<'_> {
+    /// Replaces the registered begin timestamp. Used by `Engine::begin`,
+    /// which registers a provisional ts-0 slot *before* reading the
+    /// snapshot timestamp (pinning the watermark at 0 for the window) and
+    /// publishes the real snapshot here once it is known.
+    pub fn publish(&self, begin_ts: Timestamp) {
+        self.registry.slots[self.idx].store(begin_ts + 1, Ordering::SeqCst);
+    }
 }
 
 impl Drop for ActiveSlot<'_> {

@@ -1,11 +1,13 @@
 //! Latency histograms and run reports.
 //!
 //! The paper reports latency at the 50/90/99/99.9 percentiles and geometric
-//! means (§6). [`Histogram`] is a log-bucketed (HDR-style) histogram with
-//! ~1.5 % relative error: values are bucketed by (exponent, 5 mantissa
-//! bits), recording is two shifts and an increment, and histograms merge
-//! by bucket addition so each worker records locally with no
-//! synchronization.
+//! means (§6). [`Histogram`] is a log-bucketed (HDR-style) histogram:
+//! values are bucketed by (exponent, 5 mantissa bits), so each octave has
+//! 32 sub-buckets and a reported percentile (the bucket's lower bound)
+//! undershoots the true value by strictly less than 1/32 ≈ 3.2 % — values
+//! below 32 are exact. Recording is two shifts and an increment, and
+//! histograms merge by bucket addition so each worker records locally
+//! with no synchronization.
 
 /// Mantissa bits per octave: 32 sub-buckets, ≤ 3.1 % bucket width.
 const SUB_BITS: u32 = 5;

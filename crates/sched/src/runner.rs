@@ -54,6 +54,13 @@ pub struct RunReport {
     /// The deterministic fault-decision trace (one line per injection
     /// decision) — byte-identical across same-seed runs.
     pub fault_trace: Option<String>,
+    /// The merged event trace, when the run carried a
+    /// [`preempt_trace::TraceSession`] ([`DriverConfig::trace`]).
+    pub trace: Option<preempt_trace::MergedTrace>,
+    /// Preemption-latency breakdown (send→notice, notice→handler,
+    /// handler→switch) derived from the trace; reported next to the
+    /// histogram-based latencies.
+    pub preempt_breakdown: Option<preempt_trace::PreemptBreakdown>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -154,6 +161,8 @@ fn collect(
         totals.uintr_deferred += w.uintr_deferred.load(Ordering::Relaxed);
         totals.busy_cycles += w.busy_cycles.load(Ordering::Relaxed);
     }
+    let trace = cfg.trace.as_ref().map(|s| s.merge());
+    let preempt_breakdown = trace.as_ref().map(|t| t.breakdown());
     RunReport {
         policy_label: cfg.policy.label(),
         metrics,
@@ -163,6 +172,18 @@ fn collect(
         freq_hz,
         faults: None,
         fault_trace: None,
+        trace,
+        preempt_breakdown,
+    }
+}
+
+/// Registers one trace ring per worker when the config carries a session.
+/// Must run before the workers start (the ring is read once at startup).
+fn register_worker_rings(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
+    if let Some(session) = &cfg.trace {
+        for w in workers {
+            let _ = w.trace.set(session.register("worker", w.id as u16));
+        }
     }
 }
 
@@ -175,6 +196,7 @@ fn run_simulated(
     let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
+    register_worker_rings(&cfg, &workers);
     for w in &workers {
         let ws = w.clone();
         let policy = cfg.policy;
@@ -204,6 +226,7 @@ fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunR
     let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
+    register_worker_rings(&cfg, &workers);
     let mut handles = Vec::new();
     for w in &workers {
         let ws = w.clone();
@@ -243,6 +266,8 @@ mod tests {
             freq_hz: 2_400_000_000,
             faults: None,
             fault_trace: None,
+            trace: None,
+            preempt_breakdown: None,
         };
         assert_eq!(r.completed("k"), 2);
         assert!((r.tps("k") - 2.0).abs() < 1e-9);
@@ -292,6 +317,7 @@ mod tests {
             duration: 120_000_000,       // 50 ms
             always_interrupt: false,
             robustness: Default::default(),
+            trace: None,
         }
     }
 

@@ -118,6 +118,11 @@ pub struct DriverConfig {
     pub always_interrupt: bool,
     /// Fault-tolerance knobs (watchdog, deadlines, degradation).
     pub robustness: RobustnessConfig,
+    /// Event-trace session: when set, the runner registers one ring per
+    /// worker (plus the scheduler's own), and the run report carries the
+    /// merged trace and preemption-latency breakdown. `None` (the
+    /// default) records nothing and costs one relaxed load per site.
+    pub trace: Option<preempt_trace::TraceSession>,
 }
 
 impl DriverConfig {
@@ -135,6 +140,7 @@ impl DriverConfig {
             duration: 2_400_000_000,     // 1 s at 2.4 GHz
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
+            trace: None,
         }
     }
 
@@ -229,6 +235,14 @@ pub fn scheduler_main(
     factory: &mut dyn WorkloadFactory,
 ) -> SchedulerStats {
     let mut stats = SchedulerStats::default();
+    // The scheduler records into its own ring (worker id u16::MAX). The
+    // ring pointer is context-local and this function can run on a
+    // long-lived root context (real-thread mode), so it is uninstalled
+    // before returning.
+    let sched_ring = cfg.trace.as_ref().map(|s| s.register("scheduler", u16::MAX));
+    if let Some(r) = &sched_ring {
+        preempt_trace::install_current(r);
+    }
     // Real-thread mode: wait until all workers have published their UPIDs.
     if !preempt_sim::api::active() {
         for w in workers {
@@ -337,6 +351,9 @@ pub fn scheduler_main(
                     } = cfg.policy
                     {
                         if w.starvation.starving(now_cycles(), starvation_threshold) {
+                            preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
+                                site: 1,
+                            });
                             stats.skipped_starving += 1;
                             continue;
                         }
@@ -429,6 +446,9 @@ pub fn scheduler_main(
                 let ack = w.uintr_ack.load(std::sync::atomic::Ordering::Acquire);
                 if epoch > ack && !w.queues[top].is_empty() {
                     if wnow >= wd_next[i] {
+                        preempt_trace::emit(preempt_trace::TraceEvent::WatchdogResend {
+                            target: w.id as u16,
+                        });
                         if send_uintr(w, top as u8) {
                             stats.interrupts_sent += 1;
                         }
@@ -454,6 +474,7 @@ pub fn scheduler_main(
             let rate_ppm = recent_failures.saturating_mul(1_000_000) / recent_sends;
             if rate_ppm >= rb.degrade_threshold_ppm as u64 {
                 degraded = true;
+                preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: true });
                 stats.policy_downgrades += 1;
                 for w in workers {
                     w.degraded.store(true, std::sync::atomic::Ordering::Release);
@@ -464,6 +485,7 @@ pub fn scheduler_main(
         }
         if degraded && now_cycles().saturating_sub(last_failure_at) >= rb.upgrade_quiet {
             degraded = false;
+            preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: false });
             stats.policy_upgrades += 1;
             for w in workers {
                 w.degraded.store(false, std::sync::atomic::Ordering::Release);
@@ -485,6 +507,9 @@ pub fn scheduler_main(
     stats.dropped_high += pending.len() as u64;
     for w in workers {
         w.stop();
+    }
+    if sched_ring.is_some() {
+        preempt_trace::clear_current();
     }
     stats
 }
@@ -547,6 +572,7 @@ mod tests {
             duration: 24_000_000,         // 10 ms
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
+            trace: None,
         };
         let workers: Vec<_> = (0..cfg.n_workers)
             .map(|i| WorkerShared::new(i, &cfg.queue_caps))

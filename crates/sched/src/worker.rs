@@ -94,6 +94,9 @@ pub struct WorkerShared {
     pub queues: Vec<Arc<RequestQueue>>,
     /// Set by the worker at startup; the scheduler's UITT entry target.
     pub upid: OnceLock<Arc<Upid>>,
+    /// Trace ring for this worker, registered by the runner when the
+    /// driver config carries a [`preempt_trace::TraceSession`].
+    pub trace: OnceLock<Arc<preempt_trace::TraceRing>>,
     /// Set by the runner (sim) or the worker itself (threads).
     pub wake_target: OnceLock<WakeTarget>,
     pub starvation: StarvationState,
@@ -138,6 +141,7 @@ impl WorkerShared {
                 .map(|&c| Arc::new(RequestQueue::new(c)))
                 .collect(),
             upid: OnceLock::new(),
+            trace: OnceLock::new(),
             wake_target: OnceLock::new(),
             starvation: StarvationState::new(),
             stopped: AtomicBool::new(false),
@@ -191,6 +195,8 @@ struct WorkerCtx {
     /// Cooperative yield accounting.
     ops_since_check: Cell<u64>,
     hints_since_check: Cell<u64>,
+    /// Worker-local transaction sequence number for trace records.
+    txn_seq: Cell<u64>,
     metrics: std::cell::RefCell<Metrics>,
 }
 
@@ -241,6 +247,7 @@ impl WorkerCtx {
         debug_assert!(level > from);
         self.push_return(from);
         self.current_level.set(level);
+        preempt_trace::emit(preempt_trace::TraceEvent::StackSwitch { from, to: level });
         charge(SWITCH_COST);
         // SAFETY: level TCBs point at contexts owned by this WorkerCtx
         // (or the worker's main context), alive for the worker's run.
@@ -250,8 +257,10 @@ impl WorkerCtx {
 
     /// Switches from a drain loop back to the preempted context.
     fn leave_level(&self) {
+        let from = self.current_level.get();
         let back = self.pop_return();
         self.current_level.set(back);
+        preempt_trace::emit(preempt_trace::TraceEvent::StackSwitch { from, to: back });
         charge(SWITCH_COST);
         // SAFETY: as in enter_level.
         switch_to(unsafe { &*self.level_tcbs[back as usize].get() });
@@ -391,8 +400,15 @@ impl WorkerCtx {
         let started = now_cycles();
         let kind = req.kind;
         let created = req.created_at;
+        let txn = self.txn_seq.get();
+        self.txn_seq.set(txn.wrapping_add(1));
+        preempt_trace::emit(preempt_trace::TraceEvent::TxnBegin {
+            txn,
+            priority: req.priority,
+        });
         if let Some(dl) = req.deadline {
             if started >= dl {
+                preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn });
                 self.metrics.borrow_mut().record_deadline_abort(kind);
                 return 0;
             }
@@ -430,6 +446,10 @@ impl WorkerCtx {
         let finished = now_cycles();
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_finished();
+        }
+        match outcome {
+            Some(_) => preempt_trace::emit(preempt_trace::TraceEvent::TxnCommit { txn }),
+            None => preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn }),
         }
         let mut metrics = self.metrics.borrow_mut();
         match outcome {
@@ -474,6 +494,9 @@ impl WorkerCtx {
                         .starvation
                         .starving(now_cycles(), starvation_threshold)
                     {
+                        preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
+                            site: 2,
+                        });
                         break;
                     }
                 }
@@ -587,9 +610,13 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         return_depth: Cell::new(0),
         ops_since_check: Cell::new(0),
         hints_since_check: Cell::new(0),
+        txn_seq: Cell::new(0),
         metrics: std::cell::RefCell::new(Metrics::new()),
     });
     let wc_ptr = &*wc as *const WorkerCtx as usize;
+    // The runner registers a ring before starting the worker (or never);
+    // every context this worker runs records into the same ring.
+    let trace_ring = shared.trace.get().cloned();
 
     // Register the user-interrupt handler (Algorithm 1's entry into the
     // helper) and publish the UPID for the scheduler's UITT.
@@ -598,17 +625,20 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     // at the end of this worker's run.
     wc.receiver
         .register_handler(move |vector| unsafe { (*(wc_ptr as *const WorkerCtx)).on_uintr(vector) });
-    shared
-        .upid
-        .set(wc.receiver.upid())
-        .expect("worker started twice");
+    let upid = wc.receiver.upid();
+    upid.set_owner(shared.id as u16);
+    shared.upid.set(upid).expect("worker started twice");
 
     // Level 0 runs on this (main) context.
     wc.level_tcbs.push(Cell::new(tcb::current_ptr()));
     // Preemptive contexts for levels 1..
     for level in 1..levels {
+        let tr = trace_ring.clone();
         let ctx = Context::new(PREEMPTIVE_CTX_STACK, "preemptive", move || {
             CURRENT_WORKER.set(wc_ptr);
+            if let Some(r) = &tr {
+                preempt_trace::install_current(r);
+            }
             // SAFETY: wc outlives all its contexts (dropped after them).
             unsafe { (*(wc_ptr as *const WorkerCtx)).drain_loop(level) }
         })
@@ -618,6 +648,9 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     }
 
     CURRENT_WORKER.set(wc_ptr);
+    if let Some(r) = &trace_ring {
+        preempt_trace::install_current(r);
+    }
     if preempt_sim::api::active() {
         // Simulator: per-core hook (a thread-local hook would fire for
         // whichever core happens to be running on this shared OS thread).
@@ -635,6 +668,7 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         runtime::with_hook(&hook, || wc.regular_loop());
     }
     CURRENT_WORKER.set(0);
+    preempt_trace::clear_current();
 
     // Flush local metrics and receiver stats to the shared side.
     shared.metrics.lock().merge(&wc.metrics.borrow());

@@ -173,6 +173,12 @@ impl SimUipiSender {
     /// the same seed reproduces the same delivery schedule.
     pub fn send(&self) {
         use preempt_faults::SendFault;
+        // Emitted before the simulator state is mutably borrowed: the
+        // trace clock reads the same state to stamp the event.
+        preempt_trace::emit(preempt_trace::TraceEvent::UipiSent {
+            target: self.upid.owner(),
+            vector: self.vector,
+        });
         let fault = preempt_faults::on_uipi_send();
         with_sim(|s| {
             let mut st = s.borrow_mut();

@@ -245,6 +245,23 @@ impl Simulation {
         }
         let _tl_reset = TlReset;
 
+        // Trace timestamps come from the virtual clock for the duration
+        // of the run, so traces of same-config runs are byte-identical.
+        // The closure must never panic: a (theoretically) reentrant read
+        // while the state is mutably borrowed degrades to timestamp 0.
+        let _clock_guard = {
+            let state = self.state.clone();
+            preempt_trace::clock::install_thread_clock(Rc::new(move || {
+                match state.try_borrow() {
+                    Ok(st) => match st.current_core() {
+                        Some(i) => st.core_vclock(i),
+                        None => st.floor(),
+                    },
+                    Err(_) => 0,
+                }
+            }))
+        };
+
         // Install the fault plan (if any) for exactly the duration of the
         // event loop. All cores share this OS thread, so one thread-local
         // injector covers every simulated core deterministically.

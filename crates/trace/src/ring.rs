@@ -1,0 +1,292 @@
+//! The per-worker bounded ring buffer.
+//!
+//! One [`TraceRing`] per recording context (worker or scheduler), written
+//! only by that context's thread. Recording an event is two relaxed
+//! stores plus one relaxed `fetch_add` (and, for handler events, a
+//! depth-counter update); when the ring is disabled the first load of the
+//! enabled word short-circuits everything else.
+//!
+//! The ring is *lossy by design*: once more than `capacity` events have
+//! been recorded the oldest are overwritten, and [`TraceRing::snapshot`]
+//! reports how many were dropped. Readers must only snapshot after
+//! synchronizing with the writer externally (joining the worker thread or
+//! finishing a simulator run) — the relaxed protocol makes concurrent
+//! reads cheap but not linearizable, which is fine for a post-mortem
+//! trace.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::clock::now_ts;
+use crate::event::TraceEvent;
+
+/// Default ring capacity in events (rounded up to a power of two).
+pub const DEFAULT_CAPACITY: usize = 1 << 15;
+
+/// One fixed-size binary record: timestamp word + packed event word.
+struct Slot {
+    ts: AtomicU64,
+    data: AtomicU64,
+}
+
+/// A bounded, lossy, single-writer event ring.
+pub struct TraceRing {
+    /// Worker id stamped on every merged record (`u16::MAX` = scheduler).
+    worker: u16,
+    /// Human-readable ring label for exporters.
+    label: &'static str,
+    /// Enabled/generation word: 0 disables recording entirely.
+    enabled: AtomicU64,
+    /// Total events ever recorded (monotonic; next sequence number).
+    head: AtomicU64,
+    /// Current handler-nesting depth (single-writer bookkeeping).
+    depth: AtomicU64,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: u64,
+    /// Bitmask of recorded event kinds (`1 << kind`); events whose bit is
+    /// clear are skipped before any slot write.
+    kinds: u64,
+    slots: Box<[Slot]>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("worker", &self.worker)
+            .field("label", &self.label)
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// Creates an enabled ring with at least `capacity` slots recording
+    /// every event kind.
+    pub fn new(label: &'static str, worker: u16, capacity: usize) -> TraceRing {
+        Self::with_kinds(label, worker, capacity, u64::MAX)
+    }
+
+    /// Creates an enabled ring recording only the kinds whose bit
+    /// (`1 << kind`) is set in `kinds`. Filtering keeps high-frequency
+    /// events (latch traffic) from evicting the rare preemption-lifecycle
+    /// events a bounded ring is meant to retain.
+    pub fn with_kinds(
+        label: &'static str,
+        worker: u16,
+        capacity: usize,
+        kinds: u64,
+    ) -> TraceRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let mut slots = Vec::with_capacity(cap);
+        for _ in 0..cap {
+            slots.push(Slot {
+                ts: AtomicU64::new(0),
+                data: AtomicU64::new(0),
+            });
+        }
+        TraceRing {
+            worker,
+            label,
+            enabled: AtomicU64::new(1),
+            head: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            mask: (cap - 1) as u64,
+            kinds,
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Worker id this ring records for.
+    pub fn worker(&self) -> u16 {
+        self.worker
+    }
+
+    /// Ring label ("worker", "scheduler", ...).
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Stops recording: subsequent [`TraceRing::emit`] calls are no-ops.
+    pub fn disable(&self) {
+        self.enabled.store(0, Ordering::Relaxed);
+    }
+
+    /// Re-enables recording.
+    pub fn enable(&self) {
+        self.enabled.store(1, Ordering::Relaxed);
+    }
+
+    /// Total events recorded so far (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one event. Safe to call from interrupt handlers: no
+    /// allocation, no locking, no panic paths.
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if self.enabled.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if self.kinds & (1u64 << ev.kind()) == 0 {
+            return;
+        }
+        // Handler nesting bookkeeping: the Enter is recorded at the new
+        // (deeper) depth, the Exit at the depth it is leaving, so a
+        // balanced pair carries the same depth value.
+        let depth = match ev {
+            TraceEvent::HandlerEnter { .. } => {
+                let d = self.depth.load(Ordering::Relaxed) + 1;
+                self.depth.store(d, Ordering::Relaxed);
+                d
+            }
+            TraceEvent::HandlerExit { .. } => {
+                let d = self.depth.load(Ordering::Relaxed);
+                self.depth.store(d.saturating_sub(1), Ordering::Relaxed);
+                d
+            }
+            _ => self.depth.load(Ordering::Relaxed),
+        };
+        let ts = now_ts();
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq & self.mask) as usize];
+        slot.ts.store(ts, Ordering::Relaxed);
+        slot.data.store(ev.pack(depth.min(255) as u8), Ordering::Relaxed);
+    }
+
+    /// Copies out the newest `min(recorded, capacity)` events in record
+    /// order, plus the count of older events that were overwritten.
+    ///
+    /// Only meaningful after external synchronization with the writer.
+    pub fn snapshot(&self) -> RingSnapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for seq in start..head {
+            let slot = &self.slots[(seq & self.mask) as usize];
+            let ts = slot.ts.load(Ordering::Relaxed);
+            let data = slot.data.load(Ordering::Relaxed);
+            if let Some((event, depth)) = TraceEvent::unpack(data) {
+                events.push(RawRecord {
+                    ts,
+                    seq,
+                    depth,
+                    event,
+                });
+            }
+        }
+        RingSnapshot {
+            worker: self.worker,
+            label: self.label,
+            dropped: start,
+            events,
+        }
+    }
+}
+
+/// One decoded record from a snapshot, still per-ring (no worker merge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawRecord {
+    /// TSC or virtual-clock timestamp.
+    pub ts: u64,
+    /// Ring-local sequence number (monotonic from 0).
+    pub seq: u64,
+    /// Handler-nesting depth at record time.
+    pub depth: u8,
+    /// The decoded event.
+    pub event: TraceEvent,
+}
+
+/// The result of [`TraceRing::snapshot`].
+#[derive(Clone, Debug)]
+pub struct RingSnapshot {
+    /// Worker id of the ring.
+    pub worker: u16,
+    /// Ring label.
+    pub label: &'static str,
+    /// Events overwritten before this snapshot (oldest-first loss).
+    pub dropped: u64,
+    /// Surviving events, oldest first.
+    pub events: Vec<RawRecord>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let ring = TraceRing::new("t", 0, 8);
+        for i in 0..5u64 {
+            ring.emit(TraceEvent::TxnCommit { txn: i });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 0);
+        let txns: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::TxnCommit { txn } => txn,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(txns, vec![0, 1, 2, 3, 4]);
+        assert_eq!(snap.events.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![
+            0, 1, 2, 3, 4
+        ]);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest_and_counts_dropped() {
+        let ring = TraceRing::new("t", 0, 4);
+        for i in 0..10u64 {
+            ring.emit(TraceEvent::TxnCommit { txn: i });
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 6);
+        let txns: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::TxnCommit { txn } => txn,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(txns, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let ring = TraceRing::new("t", 0, 8);
+        ring.disable();
+        ring.emit(TraceEvent::Degrade { on: true });
+        assert_eq!(ring.recorded(), 0);
+        assert!(ring.snapshot().events.is_empty());
+        ring.enable();
+        ring.emit(TraceEvent::Degrade { on: false });
+        assert_eq!(ring.recorded(), 1);
+    }
+
+    #[test]
+    fn handler_depth_is_tracked() {
+        let ring = TraceRing::new("t", 0, 16);
+        ring.emit(TraceEvent::HandlerEnter { vector: 1 });
+        ring.emit(TraceEvent::TxnBegin {
+            txn: 0,
+            priority: 1,
+        });
+        ring.emit(TraceEvent::HandlerExit { vector: 1 });
+        ring.emit(TraceEvent::TxnBegin {
+            txn: 1,
+            priority: 0,
+        });
+        let d: Vec<u8> = ring.snapshot().events.iter().map(|r| r.depth).collect();
+        assert_eq!(d, vec![1, 1, 1, 0]);
+    }
+}

@@ -1,0 +1,472 @@
+//! Trace sessions, the merged global trace, and its derived reports.
+//!
+//! A [`TraceSession`] owns the per-worker rings for one engine run. At
+//! run end, [`TraceSession::merge`] snapshots every ring and interleaves
+//! the records into a single globally ordered [`MergedTrace`], from which
+//! callers can derive a preemption-latency breakdown or export a
+//! chrome://tracing JSON file.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::event::TraceEvent;
+use crate::ring::TraceRing;
+use crate::{session_closed, session_opened};
+
+/// Configuration for a trace session.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Per-ring capacity in events (rounded up to a power of two).
+    pub capacity: usize,
+    /// Bitmask of recorded event kinds (`1 << kind`); defaults to all.
+    pub kinds: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            capacity: crate::ring::DEFAULT_CAPACITY,
+            kinds: u64::MAX,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Excludes latch acquire/release events. Latch traffic outnumbers
+    /// the preemption lifecycle by orders of magnitude on hot workloads
+    /// and would evict everything else from a bounded ring; drop it when
+    /// the trace is for latency breakdowns rather than latch invariants.
+    pub fn without_latch_events(mut self) -> TraceConfig {
+        self.kinds &= !(1u64 << crate::event::K_LATCH_ACQUIRE);
+        self.kinds &= !(1u64 << crate::event::K_LATCH_RELEASE);
+        self
+    }
+}
+
+struct SessionInner {
+    capacity: usize,
+    kinds: u64,
+    rings: Mutex<Vec<Arc<TraceRing>>>,
+}
+
+impl Drop for SessionInner {
+    fn drop(&mut self) {
+        session_closed();
+    }
+}
+
+/// A tracing session covering one engine run.
+///
+/// Cheap to clone (an `Arc`); carried on the driver config so the runner,
+/// scheduler, and report collection all see the same ring set. While at
+/// least one session is alive, the process-wide enabled word is nonzero
+/// and [`crate::emit`] takes its slow path; with no sessions, emit is a
+/// single relaxed load.
+#[derive(Clone)]
+pub struct TraceSession {
+    inner: Arc<SessionInner>,
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSession")
+            .field("capacity", &self.inner.capacity)
+            .field("rings", &self.inner.rings.lock().len())
+            .finish()
+    }
+}
+
+impl TraceSession {
+    /// Opens a session; rings registered on it record until it drops.
+    pub fn new(cfg: TraceConfig) -> TraceSession {
+        session_opened();
+        TraceSession {
+            inner: Arc::new(SessionInner {
+                capacity: cfg.capacity,
+                kinds: cfg.kinds,
+                rings: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Registers (and retains) a new ring for `worker`.
+    pub fn register(&self, label: &'static str, worker: u16) -> Arc<TraceRing> {
+        let ring = Arc::new(TraceRing::with_kinds(
+            label,
+            worker,
+            self.inner.capacity,
+            self.inner.kinds,
+        ));
+        self.inner.rings.lock().push(ring.clone());
+        ring
+    }
+
+    /// Number of rings registered so far.
+    pub fn ring_count(&self) -> usize {
+        self.inner.rings.lock().len()
+    }
+
+    /// Snapshots every ring and merges into one globally ordered trace.
+    ///
+    /// Call only after all recording contexts have quiesced (threads
+    /// joined or the simulation finished).
+    pub fn merge(&self) -> MergedTrace {
+        let rings = self.inner.rings.lock();
+        let snaps: Vec<_> = rings.iter().map(|r| r.snapshot()).collect();
+        drop(rings);
+        merge_snapshots(&snaps)
+    }
+}
+
+/// Merges ring snapshots into a single ordered trace. Exposed for the
+/// ring property tests; engine code goes through [`TraceSession::merge`].
+pub fn merge_snapshots(snaps: &[crate::ring::RingSnapshot]) -> MergedTrace {
+    let mut records = Vec::with_capacity(snaps.iter().map(|s| s.events.len()).sum());
+    let mut dropped = 0u64;
+    let mut ring_labels = Vec::with_capacity(snaps.len());
+    for snap in snaps {
+        dropped += snap.dropped;
+        ring_labels.push((snap.worker, snap.label));
+        for r in &snap.events {
+            records.push(TraceRecord {
+                ts: r.ts,
+                worker: snap.worker,
+                seq: r.seq,
+                depth: r.depth,
+                event: r.event,
+            });
+        }
+    }
+    // (ts, worker, seq) is a total order: seq is unique per ring.
+    records.sort_by_key(|r| (r.ts, r.worker, r.seq));
+    ring_labels.sort_unstable();
+    MergedTrace {
+        records,
+        dropped,
+        ring_labels,
+    }
+}
+
+/// One record of the merged global trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// TSC-or-virtual timestamp.
+    pub ts: u64,
+    /// Recording worker id (`u16::MAX` = scheduler).
+    pub worker: u16,
+    /// Ring-local sequence number.
+    pub seq: u64,
+    /// Handler-nesting depth at record time.
+    pub depth: u8,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The globally ordered trace of one run.
+#[derive(Clone, PartialEq, Eq)]
+pub struct MergedTrace {
+    /// All surviving records, sorted by `(ts, worker, seq)`.
+    pub records: Vec<TraceRecord>,
+    /// Total events lost to ring wraparound across all rings.
+    pub dropped: u64,
+    /// `(worker, label)` for every ring that contributed.
+    pub ring_labels: Vec<(u16, &'static str)>,
+}
+
+impl std::fmt::Debug for MergedTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MergedTrace")
+            .field("records", &self.records.len())
+            .field("dropped", &self.dropped)
+            .field("rings", &self.ring_labels.len())
+            .finish()
+    }
+}
+
+impl MergedTrace {
+    /// Whether the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of merged records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Records from one worker's ring, in that ring's order.
+    pub fn worker_records(&self, worker: u16) -> Vec<TraceRecord> {
+        let mut v: Vec<TraceRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.worker == worker)
+            .copied()
+            .collect();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+
+    /// A canonical line-per-record text form. Two traces are identical
+    /// iff their canonical texts are byte-identical — the determinism
+    /// tests compare these.
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 48);
+        let _ = writeln!(out, "dropped {}", self.dropped);
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{} w{} #{} d{} {:?}",
+                r.ts, r.worker, r.seq, r.depth, r.event
+            );
+        }
+        out
+    }
+
+    /// Derives the preemption-latency breakdown (paper §6.1): for each
+    /// delivered interrupt, how long between send and the receiver
+    /// noticing the pending bit, between notice and handler entry, and
+    /// between handler entry and the stack switch into the preemptive
+    /// context.
+    pub fn breakdown(&self) -> PreemptBreakdown {
+        #[derive(Default, Clone, Copy)]
+        struct WState {
+            /// Earliest unmatched send targeting this worker.
+            send: Option<u64>,
+            /// Send ts carried through to handler entry.
+            send_for_handler: Option<u64>,
+            notice: Option<u64>,
+            enter: Option<u64>,
+        }
+        let mut per_worker: std::collections::BTreeMap<u16, WState> =
+            std::collections::BTreeMap::new();
+        let mut send_to_notice = Vec::new();
+        let mut notice_to_handler = Vec::new();
+        let mut handler_to_switch = Vec::new();
+        let mut send_to_handler = Vec::new();
+        for r in &self.records {
+            match r.event {
+                TraceEvent::UipiSent { target, .. } => {
+                    let st = per_worker.entry(target).or_default();
+                    if st.send.is_none() {
+                        st.send = Some(r.ts);
+                    }
+                }
+                TraceEvent::PendingNoticed { .. } => {
+                    let st = per_worker.entry(r.worker).or_default();
+                    if let Some(s) = st.send.take() {
+                        send_to_notice.push(r.ts.saturating_sub(s));
+                        st.send_for_handler = Some(s);
+                    }
+                    st.notice = Some(r.ts);
+                }
+                TraceEvent::HandlerEnter { .. } => {
+                    let st = per_worker.entry(r.worker).or_default();
+                    if let Some(n) = st.notice.take() {
+                        notice_to_handler.push(r.ts.saturating_sub(n));
+                    }
+                    if let Some(s) = st.send_for_handler.take() {
+                        send_to_handler.push(r.ts.saturating_sub(s));
+                    }
+                    st.enter = Some(r.ts);
+                }
+                // Only a switch *during* handling counts as the
+                // handler→switch leg; a later unrelated level change
+                // must not pair with a stale handler entry.
+                TraceEvent::HandlerExit { .. } => {
+                    per_worker.entry(r.worker).or_default().enter = None;
+                }
+                TraceEvent::StackSwitch { .. } => {
+                    let st = per_worker.entry(r.worker).or_default();
+                    if let Some(e) = st.enter.take() {
+                        handler_to_switch.push(r.ts.saturating_sub(e));
+                    }
+                }
+                _ => {}
+            }
+        }
+        PreemptBreakdown {
+            send_to_notice: LatencyStats::from_samples(send_to_notice),
+            notice_to_handler: LatencyStats::from_samples(notice_to_handler),
+            handler_to_switch: LatencyStats::from_samples(handler_to_switch),
+            send_to_handler: LatencyStats::from_samples(send_to_handler),
+        }
+    }
+
+    /// Exports the trace as chrome://tracing "trace event format" JSON
+    /// (load via chrome://tracing or <https://ui.perfetto.dev>).
+    /// Timestamps are converted from cycles to microseconds at `freq_hz`.
+    pub fn to_chrome_json(&self, freq_hz: u64) -> String {
+        let t0 = self.records.first().map_or(0, |r| r.ts);
+        let us = |cycles: u64| cycles as f64 * 1e6 / freq_hz.max(1) as f64;
+        let mut out = String::with_capacity(self.records.len() * 96 + 64);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        for r in &self.records {
+            let (ph, name) = match r.event {
+                TraceEvent::HandlerEnter { .. } => ("B", r.event.label().to_string()),
+                TraceEvent::HandlerExit { .. } => ("E", r.event.label().to_string()),
+                TraceEvent::TxnBegin { priority, .. } => ("B", format!("txn-p{priority}")),
+                // The exporter pairs commit/abort with the txn's Begin;
+                // chrome's B/E matching is per-tid LIFO, which matches
+                // the worker's nesting.
+                TraceEvent::TxnCommit { .. } => ("E", "txn".to_string()),
+                TraceEvent::TxnAbort { .. } => ("E", "txn".to_string()),
+                _ => ("i", r.event.label().to_string()),
+            };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":0,\"tid\":{}",
+                name,
+                ph,
+                us(r.ts.saturating_sub(t0)),
+                r.worker
+            );
+            if ph == "i" {
+                out.push_str(",\"s\":\"t\"");
+            }
+            let _ = write!(out, ",\"args\":{{\"detail\":\"{:?}\"}}}}", r.event);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Summary statistics over one latency population, in cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Minimum sample.
+    pub min: u64,
+    /// Maximum sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl LatencyStats {
+    /// Builds stats from raw samples (order irrelevant).
+    pub fn from_samples(mut samples: Vec<u64>) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        samples.sort_unstable();
+        let count = samples.len() as u64;
+        let sum: u128 = samples.iter().map(|&s| u128::from(s)).sum();
+        let idx = |p: f64| -> u64 {
+            let i = ((p / 100.0) * (count - 1) as f64).round() as usize;
+            samples[i.min(samples.len() - 1)]
+        };
+        LatencyStats {
+            count,
+            min: samples[0],
+            max: samples[samples.len() - 1],
+            mean: sum as f64 / count as f64,
+            p50: idx(50.0),
+            p99: idx(99.0),
+        }
+    }
+}
+
+/// The derived send→notice→handler→switch latency breakdown.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PreemptBreakdown {
+    /// Interrupt send to the receiver noticing the pending bit.
+    pub send_to_notice: LatencyStats,
+    /// Pending bit noticed to handler entry (deferral, masking).
+    pub notice_to_handler: LatencyStats,
+    /// Handler entry to the stack switch into the preemptive context.
+    pub handler_to_switch: LatencyStats,
+    /// End-to-end: send to handler entry.
+    pub send_to_handler: LatencyStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ts: u64, worker: u16, seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            ts,
+            worker,
+            seq,
+            depth: 0,
+            event,
+        }
+    }
+
+    fn trace_of(records: Vec<TraceRecord>) -> MergedTrace {
+        MergedTrace {
+            records,
+            dropped: 0,
+            ring_labels: vec![(0, "worker"), (u16::MAX, "scheduler")],
+        }
+    }
+
+    #[test]
+    fn breakdown_pairs_send_notice_handler_switch() {
+        let t = trace_of(vec![
+            rec(100, u16::MAX, 0, TraceEvent::UipiSent { target: 0, vector: 1 }),
+            rec(150, 0, 0, TraceEvent::PendingNoticed { vectors: 2 }),
+            rec(160, 0, 1, TraceEvent::HandlerEnter { vector: 1 }),
+            rec(200, 0, 2, TraceEvent::StackSwitch { from: 0, to: 1 }),
+        ]);
+        let b = t.breakdown();
+        assert_eq!(b.send_to_notice.count, 1);
+        assert_eq!(b.send_to_notice.p50, 50);
+        assert_eq!(b.notice_to_handler.p50, 10);
+        assert_eq!(b.handler_to_switch.p50, 40);
+        assert_eq!(b.send_to_handler.p50, 60);
+    }
+
+    #[test]
+    fn breakdown_matches_earliest_unmatched_send() {
+        // Two sends before one notice: latency measured from the first.
+        let t = trace_of(vec![
+            rec(100, u16::MAX, 0, TraceEvent::UipiSent { target: 0, vector: 1 }),
+            rec(120, u16::MAX, 1, TraceEvent::UipiSent { target: 0, vector: 1 }),
+            rec(150, 0, 0, TraceEvent::PendingNoticed { vectors: 2 }),
+        ]);
+        let b = t.breakdown();
+        assert_eq!(b.send_to_notice.count, 1);
+        assert_eq!(b.send_to_notice.p50, 50);
+    }
+
+    #[test]
+    fn canonical_text_is_stable() {
+        let t = trace_of(vec![rec(7, 0, 0, TraceEvent::Degrade { on: true })]);
+        assert_eq!(t.canonical_text(), "dropped 0\n7 w0 #0 d0 Degrade { on: true }\n");
+    }
+
+    #[test]
+    fn chrome_json_has_trace_events_envelope() {
+        let t = trace_of(vec![
+            rec(0, 0, 0, TraceEvent::HandlerEnter { vector: 1 }),
+            rec(2_400, 0, 1, TraceEvent::HandlerExit { vector: 1 }),
+        ]);
+        let json = t.to_chrome_json(2_400_000_000);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"ph\":\"E\""));
+        assert!(json.contains("\"ts\":1.000"), "1 us at 2.4 GHz: {json}");
+    }
+
+    #[test]
+    fn latency_stats_from_samples() {
+        let s = LatencyStats::from_samples(vec![30, 10, 20]);
+        assert_eq!((s.count, s.min, s.max, s.p50), (3, 10, 30, 20));
+        assert!((s.mean - 20.0).abs() < 1e-9);
+        assert_eq!(LatencyStats::from_samples(vec![]).count, 0);
+    }
+}

@@ -179,6 +179,8 @@ impl UintrReceiver {
             return 0; // raced with another poll
         }
 
+        preempt_trace::emit(preempt_trace::TraceEvent::PendingNoticed { vectors: bits });
+
         // Account delivery latency against the most recent post.
         let now = rdtsc();
         let post = self.upid.last_post_tsc();
@@ -201,7 +203,9 @@ impl UintrReceiver {
         let mut delivered = 0u32;
         for vector in 0..NUM_VECTORS {
             if bits & (1u64 << vector) != 0 {
+                preempt_trace::emit(preempt_trace::TraceEvent::HandlerEnter { vector });
                 handler(vector);
+                preempt_trace::emit(preempt_trace::TraceEvent::HandlerExit { vector });
                 delivered += 1;
             }
         }

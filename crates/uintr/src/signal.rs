@@ -147,6 +147,10 @@ impl SignalKicker {
     /// installed fault plan, the kick may be silently swallowed (bit
     /// posted, no signal) or fail with [`DeliveryError::Injected`].
     pub fn kick(&self) -> Result<u64, DeliveryError> {
+        preempt_trace::emit(preempt_trace::TraceEvent::UipiSent {
+            target: self.upid.owner(),
+            vector: self.vector,
+        });
         match preempt_faults::on_signal_send() {
             preempt_faults::SignalFault::Deliver => {}
             preempt_faults::SignalFault::Drop => {

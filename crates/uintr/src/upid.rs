@@ -38,6 +38,8 @@ pub struct Upid {
     last_post_tsc: AtomicU64,
     /// Total posts (senduipi executions) targeting this descriptor.
     posts: AtomicU64,
+    /// Owning worker id for trace attribution (`u16::MAX` = unattributed).
+    owner: AtomicU64,
 }
 
 impl Upid {
@@ -47,7 +49,19 @@ impl Upid {
             active: AtomicBool::new(true),
             last_post_tsc: AtomicU64::new(0),
             posts: AtomicU64::new(0),
+            owner: AtomicU64::new(u64::from(u16::MAX)),
         })
+    }
+
+    /// Tags this descriptor with the receiving worker's id so that trace
+    /// records of sends can name their target.
+    pub fn set_owner(&self, worker: u16) {
+        self.owner.store(u64::from(worker), Ordering::Relaxed);
+    }
+
+    /// The receiving worker's id (`u16::MAX` until [`Upid::set_owner`]).
+    pub fn owner(&self) -> u16 {
+        self.owner.load(Ordering::Relaxed) as u16
     }
 
     /// Posts vector `vector` (the core of `senduipi`). Returns `false` if
@@ -138,6 +152,10 @@ impl UipiSender {
     #[inline]
     pub fn send(&self) -> bool {
         use preempt_faults::SendFault;
+        preempt_trace::emit(preempt_trace::TraceEvent::UipiSent {
+            target: self.upid.owner(),
+            vector: self.vector,
+        });
         match preempt_faults::on_uipi_send() {
             SendFault::Deliver | SendFault::Delay(_) => self.upid.post(self.vector),
             SendFault::Drop => self.upid.is_active(),

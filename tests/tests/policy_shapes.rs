@@ -48,6 +48,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
         duration: sim.ms_to_cycles(duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        trace: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, 23);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))
@@ -114,6 +115,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
             duration: sim.ms_to_cycles(60),
             always_interrupt: false,
             robustness: Default::default(),
+            trace: None,
         };
         run(
             Runtime::Simulated(sim),
@@ -168,6 +170,7 @@ fn uintr_machinery_overhead_is_small() {
             duration: sim.ms_to_cycles(60),
             always_interrupt: on,
             robustness: Default::default(),
+            trace: None,
         };
         results.push(run(
             Runtime::Simulated(sim),

@@ -40,6 +40,25 @@ proptest! {
         );
     }
 
+    /// Regression pin for the documented error bound (the header once
+    /// claimed ~1.5 %): a reported percentile is the bucket lower bound,
+    /// which undershoots the recorded value by strictly less than 1/32
+    /// (≈ 3.2 %) — and is exact below 32.
+    #[test]
+    fn histogram_single_value_error_is_under_one_32nd(v in 1u64..u64::MAX) {
+        let mut h = Histogram::new();
+        h.record(v);
+        let got = h.percentile(50.0);
+        prop_assert!(got <= v);
+        prop_assert!(
+            (v - got) as u128 * 32 < v as u128,
+            "bucket lower bound {got} undershoots {v} by >= 1/32"
+        );
+        if v < 32 {
+            prop_assert_eq!(got, v, "values below one octave are exact");
+        }
+    }
+
     /// merge(a, b) is observationally the union of the two sample sets.
     #[test]
     fn histogram_merge_is_union(
