@@ -104,6 +104,12 @@ pub struct FaultPlan {
     pub stall_cycles: u64,
     /// Force a transaction abort at commit.
     pub txn_abort_ppm: u32,
+    /// Phase gate for `drop_ppm` at the uipi-send site: when nonzero,
+    /// drops are only injected while the caller-supplied virtual clock
+    /// is below this cycle count (see [`on_uipi_send_at`]). Zero means
+    /// "always" — drops apply for the whole run. Lets tests model an
+    /// early outage followed by a healthy steady state.
+    pub drop_before_cycles: u64,
 }
 
 impl FaultPlan {
@@ -122,6 +128,7 @@ impl FaultPlan {
             stall_ppm: 0,
             stall_cycles: 0,
             txn_abort_ppm: 0,
+            drop_before_cycles: 0,
         }
     }
 
@@ -174,6 +181,13 @@ impl FaultPlan {
 
     pub const fn with_txn_abort_ppm(mut self, ppm: u32) -> FaultPlan {
         self.txn_abort_ppm = ppm;
+        self
+    }
+
+    /// Restrict uipi-send drops to virtual times before `cycles`
+    /// (0 = drops apply for the whole run).
+    pub const fn with_drop_before(mut self, cycles: u64) -> FaultPlan {
+        self.drop_before_cycles = cycles;
         self
     }
 }
@@ -278,14 +292,20 @@ impl FaultInjector {
         let _ = writeln!(t, "{seq:06} {} {decision}", SITE_NAMES[site as usize]);
     }
 
-    fn decide_send(&self, site: FaultSite) -> SendFault {
+    /// `drop_enabled` phase-gates the drop band without perturbing the
+    /// random stream: the draw always happens, so two plans that differ
+    /// only in `drop_before_cycles` see identical post-gate decisions.
+    fn decide_send(&self, site: FaultSite, drop_enabled: bool) -> SendFault {
         let stream = &self.streams[site as usize];
         let r = draw_ppm(stream);
         let p = &self.plan;
         let mut edge = p.drop_ppm as u64;
         if r < edge {
-            self.record(site, "drop");
-            return SendFault::Drop;
+            if drop_enabled {
+                self.record(site, "drop");
+                return SendFault::Drop;
+            }
+            return SendFault::Deliver;
         }
         edge += p.delay_ppm as u64;
         if r < edge {
@@ -306,9 +326,11 @@ impl FaultInjector {
         SendFault::Deliver
     }
 
-    fn decide_uipi(&self) -> SendFault {
+    fn decide_uipi(&self, now: u64) -> SendFault {
         self.stats.borrow_mut().uipi_sends += 1;
-        let fault = self.decide_send(FaultSite::UipiSend);
+        let drop_enabled =
+            self.plan.drop_before_cycles == 0 || now < self.plan.drop_before_cycles;
+        let fault = self.decide_send(FaultSite::UipiSend, drop_enabled);
         let mut stats = self.stats.borrow_mut();
         match fault {
             SendFault::Deliver => {}
@@ -430,10 +452,22 @@ pub fn enabled() -> bool {
     ACTIVE.with(|a| a.get())
 }
 
-/// Hook for `UipiSender::send`-class sites.
+/// Hook for `UipiSender::send`-class sites. Callers that do not track a
+/// virtual clock pass through here; the drop phase gate then treats the
+/// run as permanently in the "before" phase (`now = 0`), which matches
+/// the historical always-drop behavior.
 #[inline]
 pub fn on_uipi_send() -> SendFault {
-    with_injector(|inj| inj.decide_uipi()).unwrap_or(SendFault::Deliver)
+    on_uipi_send_at(0)
+}
+
+/// Clock-aware variant of [`on_uipi_send`]: `now` is the caller's
+/// virtual-time cycle count, consulted by `FaultPlan::drop_before_cycles`
+/// to phase-gate drop injection. The faults crate deliberately has no
+/// clock of its own — determinism requires the caller's notion of time.
+#[inline]
+pub fn on_uipi_send_at(now: u64) -> SendFault {
+    with_injector(|inj| inj.decide_uipi(now)).unwrap_or(SendFault::Deliver)
 }
 
 /// Hook for the signal-backend kick path.
@@ -568,5 +602,63 @@ mod tests {
             SendFault::Spurious(v) => assert!(v < 64),
             other => panic!("expected spurious, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn drop_before_gates_drops_by_virtual_time() {
+        let plan = FaultPlan::quiet(11)
+            .with_drop_ppm(PPM_SCALE as u32)
+            .with_drop_before(10_000);
+        let guard = install(plan);
+        // Inside the outage window every send is dropped.
+        assert_eq!(on_uipi_send_at(0), SendFault::Drop);
+        assert_eq!(on_uipi_send_at(9_999), SendFault::Drop);
+        // At and past the boundary the gate closes and sends deliver.
+        assert_eq!(on_uipi_send_at(10_000), SendFault::Deliver);
+        assert_eq!(on_uipi_send_at(1 << 40), SendFault::Deliver);
+        let stats = guard.stats();
+        assert_eq!(stats.uipi_sends, 4);
+        assert_eq!(stats.uipi_dropped, 2);
+        drop(guard);
+
+        // Legacy zero-arg hook == permanently in the outage phase.
+        let _guard = install(plan);
+        assert_eq!(on_uipi_send(), SendFault::Drop);
+    }
+
+    #[test]
+    fn drop_before_zero_means_always() {
+        let plan = FaultPlan::quiet(12).with_drop_ppm(PPM_SCALE as u32);
+        assert_eq!(plan.drop_before_cycles, 0);
+        let _guard = install(plan);
+        assert_eq!(on_uipi_send_at(u64::MAX), SendFault::Drop);
+    }
+
+    #[test]
+    fn phase_gate_does_not_perturb_the_stream() {
+        // Same seed, same events; one plan gates drops off after t=0.
+        // Non-drop decisions (delay/duplicate) must land on the same
+        // events in both runs — the gate suppresses, never reshuffles.
+        let base = FaultPlan::quiet(13)
+            .with_drop_ppm(300_000)
+            .with_delay(200_000, 777)
+            .with_duplicate_ppm(100_000);
+        let gated = base.with_drop_before(1);
+
+        let run = |plan: FaultPlan| -> Vec<SendFault> {
+            let _guard = install(plan);
+            (0..2_000).map(|_| on_uipi_send_at(5)).collect()
+        };
+        let a = run(base);
+        let b = run(gated);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            match x {
+                SendFault::Drop => assert_eq!(*y, SendFault::Deliver),
+                other => assert_eq!(y, other),
+            }
+        }
+        assert!(a.contains(&SendFault::Drop));
+        assert!(a.iter().any(|f| matches!(f, SendFault::Delay(_))));
     }
 }

@@ -1,0 +1,551 @@
+//! Closed-loop adaptive starvation-threshold control.
+//!
+//! The paper leaves automatic tuning of the starvation threshold `L_max`
+//! as future work (§6.4): Figure 12 shows that the best static setting
+//! depends on the mix, and a mid-run load shift strands any fixed choice
+//! on the wrong side of the latency/throughput trade-off. Following the
+//! online-adaptation argument of LibPreemptible (adaptive quanta driven
+//! by observed tail latency) this module closes the loop: a
+//! [`Controller`] runs on the scheduling thread, reads per-window sensor
+//! snapshots drained from the workers ([`crate::metrics::WindowSensors`]),
+//! and steers every worker's live threshold cell
+//! ([`crate::starvation::StarvationState::set_threshold`]).
+//!
+//! **Control law** — AIMD with hysteresis, clamped to
+//! `[min_threshold, max_threshold]`:
+//!
+//! * high-priority p99 over `high_p99_bound` (an SLO violation): raise
+//!   `L_max` multiplicatively — latency recovers fast;
+//! * p99 under `hysteresis × bound`: lower `L_max` by `additive_step` —
+//!   Q2 reclaims cycles slowly, one window at a time;
+//! * in between (the hysteresis band), or while delivery is degraded
+//!   (sensors unrepresentative), or on a window with too few samples
+//!   and no evidence of throttling: hold.
+//!
+//! Lowering additionally respects a **violation floor** (TCP-ssthresh
+//! style): every violation pins the floor at the post-raise threshold,
+//! and clean windows decay it by `floor_decay`. Without it the AIMD
+//! probe oscillates across the sharp latency cliff that long analytics
+//! transactions create (any threshold below the cliff instantly yields
+//! millisecond tails), and the probe windows alone would blow the
+//! steady-state p99.
+//!
+//! A window that completed almost no high-priority work *while the
+//! scheduler was visibly throttling* (starvation skips or abandoned
+//! batch remainders) is treated as a latency emergency, not as idle —
+//! the p99 of transactions that never ran cannot clear the controller.
+//!
+//! **Determinism**: evaluation happens at virtual-time window
+//! boundaries (`window_cycles`), all sensors are integer counters
+//! drained from the same deterministic run, and the step logic is pure
+//! arithmetic — so the same seed reproduces the same threshold
+//! trajectory bit for bit, which the determinism tests assert via
+//! [`ControllerReport::trajectory_text`].
+
+/// Tuning for the adaptive controller (cycles are in the run's time
+/// base — nominally 2.4 GHz).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ControllerConfig {
+    /// Threshold in force before the first evaluation window closes.
+    pub initial_threshold: f64,
+    /// Lower clamp — never throttle high-priority work below this share.
+    pub min_threshold: f64,
+    /// Upper clamp — `1.0` means "no throttling" (L ≤ 1 by construction).
+    pub max_threshold: f64,
+    /// Evaluation window length in cycles (5 ms at 2.4 GHz by default).
+    pub window_cycles: u64,
+    /// High-priority p99 SLO in cycles (500 µs at 2.4 GHz by default).
+    pub high_p99_bound: u64,
+    /// Additive decrease applied when p99 is comfortably under bound.
+    pub additive_step: f64,
+    /// Multiplicative increase factor applied on an SLO violation.
+    pub mult_increase: f64,
+    /// Lower edge of the hold band as a fraction of `high_p99_bound`.
+    pub hysteresis: f64,
+    /// Minimum high-priority completions for a window's p99 to be
+    /// trusted; under-sampled windows hold (or raise, if throttled).
+    pub min_high_samples: u64,
+    /// Per-clean-window multiplicative decay of the violation floor
+    /// (see [`Controller::violation_floor`]). `1.0` never forgets a
+    /// violation; smaller values re-probe sooner after the load
+    /// lightens.
+    pub floor_decay: f64,
+    /// Spike sentinel: a window whose worst sample exceeds
+    /// `spike_mult × high_p99_bound` counts as a violation even when
+    /// its own p99 looks clean (sub-1 % bursts are invisible to a
+    /// window p99 but dominate the run-level one).
+    pub spike_mult: f64,
+}
+
+impl ControllerConfig {
+    /// Defaults sized for the nominal 2.4 GHz time base: 5 ms windows,
+    /// a 500 µs high-priority p99 SLO, start at `L_max = 0.5`.
+    pub fn default_2_4ghz() -> ControllerConfig {
+        ControllerConfig {
+            initial_threshold: 0.5,
+            min_threshold: 0.05,
+            max_threshold: 1.0,
+            window_cycles: 12_000_000,
+            high_p99_bound: 1_200_000,
+            additive_step: 0.05,
+            mult_increase: 1.5,
+            hysteresis: 0.7,
+            min_high_samples: 16,
+            floor_decay: 0.98,
+            spike_mult: 4.0,
+        }
+    }
+
+    fn clamp(&self, t: f64) -> f64 {
+        t.clamp(self.min_threshold, self.max_threshold)
+    }
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self::default_2_4ghz()
+    }
+}
+
+/// What the controller decided at one window boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep the current threshold (hysteresis band, degraded delivery,
+    /// or an idle window).
+    Hold,
+    /// Multiplicative increase: high-priority p99 violated the bound.
+    Raise,
+    /// Additive decrease: p99 comfortably under bound, reclaim Q2.
+    Lower,
+}
+
+impl Decision {
+    /// Stable small code for trace payloads.
+    pub fn code(self) -> u8 {
+        match self {
+            Decision::Hold => 0,
+            Decision::Raise => 1,
+            Decision::Lower => 2,
+        }
+    }
+}
+
+/// One evaluation window's sensor readings, drained from all workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SensorSnapshot {
+    /// High-priority transactions committed this window.
+    pub high_completed: u64,
+    /// p99 end-to-end latency of those commits, cycles (0 if none).
+    pub high_p99: u64,
+    /// Largest end-to-end latency of those commits, cycles (0 if none).
+    /// The spike sentinel: a window's p99 (rank ~n−n/100) is blind to
+    /// tail bursts rarer than 1 %, but those same bursts decide whether
+    /// the *run-level* p99 meets the SLO.
+    pub high_max: u64,
+    /// Low-priority (Q2) transactions committed this window.
+    pub low_completed: u64,
+    /// Aborted/failed requests this window (deadline or retry budget).
+    pub aborts: u64,
+    /// Whether interrupt delivery was degraded at evaluation time.
+    pub degraded: bool,
+    /// Watchdog re-sends since the previous evaluation.
+    pub watchdog_resends: u64,
+    /// Starvation site-1 skips since the previous evaluation.
+    pub skipped_starving: u64,
+    /// Batch remainders dropped since the previous evaluation.
+    pub dropped_high: u64,
+}
+
+/// One point of the threshold trajectory.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ThresholdPoint {
+    /// Evaluation window index (0-based).
+    pub window: u32,
+    /// Virtual time of the evaluation, cycles.
+    pub at: u64,
+    /// Threshold in force *after* this decision.
+    pub threshold: f64,
+    /// Violation floor in force *after* this decision.
+    pub floor: f64,
+    pub decision: Decision,
+    pub sensors: SensorSnapshot,
+}
+
+/// The closed-loop threshold controller; owned by the scheduling thread.
+#[derive(Clone, Debug)]
+pub struct Controller {
+    cfg: ControllerConfig,
+    threshold: f64,
+    /// Lower bound the Lower branch may not cross — raised to the
+    /// post-raise threshold on every violation (TCP-ssthresh style:
+    /// remember where trouble started and stop re-probing across it),
+    /// decayed multiplicatively on clean windows so a lighter regime is
+    /// eventually re-probed.
+    floor: f64,
+    next_eval: u64,
+    window: u32,
+    trajectory: Vec<ThresholdPoint>,
+}
+
+impl Controller {
+    /// `start` is the run's first cycle; the first window closes at
+    /// `start + window_cycles`.
+    pub fn new(cfg: ControllerConfig, start: u64) -> Controller {
+        Controller {
+            threshold: cfg.clamp(cfg.initial_threshold),
+            floor: cfg.min_threshold,
+            next_eval: start + cfg.window_cycles.max(1),
+            window: 0,
+            trajectory: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The threshold currently in force.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Virtual time of the next window boundary.
+    pub fn next_eval(&self) -> u64 {
+        self.next_eval
+    }
+
+    /// Index of the *next* window to be evaluated (0-based).
+    pub fn window_index(&self) -> u32 {
+        self.window
+    }
+
+    /// The most recent decision, if any window has closed yet.
+    pub fn last_decision(&self) -> Option<Decision> {
+        self.trajectory.last().map(|p| p.decision)
+    }
+
+    /// The current violation floor: the lowest threshold the Lower
+    /// branch will go to. Raised on every p99 violation, decayed by
+    /// `floor_decay` per clean window.
+    pub fn violation_floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Applies the control law to one window's sensors and returns the
+    /// (possibly updated) threshold. Call when `now >= next_eval()`.
+    pub fn evaluate(&mut self, now: u64, sensors: SensorSnapshot) -> f64 {
+        let cfg = self.cfg;
+        let mut decision = if sensors.degraded {
+            // Cooperative-fallback latency says nothing about where
+            // L_max should sit once interrupts re-arm.
+            Decision::Hold
+        } else if sensors.high_completed < cfg.min_high_samples {
+            // Too few commits to trust a p99. If the scheduler was
+            // visibly withholding work, the silence *is* the signal.
+            if sensors.skipped_starving > 0 || sensors.dropped_high > 0 {
+                Decision::Raise
+            } else {
+                Decision::Hold
+            }
+        } else if sensors.high_p99 > cfg.high_p99_bound
+            || (sensors.high_max as f64) > cfg.spike_mult * cfg.high_p99_bound as f64
+        {
+            Decision::Raise
+        } else if (sensors.high_p99 as f64) <= cfg.hysteresis * cfg.high_p99_bound as f64
+            && sensors.high_max <= cfg.high_p99_bound
+        {
+            // Lower only on a *fully* clean window: comfortable p99 and
+            // not even one sample over the bound. A window with a
+            // moderate straggler neither raises nor invites probing.
+            Decision::Lower
+        } else {
+            Decision::Hold
+        };
+        match decision {
+            Decision::Raise => {
+                // Multiplicative, floored by one additive step so the
+                // climb out of min_threshold is never glacial. The
+                // post-raise threshold becomes the new violation floor:
+                // the current threshold just produced an SLO violation,
+                // so re-probing at or below it is known-bad until the
+                // floor decays.
+                self.threshold = cfg.clamp(
+                    (self.threshold * cfg.mult_increase).max(self.threshold + cfg.additive_step),
+                );
+                self.floor = self.floor.max(self.threshold);
+            }
+            Decision::Lower => {
+                let candidate = cfg.clamp(self.threshold - cfg.additive_step).max(self.floor);
+                if candidate < self.threshold {
+                    self.threshold = candidate;
+                } else {
+                    // Pinned on the violation floor: report what
+                    // actually happened rather than a no-op Lower.
+                    decision = Decision::Hold;
+                }
+            }
+            Decision::Hold => {}
+        }
+        if decision != Decision::Raise && !sensors.degraded {
+            // A clean window ages the memory of past violations; a
+            // degraded window says nothing either way.
+            self.floor = (self.floor * cfg.floor_decay).max(cfg.min_threshold);
+        }
+        self.trajectory.push(ThresholdPoint {
+            window: self.window,
+            at: now,
+            threshold: self.threshold,
+            floor: self.floor,
+            decision,
+            sensors,
+        });
+        self.window = self.window.wrapping_add(1);
+        // Stay on the start-aligned window grid even if the scheduler
+        // overslept a boundary (deterministic: depends only on `now`).
+        let w = cfg.window_cycles.max(1);
+        while self.next_eval <= now {
+            self.next_eval += w;
+        }
+        self.threshold
+    }
+
+    /// Finalizes into a report (call at end of run).
+    pub fn into_report(self) -> ControllerReport {
+        ControllerReport {
+            cfg: self.cfg,
+            final_threshold: self.threshold,
+            trajectory: self.trajectory,
+        }
+    }
+}
+
+/// The controller's run-level output, carried in
+/// [`crate::runner::RunReport`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControllerReport {
+    pub cfg: ControllerConfig,
+    /// Threshold in force when the run ended.
+    pub final_threshold: f64,
+    /// Every evaluation, in window order.
+    pub trajectory: Vec<ThresholdPoint>,
+}
+
+impl ControllerReport {
+    /// Canonical text form of the trajectory — one line per window,
+    /// integer fields only — for byte-identical determinism checks.
+    pub fn trajectory_text(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for p in &self.trajectory {
+            let milli = (p.threshold * 1000.0).round() as u64;
+            let fl_milli = (p.floor * 1000.0).round() as u64;
+            let _ = writeln!(
+                out,
+                "w{:04} at={} thr_milli={} fl_milli={fl_milli} d={:?} hi={} p99={} mx={} lo={} ab={} deg={} wd={} skip={} drop={}",
+                p.window,
+                p.at,
+                milli,
+                p.decision,
+                p.sensors.high_completed,
+                p.sensors.high_p99,
+                p.sensors.high_max,
+                p.sensors.low_completed,
+                p.sensors.aborts,
+                u8::from(p.sensors.degraded),
+                p.sensors.watchdog_resends,
+                p.sensors.skipped_starving,
+                p.sensors.dropped_high,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ControllerConfig {
+        ControllerConfig::default_2_4ghz()
+    }
+
+    fn healthy(p99: u64) -> SensorSnapshot {
+        SensorSnapshot {
+            high_completed: 100,
+            high_p99: p99,
+            high_max: p99,
+            low_completed: 10,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn violation_raises_multiplicatively() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        let after = c.evaluate(c0.window_cycles, healthy(c0.high_p99_bound * 2));
+        assert!((after - before * c0.mult_increase).abs() < 1e-12);
+        assert_eq!(c.trajectory[0].decision, Decision::Raise);
+    }
+
+    #[test]
+    fn comfortable_p99_lowers_additively() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        let after = c.evaluate(c0.window_cycles, healthy(1_000));
+        assert!((after - (before - c0.additive_step)).abs() < 1e-12);
+        assert_eq!(c.trajectory[0].decision, Decision::Lower);
+    }
+
+    #[test]
+    fn hysteresis_band_holds() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        // Between hysteresis×bound and bound: hold.
+        let p99 = (c0.hysteresis * c0.high_p99_bound as f64) as u64 + 1_000;
+        assert!(p99 <= c0.high_p99_bound);
+        let after = c.evaluate(c0.window_cycles, healthy(p99));
+        assert_eq!(after, before);
+        assert_eq!(c.trajectory[0].decision, Decision::Hold);
+    }
+
+    #[test]
+    fn threshold_is_clamped_both_ways() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        for i in 1..=100 {
+            c.evaluate(c0.window_cycles * i, healthy(1_000));
+        }
+        assert!((c.threshold() - c0.min_threshold).abs() < 1e-12);
+        for i in 101..=200 {
+            c.evaluate(c0.window_cycles * i, healthy(c0.high_p99_bound * 10));
+        }
+        assert!((c.threshold() - c0.max_threshold).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_windows_hold() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        let mut s = healthy(c0.high_p99_bound * 10);
+        s.degraded = true;
+        let after = c.evaluate(c0.window_cycles, s);
+        assert_eq!(after, before);
+        assert_eq!(c.trajectory[0].decision, Decision::Hold);
+    }
+
+    #[test]
+    fn starved_silent_window_raises() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        // Almost nothing completed, but the scheduler was skipping
+        // starving workers: treat as a latency emergency.
+        let s = SensorSnapshot {
+            high_completed: 1,
+            skipped_starving: 40,
+            ..Default::default()
+        };
+        let after = c.evaluate(c0.window_cycles, s);
+        assert!(after > before);
+        assert_eq!(c.trajectory[0].decision, Decision::Raise);
+        // Truly idle under-sampled windows hold instead.
+        let before = c.threshold();
+        let after = c.evaluate(
+            c0.window_cycles * 2,
+            SensorSnapshot {
+                high_completed: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn next_eval_stays_on_window_grid() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 1_000);
+        assert_eq!(c.next_eval(), 1_000 + c0.window_cycles);
+        // Oversleep three windows: next_eval advances past now on the grid.
+        let late = 1_000 + c0.window_cycles * 7 / 2;
+        c.evaluate(late, healthy(1_000));
+        assert_eq!(c.next_eval(), 1_000 + c0.window_cycles * 4);
+    }
+
+    #[test]
+    fn spike_sentinel_raises_despite_clean_p99() {
+        let c0 = cfg();
+        let mut c = Controller::new(c0, 0);
+        let before = c.threshold();
+        // Window p99 looks comfortable, but the worst sample blew far
+        // past the bound: a sub-1% burst the window p99 cannot see.
+        let mut s = healthy(1_000);
+        s.high_max = (c0.spike_mult * c0.high_p99_bound as f64) as u64 + 1;
+        let after = c.evaluate(c0.window_cycles, s);
+        assert!(after > before);
+        assert_eq!(c.trajectory[0].decision, Decision::Raise);
+
+        // A moderate straggler (over bound, under the spike sentinel)
+        // blocks lowering but does not raise.
+        let before = c.threshold();
+        let mut s = healthy(1_000);
+        s.high_max = c0.high_p99_bound + 1;
+        let after = c.evaluate(c0.window_cycles * 2, s);
+        assert_eq!(after, before);
+        assert_eq!(c.trajectory[1].decision, Decision::Hold);
+    }
+
+    #[test]
+    fn violation_floor_blocks_reprobing_then_decays() {
+        let c0 = ControllerConfig {
+            floor_decay: 0.5, // fast decay so the test stays short
+            ..cfg()
+        };
+        let mut c = Controller::new(c0, 0);
+        // Violation: raise, and pin the floor at the post-raise value.
+        let raised = c.evaluate(c0.window_cycles, healthy(c0.high_p99_bound * 2));
+        assert!((c.violation_floor() - raised).abs() < 1e-12);
+
+        // Comfortable p99 now wants to lower, but the floor pins the
+        // threshold (reported as Hold, not a no-op Lower)...
+        let after = c.evaluate(c0.window_cycles * 2, healthy(1_000));
+        assert_eq!(after, raised);
+        assert_eq!(c.trajectory[1].decision, Decision::Hold);
+        // ...while each clean window decays the floor.
+        assert!(c.violation_floor() < raised);
+
+        // Once the floor has decayed below threshold − step, lowering
+        // resumes.
+        for i in 3..=10 {
+            c.evaluate(c0.window_cycles * i, healthy(1_000));
+        }
+        assert!(c.threshold() < raised);
+        assert!(c
+            .trajectory
+            .iter()
+            .skip(2)
+            .any(|p| p.decision == Decision::Lower));
+        // The floor never decays below the clamp.
+        for i in 11..=40 {
+            c.evaluate(c0.window_cycles * i, healthy(1_000));
+        }
+        assert!((c.violation_floor() - c0.min_threshold).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trajectory_text_is_stable_and_complete() {
+        let c0 = cfg();
+        let mut a = Controller::new(c0, 0);
+        let mut b = Controller::new(c0, 0);
+        for (i, p99) in [1_000u64, 5_000_000, 900_000].iter().enumerate() {
+            let s = healthy(*p99);
+            a.evaluate(c0.window_cycles * (i as u64 + 1), s);
+            b.evaluate(c0.window_cycles * (i as u64 + 1), s);
+        }
+        let (ra, rb) = (a.into_report(), b.into_report());
+        assert_eq!(ra.trajectory_text(), rb.trajectory_text());
+        assert_eq!(ra.trajectory_text().lines().count(), 3);
+        assert_eq!(ra.trajectory.len(), 3);
+    }
+}

@@ -20,6 +20,7 @@
 
 pub mod admission;
 pub mod clock;
+pub mod controller;
 pub mod metrics;
 pub mod policy;
 pub mod request;
@@ -29,12 +30,15 @@ pub mod starvation;
 pub mod worker;
 
 pub use admission::{AdmissionControl, AdmittedFactory};
-pub use metrics::{Histogram, KindMetrics, Metrics};
-pub use policy::Policy;
+pub use controller::{
+    Controller, ControllerConfig, ControllerReport, Decision, SensorSnapshot, ThresholdPoint,
+};
+pub use metrics::{Histogram, KindMetrics, Metrics, WindowSensors, WindowTotals};
+pub use policy::{Policy, STARVATION_DISABLED};
 pub use request::{Priority, Request, RequestQueue, WorkOutcome};
 pub use runner::{run, RunReport, Runtime, WorkerTotals};
 pub use scheduler::{
-    scheduler_main, DriverConfig, RobustnessConfig, SchedulerStats, WorkloadFactory,
+    scheduler_main, DriverConfig, RobustnessConfig, SchedRun, SchedulerStats, WorkloadFactory,
 };
 pub use starvation::StarvationState;
 pub use worker::{worker_main, yield_hint, WakeTarget, WorkerShared};

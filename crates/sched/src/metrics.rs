@@ -137,6 +137,32 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Bucket-wise difference `self − earlier`, for measuring a run's
+    /// tail regime: under the deterministic simulator a shorter run is a
+    /// prefix of the full run, so subtracting the prefix histogram
+    /// leaves exactly the suffix's samples. `min`/`max` are recomputed
+    /// from the surviving buckets (bucket-resolution, like percentiles).
+    pub fn subtracting(&self, earlier: &Histogram) -> Histogram {
+        let mut out = Histogram::new();
+        for (o, (a, b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(earlier.counts.iter()))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out.log_sum = (self.log_sum - earlier.log_sum).max(0.0);
+        if out.count > 0 {
+            let first = out.counts.iter().position(|&c| c > 0).unwrap_or(0);
+            let last = out.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+            out.min = Self::bucket_value(first);
+            out.max = Self::bucket_value(last);
+        }
+        out
+    }
 }
 
 impl Default for Histogram {
@@ -264,6 +290,165 @@ impl Metrics {
     }
 }
 
+// ---------------------------------------------------------------------
+// Windowed sensors for the adaptive starvation-threshold controller.
+// ---------------------------------------------------------------------
+
+/// Mantissa bits for the compact window histogram: 8 sub-buckets per
+/// octave → 512 buckets total, ≤ 12.5 % percentile undershoot — plenty
+/// for a control loop that only compares p99 against a bound.
+const WINDOW_SUB_BITS: u32 = 3;
+const WINDOW_SUB_BUCKETS: usize = 1 << WINDOW_SUB_BITS;
+const WINDOW_BUCKETS: usize = 64 * WINDOW_SUB_BUCKETS;
+
+#[inline]
+fn window_bucket_of(value: u64) -> usize {
+    if value < WINDOW_SUB_BUCKETS as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize;
+    let mantissa = (value >> (exp - WINDOW_SUB_BITS as usize)) as usize - WINDOW_SUB_BUCKETS;
+    exp * WINDOW_SUB_BUCKETS + mantissa
+}
+
+#[inline]
+fn window_bucket_value(bucket: usize) -> u64 {
+    if bucket < WINDOW_SUB_BUCKETS {
+        bucket as u64
+    } else {
+        let exp = bucket / WINDOW_SUB_BUCKETS;
+        let mantissa = bucket % WINDOW_SUB_BUCKETS;
+        ((WINDOW_SUB_BUCKETS + mantissa) as u64) << (exp - WINDOW_SUB_BITS as usize)
+    }
+}
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-worker sensor block the adaptive controller drains (and zeroes)
+/// once per evaluation window: completion counters plus a compact
+/// atomic latency histogram for high-priority commits.
+///
+/// Workers record with relaxed increments on their own hot path; the
+/// scheduling thread drains with `swap(0)`. All orderings are Relaxed —
+/// the controller tolerates a sample landing one window late, and under
+/// the deterministic simulator (where trajectories must replay exactly)
+/// all cores share one OS thread anyway.
+#[derive(Debug)]
+pub struct WindowSensors {
+    high_completed: AtomicU64,
+    low_completed: AtomicU64,
+    aborts: AtomicU64,
+    high_latency: Box<[AtomicU64]>,
+}
+
+impl WindowSensors {
+    pub fn new() -> WindowSensors {
+        WindowSensors {
+            high_completed: AtomicU64::new(0),
+            low_completed: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            high_latency: (0..WINDOW_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one committed request (`priority` 0 = low).
+    #[inline]
+    pub fn record_completion(&self, priority: u8, latency: u64) {
+        if priority == 0 {
+            self.low_completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.high_completed.fetch_add(1, Ordering::Relaxed);
+            self.high_latency[window_bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one abort (deadline or retry-budget exhaustion).
+    #[inline]
+    pub fn record_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drains this worker's window into `acc`, zeroing the counters.
+    pub fn drain_into(&self, acc: &mut WindowTotals) {
+        acc.high_completed += self.high_completed.swap(0, Ordering::Relaxed);
+        acc.low_completed += self.low_completed.swap(0, Ordering::Relaxed);
+        acc.aborts += self.aborts.swap(0, Ordering::Relaxed);
+        for (a, b) in acc.high_latency.iter_mut().zip(self.high_latency.iter()) {
+            *a += b.swap(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for WindowSensors {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Accumulator for one evaluation window, summed across workers.
+#[derive(Clone, Debug)]
+pub struct WindowTotals {
+    pub high_completed: u64,
+    pub low_completed: u64,
+    pub aborts: u64,
+    high_latency: Vec<u64>,
+}
+
+impl WindowTotals {
+    pub fn new() -> WindowTotals {
+        WindowTotals {
+            high_completed: 0,
+            low_completed: 0,
+            aborts: 0,
+            high_latency: vec![0; WINDOW_BUCKETS],
+        }
+    }
+
+    /// Zeroes the accumulator for the next window.
+    pub fn reset(&mut self) {
+        self.high_completed = 0;
+        self.low_completed = 0;
+        self.aborts = 0;
+        self.high_latency.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// p99 of this window's high-priority commit latencies (bucket lower
+    /// bound; 0 when the window completed nothing).
+    pub fn high_p99(&self) -> u64 {
+        if self.high_completed == 0 {
+            return 0;
+        }
+        let rank = (0.99 * self.high_completed as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.high_latency.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return window_bucket_value(b);
+            }
+        }
+        window_bucket_value(WINDOW_BUCKETS - 1)
+    }
+
+    /// Largest high-priority latency recorded this window, at bucket
+    /// resolution (undershoots the true value by < 12.5 %); 0 when no
+    /// high-priority work completed. The controller's spike sentinel: a
+    /// window whose p99 looks clean can still hide a sub-1 % tail
+    /// burst, and the max is the cheapest detector for it.
+    pub fn high_max(&self) -> u64 {
+        self.high_latency
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(window_bucket_value)
+            .unwrap_or(0)
+    }
+}
+
+impl Default for WindowTotals {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,5 +559,75 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.geomean(), 0.0);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn subtracting_a_prefix_leaves_the_suffix() {
+        let mut full = Histogram::new();
+        let mut prefix = Histogram::new();
+        let mut suffix = Histogram::new();
+        for v in 1..=2_000u64 {
+            full.record(v * 13);
+            if v <= 800 {
+                prefix.record(v * 13);
+            } else {
+                suffix.record(v * 13);
+            }
+        }
+        let diff = full.subtracting(&prefix);
+        assert_eq!(diff.count(), suffix.count());
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            assert_eq!(diff.percentile(p), suffix.percentile(p));
+        }
+        assert!((diff.mean() - suffix.mean()).abs() < 1e-6);
+        assert!((diff.geomean() - suffix.geomean()).abs() / suffix.geomean() < 1e-9);
+        // Subtracting everything leaves a sane empty histogram.
+        let empty = full.subtracting(&full);
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.percentile(99.0), 0);
+    }
+
+    #[test]
+    fn window_sensors_drain_and_p99() {
+        let s = WindowSensors::new();
+        for i in 1..=200u64 {
+            s.record_completion(1, i * 1_000);
+        }
+        s.record_completion(0, 5_000_000);
+        s.record_abort();
+        let mut acc = WindowTotals::new();
+        s.drain_into(&mut acc);
+        assert_eq!(acc.high_completed, 200);
+        assert_eq!(acc.low_completed, 1);
+        assert_eq!(acc.aborts, 1);
+        // p99 of 1k..=200k uniform ≈ 198k; 3 mantissa bits undershoot
+        // by ≤ 12.5 %.
+        let p99 = acc.high_p99();
+        assert!(
+            (170_000..=200_000).contains(&p99),
+            "window p99 = {p99}"
+        );
+        // Draining zeroed the source.
+        let mut again = WindowTotals::new();
+        s.drain_into(&mut again);
+        assert_eq!(again.high_completed, 0);
+        assert_eq!(again.high_p99(), 0);
+        // reset() zeroes the accumulator.
+        acc.reset();
+        assert_eq!(acc.high_completed, 0);
+        assert_eq!(acc.high_p99(), 0);
+    }
+
+    #[test]
+    fn window_buckets_round_trip_bounds() {
+        for v in [0u64, 1, 7, 8, 9, 1_000, 123_456, u64::MAX / 2] {
+            let b = window_bucket_of(v);
+            let lo = window_bucket_value(b);
+            assert!(lo <= v, "bucket lower bound {lo} > {v}");
+            assert!(
+                v == lo || (v - lo) as f64 / v as f64 <= 0.125 + 1e-9,
+                "undershoot too large for {v}: {lo}"
+            );
+        }
     }
 }

@@ -16,7 +16,38 @@
 //! * [`Policy::Preemptive`] — PreemptDB: the scheduler sends a user
 //!   interrupt after enqueuing a batch; the handler switches to the
 //!   preemptive context immediately (batched on-demand preemption),
-//!   subject to starvation prevention with threshold `starvation_threshold`.
+//!   subject to starvation prevention with a *static* threshold.
+//! * [`Policy::PreemptiveAdaptive`] — PreemptDB with the closed-loop
+//!   controller ([`crate::controller`]) adapting the threshold online
+//!   from observed high-priority tail latency.
+
+use crate::controller::ControllerConfig;
+
+/// The starvation threshold value that disables prevention.
+///
+/// The starvation level is a share `L = T_h / (T_1 − T_0)` and therefore
+/// never exceeds 1 by construction, so any threshold ≥ 1 can never trip
+/// either decision site; the paper (and [`Policy::preemptdb`]) uses 100
+/// as the "off" setting for light mixes that need no prevention (§6.1).
+///
+/// ```
+/// use preempt_sched::{Policy, StarvationState, STARVATION_DISABLED};
+///
+/// // L is a share of elapsed cycles: even a worker that spent *every*
+/// // cycle since T0 on high-priority work only reaches L = 1.0.
+/// let s = StarvationState::new();
+/// s.low_priority_started(1_000);
+/// s.add_high_cycles(9_000); // all 9_000 elapsed cycles were high-priority
+/// assert!((s.level(10_000) - 1.0).abs() < 1e-9);
+/// assert!(!s.starving(10_000, STARVATION_DISABLED));
+///
+/// // The default PreemptDB policy ships with prevention disabled.
+/// assert_eq!(
+///     Policy::preemptdb().starvation_threshold(),
+///     Some(STARVATION_DISABLED)
+/// );
+/// ```
+pub const STARVATION_DISABLED: f64 = 100.0;
 
 /// Scheduling policy for a run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -29,10 +60,15 @@ pub enum Policy {
     /// Workload-level handcrafted yielding every `block_interval`
     /// annotated blocks (paper: every 1 000 nested query blocks of Q2).
     CooperativeHandcrafted { block_interval: u64 },
-    /// PreemptDB: user-interrupt-driven preemption with starvation
-    /// prevention (threshold 100.0 effectively disables prevention; 0.0
-    /// disables preemptive execution).
+    /// PreemptDB: user-interrupt-driven preemption with static-threshold
+    /// starvation prevention. The level is a share in [0, 1], so
+    /// meaningful thresholds live there; [`STARVATION_DISABLED`] (100.0)
+    /// turns prevention off and 0.0 disables preemptive execution.
     Preemptive { starvation_threshold: f64 },
+    /// PreemptDB with the closed-loop adaptive threshold controller:
+    /// starts at `controller.initial_threshold` and is re-tuned every
+    /// `controller.window_cycles` from live sensors.
+    PreemptiveAdaptive { controller: ControllerConfig },
 }
 
 impl Policy {
@@ -40,7 +76,15 @@ impl Policy {
     /// need starvation prevention, §6.1).
     pub fn preemptdb() -> Policy {
         Policy::Preemptive {
-            starvation_threshold: 100.0,
+            starvation_threshold: STARVATION_DISABLED,
+        }
+    }
+
+    /// PreemptDB with the default adaptive controller
+    /// ([`ControllerConfig::default_2_4ghz`]).
+    pub fn preemptdb_adaptive() -> Policy {
+        Policy::PreemptiveAdaptive {
+            controller: ControllerConfig::default(),
         }
     }
 
@@ -53,15 +97,34 @@ impl Policy {
 
     /// Whether the scheduler should send user interrupts.
     pub fn sends_uintr(&self) -> bool {
-        matches!(self, Policy::Preemptive { .. })
+        self.is_preemptive()
     }
 
-    /// Starvation threshold if applicable.
+    /// Whether this is a preemptive (uintr-driven) policy, static or
+    /// adaptive — the guard both starvation decision sites use.
+    pub fn is_preemptive(&self) -> bool {
+        matches!(
+            self,
+            Policy::Preemptive { .. } | Policy::PreemptiveAdaptive { .. }
+        )
+    }
+
+    /// The starvation threshold each worker starts with, if applicable
+    /// (the adaptive policy's controller re-tunes it per window).
     pub fn starvation_threshold(&self) -> Option<f64> {
         match self {
             Policy::Preemptive {
                 starvation_threshold,
             } => Some(*starvation_threshold),
+            Policy::PreemptiveAdaptive { controller } => Some(controller.initial_threshold),
+            _ => None,
+        }
+    }
+
+    /// The adaptive controller's configuration, if this policy has one.
+    pub fn controller_config(&self) -> Option<ControllerConfig> {
+        match self {
+            Policy::PreemptiveAdaptive { controller } => Some(*controller),
             _ => None,
         }
     }
@@ -79,6 +142,10 @@ impl Policy {
             Policy::Preemptive {
                 starvation_threshold,
             } => format!("PreemptDB(Lmax={starvation_threshold})"),
+            Policy::PreemptiveAdaptive { controller } => format!(
+                "PreemptDB-Adaptive(L0={}, p99<={}cy)",
+                controller.initial_threshold, controller.high_p99_bound
+            ),
         }
     }
 }
@@ -96,9 +163,24 @@ mod tests {
             }
         );
         assert!(Policy::preemptdb().sends_uintr());
-        assert_eq!(Policy::preemptdb().starvation_threshold(), Some(100.0));
+        assert_eq!(
+            Policy::preemptdb().starvation_threshold(),
+            Some(STARVATION_DISABLED)
+        );
         assert!(!Policy::Wait.sends_uintr());
         assert_eq!(Policy::Wait.starvation_threshold(), None);
+    }
+
+    #[test]
+    fn adaptive_is_preemptive_with_controller() {
+        let p = Policy::preemptdb_adaptive();
+        assert!(p.is_preemptive());
+        assert!(p.sends_uintr());
+        let cc = p.controller_config().expect("adaptive has a controller");
+        assert_eq!(p.starvation_threshold(), Some(cc.initial_threshold));
+        // Static policies carry no controller.
+        assert_eq!(Policy::preemptdb().controller_config(), None);
+        assert_eq!(Policy::Wait.controller_config(), None);
     }
 
     #[test]
@@ -108,6 +190,7 @@ mod tests {
             Policy::cooperative(),
             Policy::CooperativeHandcrafted { block_interval: 1000 },
             Policy::preemptdb(),
+            Policy::preemptdb_adaptive(),
         ]
         .iter()
         .map(|p| p.label())

@@ -7,8 +7,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use preempt_sim::{SimConfig, Simulation};
 
+use crate::controller::ControllerReport;
 use crate::metrics::Metrics;
-use crate::scheduler::{scheduler_main, DriverConfig, SchedulerStats, WorkloadFactory};
+use crate::scheduler::{scheduler_main, DriverConfig, SchedRun, SchedulerStats, WorkloadFactory};
 use crate::worker::{worker_main, WakeTarget, WorkerShared};
 
 /// Worker main-context stack size (runs full transaction logic).
@@ -43,6 +44,9 @@ pub struct RunReport {
     pub policy_label: String,
     pub metrics: Metrics,
     pub scheduler: SchedulerStats,
+    /// Adaptive-controller trajectory and final threshold, when the run
+    /// used [`crate::Policy::PreemptiveAdaptive`]; `None` otherwise.
+    pub controller: Option<ControllerReport>,
     pub workers: WorkerTotals,
     /// Configured duration, cycles.
     pub duration_cycles: u64,
@@ -146,7 +150,7 @@ pub fn run(runtime: Runtime, cfg: DriverConfig, factory: Box<dyn WorkloadFactory
 fn collect(
     cfg: &DriverConfig,
     workers: &[Arc<WorkerShared>],
-    sched_stats: SchedulerStats,
+    sched: SchedRun,
     freq_hz: u64,
 ) -> RunReport {
     use std::sync::atomic::Ordering;
@@ -166,7 +170,8 @@ fn collect(
     RunReport {
         policy_label: cfg.policy.label(),
         metrics,
-        scheduler: sched_stats,
+        scheduler: sched.stats,
+        controller: sched.controller,
         workers: totals,
         duration_cycles: cfg.duration,
         freq_hz,
@@ -205,18 +210,18 @@ fn run_simulated(
             .set(WakeTarget::Sim(core))
             .expect("wake target set once");
     }
-    let sched_stats = Arc::new(Mutex::new(SchedulerStats::default()));
+    let sched_out = Arc::new(Mutex::new(SchedRun::default()));
     {
         let workers = workers.clone();
         let cfg = cfg.clone();
-        let stats = sched_stats.clone();
+        let out = sched_out.clone();
         sim.spawn_core("scheduler", SCHED_STACK, move || {
-            *stats.lock() = scheduler_main(&cfg, &workers, &mut *factory);
+            *out.lock() = scheduler_main(&cfg, &workers, &mut *factory);
         });
     }
     sim.run();
-    let stats = *sched_stats.lock();
-    let mut report = collect(&cfg, &workers, stats, sim_cfg.freq_hz);
+    let sched = sched_out.lock().clone();
+    let mut report = collect(&cfg, &workers, sched, sim_cfg.freq_hz);
     report.faults = sim.fault_stats();
     report.fault_trace = sim.fault_trace();
     report
@@ -238,11 +243,11 @@ fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunR
                 .expect("spawn worker"),
         );
     }
-    let stats = scheduler_main(&cfg, &workers, &mut *factory);
+    let sched = scheduler_main(&cfg, &workers, &mut *factory);
     for h in handles {
         h.join().expect("worker panicked");
     }
-    collect(&cfg, &workers, stats, crate::clock::freq_hz())
+    collect(&cfg, &workers, sched, crate::clock::freq_hz())
 }
 
 #[cfg(test)]
@@ -261,6 +266,7 @@ mod tests {
             policy_label: "test".into(),
             metrics,
             scheduler: SchedulerStats::default(),
+            controller: None,
             workers: WorkerTotals::default(),
             duration_cycles: 2_400_000_000, // 1 s
             freq_hz: 2_400_000_000,

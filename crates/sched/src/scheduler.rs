@@ -73,8 +73,14 @@ pub struct RobustnessConfig {
     /// watchdog re-send) at which preemptive notification degrades to
     /// plain wakes.
     pub degrade_threshold_ppm: u32,
-    /// Number of sends per degradation evaluation window.
+    /// Minimum sends in a window before its failure rate is trusted;
+    /// under-sampled windows decay instead of evaluating (see
+    /// [`DegradeWindow`]).
     pub degrade_window: u64,
+    /// Length of one rolling degradation-evaluation window, cycles
+    /// (≈ 2 ms at 2.4 GHz). Counters reset (or decay) every window, so
+    /// an early failure burst cannot dominate the rate forever.
+    pub degrade_eval_interval: u64,
     /// Failure-free cycles after which a degraded scheduler re-arms
     /// user interrupts (≈ 10 ms at 2.4 GHz).
     pub upgrade_quiet: u64,
@@ -93,9 +99,77 @@ impl Default for RobustnessConfig {
             max_retries: 4,
             degrade_threshold_ppm: 400_000,
             degrade_window: 32,
+            degrade_eval_interval: 4_800_000,
             upgrade_quiet: 24_000_000,
             max_full_retries: 8,
         }
+    }
+}
+
+/// Rolling send/failure window for graceful-degradation decisions.
+///
+/// The failure rate is evaluated once per `eval_interval` cycles and the
+/// counters are then **reset**, so the rate always describes the most
+/// recent window rather than the whole run. A window with fewer than
+/// `min_sends` sends is too small to trust (one unlucky re-send would
+/// read as a huge rate); its counters are *halved* instead of evaluated,
+/// so a stale sub-threshold burst fades away rather than lingering until
+/// enough sends eventually arrive to be judged against.
+#[derive(Clone, Copy, Debug)]
+struct DegradeWindow {
+    sends: u64,
+    failures: u64,
+    window_start: u64,
+    eval_interval: u64,
+    min_sends: u64,
+}
+
+impl DegradeWindow {
+    fn new(now: u64, eval_interval: u64, min_sends: u64) -> DegradeWindow {
+        DegradeWindow {
+            sends: 0,
+            failures: 0,
+            window_start: now,
+            eval_interval: eval_interval.max(1),
+            min_sends: min_sends.max(1),
+        }
+    }
+
+    fn send_ok(&mut self) {
+        self.sends += 1;
+    }
+
+    fn send_failed(&mut self) {
+        self.sends += 1;
+        self.failures += 1;
+    }
+
+    /// Closes the window if `eval_interval` has elapsed: returns
+    /// `Some(failure_rate_ppm)` and resets the counters when the window
+    /// had enough sends, `None` (after decaying) otherwise.
+    fn evaluate(&mut self, now: u64) -> Option<u64> {
+        if now.saturating_sub(self.window_start) < self.eval_interval {
+            return None;
+        }
+        self.window_start = now;
+        if self.sends >= self.min_sends {
+            let rate = self.failures.saturating_mul(1_000_000) / self.sends;
+            self.sends = 0;
+            self.failures = 0;
+            Some(rate)
+        } else {
+            self.sends /= 2;
+            self.failures /= 2;
+            None
+        }
+    }
+
+    /// Forgets all history (used when re-arming after an upgrade: the
+    /// degraded stretch's counters say nothing about the new regime).
+    fn reset(&mut self, now: u64) {
+        self.sends = 0;
+        self.failures = 0;
+        self.window_start = now;
     }
 }
 
@@ -165,6 +239,13 @@ pub struct SchedulerStats {
     /// Ticks whose batch remainder was abandoned (full queues or the
     /// no-progress retry cap).
     pub abandoned_batches: u64,
+    /// Requests left stranded when the no-progress retry cap
+    /// (`max_full_retries`) gave up on a tick's batch — the remainder
+    /// that is then dropped at the next interval. CI asserts this stays
+    /// zero for the adaptive bench configurations.
+    pub retry_abandoned_high: u64,
+    /// Adaptive-controller evaluation windows closed during the run.
+    pub controller_evals: u64,
     /// Dispatch enqueues rejected by fault injection.
     pub dispatch_faults: u64,
     /// Interrupt sends that failed outright (no UPID / send error).
@@ -227,13 +308,22 @@ fn send_uintr(w: &WorkerShared, level: u8) -> bool {
     }
 }
 
+/// Everything the scheduling thread hands back at the end of a run.
+#[derive(Clone, Debug, Default)]
+pub struct SchedRun {
+    pub stats: SchedulerStats,
+    /// The adaptive controller's threshold trajectory
+    /// (`None` under static policies).
+    pub controller: Option<crate::controller::ControllerReport>,
+}
+
 /// Runs the scheduling thread until `cfg.duration` elapses, then stops
 /// all workers. Call on the dedicated scheduler thread or simulated core.
 pub fn scheduler_main(
     cfg: &DriverConfig,
     workers: &[Arc<WorkerShared>],
     factory: &mut dyn WorkloadFactory,
-) -> SchedulerStats {
+) -> SchedRun {
     let mut stats = SchedulerStats::default();
     // The scheduler records into its own ring (worker id u16::MAX). The
     // ring pointer is context-local and this function can run on a
@@ -254,6 +344,22 @@ pub fn scheduler_main(
 
     let start = now_cycles();
     let deadline = start + cfg.duration;
+    // Arm every worker's live threshold cell from the policy; under the
+    // adaptive policy the controller re-writes it per window. (The
+    // worker also sets its own cell at startup; both write the same
+    // value, so the order is immaterial.)
+    if let Some(l0) = cfg.policy.starvation_threshold() {
+        for w in workers {
+            w.starvation.set_threshold(l0);
+        }
+    }
+    let mut controller = cfg
+        .policy
+        .controller_config()
+        .map(|cc| crate::controller::Controller::new(cc, start));
+    let mut ctl_totals = crate::metrics::WindowTotals::new();
+    // Scheduler-side counter baselines for per-window deltas.
+    let mut ctl_prev = (0u64, 0u64, 0u64);
     // Low-priority queues are kept topped up continuously (at most every
     // millisecond), independent of the high-priority arrival interval:
     // the paper's workload keeps workers saturated with Q2 at any
@@ -269,8 +375,7 @@ pub fn scheduler_main(
     // window (see `RobustnessConfig`).
     let rb = cfg.robustness;
     let mut degraded = false;
-    let mut recent_sends: u64 = 0;
-    let mut recent_failures: u64 = 0;
+    let mut dw = DegradeWindow::new(start, rb.degrade_eval_interval, rb.degrade_window);
     let mut last_failure_at = start;
     let mut wd_backoff = vec![rb.watchdog_backoff_min.max(1); workers.len()];
     let mut wd_next = vec![0u64; workers.len()];
@@ -345,18 +450,16 @@ pub fn scheduler_main(
                     }
                     let w = &workers[rr % workers.len()];
                     rr += 1;
-                    // Starvation decision site 1 (§5).
-                    if let Policy::Preemptive {
-                        starvation_threshold,
-                    } = cfg.policy
-                    {
-                        if w.starvation.starving(now_cycles(), starvation_threshold) {
-                            preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
-                                site: 1,
-                            });
-                            stats.skipped_starving += 1;
-                            continue;
-                        }
+                    // Starvation decision site 1 (§5): compare against
+                    // the worker's *live* threshold cell — static
+                    // policies arm it once, the adaptive controller
+                    // re-tunes it per window.
+                    if cfg.policy.is_preemptive() && w.starvation.starving_live(now_cycles()) {
+                        preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
+                            site: 1,
+                        });
+                        stats.skipped_starving += 1;
+                        continue;
                     }
                     let level = cfg.levels() as usize - 1; // highest level queue
                     if let Some(r) = pending.pop_front() {
@@ -385,9 +488,13 @@ pub fn scheduler_main(
                 }
                 if !progress {
                     full_retries += 1;
-                    if full_retries > rb.max_full_retries
-                        || now_cycles() + FULL_RETRY_PAUSE >= tick_end
-                    {
+                    if full_retries > rb.max_full_retries {
+                        // The give-up path: the remainder will be
+                        // dropped at the next interval.
+                        stats.retry_abandoned_high += pending.len() as u64;
+                        break;
+                    }
+                    if now_cycles() + FULL_RETRY_PAUSE >= tick_end {
                         break;
                     }
                     sleep_until_cycles(now_cycles() + FULL_RETRY_PAUSE);
@@ -410,13 +517,12 @@ pub fn scheduler_main(
                     let level = cfg.levels() - 1;
                     if send_uintr(w, level) {
                         stats.interrupts_sent += 1;
-                        recent_sends += 1;
+                        dw.send_ok();
                         wd_backoff[i] = rb.watchdog_backoff_min.max(1);
                         wd_next[i] = now_cycles() + wd_backoff[i];
                     } else {
                         stats.delivery_errors += 1;
-                        recent_sends += 1;
-                        recent_failures += 1;
+                        dw.send_failed();
                         last_failure_at = now_cycles();
                         // Fall back to a plain wake so the work is not
                         // stranded behind the failed interrupt.
@@ -453,8 +559,7 @@ pub fn scheduler_main(
                             stats.interrupts_sent += 1;
                         }
                         stats.watchdog_resends += 1;
-                        recent_sends += 1;
-                        recent_failures += 1;
+                        dw.send_failed();
                         last_failure_at = wnow;
                         wd_backoff[i] =
                             wd_backoff[i].saturating_mul(2).min(rb.watchdog_backoff_max);
@@ -467,37 +572,95 @@ pub fn scheduler_main(
             }
         }
 
-        // Graceful degradation: too many failures in the recent window →
-        // stop interrupting and lean on wakes + worker-side cooperative
-        // checks; a failure-free quiet period re-arms interrupts.
-        if !degraded && recent_sends >= rb.degrade_window.max(1) {
-            let rate_ppm = recent_failures.saturating_mul(1_000_000) / recent_sends;
-            if rate_ppm >= rb.degrade_threshold_ppm as u64 {
-                degraded = true;
-                preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: true });
-                stats.policy_downgrades += 1;
-                for w in workers {
-                    w.degraded.store(true, std::sync::atomic::Ordering::Release);
+        // Graceful degradation: too many failures in the *rolling*
+        // window → stop interrupting and lean on wakes + worker-side
+        // cooperative checks; a failure-free quiet period re-arms
+        // interrupts and forgets the window's history.
+        let dnow = now_cycles();
+        if !degraded {
+            if let Some(rate_ppm) = dw.evaluate(dnow) {
+                if rate_ppm >= rb.degrade_threshold_ppm as u64 {
+                    degraded = true;
+                    preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: true });
+                    stats.policy_downgrades += 1;
+                    for w in workers {
+                        w.degraded.store(true, std::sync::atomic::Ordering::Release);
+                    }
                 }
             }
-            recent_sends = 0;
-            recent_failures = 0;
-        }
-        if degraded && now_cycles().saturating_sub(last_failure_at) >= rb.upgrade_quiet {
+        } else if dnow.saturating_sub(last_failure_at) >= rb.upgrade_quiet {
             degraded = false;
             preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: false });
             stats.policy_upgrades += 1;
+            dw.reset(dnow);
+            // Restart the watchdog clocks too: a stale pre-degradation
+            // wd_next would fire (and count a "failure") the instant
+            // interrupts re-arm, flapping straight back to degraded.
+            for i in 0..workers.len() {
+                wd_backoff[i] = rb.watchdog_backoff_min.max(1);
+                wd_next[i] = dnow + wd_backoff[i];
+            }
             for w in workers {
                 w.degraded.store(false, std::sync::atomic::Ordering::Release);
             }
         }
 
+        // Adaptive starvation-threshold controller: at each virtual-time
+        // window boundary, drain the workers' sensor blocks, run the
+        // AIMD step, and publish the new threshold to every worker's
+        // live cell. Deterministic: driven purely by virtual time and
+        // integer sensors.
+        let mut ctl_earliest = u64::MAX;
+        if let Some(ctl) = controller.as_mut() {
+            let cnow = now_cycles();
+            if cnow >= ctl.next_eval() {
+                ctl_totals.reset();
+                for w in workers {
+                    w.sensors.drain_into(&mut ctl_totals);
+                }
+                let snapshot = crate::controller::SensorSnapshot {
+                    high_completed: ctl_totals.high_completed,
+                    high_p99: ctl_totals.high_p99(),
+                    high_max: ctl_totals.high_max(),
+                    low_completed: ctl_totals.low_completed,
+                    aborts: ctl_totals.aborts,
+                    degraded,
+                    watchdog_resends: stats.watchdog_resends - ctl_prev.0,
+                    skipped_starving: stats.skipped_starving - ctl_prev.1,
+                    dropped_high: stats.dropped_high - ctl_prev.2,
+                };
+                ctl_prev = (
+                    stats.watchdog_resends,
+                    stats.skipped_starving,
+                    stats.dropped_high,
+                );
+                let window = ctl.window_index();
+                let thr = ctl.evaluate(cnow, snapshot);
+                for w in workers {
+                    w.starvation.set_threshold(thr);
+                }
+                let decision = ctl
+                    .last_decision()
+                    .map(crate::controller::Decision::code)
+                    .unwrap_or(0);
+                preempt_trace::emit(preempt_trace::TraceEvent::ControllerDecision {
+                    window: window as u16,
+                    threshold_milli: (thr * 1000.0).round() as u32,
+                    decision,
+                });
+                stats.controller_evals += 1;
+            }
+            ctl_earliest = ctl.next_eval();
+        }
+
         // Sleep until the earliest of the next low refill, the next
-        // high-priority arrival, or a pending watchdog re-send.
+        // high-priority arrival, a pending watchdog re-send, or the
+        // next controller window boundary.
         let wake = next_high_tick
             .min(now_cycles() + low_refill)
             .min(deadline)
-            .min(wd_earliest);
+            .min(wd_earliest)
+            .min(ctl_earliest);
         if wake > now_cycles() {
             sleep_until_cycles(wake);
         }
@@ -511,7 +674,10 @@ pub fn scheduler_main(
     if sched_ring.is_some() {
         preempt_trace::clear_current();
     }
-    stats
+    SchedRun {
+        stats,
+        controller: controller.map(crate::controller::Controller::into_report),
+    }
 }
 
 #[cfg(test)]
@@ -544,6 +710,50 @@ mod tests {
                 WorkOutcome::default()
             }))
         }
+    }
+
+    #[test]
+    fn degrade_window_rolls_and_decays() {
+        // 1 ms windows, trust a window once it has ≥ 8 sends.
+        let mut dw = DegradeWindow::new(0, 2_400_000, 8);
+
+        // Early failure spike: 8 sends, all failed.
+        for _ in 0..8 {
+            dw.send_failed();
+        }
+        assert_eq!(dw.evaluate(2_400_000), Some(1_000_000));
+
+        // The evaluation reset the counters: a long healthy stretch
+        // afterwards reads 0 ppm — the old spike does NOT linger.
+        for _ in 0..20 {
+            dw.send_ok();
+        }
+        assert_eq!(dw.evaluate(4_800_000), Some(0));
+
+        // A sub-threshold burst (3 failures < min_sends) is never
+        // evaluated; it decays across empty windows instead of waiting
+        // to be paired with much-later sends.
+        for _ in 0..3 {
+            dw.send_failed();
+        }
+        assert_eq!(dw.evaluate(7_200_000), None);
+        assert_eq!(dw.evaluate(9_600_000), None);
+        assert_eq!(dw.evaluate(12_000_000), None);
+        // Fully decayed: a healthy window evaluates clean.
+        for _ in 0..8 {
+            dw.send_ok();
+        }
+        assert_eq!(dw.evaluate(14_400_000), Some(0));
+
+        // Windows close on elapsed time, not send counts.
+        for _ in 0..100 {
+            dw.send_ok();
+        }
+        assert_eq!(dw.evaluate(14_400_001), None, "window not elapsed yet");
+
+        // reset() forgets everything.
+        dw.reset(20_000_000);
+        assert_eq!(dw.evaluate(30_000_000), None, "no sends since reset");
     }
 
     #[test]
@@ -592,7 +802,7 @@ mod tests {
                 low_left: 10,
                 high_left: 40,
             };
-            *st.lock() = scheduler_main(&cfg2, &ws, &mut f);
+            *st.lock() = scheduler_main(&cfg2, &ws, &mut f).stats;
         });
         sim.run();
 

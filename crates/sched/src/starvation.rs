@@ -12,42 +12,104 @@
 //! 2. the **preemptive context**, after each high-priority transaction
 //!    (switch back early without draining the queue if `L > L_max`).
 //!
-//! All three quantities live in shared atomics so both the scheduler
-//! thread and both contexts of the worker read/update them (the paper
-//! stores them "in a shared memory location across both contexts").
+//! All quantities live in shared atomics so both the scheduler thread
+//! and both contexts of the worker read/update them (the paper stores
+//! them "in a shared memory location across both contexts").
+//!
+//! ## Consistency of the (T₀, T_h) pair
+//!
+//! `T_0` and `T_h` are re-armed together (`low_priority_started` /
+//! `low_priority_finished`), but a remote reader that loaded them as two
+//! independent atomics could pair a fresh `T_0` with the previous
+//! transaction's accumulated `T_h` — a bogus level far above 1 that
+//! falsely throttles the worker (or the mirror image that falsely
+//! un-throttles it). The pair is therefore published under a seqlock:
+//! the single writer (the owning worker — all re-arms happen on its
+//! thread, and preemption only occurs at explicit preempt points, never
+//! mid-sequence) bumps a generation word to odd, stores both values,
+//! and bumps it back to even; readers retry until they observe the same
+//! even generation on both sides of the loads. `add_high_cycles` is a
+//! plain `fetch_add` without a generation bump: it never crosses a
+//! re-arm (the same thread orders it after `low_priority_started`), so
+//! any `T_h` a reader pairs with the matching-generation `T_0` belongs
+//! to the same arming and only ever lags by in-flight accumulation.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Bounded seqlock read retries before giving up and reporting "idle"
+/// (level 0). In practice one retry suffices: the writer's critical
+/// section is two relaxed stores.
+const SNAPSHOT_RETRIES: usize = 1024;
 
 /// Shared per-worker starvation state.
 #[derive(Debug)]
 pub struct StarvationState {
+    /// Seqlock generation: odd while the (t0, th) pair is being written.
+    seq: AtomicU64,
     /// Start timestamp (cycles) of the worker's current low-priority
     /// transaction; 0 when none is running.
     t0: AtomicU64,
     /// Cycles spent on high-priority transactions since `t0`.
     th: AtomicU64,
+    /// The live threshold `L_max` this worker is compared against
+    /// (f64 bit pattern). Written by the scheduler (statically at run
+    /// start, or per evaluation window by the adaptive controller),
+    /// read by both decision sites.
+    threshold_bits: AtomicU64,
 }
 
 impl StarvationState {
     pub fn new() -> StarvationState {
         StarvationState {
+            seq: AtomicU64::new(0),
             t0: AtomicU64::new(0),
             th: AtomicU64::new(0),
+            threshold_bits: AtomicU64::new(crate::policy::STARVATION_DISABLED.to_bits()),
         }
+    }
+
+    /// Publishes a new (t0, th) pair under the seqlock. Caller must be
+    /// the single writer (the owning worker's thread).
+    #[inline]
+    fn write_pair(&self, t0: u64, th: u64) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Relaxed);
+        fence(Ordering::Release);
+        self.t0.store(t0, Ordering::Relaxed);
+        self.th.store(th, Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// A consistent (t0, th) snapshot, or (0, 0) — "idle", the safe
+    /// direction for both decision sites — if the writer never yields
+    /// the lock within the retry budget.
+    #[inline]
+    fn snapshot(&self) -> (u64, u64) {
+        for _ in 0..SNAPSHOT_RETRIES {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let t0 = self.t0.load(Ordering::Relaxed);
+                let th = self.th.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return (t0, th);
+                }
+            }
+            std::hint::spin_loop();
+        }
+        (0, 0)
     }
 
     /// Called by the worker when a low-priority transaction starts:
     /// records `T_0` and zeroes the accumulator.
     pub fn low_priority_started(&self, now: u64) {
         // 0 is the "idle" sentinel; clamp a start at cycle 0 to 1.
-        self.t0.store(now.max(1), Ordering::Relaxed);
-        self.th.store(0, Ordering::Relaxed);
+        self.write_pair(now.max(1), 0);
     }
 
     /// Called by the worker when its low-priority transaction concludes.
     pub fn low_priority_finished(&self) {
-        self.t0.store(0, Ordering::Relaxed);
-        self.th.store(0, Ordering::Relaxed);
+        self.write_pair(0, 0);
     }
 
     /// Accumulates `cycles` of high-priority execution into `T_h`.
@@ -58,7 +120,7 @@ impl StarvationState {
     /// The starvation level `L` at time `now`; 0 when no low-priority
     /// transaction is in flight (nothing can starve).
     pub fn level(&self, now: u64) -> f64 {
-        let t0 = self.t0.load(Ordering::Relaxed);
+        let (t0, th) = self.snapshot();
         if t0 == 0 {
             return 0.0;
         }
@@ -66,12 +128,32 @@ impl StarvationState {
         if elapsed == 0 {
             return 0.0;
         }
-        self.th.load(Ordering::Relaxed) as f64 / elapsed as f64
+        th as f64 / elapsed as f64
     }
 
     /// Whether the starvation level exceeds `threshold` at `now`.
     pub fn starving(&self, now: u64, threshold: f64) -> bool {
         self.level(now) > threshold
+    }
+
+    /// Sets the live threshold `L_max` for this worker (scheduler-side:
+    /// once at run start for static policies, per evaluation window for
+    /// the adaptive controller).
+    pub fn set_threshold(&self, threshold: f64) {
+        self.threshold_bits
+            .store(threshold.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The live threshold `L_max` currently in force.
+    pub fn threshold(&self) -> f64 {
+        f64::from_bits(self.threshold_bits.load(Ordering::Relaxed))
+    }
+
+    /// Whether the starvation level exceeds the *live* threshold at
+    /// `now` — the form both decision sites use, so an adaptive
+    /// controller's updates take effect without replumbing the policy.
+    pub fn starving_live(&self, now: u64) -> bool {
+        self.level(now) > self.threshold()
     }
 }
 
@@ -84,6 +166,8 @@ impl Default for StarvationState {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
 
     #[test]
     fn idle_worker_never_starves() {
@@ -130,5 +214,82 @@ mod tests {
         s.low_priority_started(1);
         s.add_high_cycles(u32::MAX as u64);
         assert!(!s.starving(u32::MAX as u64, 100.0));
+    }
+
+    #[test]
+    fn live_threshold_defaults_to_disabled_and_is_settable() {
+        let s = StarvationState::new();
+        assert_eq!(s.threshold(), crate::policy::STARVATION_DISABLED);
+        s.low_priority_started(1_000);
+        s.add_high_cycles(900);
+        // At t=2000: L = 0.9 — never starving under the disabled default.
+        assert!(!s.starving_live(2_000));
+        s.set_threshold(0.5);
+        assert!(s.starving_live(2_000));
+        s.set_threshold(0.95);
+        assert!(!s.starving_live(2_000));
+    }
+
+    /// Regression for the (t0, th) torn-pair race: a reader that loads
+    /// `t0` and `th` independently can pair a *short* arming's `t0` with
+    /// a *long* arming's accumulated `th` and compute a level hundreds
+    /// of times above 1. With the seqlock, every snapshot is internally
+    /// consistent, and by construction below every consistent pair has
+    /// `th ≤ 0.8 × elapsed` — so any observed level above 0.8 is a torn
+    /// read.
+    #[test]
+    fn level_is_consistent_under_concurrent_rearms() {
+        const NOW: u64 = 1 << 40;
+        let s = Arc::new(StarvationState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Single writer (the "worker"): alternate armings whose elapsed
+        // times differ by 1000× while keeping th ≤ 0.8 × elapsed. Pairing
+        // the long arming's th (800_000) with the short arming's t0
+        // (elapsed 1_000) would read as L = 800.
+        let writer = {
+            let s = s.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    s.low_priority_started(NOW - 1_000_000);
+                    for _ in 0..8 {
+                        s.add_high_cycles(100_000);
+                    }
+                    s.low_priority_finished();
+                    s.low_priority_started(NOW - 1_000);
+                    for _ in 0..8 {
+                        s.add_high_cycles(100);
+                    }
+                    s.low_priority_finished();
+                }
+            })
+        };
+
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let s = s.clone();
+                let stop = stop.clone();
+                std::thread::spawn(move || {
+                    let mut max_seen = 0.0f64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let l = s.level(NOW);
+                        assert!(
+                            l <= 0.8 + 1e-9,
+                            "torn (t0, th) snapshot: level {l} > 0.8"
+                        );
+                        max_seen = max_seen.max(l);
+                    }
+                    max_seen
+                })
+            })
+            .collect();
+
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer panicked");
+        for r in readers {
+            r.join().expect("reader observed a torn snapshot");
+        }
     }
 }

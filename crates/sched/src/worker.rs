@@ -34,7 +34,7 @@ use preempt_context::tcb::{self, Tcb};
 use preempt_uintr::{UintrReceiver, Upid};
 
 use crate::clock::now_cycles;
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, WindowSensors};
 use crate::policy::Policy;
 use crate::request::{Request, RequestQueue};
 use crate::starvation::StarvationState;
@@ -100,6 +100,10 @@ pub struct WorkerShared {
     /// Set by the runner (sim) or the worker itself (threads).
     pub wake_target: OnceLock<WakeTarget>,
     pub starvation: StarvationState,
+    /// Windowed sensor block drained by the adaptive starvation
+    /// controller each evaluation window (completions, aborts, and a
+    /// compact high-priority latency histogram).
+    pub sensors: WindowSensors,
     pub stopped: AtomicBool,
     /// Worker-local metrics, flushed here when the worker exits.
     pub metrics: Mutex<Metrics>,
@@ -144,6 +148,7 @@ impl WorkerShared {
             trace: OnceLock::new(),
             wake_target: OnceLock::new(),
             starvation: StarvationState::new(),
+            sensors: WindowSensors::new(),
             stopped: AtomicBool::new(false),
             metrics: Mutex::new(Metrics::new()),
             uintr_epoch: AtomicU64::new(0),
@@ -410,6 +415,7 @@ impl WorkerCtx {
             if started >= dl {
                 preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn });
                 self.metrics.borrow_mut().record_deadline_abort(kind);
+                self.shared.sensors.record_abort();
                 return 0;
             }
         }
@@ -453,14 +459,25 @@ impl WorkerCtx {
         }
         let mut metrics = self.metrics.borrow_mut();
         match outcome {
-            Some(o) => metrics.record(
-                kind,
-                finished.saturating_sub(created),
-                sched_latency,
-                o.retries + attempts as u64,
-            ),
-            None if timed_out => metrics.record_deadline_abort(kind),
-            None => metrics.record_failed(kind, attempts as u64),
+            Some(o) => {
+                metrics.record(
+                    kind,
+                    finished.saturating_sub(created),
+                    sched_latency,
+                    o.retries + attempts as u64,
+                );
+                self.shared
+                    .sensors
+                    .record_completion(req.priority, finished.saturating_sub(created));
+            }
+            None if timed_out => {
+                metrics.record_deadline_abort(kind);
+                self.shared.sensors.record_abort();
+            }
+            None => {
+                metrics.record_failed(kind, attempts as u64);
+                self.shared.sensors.record_abort();
+            }
         }
         drop(metrics);
         let dur = finished.saturating_sub(started);
@@ -484,21 +501,16 @@ impl WorkerCtx {
                 let dur = self.run_request(req, level);
                 self.shared.starvation.add_high_cycles(dur);
                 // Starvation decision site 2 (paper §5): stop draining
-                // early if the paused low-priority transaction is starved.
-                if let Policy::Preemptive {
-                    starvation_threshold,
-                } = self.policy
+                // early if the paused low-priority transaction is
+                // starved. Uses the live threshold cell, so adaptive
+                // re-tunes apply mid-drain.
+                if self.policy.is_preemptive()
+                    && self.shared.starvation.starving_live(now_cycles())
                 {
-                    if self
-                        .shared
-                        .starvation
-                        .starving(now_cycles(), starvation_threshold)
-                    {
-                        preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
-                            site: 2,
-                        });
-                        break;
-                    }
+                    preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
+                        site: 2,
+                    });
+                    break;
                 }
             }
             self.leave_level();
@@ -519,7 +531,7 @@ impl WorkerCtx {
     ///   throughput). With an empty low queue the high queue still runs
     ///   here (path ②).
     fn regular_loop(&self) {
-        let prefer_high = !matches!(self.policy, Policy::Preemptive { .. });
+        let prefer_high = !self.policy.is_preemptive();
         while !self.shared.is_stopped() {
             let mut found = None;
             let levels = self.level_tcbs.len() as u8;
@@ -591,6 +603,13 @@ pub const PREEMPTIVE_CTX_STACK: usize = 256 * 1024;
 /// dedicated thread or simulated core.
 pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     let levels = shared.levels();
+    // Arm the live threshold cell so the decision sites see the policy's
+    // threshold even when this worker runs without the full scheduler
+    // (unit tests, examples). The scheduler re-arms it at run start and
+    // — under the adaptive policy — per evaluation window.
+    if let Some(l0) = policy.starvation_threshold() {
+        shared.starvation.set_threshold(l0);
+    }
     if shared.wake_target.get().is_none() {
         // Real-thread mode: register our own thread handle.
         let _ = shared

@@ -179,13 +179,12 @@ impl SimUipiSender {
             target: self.upid.owner(),
             vector: self.vector,
         });
-        let fault = preempt_faults::on_uipi_send();
+        // Read the virtual clock before consulting the injector so
+        // phase-gated plans (`drop_before_cycles`) see the send time.
+        let now = now_cycles();
+        let fault = preempt_faults::on_uipi_send_at(now);
         with_sim(|s| {
             let mut st = s.borrow_mut();
-            let now = match st.current_core() {
-                Some(i) => st.core_vclock(i),
-                None => st.floor(),
-            };
             let at = now + st.cfg.uintr_delivery_cycles;
             match fault {
                 SendFault::Deliver => {

@@ -34,6 +34,7 @@ pub(crate) const K_WATCHDOG_RESEND: u8 = 10;
 pub(crate) const K_STARVATION_BOOST: u8 = 11;
 pub(crate) const K_LATCH_ACQUIRE: u8 = 12;
 pub(crate) const K_LATCH_RELEASE: u8 = 13;
+pub(crate) const K_CONTROLLER: u8 = 14;
 
 /// One event in the preemption lifecycle.
 ///
@@ -116,6 +117,18 @@ pub enum TraceEvent {
         /// 0 = read, 1 = write.
         mode: u8,
     },
+    /// The adaptive starvation-threshold controller closed an
+    /// evaluation window (recorded by the scheduler's ring, so the
+    /// threshold trajectory rides on the trace session).
+    ControllerDecision {
+        /// Evaluation window index (wraps at 16 bits).
+        window: u16,
+        /// Threshold now in force, in thousandths (truncated to 24 bits
+        /// on encode — thresholds live in [0, 100]).
+        threshold_milli: u32,
+        /// Decision code: 0 = hold, 1 = raise, 2 = lower (2 bits).
+        decision: u8,
+    },
 }
 
 impl TraceEvent {
@@ -136,6 +149,7 @@ impl TraceEvent {
             TraceEvent::StarvationBoost { .. } => K_STARVATION_BOOST,
             TraceEvent::LatchAcquire { .. } => K_LATCH_ACQUIRE,
             TraceEvent::LatchRelease { .. } => K_LATCH_RELEASE,
+            TraceEvent::ControllerDecision { .. } => K_CONTROLLER,
         }
     }
 
@@ -155,6 +169,7 @@ impl TraceEvent {
             TraceEvent::StarvationBoost { .. } => "starvation-boost",
             TraceEvent::LatchAcquire { .. } => "latch-acquire",
             TraceEvent::LatchRelease { .. } => "latch-release",
+            TraceEvent::ControllerDecision { .. } => "controller-decision",
         }
     }
 
@@ -193,6 +208,15 @@ impl TraceEvent {
             TraceEvent::StarvationBoost { site } => u64::from(site),
             TraceEvent::LatchAcquire { mode } => u64::from(mode),
             TraceEvent::LatchRelease { mode } => u64::from(mode),
+            TraceEvent::ControllerDecision {
+                window,
+                threshold_milli,
+                decision,
+            } => {
+                u64::from(threshold_milli) & 0xFF_FFFF
+                    | u64::from(window) << 24
+                    | u64::from(decision & 0b11) << 40
+            }
         };
         u64::from(self.kind()) << 56 | u64::from(depth) << 48 | (payload & PAYLOAD_MASK)
     }
@@ -237,6 +261,11 @@ impl TraceEvent {
             K_STARVATION_BOOST => TraceEvent::StarvationBoost { site: payload as u8 },
             K_LATCH_ACQUIRE => TraceEvent::LatchAcquire { mode: payload as u8 },
             K_LATCH_RELEASE => TraceEvent::LatchRelease { mode: payload as u8 },
+            K_CONTROLLER => TraceEvent::ControllerDecision {
+                window: (payload >> 24) as u16,
+                threshold_milli: (payload & 0xFF_FFFF) as u32,
+                decision: ((payload >> 40) & 0b11) as u8,
+            },
             _ => return None,
         };
         Some((ev, depth))
@@ -269,6 +298,11 @@ mod tests {
             TraceEvent::StarvationBoost { site: 2 },
             TraceEvent::LatchAcquire { mode: 1 },
             TraceEvent::LatchRelease { mode: 0 },
+            TraceEvent::ControllerDecision {
+                window: 17,
+                threshold_milli: 450,
+                decision: 2,
+            },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let depth = (i % 4) as u8;
@@ -288,5 +322,23 @@ mod tests {
         let ev = TraceEvent::TxnCommit { txn: u64::MAX };
         let (back, _) = TraceEvent::unpack(ev.pack(0)).expect("known kind");
         assert_eq!(back, TraceEvent::TxnCommit { txn: MAX_TXN_ID });
+    }
+
+    #[test]
+    fn controller_decision_truncates_to_payload_fields() {
+        let ev = TraceEvent::ControllerDecision {
+            window: u16::MAX,
+            threshold_milli: u32::MAX,
+            decision: u8::MAX,
+        };
+        let (back, _) = TraceEvent::unpack(ev.pack(0)).expect("known kind");
+        assert_eq!(
+            back,
+            TraceEvent::ControllerDecision {
+                window: u16::MAX,
+                threshold_milli: 0xFF_FFFF,
+                decision: 0b11,
+            }
+        );
     }
 }

@@ -15,7 +15,7 @@ pub mod tpcc;
 pub mod tpch;
 pub mod ycsb;
 
-pub use mixed::{kinds, setup_mixed, MixedWorkload, TpccWorkload};
+pub use mixed::{kinds, setup_mixed, LoadShift, MixedWorkload, TpccWorkload};
 pub use tpcc::{TpccDb, TpccScale};
 pub use tpch::{Q2Params, TpchDb, TpchScale};
 pub use ycsb::{YcsbConfig, YcsbDb, YcsbMix, YcsbWorkload, Zipfian};

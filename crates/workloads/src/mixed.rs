@@ -110,6 +110,70 @@ impl WorkloadFactory for MixedWorkload {
     }
 }
 
+/// Wraps any [`WorkloadFactory`] with a deterministic mid-run load
+/// shift on the high-priority stream: at most `pre_cap` high requests
+/// are produced per distinct arrival timestamp before `shift_at`
+/// (virtual cycles), and at most `post_cap` after. Low-priority demand
+/// passes through untouched.
+///
+/// Because the cap keys on the *timestamp the scheduler passes in*, two
+/// runs of the same deterministic simulation see identical shifted
+/// arrival sequences — which is what the adaptive-controller experiments
+/// need to compare policies on equal footing.
+pub struct LoadShift<F> {
+    inner: F,
+    shift_at: u64,
+    pre_cap: u32,
+    post_cap: u32,
+    last_now: u64,
+    in_tick: u32,
+}
+
+impl<F: WorkloadFactory> LoadShift<F> {
+    pub fn new(inner: F, shift_at: u64, pre_cap: u32, post_cap: u32) -> LoadShift<F> {
+        LoadShift {
+            inner,
+            shift_at,
+            pre_cap,
+            post_cap,
+            last_now: u64::MAX,
+            in_tick: 0,
+        }
+    }
+
+    /// The cap in force at virtual time `now`.
+    pub fn cap_at(&self, now: u64) -> u32 {
+        if now < self.shift_at {
+            self.pre_cap
+        } else {
+            self.post_cap
+        }
+    }
+}
+
+impl<F: WorkloadFactory> WorkloadFactory for LoadShift<F> {
+    fn make_low(&mut self, now: u64) -> Option<Request> {
+        self.inner.make_low(now)
+    }
+
+    fn make_high(&mut self, now: u64) -> Option<Request> {
+        if now != self.last_now {
+            self.last_now = now;
+            self.in_tick = 0;
+        }
+        if self.in_tick >= self.cap_at(now) {
+            return None;
+        }
+        match self.inner.make_high(now) {
+            Some(req) => {
+                self.in_tick += 1;
+                Some(req)
+            }
+            None => None,
+        }
+    }
+}
+
 /// The standard TPC-C mix (spec §5.2.3 proportions), dispatched on the
 /// low-priority stream.
 pub struct TpccWorkload {
@@ -227,6 +291,30 @@ mod tests {
         assert!(counts.contains_key(kinds::DELIVERY));
         assert!(counts.contains_key(kinds::STOCK_LEVEL));
         assert!(counts.contains_key(kinds::ORDER_STATUS));
+    }
+
+    #[test]
+    fn load_shift_caps_high_per_tick_and_shifts() {
+        let (_e, tpcc, tpch) = tiny_setup();
+        let inner = MixedWorkload::new(tpcc, tpch, 13);
+        let mut f = LoadShift::new(inner, 1_000, 1, 3);
+
+        // Pre-shift tick at t=10: one high request, then None.
+        assert!(f.make_high(10).is_some());
+        assert!(f.make_high(10).is_none());
+        assert!(f.make_high(10).is_none());
+        // New pre-shift tick resets the counter.
+        assert!(f.make_high(20).is_some());
+        assert!(f.make_high(20).is_none());
+
+        // Post-shift tick at t=1_000 (boundary is inclusive): cap 3.
+        let produced = (0..5).filter(|_| f.make_high(1_000).is_some()).count();
+        assert_eq!(produced, 3);
+
+        // Low-priority stream is never throttled.
+        for _ in 0..4 {
+            assert!(f.make_low(10).is_some());
+        }
     }
 
     #[test]

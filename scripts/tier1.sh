@@ -18,3 +18,10 @@ cargo run -p preempt-analysis --release
 # a dedicated target dir keeps it from thrashing the main build cache.
 CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
     cargo test -p preempt-uintr --test loom -q
+
+# Adaptive-controller gate (DESIGN.md §9): unit + integration tests run
+# under `cargo test` above; this replays the load-shift benchmark at CI
+# scale and fails unless the controller beats the static sweep, honors
+# the p99 SLO, replays deterministically, and abandons nothing on the
+# no-progress retry path.
+cargo run --release -p preempt-bench --bin fig_adaptive -- --check
