@@ -1,0 +1,24 @@
+// Fixture: metric emits are handler-safe. `counter_inc` /
+// `hist_record` / `bump` are known-safe entry points, so the
+// reachability walk must not expand into their bodies — the allocation
+// inside this (stand-in) `counter_inc` is invisible to the handler
+// rules. A non-safe helper on the same path is still expanded.
+
+fn on_uintr(vector: u8) {
+    counter_inc(vector);
+    hist_record(vector, 42);
+    shard().bump(vector);
+    plain_helper(vector);
+}
+
+fn counter_inc(v: u8) {
+    // Not expanded: in the real metrics crate this is a relaxed
+    // fetch_add; the alloc here proves the walk stops at the name.
+    let label = format!("counter-{v}");
+    use_it(label);
+}
+
+fn plain_helper(v: u8) {
+    let boxed = Box::new(v); //~ ERROR handler-alloc
+    use_it(boxed);
+}

@@ -166,6 +166,20 @@ const CALL_STOPLIST: &[&str] = &[
     "send", "recv", "flush", "extend", "filter", "count", "sum", "get_or_init",
 ];
 
+/// Metric-emit entry points known to be handler-safe by construction
+/// (one relaxed load when disabled, relaxed `fetch_add`s when enabled —
+/// see `crates/metrics`): the reachability walk does not expand into
+/// them, so a counter bump inside a handler path is not a finding.
+const HANDLER_SAFE_CALLS: &[&str] = &[
+    "counter_add",
+    "counter_inc",
+    "gauge_set",
+    "hist_record",
+    "bump",
+    "bump_by",
+    "observe",
+];
+
 const ALLOC_MACROS: &[&str] = &["vec", "format"];
 const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec", "with_capacity"];
 const ALLOC_ASSOC: &[(&str, &str)] = &[
@@ -362,11 +376,13 @@ fn check_handler_reachability(models: &[FileModel], out: &mut Vec<Finding>) {
         while i < close {
             let t = &m.toks[i];
             let next_is_call = m.toks.get(i + 1).is_some_and(|n| n.is("("));
+            let expandable = !CALL_STOPLIST.contains(&t.text.as_str())
+                && !HANDLER_SAFE_CALLS.contains(&t.text.as_str());
             if t.kind == TokKind::Ident
                 && next_is_call
                 && !m.skipped(i)
                 && !(i > 0 && m.toks[i - 1].is_ident("fn"))
-                && !CALL_STOPLIST.contains(&t.text.as_str())
+                && expandable
             {
                 for (cmi, cfi) in resolve(&t.text, &caller_crate) {
                     if seen.insert((cmi, cfi)) {

@@ -42,6 +42,7 @@ fn run_policy(policy: Policy, sc: &Scenario) -> RunReport {
         always_interrupt: false,
         robustness: Default::default(),
         trace: None,
+        metrics: None,
     };
     run(
         Runtime::Simulated(sim),

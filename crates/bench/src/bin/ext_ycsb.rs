@@ -66,6 +66,7 @@ fn main() {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         let factory = YcsbQ2 {
             ycsb,

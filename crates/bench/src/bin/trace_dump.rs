@@ -47,6 +47,7 @@ fn main() {
         always_interrupt: false,
         robustness: Default::default(),
         trace: Some(trace.clone()),
+        metrics: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, 42);
     let report = run(Runtime::Simulated(sim), cfg, Box::new(factory));

@@ -101,6 +101,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                 always_interrupt: on,
                 robustness: Default::default(),
                 trace: None,
+                metrics: None,
             };
             let factory = TpccWorkload::new(tpcc.clone(), sc.seed);
             results.push(run(Runtime::Simulated(sim), cfg, Box::new(factory)));
@@ -317,6 +318,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         let factory = MixedWorkload::new(tpcc.clone(), tpch.clone(), sc.seed);
         let r = run(Runtime::Simulated(sim), cfg, Box::new(factory));

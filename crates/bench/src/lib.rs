@@ -113,6 +113,7 @@ pub fn run_mixed(
         always_interrupt: false,
         robustness: Default::default(),
         trace: None,
+        metrics: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, sc.seed);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))

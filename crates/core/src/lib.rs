@@ -45,6 +45,7 @@
 //! ```
 
 pub use preempt_context as context;
+pub use preempt_metrics as metrics;
 pub use preempt_mvcc as mvcc;
 pub use preempt_sched as sched;
 pub use preempt_sim as sim;

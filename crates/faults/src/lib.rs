@@ -290,6 +290,7 @@ impl FaultInjector {
         self.seq.set(seq + 1);
         let mut t = self.trace.borrow_mut();
         let _ = writeln!(t, "{seq:06} {} {decision}", SITE_NAMES[site as usize]);
+        preempt_metrics::counter_inc(preempt_metrics::Counter::FaultsInjected);
     }
 
     /// `drop_enabled` phase-gates the drop band without perturbing the

@@ -1,0 +1,151 @@
+//! Shared log-bucket math for every histogram in the workspace.
+//!
+//! One bucketing function, parameterized by mantissa bits, so the
+//! scheduler's per-kind latency histograms (5 mantissa bits, ≤ 3.2 %
+//! undershoot), the controller's windowed sensor histogram (3 bits,
+//! ≤ 12.5 %), and the metrics registry all agree bit-for-bit: a value
+//! lands in the same bucket no matter which layer recorded it. The
+//! formulas are the ones `preempt-sched`'s `Histogram` has always used —
+//! they moved here so the controller and the registry cannot drift.
+//!
+//! A value is bucketed by `(exponent, sub_bits mantissa bits)`: each
+//! octave has `2^sub_bits` sub-buckets and a reported bucket lower bound
+//! undershoots the true value by strictly less than `1 / 2^sub_bits`.
+//! Values below one octave of sub-buckets are stored exactly.
+
+/// Mantissa bits of the fine-grained histograms (per-kind latency,
+/// delivery latency, latch waits): 32 sub-buckets, ≤ 3.2 % undershoot.
+pub const FINE_SUB_BITS: u32 = 5;
+
+/// Mantissa bits of the controller's windowed sensor histogram: 8
+/// sub-buckets per octave, ≤ 12.5 % undershoot — plenty for a control
+/// loop that only compares p99 against a bound.
+pub const WINDOW_SUB_BITS: u32 = 3;
+
+/// Total buckets for a given mantissa width: 64 octaves cover all of
+/// `u64`.
+pub const fn bucket_count(sub_bits: u32) -> usize {
+    64 << sub_bits
+}
+
+/// Bucket index of `value` (two shifts and a subtract).
+#[inline]
+pub fn bucket_of(value: u64, sub_bits: u32) -> usize {
+    let sub_buckets = 1usize << sub_bits;
+    if value < sub_buckets as u64 {
+        // Values below one octave of sub-buckets are stored exactly.
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros() as usize; // floor(log2 v)
+    let mantissa = (value >> (exp - sub_bits as usize)) as usize - sub_buckets;
+    exp * sub_buckets + mantissa
+}
+
+/// Representative (lower-bound) value of a bucket.
+///
+/// Only defined for buckets [`bucket_of`] can produce: indices between
+/// the exact range (`< 2^sub_bits`) and the first mantissa-complete
+/// octave (`sub_bits * 2^sub_bits`) are dead — no value maps to them,
+/// their counts are always zero, and passing one here underflows the
+/// shift.
+#[inline]
+pub fn bucket_value(bucket: usize, sub_bits: u32) -> u64 {
+    let sub_buckets = 1usize << sub_bits;
+    if bucket < sub_buckets {
+        bucket as u64
+    } else {
+        let exp = bucket / sub_buckets;
+        let mantissa = bucket % sub_buckets;
+        ((sub_buckets + mantissa) as u64) << (exp - sub_bits as usize)
+    }
+}
+
+/// Exclusive upper bound of a bucket — the lower bound of the next
+/// *live* bucket (skipping the dead zone after the exact range), or
+/// `u64::MAX` for the last. These are the `le` boundaries of the
+/// Prometheus exposition.
+#[inline]
+pub fn bucket_upper(bucket: usize, sub_bits: u32) -> u64 {
+    let sub_buckets = 1usize << sub_bits;
+    if bucket + 1 >= bucket_count(sub_bits) {
+        u64::MAX
+    } else if bucket < sub_buckets {
+        // Exact range: the bucket for value v covers [v, v+1); the
+        // upper bound of the last exact bucket is the first octave
+        // value, which is also the first live log bucket's lower bound.
+        (bucket + 1) as u64
+    } else {
+        let next = (bucket + 1).max(sub_bits as usize * sub_buckets);
+        bucket_value(next, sub_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_bounds_for_both_widths() {
+        for sub_bits in [WINDOW_SUB_BITS, FINE_SUB_BITS] {
+            let width = 1.0 / (1u64 << sub_bits) as f64;
+            for v in [0u64, 1, 7, 8, 9, 31, 32, 33, 1_000, 123_456, u64::MAX / 2] {
+                let b = bucket_of(v, sub_bits);
+                let lo = bucket_value(b, sub_bits);
+                assert!(lo <= v, "bucket lower bound {lo} > {v}");
+                assert!(
+                    v == lo || (v - lo) as f64 / v as f64 <= width + 1e-9,
+                    "undershoot too large for {v} at {sub_bits} bits: {lo}"
+                );
+                let hi = bucket_upper(b, sub_bits);
+                assert!(v < hi, "upper bound {hi} <= {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_are_monotone_in_value() {
+        for sub_bits in [WINDOW_SUB_BITS, FINE_SUB_BITS] {
+            let mut last = 0usize;
+            for v in 0..100_000u64 {
+                let b = bucket_of(v, sub_bits);
+                assert!(b >= last, "bucket index regressed at {v}");
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn upper_bounds_strictly_increase_across_live_buckets() {
+        let sub_buckets = 1usize << WINDOW_SUB_BITS;
+        let first_live = WINDOW_SUB_BITS as usize * sub_buckets;
+        let live = (0..sub_buckets).chain(first_live..bucket_count(WINDOW_SUB_BITS) - 1);
+        let mut last = 0u64;
+        for b in live {
+            let hi = bucket_upper(b, WINDOW_SUB_BITS);
+            assert!(hi > last, "le bound not increasing at bucket {b}");
+            last = hi;
+        }
+    }
+
+    #[test]
+    fn dead_zone_upper_bounds_bridge_to_the_first_octave() {
+        // The exclusive upper bound of the last exact bucket equals the
+        // first live log bucket's lower bound, so cumulative `le`
+        // exposition stays monotone across the dead zone.
+        let sub_buckets = 1usize << WINDOW_SUB_BITS;
+        let first_live = WINDOW_SUB_BITS as usize * sub_buckets;
+        assert_eq!(
+            bucket_upper(sub_buckets - 1, WINDOW_SUB_BITS),
+            bucket_value(first_live, WINDOW_SUB_BITS)
+        );
+    }
+
+    #[test]
+    fn last_bucket_covers_u64_max() {
+        for sub_bits in [WINDOW_SUB_BITS, FINE_SUB_BITS] {
+            let b = bucket_of(u64::MAX, sub_bits);
+            assert_eq!(b, bucket_count(sub_bits) - 1);
+            assert_eq!(bucket_upper(b, sub_bits), u64::MAX);
+        }
+    }
+}

@@ -1,0 +1,611 @@
+//! Exporters: Prometheus text exposition (format 0.0.4) and JSON, plus
+//! the strict parser the proptests and the CI smoke job validate
+//! scrapes with.
+//!
+//! Histograms export cumulative `le` buckets at the registry's log
+//! boundaries (non-empty buckets only, plus `+Inf`), with `_count`
+//! derived from the bucket sums so a mid-run scrape is internally
+//! consistent even while writers race the reader.
+
+use std::fmt::Write as _;
+
+use crate::buckets;
+use crate::registry::{Counter, FixedHist, HistSnapshot, MetricsSnapshot};
+
+/// Prefix of every exported series.
+pub const NAMESPACE: &str = "preemptdb";
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline (quotes are legal there).
+fn escape_help(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes one histogram family: a single HELP/TYPE header, then the
+/// cumulative bucket series of each labeled member.
+fn write_hist_family(out: &mut String, name: &str, help: &str, series: &[(String, &HistSnapshot)]) {
+    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for (labels, h) in series {
+        let sep = if labels.is_empty() { "" } else { "," };
+        let mut cum = 0u64;
+        for (b, &c) in h.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let le = buckets::bucket_upper(b, h.sub_bits);
+            if le == u64::MAX {
+                // Folded into the +Inf bucket below.
+                continue;
+            }
+            let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cum}");
+        }
+        let total = h.count();
+        let _ = writeln!(out, "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {total}");
+        let plain = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        let _ = writeln!(out, "{name}_sum{plain} {}", h.sum);
+        let _ = writeln!(out, "{name}_count{plain} {total}");
+    }
+}
+
+/// Renders a snapshot as Prometheus text exposition.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+    for c in Counter::ALL {
+        let name = format!("{NAMESPACE}_{}_total", c.name());
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(c.help()));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", snap.counter(c));
+    }
+    for (gname, value) in &snap.gauges {
+        let name = format!("{NAMESPACE}_{gname}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    if !snap.slo_burn.is_empty() {
+        let name = format!("{NAMESPACE}_slo_burn_rate");
+        let _ = writeln!(
+            out,
+            "# HELP {name} Observed SLO violation fraction over the target budget"
+        );
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (kind, burn) in &snap.slo_burn {
+            let _ = writeln!(out, "{name}{{kind=\"{}\"}} {burn}", escape_label(kind));
+        }
+    }
+    for h in FixedHist::ALL {
+        let hist = match h {
+            FixedHist::DeliveryLatencyCycles => &snap.delivery_latency,
+            FixedHist::LatchWaitCycles => &snap.latch_wait,
+        };
+        write_hist_family(
+            &mut out,
+            &format!("{NAMESPACE}_{}", h.name()),
+            h.help(),
+            &[(String::new(), hist)],
+        );
+    }
+    write_hist_family(
+        &mut out,
+        &format!("{NAMESPACE}_sensor_high_latency_cycles"),
+        "High-priority commit latency at the controller's window resolution",
+        &[(String::new(), &snap.sensor_high_latency)],
+    );
+    let kind_labels: Vec<String> = snap
+        .kinds
+        .iter()
+        .map(|k| format!("kind=\"{}\"", escape_label(&k.name)))
+        .collect();
+    for (field, help, get) in [
+        (
+            "txn_completed",
+            "Committed transactions by kind",
+            (|k: &crate::registry::KindSnapshot| k.completed) as fn(&crate::registry::KindSnapshot) -> u64,
+        ),
+        (
+            "txn_deadline_aborted",
+            "Requests abandoned at their deadline by kind",
+            |k| k.deadline_aborted,
+        ),
+        (
+            "txn_failed",
+            "Requests that exhausted their retry budget by kind",
+            |k| k.failed,
+        ),
+        (
+            "txn_retries",
+            "User-level retries absorbed by kind",
+            |k| k.retries,
+        ),
+    ] {
+        if snap.kinds.is_empty() {
+            continue;
+        }
+        let name = format!("{NAMESPACE}_{field}_total");
+        let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for (k, labels) in snap.kinds.iter().zip(kind_labels.iter()) {
+            let _ = writeln!(out, "{name}{{{labels}}} {}", get(k));
+        }
+    }
+    if !snap.kinds.is_empty() {
+        let latency: Vec<(String, &HistSnapshot)> = snap
+            .kinds
+            .iter()
+            .zip(kind_labels.iter())
+            .map(|(k, l)| (l.clone(), &k.latency))
+            .collect();
+        write_hist_family(
+            &mut out,
+            &format!("{NAMESPACE}_txn_latency_cycles"),
+            "End-to-end transaction latency (cycles)",
+            &latency,
+        );
+        let sched: Vec<(String, &HistSnapshot)> = snap
+            .kinds
+            .iter()
+            .zip(kind_labels.iter())
+            .map(|(k, l)| (l.clone(), &k.sched_latency))
+            .collect();
+        write_hist_family(
+            &mut out,
+            &format!("{NAMESPACE}_txn_sched_latency_cycles"),
+            "Generation-to-first-instruction latency (cycles)",
+            &sched,
+        );
+    }
+    out
+}
+
+/// Renders a snapshot as JSON (hand-rolled; the workspace is hermetic).
+pub fn to_json(snap: &MetricsSnapshot) -> String {
+    fn json_str(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+    fn json_hist(h: &HistSnapshot) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+            h.count(),
+            h.sum,
+            h.percentile(50.0),
+            h.percentile(99.0),
+            h.percentile(99.9),
+            h.max()
+        )
+    }
+    let mut out = String::with_capacity(8 * 1024);
+    out.push_str("{\"counters\":{");
+    for (i, c) in Counter::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_str(c.name()), snap.counter(*c));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        let _ = write!(out, "{}:{}", json_str(name), v);
+    }
+    out.push_str("},\"slo_burn\":{");
+    for (i, (kind, burn)) in snap.slo_burn.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let v = if burn.is_finite() {
+            format!("{burn}")
+        } else {
+            "null".to_string()
+        };
+        let _ = write!(out, "{}:{}", json_str(kind), v);
+    }
+    let _ = write!(
+        out,
+        "}},\"delivery_latency\":{},\"latch_wait\":{},\"sensor_high_latency\":{},\"kinds\":{{",
+        json_hist(&snap.delivery_latency),
+        json_hist(&snap.latch_wait),
+        json_hist(&snap.sensor_high_latency)
+    );
+    for (i, k) in snap.kinds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{}:{{\"completed\":{},\"retries\":{},\"deadline_aborted\":{},\"failed\":{},\"latency\":{},\"sched_latency\":{}}}",
+            json_str(&k.name),
+            k.completed,
+            k.retries,
+            k.deadline_aborted,
+            k.failed,
+            json_hist(&k.latency),
+            json_hist(&k.sched_latency)
+        );
+    }
+    let _ = write!(out, "}},\"shards\":{}}}", snap.shards);
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+/// One parsed sample line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// First sample with this exact name and (subset-matched) labels.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// All samples with this name.
+    pub fn all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Sample> + 'a {
+        self.samples.iter().filter(move |s| s.name == name)
+    }
+}
+
+fn parse_labels(s: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = s;
+    loop {
+        rest = rest.trim_start_matches([' ', ',']);
+        if rest.is_empty() {
+            return Ok(labels);
+        }
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = rest[..eq].trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("unquoted label value near {rest:?}"));
+        }
+        rest = &rest[1..];
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| "unterminated label value".to_string())?;
+        labels.push((key.to_string(), value));
+        rest = &rest[end + 1..];
+    }
+}
+
+/// Parses (and structurally validates) a text exposition: known line
+/// shapes only, metric names well-formed, label values properly quoted.
+pub fn parse_prometheus(text: &str) -> Result<Exposition, String> {
+    let mut exp = Exposition::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if !(comment.starts_with("HELP ") || comment.starts_with("TYPE ")) {
+                return Err(format!("line {}: unknown comment {line:?}", lineno + 1));
+            }
+            continue;
+        }
+        let (series, value_str) = match line.rfind(['}', ' ']) {
+            Some(i) if line.as_bytes()[i] == b'}' => {
+                let v = line[i + 1..].trim();
+                (&line[..i + 1], v)
+            }
+            _ => {
+                let sp = line
+                    .rfind(' ')
+                    .ok_or_else(|| format!("line {}: no value: {line:?}", lineno + 1))?;
+                (&line[..sp], line[sp + 1..].trim())
+            }
+        };
+        let value: f64 = if value_str == "+Inf" {
+            f64::INFINITY
+        } else if value_str == "-Inf" {
+            f64::NEG_INFINITY
+        } else {
+            value_str
+                .parse()
+                .map_err(|e| format!("line {}: bad value {value_str:?}: {e}", lineno + 1))?
+        };
+        let (name, labels) = match series.find('{') {
+            Some(open) => {
+                if !series.ends_with('}') {
+                    return Err(format!("line {}: unterminated labels", lineno + 1));
+                }
+                (
+                    &series[..open],
+                    parse_labels(&series[open + 1..series.len() - 1])
+                        .map_err(|e| format!("line {}: {e}", lineno + 1))?,
+                )
+            }
+            None => (series.trim(), Vec::new()),
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
+        }
+        exp.samples.push(Sample {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+    Ok(exp)
+}
+
+/// Semantic validation of every histogram family in an exposition:
+/// cumulative `le` buckets must be non-decreasing as the boundary grows,
+/// a `+Inf` bucket must exist and equal `_count`, and `_sum` must be
+/// present. Label sets other than `le` partition the series.
+pub fn validate_histograms(exp: &Exposition) -> Result<(), String> {
+    // Group bucket samples by (base name, non-le labels).
+    type BucketGroup = (String, Vec<(String, String)>, Vec<(f64, f64)>);
+    let mut groups: Vec<BucketGroup> = Vec::new();
+    for s in &exp.samples {
+        let Some(base) = s.name.strip_suffix("_bucket") else {
+            continue;
+        };
+        let le = s
+            .label("le")
+            .ok_or_else(|| format!("{}: bucket without le", s.name))?;
+        let bound: f64 = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse().map_err(|e| format!("{base}: bad le {le:?}: {e}"))?
+        };
+        let mut rest: Vec<(String, String)> = s
+            .labels
+            .iter()
+            .filter(|(k, _)| k != "le")
+            .cloned()
+            .collect();
+        rest.sort();
+        match groups
+            .iter_mut()
+            .find(|(b, r, _)| *b == base && *r == rest)
+        {
+            Some((_, _, bounds)) => bounds.push((bound, s.value)),
+            None => groups.push((base.to_string(), rest, vec![(bound, s.value)])),
+        }
+    }
+    for (base, rest, mut bounds) in groups {
+        bounds.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut last = -1.0f64;
+        for &(bound, cum) in &bounds {
+            if cum < last {
+                return Err(format!(
+                    "{base}{rest:?}: cumulative count decreases at le={bound} ({cum} < {last})"
+                ));
+            }
+            last = cum;
+        }
+        let Some(&(inf, inf_count)) = bounds.last() else {
+            continue;
+        };
+        if !inf.is_infinite() {
+            return Err(format!("{base}{rest:?}: missing +Inf bucket"));
+        }
+        let labels: Vec<(&str, &str)> = rest
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let count = exp
+            .value(&format!("{base}_count"), &labels)
+            .ok_or_else(|| format!("{base}{rest:?}: missing _count"))?;
+        if (count - inf_count).abs() > 0.0 {
+            return Err(format!(
+                "{base}{rest:?}: _count {count} != +Inf bucket {inf_count}"
+            ));
+        }
+        exp.value(&format!("{base}_sum"), &labels)
+            .ok_or_else(|| format!("{base}{rest:?}: missing _sum"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MetricsConfig, MetricsRegistry, SloSpec};
+
+    fn sample_registry() -> MetricsRegistry {
+        let reg = MetricsRegistry::new(MetricsConfig {
+            slos: vec![SloSpec {
+                kind: "point",
+                latency_bound_cycles: 100_000,
+                target_ppm: 10_000,
+            }],
+            ..MetricsConfig::default()
+        });
+        let shard = reg.register_shard("worker", 0);
+        shard.txn_completed("point", 1, 50_000, 700, 0);
+        shard.txn_completed("point", 1, 800_000, 900, 1);
+        shard.txn_completed("scan", 0, 9_000_000, 100, 0);
+        shard.txn_deadline_abort("point");
+        shard.observe(crate::FixedHist::DeliveryLatencyCycles, 1_500);
+        shard.observe(crate::FixedHist::LatchWaitCycles, 64);
+        shard.bump(crate::Counter::UintrDelivered);
+        reg.gauge_set(crate::Gauge::StarvationThreshold, 0.25);
+        reg.refresh_slo_gauges(None);
+        reg
+    }
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let reg = sample_registry();
+        let text = to_prometheus(&reg.snapshot());
+        let exp = parse_prometheus(&text).expect("parse");
+        validate_histograms(&exp).expect("histogram invariants");
+        assert_eq!(
+            exp.value("preemptdb_uintr_delivered_total", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            exp.value("preemptdb_txn_completed_total", &[("kind", "point")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            exp.value("preemptdb_txn_latency_cycles_count", &[("kind", "point")]),
+            Some(2.0)
+        );
+        assert_eq!(exp.value("preemptdb_starvation_threshold", &[]), Some(0.25));
+        let burn = exp
+            .value("preemptdb_slo_burn_rate", &[("kind", "point")])
+            .expect("burn gauge");
+        assert!(burn > 0.0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        for name in ["plain", "with\"quote", "back\\slash", "new\nline", "mix\\\"\n"] {
+            let escaped = escape_label(name);
+            let line = format!("m{{kind=\"{escaped}\"}} 1");
+            let exp = parse_prometheus(&line).expect("parse");
+            assert_eq!(exp.samples[0].label("kind"), Some(name), "{escaped:?}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "no_value",
+            "bad name 1",
+            "m{unterminated=\"x} 1",
+            "m{k=unquoted} 1",
+            "m{k=\"v\"} notanumber",
+            "# FROB m counter",
+            "1leading_digit 2",
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_nonmonotonic_buckets() {
+        let text = "m_bucket{le=\"10\"} 5\nm_bucket{le=\"20\"} 3\nm_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 5\n";
+        let exp = parse_prometheus(text).expect("parse");
+        assert!(validate_histograms(&exp).is_err());
+    }
+
+    #[test]
+    fn validator_rejects_count_mismatch() {
+        let text = "m_bucket{le=\"+Inf\"} 5\nm_sum 1\nm_count 6\n";
+        let exp = parse_prometheus(text).expect("parse");
+        assert!(validate_histograms(&exp).is_err());
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_spot_check() {
+        let reg = sample_registry();
+        let json = to_json(&reg.snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"uintr_delivered\":1"));
+        assert!(json.contains("\"completed\":2"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+}

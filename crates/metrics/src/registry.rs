@@ -1,0 +1,1016 @@
+//! The sharded registry: fixed counters, gauges, histograms, and
+//! lazily-published per-transaction-kind slots.
+//!
+//! Layout mirrors the runtime: one [`Shard`] per worker (plus one for
+//! the scheduling thread), each written lock-free by its single owner
+//! with relaxed atomics, read concurrently by snapshotters. A
+//! [`MetricsSnapshot`] sums the shards; because every cell is monotonic,
+//! a snapshot taken mid-run is crash-consistent — each individual series
+//! is a value the cell really held, and re-snapshotting never observes a
+//! decrease.
+
+use std::fmt;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::buckets;
+
+/// Fixed monotonic counters, one word per shard each.
+///
+/// `name()` is the Prometheus series base name (a `_total` suffix is
+/// appended by the exporter).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Counter {
+    UintrSent,
+    UintrSendFailed,
+    UintrNoticed,
+    UintrDelivered,
+    UintrDeferred,
+    WatchdogResends,
+    SchedEnterLevel,
+    SchedLeaveLevel,
+    TxnAdmittedHigh,
+    TxnAdmittedLow,
+    TxnCompletedHigh,
+    TxnCompletedLow,
+    TxnAborted,
+    StarvationSkips,
+    StarvationBreaks,
+    DroppedHigh,
+    Degrades,
+    Upgrades,
+    DeliveryErrors,
+    DispatchFaults,
+    FaultsInjected,
+    LatchWaits,
+    ControllerEvals,
+    ControllerRaises,
+    ControllerLowers,
+    ControllerHolds,
+}
+
+/// Number of fixed counters (the width of a shard's counter block).
+pub const COUNTERS: usize = 26;
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; COUNTERS] = [
+        Counter::UintrSent,
+        Counter::UintrSendFailed,
+        Counter::UintrNoticed,
+        Counter::UintrDelivered,
+        Counter::UintrDeferred,
+        Counter::WatchdogResends,
+        Counter::SchedEnterLevel,
+        Counter::SchedLeaveLevel,
+        Counter::TxnAdmittedHigh,
+        Counter::TxnAdmittedLow,
+        Counter::TxnCompletedHigh,
+        Counter::TxnCompletedLow,
+        Counter::TxnAborted,
+        Counter::StarvationSkips,
+        Counter::StarvationBreaks,
+        Counter::DroppedHigh,
+        Counter::Degrades,
+        Counter::Upgrades,
+        Counter::DeliveryErrors,
+        Counter::DispatchFaults,
+        Counter::FaultsInjected,
+        Counter::LatchWaits,
+        Counter::ControllerEvals,
+        Counter::ControllerRaises,
+        Counter::ControllerLowers,
+        Counter::ControllerHolds,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::UintrSent => "uintr_sent",
+            Counter::UintrSendFailed => "uintr_send_failed",
+            Counter::UintrNoticed => "uintr_noticed",
+            Counter::UintrDelivered => "uintr_delivered",
+            Counter::UintrDeferred => "uintr_deferred",
+            Counter::WatchdogResends => "uintr_watchdog_resends",
+            Counter::SchedEnterLevel => "sched_enter_level",
+            Counter::SchedLeaveLevel => "sched_leave_level",
+            Counter::TxnAdmittedHigh => "txn_admitted_high",
+            Counter::TxnAdmittedLow => "txn_admitted_low",
+            Counter::TxnCompletedHigh => "txn_completed_high",
+            Counter::TxnCompletedLow => "txn_completed_low",
+            Counter::TxnAborted => "txn_aborted",
+            Counter::StarvationSkips => "starvation_skips",
+            Counter::StarvationBreaks => "starvation_breaks",
+            Counter::DroppedHigh => "txn_dropped_high",
+            Counter::Degrades => "delivery_degrades",
+            Counter::Upgrades => "delivery_upgrades",
+            Counter::DeliveryErrors => "delivery_errors",
+            Counter::DispatchFaults => "dispatch_faults",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::LatchWaits => "latch_waits",
+            Counter::ControllerEvals => "controller_evals",
+            Counter::ControllerRaises => "controller_raises",
+            Counter::ControllerLowers => "controller_lowers",
+            Counter::ControllerHolds => "controller_holds",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            Counter::UintrSent => "User interrupts sent by the scheduler",
+            Counter::UintrSendFailed => "User interrupt sends that failed",
+            Counter::UintrNoticed => "Pending user interrupts noticed by receivers",
+            Counter::UintrDelivered => "User-interrupt handler invocations delivered",
+            Counter::UintrDeferred => "User-interrupt deliveries deferred (masked/nonpreemptible)",
+            Counter::WatchdogResends => "Watchdog re-sends of unacknowledged interrupts",
+            Counter::SchedEnterLevel => "Entries into a higher scheduling level (preemptions)",
+            Counter::SchedLeaveLevel => "Returns from a higher scheduling level",
+            Counter::TxnAdmittedHigh => "High-priority requests dispatched to workers",
+            Counter::TxnAdmittedLow => "Low-priority requests dispatched to workers",
+            Counter::TxnCompletedHigh => "High-priority transactions committed",
+            Counter::TxnCompletedLow => "Low-priority transactions committed",
+            Counter::TxnAborted => "Requests aborted (deadline or retry-budget exhaustion)",
+            Counter::StarvationSkips => "Scheduler skips of starving workers during dispatch",
+            Counter::StarvationBreaks => "Drain-loop breaks forced by the starvation bound",
+            Counter::DroppedHigh => "High-priority requests dropped at full queues",
+            Counter::Degrades => "Delivery degradations to cooperative mode",
+            Counter::Upgrades => "Recoveries from degraded delivery",
+            Counter::DeliveryErrors => "Interrupt delivery errors observed by the scheduler",
+            Counter::DispatchFaults => "Dispatch attempts suppressed by fault injection",
+            Counter::FaultsInjected => "Faults injected by the deterministic fault plan",
+            Counter::LatchWaits => "Latch acquisitions that had to spin",
+            Counter::ControllerEvals => "Adaptive-controller window evaluations",
+            Counter::ControllerRaises => "Controller decisions that raised the threshold",
+            Counter::ControllerLowers => "Controller decisions that lowered the threshold",
+            Counter::ControllerHolds => "Controller decisions that held the threshold",
+        }
+    }
+}
+
+/// Fixed gauges, stored registry-wide as `f64` bit patterns.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Gauge {
+    StarvationThreshold,
+    ViolationFloor,
+    DeliveryDegraded,
+}
+
+/// Number of fixed gauges.
+pub const GAUGES: usize = 3;
+
+impl Gauge {
+    pub const ALL: [Gauge; GAUGES] = [
+        Gauge::StarvationThreshold,
+        Gauge::ViolationFloor,
+        Gauge::DeliveryDegraded,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::StarvationThreshold => "starvation_threshold",
+            Gauge::ViolationFloor => "violation_floor",
+            Gauge::DeliveryDegraded => "delivery_degraded",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            Gauge::StarvationThreshold => {
+                "Current adaptive starvation threshold L_max (CPU-share fraction)"
+            }
+            Gauge::ViolationFloor => "Controller violation floor (threshold fraction)",
+            Gauge::DeliveryDegraded => "1 while interrupt delivery is degraded to cooperative",
+        }
+    }
+}
+
+/// Fixed fine-grained (5 mantissa bits) histograms, one per shard each.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FixedHist {
+    /// Userspace-interrupt post → handler entry, in cycles: the live
+    /// preemption-latency self-profile (paper Figure 4's microbenchmark,
+    /// measured continuously on the real delivery path).
+    DeliveryLatencyCycles,
+    /// Cycles burned spinning on an MVCC latch before acquisition.
+    LatchWaitCycles,
+}
+
+/// Number of fixed histograms.
+pub const FIXED_HISTS: usize = 2;
+
+impl FixedHist {
+    pub const ALL: [FixedHist; FIXED_HISTS] =
+        [FixedHist::DeliveryLatencyCycles, FixedHist::LatchWaitCycles];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            FixedHist::DeliveryLatencyCycles => "uintr_delivery_latency_cycles",
+            FixedHist::LatchWaitCycles => "latch_wait_cycles",
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            FixedHist::DeliveryLatencyCycles => {
+                "User-interrupt post-to-handler-entry latency (cycles)"
+            }
+            FixedHist::LatchWaitCycles => "Cycles spun before acquiring an MVCC latch",
+        }
+    }
+}
+
+/// A latency SLO for one transaction kind: at most `target_ppm` parts
+/// per million of completions may exceed `latency_bound_cycles`. The
+/// exporter publishes the observed violation fraction divided by the
+/// target as a burn-rate gauge (1.0 = burning exactly the error budget).
+#[derive(Clone, Copy, Debug)]
+pub struct SloSpec {
+    pub kind: &'static str,
+    pub latency_bound_cycles: u64,
+    pub target_ppm: u64,
+}
+
+/// Registry configuration, carried on the driver config.
+#[derive(Clone, Debug)]
+pub struct MetricsConfig {
+    /// Latency SLOs to derive burn-rate gauges for.
+    pub slos: Vec<SloSpec>,
+    /// Serve `GET /metrics` from a sampler thread on threaded runs.
+    pub serve: bool,
+    /// Bind address for the endpoint; port 0 picks a free port (the
+    /// bound address is readable via [`MetricsRegistry::bound_addr`]).
+    pub serve_addr: String,
+    /// Sampler refresh interval (wall-clock) for derived gauges.
+    pub sample_interval_ms: u64,
+}
+
+impl Default for MetricsConfig {
+    fn default() -> MetricsConfig {
+        MetricsConfig {
+            slos: Vec::new(),
+            serve: false,
+            serve_addr: "127.0.0.1:0".to_string(),
+            sample_interval_ms: 200,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomic histogram
+// ---------------------------------------------------------------------
+
+/// Single-writer atomic histogram over the shared bucket layout.
+struct AtomicHist {
+    sub_bits: u32,
+    sum: AtomicU64,
+    counts: Box<[AtomicU64]>,
+}
+
+impl AtomicHist {
+    fn new(sub_bits: u32) -> AtomicHist {
+        AtomicHist {
+            sub_bits,
+            sum: AtomicU64::new(0),
+            counts: (0..buckets::bucket_count(sub_bits))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.counts[buckets::bucket_of(value, self.sub_bits)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Adds this shard's buckets into an accumulating snapshot.
+    fn add_into(&self, snap: &mut HistSnapshot) {
+        debug_assert_eq!(snap.sub_bits, self.sub_bits);
+        snap.sum = snap.sum.wrapping_add(self.sum.load(Ordering::Relaxed));
+        for (acc, c) in snap.buckets.iter_mut().zip(self.counts.iter()) {
+            *acc += c.load(Ordering::Relaxed);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.counts.iter().all(|c| c.load(Ordering::Relaxed) == 0)
+    }
+}
+
+/// An owned point-in-time histogram: raw bucket counts plus the sum of
+/// recorded values. `count` is derived from the buckets so that a
+/// snapshot taken mid-run stays internally consistent.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    pub sub_bits: u32,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistSnapshot {
+    pub fn empty(sub_bits: u32) -> HistSnapshot {
+        HistSnapshot {
+            sub_bits,
+            sum: 0,
+            buckets: vec![0; buckets::bucket_count(sub_bits)],
+        }
+    }
+
+    /// Total recorded samples (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buckets.iter().all(|&c| c == 0)
+    }
+
+    /// Value at percentile `p` in [0, 100] (bucket lower bound), with
+    /// the same rank arithmetic as `preempt-sched`'s `Histogram` so the
+    /// two report identical numbers for identical samples.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return buckets::bucket_value(b, self.sub_bits);
+            }
+        }
+        self.max()
+    }
+
+    /// Largest recorded value, at bucket resolution.
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|b| buckets::bucket_value(b, self.sub_bits))
+            .unwrap_or(0)
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// Bucket-wise `self − earlier` (saturating), for windowed reads of
+    /// a cumulative histogram.
+    pub fn delta_since(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        debug_assert_eq!(self.sub_bits, earlier.sub_bits);
+        HistSnapshot {
+            sub_bits: self.sub_bits,
+            sum: self.sum.saturating_sub(earlier.sum),
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+
+    /// Samples whose bucket lower bound exceeds `bound` — the
+    /// bucket-resolution count of SLO violations. Empty buckets are
+    /// skipped (dead indices have no defined value).
+    pub fn count_above(&self, bound: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .filter(|(b, _)| buckets::bucket_value(*b, self.sub_bits) > bound)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-kind slots
+// ---------------------------------------------------------------------
+
+/// How many distinct transaction kinds one shard can attribute. Beyond
+/// this the aggregate counters still count; only the per-kind breakdown
+/// drops the overflow kinds.
+const MAX_KINDS: usize = 16;
+
+struct KindSlot {
+    name: &'static str,
+    completed: AtomicU64,
+    retries: AtomicU64,
+    deadline_aborted: AtomicU64,
+    failed: AtomicU64,
+    latency: AtomicHist,
+    sched_latency: AtomicHist,
+}
+
+impl KindSlot {
+    fn new(name: &'static str) -> KindSlot {
+        KindSlot {
+            name,
+            completed: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            deadline_aborted: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            latency: AtomicHist::new(buckets::FINE_SUB_BITS),
+            sched_latency: AtomicHist::new(buckets::FINE_SUB_BITS),
+        }
+    }
+}
+
+/// Aggregated per-kind series in a snapshot.
+#[derive(Clone, Debug)]
+pub struct KindSnapshot {
+    pub name: String,
+    pub completed: u64,
+    pub retries: u64,
+    pub deadline_aborted: u64,
+    pub failed: u64,
+    pub latency: HistSnapshot,
+    pub sched_latency: HistSnapshot,
+}
+
+impl KindSnapshot {
+    fn empty(name: String) -> KindSnapshot {
+        KindSnapshot {
+            name,
+            completed: 0,
+            retries: 0,
+            deadline_aborted: 0,
+            failed: 0,
+            latency: HistSnapshot::empty(buckets::FINE_SUB_BITS),
+            sched_latency: HistSnapshot::empty(buckets::FINE_SUB_BITS),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------
+
+/// One writer's slice of the registry: a fixed counter block, the fixed
+/// histograms, the controller's windowed sensor histogram, and lazily
+/// published per-kind slots.
+///
+/// A shard is written by exactly one logical owner (a worker's contexts,
+/// or the scheduling thread) with relaxed increments, and read
+/// concurrently by snapshotters. Every emit below is handler-safe:
+/// counters and histograms are plain `fetch_add`s; only the *first*
+/// completion of a new kind allocates its slot, and that happens on the
+/// worker's request loop, never inside an interrupt handler.
+pub struct Shard {
+    label: &'static str,
+    index: u32,
+    counters: [AtomicU64; COUNTERS],
+    hists: [AtomicHist; FIXED_HISTS],
+    /// High-priority commit latency at window (3-bit) resolution — the
+    /// adaptive controller's sensor histogram.
+    sensor_high_latency: AtomicHist,
+    kinds: [AtomicPtr<KindSlot>; MAX_KINDS],
+}
+
+impl Shard {
+    fn new(label: &'static str, index: u32) -> Shard {
+        Shard {
+            label,
+            index,
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: [
+                AtomicHist::new(buckets::FINE_SUB_BITS),
+                AtomicHist::new(buckets::FINE_SUB_BITS),
+            ],
+            sensor_high_latency: AtomicHist::new(buckets::WINDOW_SUB_BITS),
+            kinds: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+        }
+    }
+
+    /// This shard's owner label, e.g. `("worker", 3)`.
+    pub fn label(&self) -> (&'static str, u32) {
+        (self.label, self.index)
+    }
+
+    /// Increments a counter by one. Handler-safe.
+    #[inline]
+    pub fn bump(&self, c: Counter) {
+        self.bump_by(c, 1);
+    }
+
+    /// Increments a counter by `n`. Handler-safe.
+    #[inline]
+    pub fn bump_by(&self, c: Counter, n: u64) {
+        self.counters[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one value into a fixed histogram. Handler-safe.
+    #[inline]
+    pub fn observe(&self, h: FixedHist, value: u64) {
+        self.hists[h as usize].record(value);
+    }
+
+    /// Current value of one counter on this shard alone.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Records a committed request: aggregate counters, the controller's
+    /// sensor histogram (high priority only, same bucketing the drained
+    /// `WindowSensors` used), and the per-kind latency series.
+    pub fn txn_completed(
+        &self,
+        kind: &'static str,
+        priority: u8,
+        latency: u64,
+        sched_latency: u64,
+        retries: u64,
+    ) {
+        if priority == 0 {
+            self.bump(Counter::TxnCompletedLow);
+        } else {
+            self.bump(Counter::TxnCompletedHigh);
+            self.sensor_high_latency.record(latency);
+        }
+        if let Some(slot) = self.kind_slot(kind) {
+            slot.completed.fetch_add(1, Ordering::Relaxed);
+            slot.retries.fetch_add(retries, Ordering::Relaxed);
+            slot.latency.record(latency);
+            slot.sched_latency.record(sched_latency);
+        }
+    }
+
+    /// Records a request abandoned at its deadline.
+    pub fn txn_deadline_abort(&self, kind: &'static str) {
+        self.bump(Counter::TxnAborted);
+        if let Some(slot) = self.kind_slot(kind) {
+            slot.deadline_aborted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a request that burned its retry budget without committing.
+    pub fn txn_failed(&self, kind: &'static str, retries: u64) {
+        self.bump(Counter::TxnAborted);
+        if let Some(slot) = self.kind_slot(kind) {
+            slot.failed.fetch_add(1, Ordering::Relaxed);
+            slot.retries.fetch_add(retries, Ordering::Relaxed);
+        }
+    }
+
+    /// Finds (or publishes) the slot for `kind`. First use of a kind on
+    /// a shard allocates; after that it is a short pointer scan. Returns
+    /// `None` when the table is full.
+    fn kind_slot(&self, kind: &'static str) -> Option<&KindSlot> {
+        for cell in &self.kinds {
+            let p = cell.load(Ordering::Acquire);
+            if p.is_null() {
+                let fresh = Box::into_raw(Box::new(KindSlot::new(kind)));
+                match cell.compare_exchange(
+                    std::ptr::null_mut(),
+                    fresh,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    // SAFETY: just published; freed only in Shard::drop.
+                    Ok(_) => return Some(unsafe { &*fresh }),
+                    Err(current) => {
+                        // SAFETY: `fresh` lost the race and was never
+                        // shared; reclaim it.
+                        drop(unsafe { Box::from_raw(fresh) });
+                        // SAFETY: non-null slots are live until drop.
+                        let cur = unsafe { &*current };
+                        if cur.name == kind {
+                            return Some(cur);
+                        }
+                        continue;
+                    }
+                }
+            }
+            // SAFETY: non-null slots are live until Shard::drop, and
+            // `&self` keeps the shard alive.
+            let slot = unsafe { &*p };
+            if slot.name == kind {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    fn add_counters_into(&self, acc: &mut [u64; COUNTERS]) {
+        for (a, c) in acc.iter_mut().zip(self.counters.iter()) {
+            *a += c.load(Ordering::Relaxed);
+        }
+    }
+
+    fn add_kinds_into(&self, acc: &mut Vec<KindSnapshot>) {
+        for cell in &self.kinds {
+            let p = cell.load(Ordering::Acquire);
+            if p.is_null() {
+                break;
+            }
+            // SAFETY: non-null slots are live until Shard::drop.
+            let slot = unsafe { &*p };
+            let entry = match acc.iter_mut().find(|k| k.name == slot.name) {
+                Some(e) => e,
+                None => {
+                    acc.push(KindSnapshot::empty(slot.name.to_string()));
+                    acc.last_mut().expect("just pushed")
+                }
+            };
+            entry.completed += slot.completed.load(Ordering::Relaxed);
+            entry.retries += slot.retries.load(Ordering::Relaxed);
+            entry.deadline_aborted += slot.deadline_aborted.load(Ordering::Relaxed);
+            entry.failed += slot.failed.load(Ordering::Relaxed);
+            slot.latency.add_into(&mut entry.latency);
+            slot.sched_latency.add_into(&mut entry.sched_latency);
+        }
+    }
+
+    /// True when nothing has been recorded on this shard — the
+    /// disabled-overhead unit tests assert this after guarded emits.
+    pub fn is_untouched(&self) -> bool {
+        self.counters.iter().all(|c| c.load(Ordering::Relaxed) == 0)
+            && self.hists.iter().all(|h| h.is_empty())
+            && self.sensor_high_latency.is_empty()
+            && self.kinds[0].load(Ordering::Acquire).is_null()
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        for cell in &self.kinds {
+            let p = cell.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !p.is_null() {
+                // SAFETY: slots are only published here and freed once.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shard({}/{})", self.label, self.index)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sensor plane
+// ---------------------------------------------------------------------
+
+/// Cumulative sensor readings summed across shards: exactly the series
+/// the adaptive controller consumes, read in one pass.
+#[derive(Clone, Debug)]
+pub struct SensorTotals {
+    pub high_completed: u64,
+    pub low_completed: u64,
+    pub aborts: u64,
+    pub watchdog_resends: u64,
+    pub skipped_starving: u64,
+    pub dropped_high: u64,
+    high_latency: Vec<u64>,
+}
+
+impl SensorTotals {
+    pub fn zero() -> SensorTotals {
+        SensorTotals {
+            high_completed: 0,
+            low_completed: 0,
+            aborts: 0,
+            watchdog_resends: 0,
+            skipped_starving: 0,
+            dropped_high: 0,
+            high_latency: vec![0; buckets::bucket_count(buckets::WINDOW_SUB_BITS)],
+        }
+    }
+
+    /// The window `self − prev`: what the drained `WindowSensors` used
+    /// to hand the controller, now as a difference of two cumulative
+    /// registry reads. Sum-of-per-shard-deltas equals delta-of-sums, so
+    /// under the deterministic simulator the controller sees the exact
+    /// values the drain produced.
+    pub fn delta_since(&self, prev: &SensorTotals) -> SensorWindow {
+        SensorWindow {
+            high_completed: self.high_completed.saturating_sub(prev.high_completed),
+            low_completed: self.low_completed.saturating_sub(prev.low_completed),
+            aborts: self.aborts.saturating_sub(prev.aborts),
+            watchdog_resends: self.watchdog_resends.saturating_sub(prev.watchdog_resends),
+            skipped_starving: self.skipped_starving.saturating_sub(prev.skipped_starving),
+            dropped_high: self.dropped_high.saturating_sub(prev.dropped_high),
+            high_latency: self
+                .high_latency
+                .iter()
+                .zip(prev.high_latency.iter())
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+        }
+    }
+}
+
+impl Default for SensorTotals {
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+/// One evaluation window of sensor readings, with the same percentile
+/// arithmetic the drained `WindowTotals` used.
+#[derive(Clone, Debug)]
+pub struct SensorWindow {
+    pub high_completed: u64,
+    pub low_completed: u64,
+    pub aborts: u64,
+    pub watchdog_resends: u64,
+    pub skipped_starving: u64,
+    pub dropped_high: u64,
+    high_latency: Vec<u64>,
+}
+
+impl SensorWindow {
+    /// p99 of this window's high-priority commit latencies (bucket lower
+    /// bound; 0 when the window completed nothing).
+    pub fn high_p99(&self) -> u64 {
+        if self.high_completed == 0 {
+            return 0;
+        }
+        let rank = (0.99 * self.high_completed as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (b, &c) in self.high_latency.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return buckets::bucket_value(b, buckets::WINDOW_SUB_BITS);
+            }
+        }
+        buckets::bucket_value(self.high_latency.len() - 1, buckets::WINDOW_SUB_BITS)
+    }
+
+    /// Largest high-priority latency recorded this window, at bucket
+    /// resolution; 0 when no high-priority work completed. The
+    /// controller's spike sentinel.
+    pub fn high_max(&self) -> u64 {
+        self.high_latency
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|b| buckets::bucket_value(b, buckets::WINDOW_SUB_BITS))
+            .unwrap_or(0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+struct Inner {
+    config: MetricsConfig,
+    shards: Mutex<Vec<Arc<Shard>>>,
+    /// Fixed gauges as `f64` bit patterns.
+    gauges: [AtomicU64; GAUGES],
+    /// Derived per-kind SLO burn-rate gauges, refreshed by the sampler
+    /// (or once at snapshot time on simulated runs).
+    slo_gauges: Mutex<Vec<(String, f64)>>,
+    /// Actual bound address of the `/metrics` endpoint, once serving.
+    bound_addr: Mutex<Option<SocketAddr>>,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        crate::registry_closed();
+    }
+}
+
+/// Handle to a run's metrics registry. Cloning shares the registry; the
+/// process-global enabled word counts live registries, so emit sites pay
+/// one relaxed load when none exist.
+#[derive(Clone)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    pub fn new(config: MetricsConfig) -> MetricsRegistry {
+        crate::registry_opened();
+        MetricsRegistry {
+            inner: Arc::new(Inner {
+                config,
+                shards: Mutex::new(Vec::new()),
+                gauges: std::array::from_fn(|_| AtomicU64::new(f64::to_bits(0.0))),
+                slo_gauges: Mutex::new(Vec::new()),
+                bound_addr: Mutex::new(None),
+            }),
+        }
+    }
+
+    pub fn config(&self) -> &MetricsConfig {
+        &self.inner.config
+    }
+
+    /// Registers (and returns) a new shard for one writer.
+    pub fn register_shard(&self, label: &'static str, index: u32) -> Arc<Shard> {
+        let shard = Arc::new(Shard::new(label, index));
+        self.inner
+            .shards
+            .lock()
+            .expect("metrics shard list poisoned")
+            .push(shard.clone());
+        shard
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.inner
+            .shards
+            .lock()
+            .expect("metrics shard list poisoned")
+            .len()
+    }
+
+    /// Sets a fixed gauge.
+    pub fn gauge_set(&self, g: Gauge, value: f64) {
+        self.inner.gauges[g as usize].store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn gauge_get(&self, g: Gauge) -> f64 {
+        f64::from_bits(self.inner.gauges[g as usize].load(Ordering::Relaxed))
+    }
+
+    /// Sum of one counter across all shards.
+    pub fn counter_total(&self, c: Counter) -> u64 {
+        self.inner
+            .shards
+            .lock()
+            .expect("metrics shard list poisoned")
+            .iter()
+            .map(|s| s.counter(c))
+            .sum()
+    }
+
+    /// One-pass cumulative read of the controller's sensor series.
+    pub fn sensor_totals(&self) -> SensorTotals {
+        let mut t = SensorTotals::zero();
+        let shards = self
+            .inner
+            .shards
+            .lock()
+            .expect("metrics shard list poisoned");
+        for s in shards.iter() {
+            t.high_completed += s.counter(Counter::TxnCompletedHigh);
+            t.low_completed += s.counter(Counter::TxnCompletedLow);
+            t.aborts += s.counter(Counter::TxnAborted);
+            t.watchdog_resends += s.counter(Counter::WatchdogResends);
+            t.skipped_starving += s.counter(Counter::StarvationSkips);
+            t.dropped_high += s.counter(Counter::DroppedHigh);
+            for (a, c) in t
+                .high_latency
+                .iter_mut()
+                .zip(s.sensor_high_latency.counts.iter())
+            {
+                *a += c.load(Ordering::Relaxed);
+            }
+        }
+        t
+    }
+
+    /// Point-in-time aggregate of every series: shards summed, per-kind
+    /// slots merged by name, derived gauges included. Monotonic cells
+    /// make this crash-consistent — taking it mid-run never observes a
+    /// series going backward.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards = self
+            .inner
+            .shards
+            .lock()
+            .expect("metrics shard list poisoned");
+        let mut counters = [0u64; COUNTERS];
+        let mut delivery_latency = HistSnapshot::empty(buckets::FINE_SUB_BITS);
+        let mut latch_wait = HistSnapshot::empty(buckets::FINE_SUB_BITS);
+        let mut sensor_high_latency = HistSnapshot::empty(buckets::WINDOW_SUB_BITS);
+        let mut kinds: Vec<KindSnapshot> = Vec::new();
+        for s in shards.iter() {
+            s.add_counters_into(&mut counters);
+            s.hists[FixedHist::DeliveryLatencyCycles as usize].add_into(&mut delivery_latency);
+            s.hists[FixedHist::LatchWaitCycles as usize].add_into(&mut latch_wait);
+            s.sensor_high_latency.add_into(&mut sensor_high_latency);
+            s.add_kinds_into(&mut kinds);
+        }
+        kinds.sort_by(|a, b| a.name.cmp(&b.name));
+        let gauges: Vec<(String, f64)> = Gauge::ALL
+            .iter()
+            .map(|&g| (g.name().to_string(), self.gauge_get(g)))
+            .collect();
+        MetricsSnapshot {
+            counters: counters.to_vec(),
+            gauges,
+            slo_burn: self
+                .inner
+                .slo_gauges
+                .lock()
+                .expect("slo gauge list poisoned")
+                .clone(),
+            delivery_latency,
+            latch_wait,
+            sensor_high_latency,
+            kinds,
+            shards: shards.len(),
+        }
+    }
+
+    /// Recomputes the SLO burn-rate gauges from per-kind latency
+    /// histograms. `prev` is the previous sample for a windowed rate;
+    /// `None` rates the whole run so far (what simulated runs report).
+    pub fn refresh_slo_gauges(&self, prev: Option<&MetricsSnapshot>) {
+        let cur = self.snapshot();
+        let mut out = Vec::with_capacity(self.inner.config.slos.len());
+        for slo in &self.inner.config.slos {
+            let burn = match cur.kinds.iter().find(|k| k.name == slo.kind) {
+                Some(k) => {
+                    let window = match prev.and_then(|p| {
+                        p.kinds
+                            .iter()
+                            .find(|pk| pk.name == slo.kind)
+                            .map(|pk| k.latency.delta_since(&pk.latency))
+                    }) {
+                        Some(w) => w,
+                        None => k.latency.clone(),
+                    };
+                    let total = window.count();
+                    if total == 0 {
+                        0.0
+                    } else {
+                        let viol = window.count_above(slo.latency_bound_cycles);
+                        let frac = viol as f64 / total as f64;
+                        frac / (slo.target_ppm.max(1) as f64 / 1e6)
+                    }
+                }
+                None => 0.0,
+            };
+            out.push((slo.kind.to_string(), burn));
+        }
+        *self
+            .inner
+            .slo_gauges
+            .lock()
+            .expect("slo gauge list poisoned") = out;
+    }
+
+    pub(crate) fn set_bound_addr(&self, addr: SocketAddr) {
+        *self
+            .inner
+            .bound_addr
+            .lock()
+            .expect("bound addr poisoned") = Some(addr);
+    }
+
+    /// Address the `/metrics` endpoint actually bound, once the sampler
+    /// thread is up (`None` before that, or when serving is off).
+    pub fn bound_addr(&self) -> Option<SocketAddr> {
+        *self.inner.bound_addr.lock().expect("bound addr poisoned")
+    }
+}
+
+impl fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MetricsRegistry({} shards)", self.shard_count())
+    }
+}
+
+/// Point-in-time aggregate of the whole registry.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Fixed counter totals, indexed by `Counter as usize`.
+    pub counters: Vec<u64>,
+    /// Fixed and derived gauges as `(name, value)` pairs.
+    pub gauges: Vec<(String, f64)>,
+    /// Derived SLO burn rates as `(kind, burn)` pairs.
+    pub slo_burn: Vec<(String, f64)>,
+    pub delivery_latency: HistSnapshot,
+    pub latch_wait: HistSnapshot,
+    /// The controller's 3-bit sensor histogram (high-priority latency).
+    pub sensor_high_latency: HistSnapshot,
+    pub kinds: Vec<KindSnapshot>,
+    /// Number of shards summed into this snapshot.
+    pub shards: usize,
+}
+
+impl MetricsSnapshot {
+    /// Total of one fixed counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c as usize]
+    }
+
+    /// Per-kind series by name.
+    pub fn kind(&self, name: &str) -> Option<&KindSnapshot> {
+        self.kinds.iter().find(|k| k.name == name)
+    }
+
+    /// A fixed or derived gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}

@@ -1,0 +1,246 @@
+//! Wall-clock sampler for threaded runs: refreshes the derived SLO
+//! burn-rate gauges on a fixed interval and answers `GET /metrics`
+//! (Prometheus text) and `GET /metrics.json` on a tiny std-only HTTP
+//! listener. Simulated runs don't need it — their time is virtual and
+//! their snapshot is taken at collect time.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::export;
+use crate::registry::MetricsRegistry;
+
+/// Handle to a running sampler; dropping it without [`Sampler::stop`]
+/// leaves the thread running until the process exits.
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Signals the thread and joins it.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns the sampler thread. The derived-gauge refresh always runs
+/// (every `sample_interval_ms`); the HTTP listener only exists behind
+/// the `serve` config flag, binding `config.serve_addr` (port 0 picks a
+/// free port; the result is readable via [`MetricsRegistry::bound_addr`]
+/// once up) and answering scrapes between refreshes.
+pub fn spawn(registry: MetricsRegistry) -> std::io::Result<Sampler> {
+    let listener = if registry.config().serve {
+        let l = TcpListener::bind(registry.config().serve_addr.as_str())?;
+        l.set_nonblocking(true)?;
+        registry.set_bound_addr(l.local_addr()?);
+        Some(l)
+    } else {
+        None
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let interval = Duration::from_millis(registry.config().sample_interval_ms.max(1));
+    let handle = std::thread::Builder::new()
+        .name("metrics-sampler".to_string())
+        .spawn(move || run(registry, listener, stop2, interval))?;
+    Ok(Sampler {
+        stop,
+        handle: Some(handle),
+    })
+}
+
+fn run(
+    registry: MetricsRegistry,
+    listener: Option<TcpListener>,
+    stop: Arc<AtomicBool>,
+    interval: Duration,
+) {
+    let mut prev = registry.snapshot();
+    let mut last_refresh = Instant::now();
+    registry.refresh_slo_gauges(None);
+    while !stop.load(Ordering::Relaxed) {
+        match listener.as_ref().map(|l| l.accept()) {
+            Some(Ok((stream, _))) => {
+                // Serving is best-effort: a broken scraper must never
+                // take the run down.
+                let _ = answer(&registry, stream);
+            }
+            _ => std::thread::sleep(Duration::from_millis(2)),
+        }
+        if last_refresh.elapsed() >= interval {
+            let cur = registry.snapshot();
+            registry.refresh_slo_gauges(Some(&prev));
+            prev = cur;
+            last_refresh = Instant::now();
+        }
+    }
+}
+
+fn answer(registry: &MetricsRegistry, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        req.extend_from_slice(&buf[..n]);
+        if req.windows(4).any(|w| w == b"\r\n\r\n") || req.len() > 8 * 1024 {
+            break;
+        }
+    }
+    let request_line = std::str::from_utf8(&req)
+        .unwrap_or("")
+        .lines()
+        .next()
+        .unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_string(),
+        )
+    } else if path == "/metrics" || path.starts_with("/metrics?") {
+        (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            export::to_prometheus(&registry.snapshot()),
+        )
+    } else if path == "/metrics.json" {
+        (
+            "200 OK",
+            "application/json",
+            export::to_json(&registry.snapshot()),
+        )
+    } else {
+        ("404 Not Found", "text/plain", "not found\n".to_string())
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Scrapes `GET <path>` from `addr` over plain TCP and returns the
+/// response body. Test and example helper — this crate is its own
+/// curl.
+pub fn scrape(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "non-200 response: {}",
+            head.lines().next().unwrap_or("")
+        ))),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{Counter, MetricsConfig, SloSpec};
+
+    #[test]
+    fn serves_and_refreshes_over_tcp() {
+        let reg = MetricsRegistry::new(MetricsConfig {
+            serve: true,
+            slos: vec![SloSpec {
+                kind: "point",
+                latency_bound_cycles: 1_000,
+                target_ppm: 10_000,
+            }],
+            sample_interval_ms: 5,
+            ..MetricsConfig::default()
+        });
+        let shard = reg.register_shard("worker", 0);
+        shard.bump(Counter::UintrDelivered);
+        shard.txn_completed("point", 1, 50_000, 10, 0);
+        let sampler = spawn(reg.clone()).expect("bind loopback");
+        let addr = reg.bound_addr().expect("addr recorded at bind time");
+
+        let body = scrape(addr, "/metrics").expect("scrape");
+        let exp = export::parse_prometheus(&body).expect("valid exposition");
+        export::validate_histograms(&exp).expect("histogram invariants");
+        assert_eq!(exp.value("preemptdb_uintr_delivered_total", &[]), Some(1.0));
+
+        // Sampler refresh publishes the burn-rate gauge.
+        std::thread::sleep(Duration::from_millis(30));
+        let body = scrape(addr, "/metrics").expect("second scrape");
+        let exp = export::parse_prometheus(&body).expect("valid exposition");
+        assert!(
+            exp.value("preemptdb_slo_burn_rate", &[("kind", "point")])
+                .is_some(),
+            "burn-rate series missing after refresh"
+        );
+
+        let json = scrape(addr, "/metrics.json").expect("json scrape");
+        assert!(json.contains("\"uintr_delivered\":1"));
+
+        assert!(scrape(addr, "/nope").is_err(), "404 path must not be 200");
+        sampler.stop();
+    }
+
+    #[test]
+    fn snapshot_under_concurrent_writers_is_monotonic() {
+        let reg = MetricsRegistry::new(MetricsConfig::default());
+        let shard = reg.register_shard("worker", 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let shard = shard.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut v = 1u64;
+                while !stop.load(Ordering::Relaxed) {
+                    shard.bump(Counter::TxnCompletedHigh);
+                    shard.txn_completed("k", 1, v % 1_000_000, 1, 0);
+                    v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                }
+            })
+        };
+        let mut last_counter = 0u64;
+        let mut last_hist = 0u64;
+        let mut last_buckets: Vec<u64> = Vec::new();
+        for _ in 0..200 {
+            let snap = reg.snapshot();
+            let c = snap.counter(Counter::TxnCompletedHigh);
+            let h = snap.sensor_high_latency.count();
+            assert!(c >= last_counter, "counter went backward: {c} < {last_counter}");
+            assert!(h >= last_hist, "histogram count went backward");
+            if !last_buckets.is_empty() {
+                for (cur, prev) in snap
+                    .sensor_high_latency
+                    .buckets
+                    .iter()
+                    .zip(last_buckets.iter())
+                {
+                    assert!(cur >= prev, "bucket went backward");
+                }
+            }
+            last_counter = c;
+            last_hist = h;
+            last_buckets = snap.sensor_high_latency.buckets.clone();
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer thread");
+        assert!(last_counter > 0, "writer made progress");
+    }
+}

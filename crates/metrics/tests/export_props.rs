@@ -1,0 +1,113 @@
+//! Property tests for the Prometheus exposition: label escaping round
+//! trips through the parser, histogram `le` buckets are cumulative and
+//! monotone, and `_sum`/`_count` stay consistent with the buckets — for
+//! arbitrary recorded values and hostile kind names.
+
+use proptest::prelude::*;
+
+use preempt_metrics::export::{parse_prometheus, to_prometheus, validate_histograms};
+use preempt_metrics::{Counter, FixedHist, MetricsConfig, MetricsRegistry};
+
+/// Kind names drawn from an alphabet that includes every character the
+/// escaper must handle.
+fn kind_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u32..96, 1..10).prop_map(|codes| {
+        const ALPHABET: &[char] = &[
+            'a', 'b', 'z', 'K', '0', '9', '_', '-', '.', ' ', '"', '\\', '\n', 'é', '→', '{', '}',
+        ];
+        codes
+            .into_iter()
+            .map(|c| ALPHABET[c as usize % ALPHABET.len()])
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any mix of recorded values renders to an exposition the strict
+    /// parser accepts, with every histogram family cumulative,
+    /// `+Inf`-terminated, and `_sum`/`_count`-consistent.
+    #[test]
+    fn exposition_is_valid_for_arbitrary_values(
+        latencies in prop::collection::vec(0u64..u64::MAX >> 4, 1..200),
+        deliveries in prop::collection::vec(0u64..10_000_000, 0..50),
+        counters in prop::collection::vec((0usize..26, 1u64..1_000), 0..40),
+        names in prop::collection::vec(kind_name(), 1..4),
+    ) {
+        let reg = MetricsRegistry::new(MetricsConfig::default());
+        let shard = reg.register_shard("worker", 0);
+        // Kind names must be 'static for the emit path; leak the tiny
+        // test strings.
+        let names: Vec<&'static str> =
+            names.into_iter().map(|n| &*n.leak()).collect();
+        for (i, &v) in latencies.iter().enumerate() {
+            let kind = names[i % names.len()];
+            shard.txn_completed(kind, (i % 2) as u8 + (i % 3 == 0) as u8, v, v / 7, i as u64 % 3);
+        }
+        for &v in &deliveries {
+            shard.observe(FixedHist::DeliveryLatencyCycles, v);
+        }
+        for &(c, n) in &counters {
+            shard.bump_by(Counter::ALL[c], n);
+        }
+        let text = to_prometheus(&reg.snapshot());
+        let exp = parse_prometheus(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}\n{text}")))?;
+        validate_histograms(&exp)
+            .map_err(|e| TestCaseError::fail(format!("histogram invariant: {e}")))?;
+        // Counter totals survive the round trip exactly.
+        let snap = reg.snapshot();
+        for c in Counter::ALL {
+            let name = format!("preemptdb_{}_total", c.name());
+            prop_assert_eq!(exp.value(&name, &[]), Some(snap.counter(c) as f64));
+        }
+        // Every kind's _count equals its completed count.
+        for k in &snap.kinds {
+            let got = exp.value(
+                "preemptdb_txn_latency_cycles_count",
+                &[("kind", k.name.as_str())],
+            );
+            prop_assert_eq!(got, Some(k.completed as f64), "kind {:?}", k.name);
+        }
+    }
+
+    /// `escape_label` is injective enough for the parser: whatever goes
+    /// in comes back out, byte for byte.
+    #[test]
+    fn label_values_round_trip(name in kind_name()) {
+        let line = format!(
+            "m{{kind=\"{}\"}} 1",
+            preempt_metrics::export::escape_label(&name)
+        );
+        let exp = parse_prometheus(&line)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        prop_assert_eq!(exp.samples[0].label("kind"), Some(name.as_str()));
+    }
+
+    /// Cumulative bucket counts are non-decreasing in `le` even when
+    /// values straddle the exact-range/log-range boundary.
+    #[test]
+    fn bucket_series_is_cumulative(
+        values in prop::collection::vec(0u64..200, 1..300),
+    ) {
+        let reg = MetricsRegistry::new(MetricsConfig::default());
+        let shard = reg.register_shard("worker", 0);
+        for &v in &values {
+            shard.observe(FixedHist::LatchWaitCycles, v);
+        }
+        let text = to_prometheus(&reg.snapshot());
+        let exp = parse_prometheus(&text)
+            .map_err(|e| TestCaseError::fail(format!("parse failed: {e}")))?;
+        validate_histograms(&exp)
+            .map_err(|e| TestCaseError::fail(format!("histogram invariant: {e}")))?;
+        let count = exp
+            .value("preemptdb_latch_wait_cycles_count", &[])
+            .ok_or_else(|| TestCaseError::fail("missing _count"))?;
+        prop_assert_eq!(count, values.len() as f64);
+        let sum = exp
+            .value("preemptdb_latch_wait_cycles_sum", &[])
+            .ok_or_else(|| TestCaseError::fail("missing _sum"))?;
+        prop_assert_eq!(sum, values.iter().sum::<u64>() as f64);
+    }
+}

@@ -66,6 +66,7 @@ impl Latch {
                     .is_ok()
             {
                 preempt_trace::emit(TraceEvent::LatchAcquire { mode: MODE_READ });
+                Self::note_contended(spins);
                 return ReadGuard { latch: self };
             }
             spins = Self::spin_once(spins);
@@ -82,6 +83,7 @@ impl Latch {
                 .is_ok()
             {
                 preempt_trace::emit(TraceEvent::LatchAcquire { mode: MODE_WRITE });
+                Self::note_contended(spins);
                 return WriteGuard { latch: self };
             }
             spins = Self::spin_once(spins);
@@ -105,6 +107,20 @@ impl Latch {
     }
 
     #[inline]
+    /// Records a contended acquisition (any acquisition that spun at
+    /// least once) in the metrics registry: one `LatchWaits` count plus
+    /// the approximate cycles burned waiting. Handler-safe — both emits
+    /// are relaxed `fetch_add`s on the caller's shard.
+    fn note_contended(spins: u64) {
+        if spins > 0 {
+            preempt_metrics::counter_inc(preempt_metrics::Counter::LatchWaits);
+            preempt_metrics::hist_record(
+                preempt_metrics::FixedHist::LatchWaitCycles,
+                spins * SPIN_COST,
+            );
+        }
+    }
+
     fn spin_once(spins: u64) -> u64 {
         std::hint::spin_loop();
         // Let virtual time pass (and real preemption fire if the waiter is

@@ -41,9 +41,14 @@ pub fn freq_hz() -> u64 {
     }
 }
 
-/// Converts a cycle count from [`now_cycles`]'s time base to microseconds.
+/// Converts a cycle count from [`now_cycles`]'s time base to
+/// microseconds (0.0 if the frequency probe reports zero).
 pub fn cycles_to_us(cycles: u64) -> f64 {
-    cycles as f64 * 1e6 / freq_hz() as f64
+    let hz = freq_hz();
+    if hz == 0 {
+        return 0.0;
+    }
+    cycles as f64 * 1e6 / hz as f64
 }
 
 #[cfg(test)]

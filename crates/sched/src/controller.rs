@@ -7,8 +7,10 @@
 //! online-adaptation argument of LibPreemptible (adaptive quanta driven
 //! by observed tail latency) this module closes the loop: a
 //! [`Controller`] runs on the scheduling thread, reads per-window sensor
-//! snapshots drained from the workers ([`crate::metrics::WindowSensors`]),
-//! and steers every worker's live threshold cell
+//! snapshots computed as deltas of the cumulative metrics registry
+//! ([`preempt_metrics::MetricsRegistry::sensor_totals`] — the same
+//! sensor plane the exporters publish), and steers every worker's live
+//! threshold cell
 //! ([`crate::starvation::StarvationState::set_threshold`]).
 //!
 //! **Control law** — AIMD with hysteresis, clamped to

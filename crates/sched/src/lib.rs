@@ -33,10 +33,10 @@ pub use admission::{AdmissionControl, AdmittedFactory};
 pub use controller::{
     Controller, ControllerConfig, ControllerReport, Decision, SensorSnapshot, ThresholdPoint,
 };
-pub use metrics::{Histogram, KindMetrics, Metrics, WindowSensors, WindowTotals};
+pub use metrics::{Histogram, KindMetrics, Metrics};
 pub use policy::{Policy, STARVATION_DISABLED};
 pub use request::{Priority, Request, RequestQueue, WorkOutcome};
-pub use runner::{run, RunReport, Runtime, WorkerTotals};
+pub use runner::{cross_check_registry, run, RunReport, Runtime, WorkerTotals};
 pub use scheduler::{
     scheduler_main, DriverConfig, RobustnessConfig, SchedRun, SchedulerStats, WorkloadFactory,
 };

@@ -8,12 +8,17 @@
 //! below 32 are exact. Recording is two shifts and an increment, and
 //! histograms merge by bucket addition so each worker records locally
 //! with no synchronization.
+//!
+//! The bucket math itself lives in [`preempt_metrics::buckets`] and is
+//! shared with the metrics registry and the adaptive controller's sensor
+//! plane, so every layer agrees bit-for-bit on where a sample lands.
 
-/// Mantissa bits per octave: 32 sub-buckets, ≤ 3.1 % bucket width.
-const SUB_BITS: u32 = 5;
-const SUB_BUCKETS: usize = 1 << SUB_BITS;
+use preempt_metrics::buckets::{self, FINE_SUB_BITS};
+
+/// Mantissa bits per octave: 32 sub-buckets, ≤ 3.2 % bucket width.
+const SUB_BITS: u32 = FINE_SUB_BITS;
 /// 64 octaves × 32 sub-buckets covers the full u64 range.
-const BUCKETS: usize = 64 * SUB_BUCKETS;
+const BUCKETS: usize = buckets::bucket_count(SUB_BITS);
 
 /// A log-bucketed latency histogram (values are in cycles or any unit).
 #[derive(Clone)]
@@ -41,24 +46,12 @@ impl Histogram {
 
     #[inline]
     fn bucket_of(value: u64) -> usize {
-        if value < SUB_BUCKETS as u64 {
-            // Values below one octave of sub-buckets are stored exactly.
-            return value as usize;
-        }
-        let exp = 63 - value.leading_zeros() as usize; // floor(log2 v)
-        let mantissa = (value >> (exp - SUB_BITS as usize)) as usize - SUB_BUCKETS;
-        exp * SUB_BUCKETS + mantissa
+        buckets::bucket_of(value, SUB_BITS)
     }
 
     /// Representative (lower-bound) value of a bucket.
     fn bucket_value(bucket: usize) -> u64 {
-        if bucket < SUB_BUCKETS {
-            bucket as u64
-        } else {
-            let exp = bucket / SUB_BUCKETS;
-            let mantissa = bucket % SUB_BUCKETS;
-            ((SUB_BUCKETS + mantissa) as u64) << (exp - SUB_BITS as usize)
-        }
+        buckets::bucket_value(bucket, SUB_BITS)
     }
 
     /// Records one value.
@@ -290,165 +283,6 @@ impl Metrics {
     }
 }
 
-// ---------------------------------------------------------------------
-// Windowed sensors for the adaptive starvation-threshold controller.
-// ---------------------------------------------------------------------
-
-/// Mantissa bits for the compact window histogram: 8 sub-buckets per
-/// octave → 512 buckets total, ≤ 12.5 % percentile undershoot — plenty
-/// for a control loop that only compares p99 against a bound.
-const WINDOW_SUB_BITS: u32 = 3;
-const WINDOW_SUB_BUCKETS: usize = 1 << WINDOW_SUB_BITS;
-const WINDOW_BUCKETS: usize = 64 * WINDOW_SUB_BUCKETS;
-
-#[inline]
-fn window_bucket_of(value: u64) -> usize {
-    if value < WINDOW_SUB_BUCKETS as u64 {
-        return value as usize;
-    }
-    let exp = 63 - value.leading_zeros() as usize;
-    let mantissa = (value >> (exp - WINDOW_SUB_BITS as usize)) as usize - WINDOW_SUB_BUCKETS;
-    exp * WINDOW_SUB_BUCKETS + mantissa
-}
-
-#[inline]
-fn window_bucket_value(bucket: usize) -> u64 {
-    if bucket < WINDOW_SUB_BUCKETS {
-        bucket as u64
-    } else {
-        let exp = bucket / WINDOW_SUB_BUCKETS;
-        let mantissa = bucket % WINDOW_SUB_BUCKETS;
-        ((WINDOW_SUB_BUCKETS + mantissa) as u64) << (exp - WINDOW_SUB_BITS as usize)
-    }
-}
-
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// Per-worker sensor block the adaptive controller drains (and zeroes)
-/// once per evaluation window: completion counters plus a compact
-/// atomic latency histogram for high-priority commits.
-///
-/// Workers record with relaxed increments on their own hot path; the
-/// scheduling thread drains with `swap(0)`. All orderings are Relaxed —
-/// the controller tolerates a sample landing one window late, and under
-/// the deterministic simulator (where trajectories must replay exactly)
-/// all cores share one OS thread anyway.
-#[derive(Debug)]
-pub struct WindowSensors {
-    high_completed: AtomicU64,
-    low_completed: AtomicU64,
-    aborts: AtomicU64,
-    high_latency: Box<[AtomicU64]>,
-}
-
-impl WindowSensors {
-    pub fn new() -> WindowSensors {
-        WindowSensors {
-            high_completed: AtomicU64::new(0),
-            low_completed: AtomicU64::new(0),
-            aborts: AtomicU64::new(0),
-            high_latency: (0..WINDOW_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// Records one committed request (`priority` 0 = low).
-    #[inline]
-    pub fn record_completion(&self, priority: u8, latency: u64) {
-        if priority == 0 {
-            self.low_completed.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.high_completed.fetch_add(1, Ordering::Relaxed);
-            self.high_latency[window_bucket_of(latency)].fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Records one abort (deadline or retry-budget exhaustion).
-    #[inline]
-    pub fn record_abort(&self) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Drains this worker's window into `acc`, zeroing the counters.
-    pub fn drain_into(&self, acc: &mut WindowTotals) {
-        acc.high_completed += self.high_completed.swap(0, Ordering::Relaxed);
-        acc.low_completed += self.low_completed.swap(0, Ordering::Relaxed);
-        acc.aborts += self.aborts.swap(0, Ordering::Relaxed);
-        for (a, b) in acc.high_latency.iter_mut().zip(self.high_latency.iter()) {
-            *a += b.swap(0, Ordering::Relaxed);
-        }
-    }
-}
-
-impl Default for WindowSensors {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Accumulator for one evaluation window, summed across workers.
-#[derive(Clone, Debug)]
-pub struct WindowTotals {
-    pub high_completed: u64,
-    pub low_completed: u64,
-    pub aborts: u64,
-    high_latency: Vec<u64>,
-}
-
-impl WindowTotals {
-    pub fn new() -> WindowTotals {
-        WindowTotals {
-            high_completed: 0,
-            low_completed: 0,
-            aborts: 0,
-            high_latency: vec![0; WINDOW_BUCKETS],
-        }
-    }
-
-    /// Zeroes the accumulator for the next window.
-    pub fn reset(&mut self) {
-        self.high_completed = 0;
-        self.low_completed = 0;
-        self.aborts = 0;
-        self.high_latency.iter_mut().for_each(|c| *c = 0);
-    }
-
-    /// p99 of this window's high-priority commit latencies (bucket lower
-    /// bound; 0 when the window completed nothing).
-    pub fn high_p99(&self) -> u64 {
-        if self.high_completed == 0 {
-            return 0;
-        }
-        let rank = (0.99 * self.high_completed as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (b, &c) in self.high_latency.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return window_bucket_value(b);
-            }
-        }
-        window_bucket_value(WINDOW_BUCKETS - 1)
-    }
-
-    /// Largest high-priority latency recorded this window, at bucket
-    /// resolution (undershoots the true value by < 12.5 %); 0 when no
-    /// high-priority work completed. The controller's spike sentinel: a
-    /// window whose p99 looks clean can still hide a sub-1 % tail
-    /// burst, and the max is the cheapest detector for it.
-    pub fn high_max(&self) -> u64 {
-        self.high_latency
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(window_bucket_value)
-            .unwrap_or(0)
-    }
-}
-
-impl Default for WindowTotals {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,46 +422,26 @@ mod tests {
     }
 
     #[test]
-    fn window_sensors_drain_and_p99() {
-        let s = WindowSensors::new();
-        for i in 1..=200u64 {
-            s.record_completion(1, i * 1_000);
+    fn histogram_agrees_with_registry_buckets() {
+        // The scheduler's histogram and the registry's `HistSnapshot`
+        // share one bucketing; identical samples must report identical
+        // percentiles in both layers.
+        let mut h = Histogram::new();
+        let mut snap = preempt_metrics::HistSnapshot::empty(SUB_BITS);
+        for v in (1..=5_000u64).map(|v| v * 37) {
+            h.record(v);
+            snap.buckets[buckets::bucket_of(v, SUB_BITS)] += 1;
+            snap.sum += v;
         }
-        s.record_completion(0, 5_000_000);
-        s.record_abort();
-        let mut acc = WindowTotals::new();
-        s.drain_into(&mut acc);
-        assert_eq!(acc.high_completed, 200);
-        assert_eq!(acc.low_completed, 1);
-        assert_eq!(acc.aborts, 1);
-        // p99 of 1k..=200k uniform ≈ 198k; 3 mantissa bits undershoot
-        // by ≤ 12.5 %.
-        let p99 = acc.high_p99();
-        assert!(
-            (170_000..=200_000).contains(&p99),
-            "window p99 = {p99}"
+        for p in [10.0, 50.0, 90.0, 99.0, 99.9] {
+            assert_eq!(h.percentile(p), snap.percentile(p), "p{p}");
+        }
+        // The legacy histogram tracks the exact max beside the buckets;
+        // the registry reports the max bucket's lower bound. They land
+        // in the same bucket.
+        assert_eq!(
+            buckets::bucket_of(h.max(), SUB_BITS),
+            buckets::bucket_of(snap.max(), SUB_BITS)
         );
-        // Draining zeroed the source.
-        let mut again = WindowTotals::new();
-        s.drain_into(&mut again);
-        assert_eq!(again.high_completed, 0);
-        assert_eq!(again.high_p99(), 0);
-        // reset() zeroes the accumulator.
-        acc.reset();
-        assert_eq!(acc.high_completed, 0);
-        assert_eq!(acc.high_p99(), 0);
-    }
-
-    #[test]
-    fn window_buckets_round_trip_bounds() {
-        for v in [0u64, 1, 7, 8, 9, 1_000, 123_456, u64::MAX / 2] {
-            let b = window_bucket_of(v);
-            let lo = window_bucket_value(b);
-            assert!(lo <= v, "bucket lower bound {lo} > {v}");
-            assert!(
-                v == lo || (v - lo) as f64 / v as f64 <= 0.125 + 1e-9,
-                "undershoot too large for {v}: {lo}"
-            );
-        }
     }
 }

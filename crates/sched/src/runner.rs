@@ -65,6 +65,10 @@ pub struct RunReport {
     /// handler→switch) derived from the trace; reported next to the
     /// histogram-based latencies.
     pub preempt_breakdown: Option<preempt_trace::PreemptBreakdown>,
+    /// Final crash-consistent snapshot of the run's metrics registry,
+    /// when the run carried one ([`DriverConfig::metrics`], or the
+    /// scheduler's fallback registry under an adaptive policy).
+    pub metrics_snapshot: Option<preempt_metrics::MetricsSnapshot>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -79,23 +83,38 @@ impl std::fmt::Debug for Metrics {
 
 impl RunReport {
     fn seconds(&self) -> f64 {
+        if self.freq_hz == 0 {
+            return 0.0;
+        }
         self.duration_cycles as f64 / self.freq_hz as f64
     }
 
-    /// Committed transactions per second for `kind` (0 if absent).
+    /// Committed transactions per second for `kind` (0 if absent, or if
+    /// the report carries no time base).
     pub fn tps(&self, kind: &str) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            return 0.0;
+        }
         self.metrics
             .kind(kind)
-            .map(|m| m.completed as f64 / self.seconds())
+            .map(|m| m.completed as f64 / s)
             .unwrap_or(0.0)
     }
 
     /// Total transactions per second across kinds.
     pub fn total_tps(&self) -> f64 {
-        self.metrics.total_completed() as f64 / self.seconds()
+        let s = self.seconds();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.metrics.total_completed() as f64 / s
     }
 
     fn to_us(&self, cycles: u64) -> f64 {
+        if self.freq_hz == 0 {
+            return 0.0;
+        }
         cycles as f64 * 1e6 / self.freq_hz as f64
     }
 
@@ -117,6 +136,9 @@ impl RunReport {
 
     /// Geometric-mean end-to-end latency in microseconds (Figure 13).
     pub fn geomean_latency_us(&self, kind: &str) -> f64 {
+        if self.freq_hz == 0 {
+            return 0.0;
+        }
         self.metrics
             .kind(kind)
             .map(|m| m.latency.geomean() * 1e6 / self.freq_hz as f64)
@@ -167,7 +189,11 @@ fn collect(
     }
     let trace = cfg.trace.as_ref().map(|s| s.merge());
     let preempt_breakdown = trace.as_ref().map(|t| t.breakdown());
-    RunReport {
+    let metrics_snapshot = sched.registry.as_ref().map(|r| {
+        r.refresh_slo_gauges(None);
+        r.snapshot()
+    });
+    let report = RunReport {
         policy_label: cfg.policy.label(),
         metrics,
         scheduler: sched.stats,
@@ -179,7 +205,112 @@ fn collect(
         fault_trace: None,
         trace,
         preempt_breakdown,
+        metrics_snapshot,
+    };
+    debug_assert_eq!(
+        cross_check_registry(&report),
+        Ok(()),
+        "legacy counters and registry snapshot diverged"
+    );
+    report
+}
+
+/// Cross-checks the legacy per-run accounting ([`Metrics`],
+/// [`SchedulerStats`], [`WorkerTotals`]) against the registry snapshot:
+/// both planes observe the same events at the same sites, so every
+/// shared series must agree exactly. `Ok(())` when the report carries no
+/// snapshot. Run in debug builds by `collect`; invariant tests and
+/// `metrics_dump --check` call it directly in release.
+pub fn cross_check_registry(report: &RunReport) -> Result<(), String> {
+    use preempt_metrics::Counter;
+    let Some(snap) = &report.metrics_snapshot else {
+        return Ok(());
+    };
+    let err = |what: &str, legacy: u64, reg: u64| -> Result<(), String> {
+        if legacy == reg {
+            Ok(())
+        } else {
+            Err(format!("{what}: legacy={legacy} registry={reg}"))
+        }
+    };
+    // Transaction plane: per-kind counters and identical bucket math.
+    for (kind, m) in report.metrics.kinds() {
+        let k = snap
+            .kind(kind)
+            .ok_or_else(|| format!("kind {kind:?} missing from registry snapshot"))?;
+        err(&format!("{kind}.completed"), m.completed, k.completed)?;
+        err(&format!("{kind}.retries"), m.retries, k.retries)?;
+        err(
+            &format!("{kind}.deadline_aborted"),
+            m.deadline_aborted,
+            k.deadline_aborted,
+        )?;
+        err(&format!("{kind}.failed"), m.failed, k.failed)?;
+        for p in [50.0, 99.0, 100.0] {
+            err(
+                &format!("{kind}.latency.p{p}"),
+                m.latency.percentile(p),
+                k.latency.percentile(p),
+            )?;
+            err(
+                &format!("{kind}.sched_latency.p{p}"),
+                m.sched_latency.percentile(p),
+                k.sched_latency.percentile(p),
+            )?;
+        }
+        err(&format!("{kind}.latency.count"), m.latency.count(), k.latency.count())?;
     }
+    err(
+        "total_completed",
+        report.metrics.total_completed(),
+        snap.counter(Counter::TxnCompletedHigh) + snap.counter(Counter::TxnCompletedLow),
+    )?;
+    err(
+        "total_aborted",
+        report.metrics.total_deadline_aborted() + report.metrics.total_failed(),
+        snap.counter(Counter::TxnAborted),
+    )?;
+    // Scheduler plane: every stats field emitted beside a counter.
+    let s = &report.scheduler;
+    err("dispatched_high", s.dispatched_high, snap.counter(Counter::TxnAdmittedHigh))?;
+    err("dispatched_low", s.dispatched_low, snap.counter(Counter::TxnAdmittedLow))?;
+    err("dropped_high", s.dropped_high, snap.counter(Counter::DroppedHigh))?;
+    err(
+        "skipped_starving",
+        s.skipped_starving,
+        snap.counter(Counter::StarvationSkips),
+    )?;
+    err("interrupts_sent", s.interrupts_sent, snap.counter(Counter::UintrSent))?;
+    err(
+        "watchdog_resends",
+        s.watchdog_resends,
+        snap.counter(Counter::WatchdogResends),
+    )?;
+    err(
+        "controller_evals",
+        s.controller_evals,
+        snap.counter(Counter::ControllerEvals),
+    )?;
+    err("dispatch_faults", s.dispatch_faults, snap.counter(Counter::DispatchFaults))?;
+    err(
+        "delivery_errors",
+        s.delivery_errors,
+        snap.counter(Counter::DeliveryErrors),
+    )?;
+    err("policy_downgrades", s.policy_downgrades, snap.counter(Counter::Degrades))?;
+    err("policy_upgrades", s.policy_upgrades, snap.counter(Counter::Upgrades))?;
+    // Worker plane: delivery counts recorded by the uintr receiver.
+    err(
+        "uintr_delivered",
+        report.workers.uintr_delivered,
+        snap.counter(Counter::UintrDelivered),
+    )?;
+    err(
+        "uintr_deferred",
+        report.workers.uintr_deferred,
+        snap.counter(Counter::UintrDeferred),
+    )?;
+    Ok(())
 }
 
 /// Registers one trace ring per worker when the config carries a session.
@@ -188,6 +319,19 @@ fn register_worker_rings(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
     if let Some(session) = &cfg.trace {
         for w in workers {
             let _ = w.trace.set(session.register("worker", w.id as u16));
+        }
+    }
+}
+
+/// Registers one metrics shard per worker when the config carries a
+/// registry. Runs before the workers start; the scheduler's fallback
+/// path covers adaptive runs whose config has no registry.
+fn register_worker_shards(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
+    if let Some(registry) = &cfg.metrics {
+        for w in workers {
+            let _ = w
+                .metrics_shard
+                .set(registry.register_shard("worker", w.id as u32));
         }
     }
 }
@@ -202,6 +346,7 @@ fn run_simulated(
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
     register_worker_rings(&cfg, &workers);
+    register_worker_shards(&cfg, &workers);
     for w in &workers {
         let ws = w.clone();
         let policy = cfg.policy;
@@ -232,6 +377,21 @@ fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunR
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
     register_worker_rings(&cfg, &workers);
+    register_worker_shards(&cfg, &workers);
+    // Live observability is wall-clock-driven, so it only exists on the
+    // thread runtime: a sampler thread refreshes SLO burn-rate gauges on
+    // the configured interval and (behind the `serve` flag) answers
+    // `GET /metrics` scrapes with the Prometheus exposition.
+    let sampler = cfg
+        .metrics
+        .as_ref()
+        .and_then(|r| match preempt_metrics::serve::spawn(r.clone()) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("metrics sampler failed to start: {e}");
+                None
+            }
+        });
     let mut handles = Vec::new();
     for w in &workers {
         let ws = w.clone();
@@ -246,6 +406,9 @@ fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunR
     let sched = scheduler_main(&cfg, &workers, &mut *factory);
     for h in handles {
         h.join().expect("worker panicked");
+    }
+    if let Some(s) = sampler {
+        s.stop();
     }
     collect(&cfg, &workers, sched, crate::clock::freq_hz())
 }
@@ -274,6 +437,7 @@ mod tests {
             fault_trace: None,
             trace: None,
             preempt_breakdown: None,
+            metrics_snapshot: None,
         };
         assert_eq!(r.completed("k"), 2);
         assert!((r.tps("k") - 2.0).abs() < 1e-9);
@@ -324,6 +488,38 @@ mod tests {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
+        }
+    }
+
+    /// Satellite: a zero time base must degrade to zeroed rates, never
+    /// a NaN/inf division.
+    #[test]
+    fn zero_freq_yields_zero_rates() {
+        let mut metrics = Metrics::new();
+        metrics.record("k", 2_400, 240, 0);
+        let r = RunReport {
+            policy_label: "test".into(),
+            metrics,
+            scheduler: SchedulerStats::default(),
+            controller: None,
+            workers: WorkerTotals::default(),
+            duration_cycles: 1_000,
+            freq_hz: 0,
+            faults: None,
+            fault_trace: None,
+            trace: None,
+            preempt_breakdown: None,
+            metrics_snapshot: None,
+        };
+        for v in [
+            r.tps("k"),
+            r.total_tps(),
+            r.latency_us("k", 99.0),
+            r.sched_latency_us("k", 99.0),
+            r.geomean_latency_us("k"),
+        ] {
+            assert_eq!(v, 0.0, "zero freq must not produce {v}");
         }
     }
 

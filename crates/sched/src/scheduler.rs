@@ -16,6 +16,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use preempt_metrics::{Counter, Gauge, MetricsRegistry};
 use preempt_uintr::UipiSender;
 
 use crate::clock::now_cycles;
@@ -197,6 +198,14 @@ pub struct DriverConfig {
     /// merged trace and preemption-latency breakdown. `None` (the
     /// default) records nothing and costs one relaxed load per site.
     pub trace: Option<preempt_trace::TraceSession>,
+    /// Metrics registry: when set, the runner registers one shard per
+    /// worker (plus the scheduler's own), every lifecycle stage emits
+    /// counters/histograms into it, and the run report carries a final
+    /// snapshot. `None` (the default) records nothing and costs one
+    /// atomic load per site — except under an adaptive policy, where the
+    /// scheduler creates a private fallback registry because the
+    /// controller's sensor plane *is* the registry.
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl DriverConfig {
@@ -215,6 +224,7 @@ impl DriverConfig {
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
             trace: None,
+            metrics: None,
         }
     }
 
@@ -315,6 +325,10 @@ pub struct SchedRun {
     /// The adaptive controller's threshold trajectory
     /// (`None` under static policies).
     pub controller: Option<crate::controller::ControllerReport>,
+    /// The registry the run actually recorded into: the driver config's
+    /// when one was supplied, else the scheduler's private fallback under
+    /// an adaptive policy. The runner snapshots it into the report.
+    pub registry: Option<preempt_metrics::MetricsRegistry>,
 }
 
 /// Runs the scheduling thread until `cfg.duration` elapses, then stops
@@ -342,6 +356,35 @@ pub fn scheduler_main(
         }
     }
 
+    // Metrics: use the run's registry when the driver config carries
+    // one; otherwise, if the adaptive controller runs, create a private
+    // fallback registry — the controller's per-window sensors are
+    // windowed reads of the registry, so there is exactly one sensor
+    // plane whether or not the run exports metrics.
+    let registry = cfg.metrics.clone().or_else(|| {
+        cfg.policy
+            .controller_config()
+            .map(|_| MetricsRegistry::new(preempt_metrics::MetricsConfig::default()))
+    });
+    let sched_shard = registry.as_ref().map(|r| {
+        // The runner registers worker shards up front when the config
+        // carries a registry; the fallback path registers them here,
+        // before any request is dispatched, so every completion lands
+        // in the sensor plane.
+        for w in workers {
+            if w.metrics_shard.get().is_none() {
+                let _ = w.metrics_shard.set(r.register_shard("worker", w.id as u32));
+            }
+        }
+        r.register_shard("scheduler", u32::MAX)
+    });
+    // Context-local install so fault hooks firing on the scheduling
+    // thread attribute to the scheduler's shard; uninstalled before
+    // returning, like the trace ring above.
+    if let Some(sh) = &sched_shard {
+        preempt_metrics::install_current(sh);
+    }
+
     let start = now_cycles();
     let deadline = start + cfg.duration;
     // Arm every worker's live threshold cell from the policy; under the
@@ -352,14 +395,19 @@ pub fn scheduler_main(
         for w in workers {
             w.starvation.set_threshold(l0);
         }
+        if let Some(reg) = registry.as_ref() {
+            reg.gauge_set(Gauge::StarvationThreshold, l0);
+        }
     }
     let mut controller = cfg
         .policy
         .controller_config()
         .map(|cc| crate::controller::Controller::new(cc, start));
-    let mut ctl_totals = crate::metrics::WindowTotals::new();
-    // Scheduler-side counter baselines for per-window deltas.
-    let mut ctl_prev = (0u64, 0u64, 0u64);
+    // Baseline for per-window sensor deltas: the controller reads the
+    // cumulative registry and differences consecutive reads, which under
+    // the deterministic simulator reproduces the old drained-window
+    // values exactly (sum of per-shard deltas = delta of sums).
+    let mut ctl_prev_sensors = preempt_metrics::SensorTotals::zero();
     // Low-priority queues are kept topped up continuously (at most every
     // millisecond), independent of the high-priority arrival interval:
     // the paper's workload keeps workers saturated with Q2 at any
@@ -397,6 +445,9 @@ pub fn scheduler_main(
                             break;
                         }
                         stats.dispatched_low += 1;
+                        if let Some(sh) = &sched_shard {
+                            sh.bump(Counter::TxnAdmittedLow);
+                        }
                         charge(DISPATCH_PUSH_COST);
                         pushed_any = true;
                     }
@@ -418,6 +469,9 @@ pub fn scheduler_main(
             // "until the batch is depleted or the next arrival interval
             // passes").
             stats.dropped_high += pending.len() as u64;
+            if let Some(sh) = &sched_shard {
+                sh.bump_by(Counter::DroppedHigh, pending.len() as u64);
+            }
             pending.clear();
 
             // Generate this tick's high-priority batch with one shared
@@ -459,6 +513,9 @@ pub fn scheduler_main(
                             site: 1,
                         });
                         stats.skipped_starving += 1;
+                        if let Some(sh) = &sched_shard {
+                            sh.bump(Counter::StarvationSkips);
+                        }
                         continue;
                     }
                     let level = cfg.levels() as usize - 1; // highest level queue
@@ -468,6 +525,9 @@ pub fn scheduler_main(
                         // request stays pending for a later round.
                         if preempt_faults::on_dispatch() {
                             stats.dispatch_faults += 1;
+                            if let Some(sh) = &sched_shard {
+                                sh.bump(Counter::DispatchFaults);
+                            }
                             charge(DISPATCH_PUSH_COST);
                             pending.push_front(r);
                             continue;
@@ -475,6 +535,9 @@ pub fn scheduler_main(
                         match w.queues[level].push(r) {
                             Ok(()) => {
                                 stats.dispatched_high += 1;
+                                if let Some(sh) = &sched_shard {
+                                    sh.bump(Counter::TxnAdmittedHigh);
+                                }
                                 charge(DISPATCH_PUSH_COST);
                                 kick[w.id] = true;
                                 progress = true;
@@ -517,11 +580,18 @@ pub fn scheduler_main(
                     let level = cfg.levels() - 1;
                     if send_uintr(w, level) {
                         stats.interrupts_sent += 1;
+                        if let Some(sh) = &sched_shard {
+                            sh.bump(Counter::UintrSent);
+                        }
                         dw.send_ok();
                         wd_backoff[i] = rb.watchdog_backoff_min.max(1);
                         wd_next[i] = now_cycles() + wd_backoff[i];
                     } else {
                         stats.delivery_errors += 1;
+                        if let Some(sh) = &sched_shard {
+                            sh.bump(Counter::UintrSendFailed);
+                            sh.bump(Counter::DeliveryErrors);
+                        }
                         dw.send_failed();
                         last_failure_at = now_cycles();
                         // Fall back to a plain wake so the work is not
@@ -557,8 +627,14 @@ pub fn scheduler_main(
                         });
                         if send_uintr(w, top as u8) {
                             stats.interrupts_sent += 1;
+                            if let Some(sh) = &sched_shard {
+                                sh.bump(Counter::UintrSent);
+                            }
                         }
                         stats.watchdog_resends += 1;
+                        if let Some(sh) = &sched_shard {
+                            sh.bump(Counter::WatchdogResends);
+                        }
                         dw.send_failed();
                         last_failure_at = wnow;
                         wd_backoff[i] =
@@ -583,6 +659,12 @@ pub fn scheduler_main(
                     degraded = true;
                     preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: true });
                     stats.policy_downgrades += 1;
+                    if let Some(sh) = &sched_shard {
+                        sh.bump(Counter::Degrades);
+                    }
+                    if let Some(reg) = registry.as_ref() {
+                        reg.gauge_set(Gauge::DeliveryDegraded, 1.0);
+                    }
                     for w in workers {
                         w.degraded.store(true, std::sync::atomic::Ordering::Release);
                     }
@@ -592,6 +674,12 @@ pub fn scheduler_main(
             degraded = false;
             preempt_trace::emit(preempt_trace::TraceEvent::Degrade { on: false });
             stats.policy_upgrades += 1;
+            if let Some(sh) = &sched_shard {
+                sh.bump(Counter::Upgrades);
+            }
+            if let Some(reg) = registry.as_ref() {
+                reg.gauge_set(Gauge::DeliveryDegraded, 0.0);
+            }
             dw.reset(dnow);
             // Restart the watchdog clocks too: a stale pre-degradation
             // wd_next would fire (and count a "failure") the instant
@@ -606,34 +694,32 @@ pub fn scheduler_main(
         }
 
         // Adaptive starvation-threshold controller: at each virtual-time
-        // window boundary, drain the workers' sensor blocks, run the
-        // AIMD step, and publish the new threshold to every worker's
+        // window boundary, read the cumulative sensor plane from the
+        // metrics registry, difference it against the previous read, run
+        // the AIMD step, and publish the new threshold to every worker's
         // live cell. Deterministic: driven purely by virtual time and
         // integer sensors.
         let mut ctl_earliest = u64::MAX;
         if let Some(ctl) = controller.as_mut() {
             let cnow = now_cycles();
             if cnow >= ctl.next_eval() {
-                ctl_totals.reset();
-                for w in workers {
-                    w.sensors.drain_into(&mut ctl_totals);
-                }
+                let totals = registry
+                    .as_ref()
+                    .expect("adaptive policy always has a registry")
+                    .sensor_totals();
+                let win = totals.delta_since(&ctl_prev_sensors);
                 let snapshot = crate::controller::SensorSnapshot {
-                    high_completed: ctl_totals.high_completed,
-                    high_p99: ctl_totals.high_p99(),
-                    high_max: ctl_totals.high_max(),
-                    low_completed: ctl_totals.low_completed,
-                    aborts: ctl_totals.aborts,
+                    high_completed: win.high_completed,
+                    high_p99: win.high_p99(),
+                    high_max: win.high_max(),
+                    low_completed: win.low_completed,
+                    aborts: win.aborts,
                     degraded,
-                    watchdog_resends: stats.watchdog_resends - ctl_prev.0,
-                    skipped_starving: stats.skipped_starving - ctl_prev.1,
-                    dropped_high: stats.dropped_high - ctl_prev.2,
+                    watchdog_resends: win.watchdog_resends,
+                    skipped_starving: win.skipped_starving,
+                    dropped_high: win.dropped_high,
                 };
-                ctl_prev = (
-                    stats.watchdog_resends,
-                    stats.skipped_starving,
-                    stats.dropped_high,
-                );
+                ctl_prev_sensors = totals;
                 let window = ctl.window_index();
                 let thr = ctl.evaluate(cnow, snapshot);
                 for w in workers {
@@ -649,6 +735,18 @@ pub fn scheduler_main(
                     decision,
                 });
                 stats.controller_evals += 1;
+                if let Some(reg) = registry.as_ref() {
+                    reg.gauge_set(Gauge::StarvationThreshold, thr);
+                    reg.gauge_set(Gauge::ViolationFloor, ctl.violation_floor());
+                }
+                if let Some(sh) = &sched_shard {
+                    sh.bump(Counter::ControllerEvals);
+                    sh.bump(match ctl.last_decision() {
+                        Some(crate::controller::Decision::Raise) => Counter::ControllerRaises,
+                        Some(crate::controller::Decision::Lower) => Counter::ControllerLowers,
+                        _ => Counter::ControllerHolds,
+                    });
+                }
             }
             ctl_earliest = ctl.next_eval();
         }
@@ -668,15 +766,22 @@ pub fn scheduler_main(
 
     // Shut down.
     stats.dropped_high += pending.len() as u64;
+    if let Some(sh) = &sched_shard {
+        sh.bump_by(Counter::DroppedHigh, pending.len() as u64);
+    }
     for w in workers {
         w.stop();
     }
     if sched_ring.is_some() {
         preempt_trace::clear_current();
     }
+    if sched_shard.is_some() {
+        preempt_metrics::clear_current();
+    }
     SchedRun {
         stats,
         controller: controller.map(crate::controller::Controller::into_report),
+        registry,
     }
 }
 
@@ -783,6 +888,7 @@ mod tests {
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
             trace: None,
+            metrics: None,
         };
         let workers: Vec<_> = (0..cfg.n_workers)
             .map(|i| WorkerShared::new(i, &cfg.queue_caps))

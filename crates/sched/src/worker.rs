@@ -34,7 +34,7 @@ use preempt_context::tcb::{self, Tcb};
 use preempt_uintr::{UintrReceiver, Upid};
 
 use crate::clock::now_cycles;
-use crate::metrics::{Metrics, WindowSensors};
+use crate::metrics::Metrics;
 use crate::policy::Policy;
 use crate::request::{Request, RequestQueue};
 use crate::starvation::StarvationState;
@@ -100,10 +100,13 @@ pub struct WorkerShared {
     /// Set by the runner (sim) or the worker itself (threads).
     pub wake_target: OnceLock<WakeTarget>,
     pub starvation: StarvationState,
-    /// Windowed sensor block drained by the adaptive starvation
-    /// controller each evaluation window (completions, aborts, and a
-    /// compact high-priority latency histogram).
-    pub sensors: WindowSensors,
+    /// This worker's slice of the run's metrics registry, set by the
+    /// runner (or by the scheduler's fallback registry for adaptive
+    /// policies) before dispatch begins. Read through the `OnceLock` at
+    /// every emit site — never cached — so a registration that lands
+    /// after worker startup still captures every completion; `None`
+    /// means metrics are off and each emit costs one atomic load.
+    pub metrics_shard: OnceLock<Arc<preempt_metrics::Shard>>,
     pub stopped: AtomicBool,
     /// Worker-local metrics, flushed here when the worker exits.
     pub metrics: Mutex<Metrics>,
@@ -148,7 +151,7 @@ impl WorkerShared {
             trace: OnceLock::new(),
             wake_target: OnceLock::new(),
             starvation: StarvationState::new(),
-            sensors: WindowSensors::new(),
+            metrics_shard: OnceLock::new(),
             stopped: AtomicBool::new(false),
             metrics: Mutex::new(Metrics::new()),
             uintr_epoch: AtomicU64::new(0),
@@ -253,6 +256,9 @@ impl WorkerCtx {
         self.push_return(from);
         self.current_level.set(level);
         preempt_trace::emit(preempt_trace::TraceEvent::StackSwitch { from, to: level });
+        if let Some(sh) = self.shared.metrics_shard.get() {
+            sh.bump(preempt_metrics::Counter::SchedEnterLevel);
+        }
         charge(SWITCH_COST);
         // SAFETY: level TCBs point at contexts owned by this WorkerCtx
         // (or the worker's main context), alive for the worker's run.
@@ -266,6 +272,9 @@ impl WorkerCtx {
         let back = self.pop_return();
         self.current_level.set(back);
         preempt_trace::emit(preempt_trace::TraceEvent::StackSwitch { from, to: back });
+        if let Some(sh) = self.shared.metrics_shard.get() {
+            sh.bump(preempt_metrics::Counter::SchedLeaveLevel);
+        }
         charge(SWITCH_COST);
         // SAFETY: as in enter_level.
         switch_to(unsafe { &*self.level_tcbs[back as usize].get() });
@@ -415,7 +424,9 @@ impl WorkerCtx {
             if started >= dl {
                 preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn });
                 self.metrics.borrow_mut().record_deadline_abort(kind);
-                self.shared.sensors.record_abort();
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    sh.txn_deadline_abort(kind);
+                }
                 return 0;
             }
         }
@@ -460,23 +471,24 @@ impl WorkerCtx {
         let mut metrics = self.metrics.borrow_mut();
         match outcome {
             Some(o) => {
-                metrics.record(
-                    kind,
-                    finished.saturating_sub(created),
-                    sched_latency,
-                    o.retries + attempts as u64,
-                );
-                self.shared
-                    .sensors
-                    .record_completion(req.priority, finished.saturating_sub(created));
+                let latency = finished.saturating_sub(created);
+                let retries = o.retries + attempts as u64;
+                metrics.record(kind, latency, sched_latency, retries);
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    sh.txn_completed(kind, req.priority, latency, sched_latency, retries);
+                }
             }
             None if timed_out => {
                 metrics.record_deadline_abort(kind);
-                self.shared.sensors.record_abort();
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    sh.txn_deadline_abort(kind);
+                }
             }
             None => {
                 metrics.record_failed(kind, attempts as u64);
-                self.shared.sensors.record_abort();
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    sh.txn_failed(kind, attempts as u64);
+                }
             }
         }
         drop(metrics);
@@ -510,6 +522,9 @@ impl WorkerCtx {
                     preempt_trace::emit(preempt_trace::TraceEvent::StarvationBoost {
                         site: 2,
                     });
+                    if let Some(sh) = self.shared.metrics_shard.get() {
+                        sh.bump(preempt_metrics::Counter::StarvationBreaks);
+                    }
                     break;
                 }
             }
@@ -532,7 +547,19 @@ impl WorkerCtx {
     ///   here (path ②).
     fn regular_loop(&self) {
         let prefer_high = !self.policy.is_preemptive();
+        // The scheduler's fallback registry (adaptive runs whose config
+        // carries no metrics) registers this worker's shard *after* the
+        // worker started, so the startup install in `worker_main` can
+        // miss it; retry here until it lands so main-context emits from
+        // the uintr/latch/fault layers aren't silently dropped.
+        let mut shard_installed = self.shared.metrics_shard.get().is_some();
         while !self.shared.is_stopped() {
+            if !shard_installed {
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    preempt_metrics::install_current(sh);
+                    shard_installed = true;
+                }
+            }
             let mut found = None;
             let levels = self.level_tcbs.len() as u8;
             let order: Vec<u8> = if prefer_high {
@@ -653,10 +680,18 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     // Preemptive contexts for levels 1..
     for level in 1..levels {
         let tr = trace_ring.clone();
+        let ms = shared.clone();
         let ctx = Context::new(PREEMPTIVE_CTX_STACK, "preemptive", move || {
             CURRENT_WORKER.set(wc_ptr);
             if let Some(r) = &tr {
                 preempt_trace::install_current(r);
+            }
+            // The context body first runs at the first switch-in, after
+            // dispatch began — by then any fallback registry has set the
+            // shard. The `OnceLock` in `shared` keeps the Arc alive past
+            // every emit on this context.
+            if let Some(sh) = ms.metrics_shard.get() {
+                preempt_metrics::install_current(sh);
             }
             // SAFETY: wc outlives all its contexts (dropped after them).
             unsafe { (*(wc_ptr as *const WorkerCtx)).drain_loop(level) }
@@ -669,6 +704,9 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     CURRENT_WORKER.set(wc_ptr);
     if let Some(r) = &trace_ring {
         preempt_trace::install_current(r);
+    }
+    if let Some(sh) = shared.metrics_shard.get() {
+        preempt_metrics::install_current(sh);
     }
     if preempt_sim::api::active() {
         // Simulator: per-core hook (a thread-local hook would fire for
@@ -688,6 +726,7 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     }
     CURRENT_WORKER.set(0);
     preempt_trace::clear_current();
+    preempt_metrics::clear_current();
 
     // Flush local metrics and receiver stats to the shared side.
     shared.metrics.lock().merge(&wc.metrics.borrow());

@@ -42,18 +42,28 @@ impl SimConfig {
         self.ns_to_cycles(ms * 1_000_000)
     }
 
-    /// Converts cycles back to nanoseconds.
+    /// Converts cycles back to nanoseconds. A zero frequency (a
+    /// zero-initialized config) converts to 0 rather than dividing by it.
     pub fn cycles_to_ns(&self, cycles: u64) -> u64 {
+        if self.freq_hz == 0 {
+            return 0;
+        }
         (cycles as u128 * 1_000_000_000 / self.freq_hz as u128) as u64
     }
 
-    /// Converts cycles to (fractional) microseconds.
+    /// Converts cycles to (fractional) microseconds (0.0 at zero freq).
     pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        if self.freq_hz == 0 {
+            return 0.0;
+        }
         cycles as f64 * 1e6 / self.freq_hz as f64
     }
 
-    /// Converts cycles to (fractional) milliseconds.
+    /// Converts cycles to (fractional) milliseconds (0.0 at zero freq).
     pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        if self.freq_hz == 0 {
+            return 0.0;
+        }
         cycles as f64 * 1e3 / self.freq_hz as f64
     }
 }
@@ -89,5 +99,16 @@ mod tests {
         assert_eq!(c.cycles_to_ns(2_400), 1_000);
         assert!((c.cycles_to_us(2_400) - 1.0).abs() < 1e-9);
         assert!((c.cycles_to_ms(2_400_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_freq_converts_to_zero() {
+        let c = SimConfig {
+            freq_hz: 0,
+            ..SimConfig::default()
+        };
+        assert_eq!(c.cycles_to_ns(2_400), 0);
+        assert_eq!(c.cycles_to_us(2_400), 0.0);
+        assert_eq!(c.cycles_to_ms(2_400), 0.0);
     }
 }

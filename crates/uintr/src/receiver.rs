@@ -180,11 +180,13 @@ impl UintrReceiver {
         }
 
         preempt_trace::emit(preempt_trace::TraceEvent::PendingNoticed { vectors: bits });
+        preempt_metrics::counter_inc(preempt_metrics::Counter::UintrNoticed);
 
         // Account delivery latency against the most recent post.
         let now = rdtsc();
         let post = self.upid.last_post_tsc();
         let delta = now.saturating_sub(post);
+        preempt_metrics::hist_record(preempt_metrics::FixedHist::DeliveryLatencyCycles, delta);
 
         // "The CPU disables user interrupt so that the handler can execute
         // to completion": mask for the duration of handling. The handler
@@ -215,6 +217,7 @@ impl UintrReceiver {
         s.latency_cycles_sum += delta;
         s.latency_cycles_max = s.latency_cycles_max.max(delta);
         self.stats.set(s);
+        preempt_metrics::counter_add(preempt_metrics::Counter::UintrDelivered, delivered as u64);
         delivered
     }
 
@@ -227,6 +230,7 @@ impl UintrReceiver {
         let mut s = self.stats.get();
         s.deferred += 1;
         self.stats.set(s);
+        preempt_metrics::counter_inc(preempt_metrics::Counter::UintrDeferred);
     }
 }
 

@@ -46,6 +46,7 @@ fn main() {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         let report = run(Runtime::Simulated(sim), cfg, Box::new(factory));
 

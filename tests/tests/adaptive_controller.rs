@@ -78,6 +78,7 @@ fn small_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> D
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
         trace,
+        metrics: None,
     }
 }
 

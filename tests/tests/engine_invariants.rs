@@ -43,6 +43,7 @@ fn tpcc_consistency_survives_preemption() {
         always_interrupt: false,
         robustness: Default::default(),
         trace: None,
+        metrics: None,
     };
     let report = run(
         Runtime::Simulated(sim),
@@ -134,6 +135,7 @@ fn consistency_is_policy_independent() {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         run(
             Runtime::Simulated(sim),

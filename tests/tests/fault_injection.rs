@@ -85,6 +85,7 @@ fn small_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
         trace: None,
+        metrics: None,
     }
 }
 

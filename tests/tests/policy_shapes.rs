@@ -49,6 +49,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
         always_interrupt: false,
         robustness: Default::default(),
         trace: None,
+        metrics: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, 23);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))
@@ -116,6 +117,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
             always_interrupt: false,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         run(
             Runtime::Simulated(sim),
@@ -171,6 +173,7 @@ fn uintr_machinery_overhead_is_small() {
             always_interrupt: on,
             robustness: Default::default(),
             trace: None,
+            metrics: None,
         };
         results.push(run(
             Runtime::Simulated(sim),

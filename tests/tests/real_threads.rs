@@ -18,6 +18,7 @@ fn thread_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         always_interrupt: false,
         robustness: Default::default(),
         trace: None,
+        metrics: None,
     }
 }
 

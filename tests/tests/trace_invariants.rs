@@ -62,6 +62,7 @@ fn traced_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> 
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
         trace,
+        metrics: None,
     }
 }
 
