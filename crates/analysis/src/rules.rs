@@ -146,10 +146,42 @@ const ORDERING_POLICIES: &[OrderingPolicy] = &[
         deny: &["Relaxed"],
         why: "degraded-mode entry publishes the wake fallback; needs Release",
     },
+    OrderingPolicy {
+        file: "worker.rs",
+        field: "terminated",
+        op: "store",
+        deny: &["Relaxed"],
+        why: "termination order must be visible at the worker's next preemption point; needs Release",
+    },
+    OrderingPolicy {
+        file: "worker.rs",
+        field: "terminated",
+        op: "load",
+        deny: &["Relaxed"],
+        why: "terminate-token eligibility check; needs Acquire",
+    },
+    OrderingPolicy {
+        file: "worker.rs",
+        field: "exited",
+        op: "store",
+        deny: &["Relaxed"],
+        why: "the supervisor orphan-sweeps only after observing exit; needs Release",
+    },
+    OrderingPolicy {
+        file: "worker.rs",
+        field: "exited",
+        op: "load",
+        deny: &["Relaxed"],
+        why: "gates the force-release safety argument; needs Acquire",
+    },
 ];
 
-/// Functions the handler reachability walk starts from.
-const HANDLER_ROOTS: &[&str] = &["on_uintr", "deliver_pending"];
+/// Functions the handler reachability walk starts from. `on_point` and
+/// `wedge` are the supervisor-facing worker entry points: the terminate
+/// token raise and the wedge fault both execute at preemption points,
+/// possibly under a handler-driven drain, so they obey the same
+/// alloc/panic/block discipline as the delivery path.
+const HANDLER_ROOTS: &[&str] = &["on_uintr", "deliver_pending", "on_point", "wedge"];
 
 /// Preemption-point calls denied inside critical sections.
 const PREEMPT_POINTS: &[&str] = &["preempt_point", "poll", "yield_now"];

@@ -41,6 +41,7 @@ fn run_policy(policy: Policy, sc: &Scenario) -> RunReport {
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     };

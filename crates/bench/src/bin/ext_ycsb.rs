@@ -65,6 +65,7 @@ fn main() {
             duration: sim.ms_to_cycles(sc.duration_ms),
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };

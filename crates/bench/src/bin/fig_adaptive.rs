@@ -120,6 +120,7 @@ fn run_shifted(policy: Policy, sc: &Shift, duration_ms: u64) -> RunReport {
             max_full_retries: 1_000,
             ..Default::default()
         },
+        recovery: Default::default(),
         metrics: None,
         trace: None,
     };

@@ -59,6 +59,7 @@ fn sim_cfg(policy: Policy, registry: Option<MetricsRegistry>) -> DriverConfig {
         duration: 120_000_000,       // 50 ms
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: registry,
     }

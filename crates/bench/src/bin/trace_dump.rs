@@ -46,6 +46,7 @@ fn main() {
         duration: sim.ms_to_cycles(50),
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: Some(trace.clone()),
         metrics: None,
     };

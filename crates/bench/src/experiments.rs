@@ -100,6 +100,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                 duration: sim.ms_to_cycles(sc.duration_ms),
                 always_interrupt: on,
                 robustness: Default::default(),
+                recovery: Default::default(),
                 trace: None,
                 metrics: None,
             };
@@ -317,6 +318,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
             duration: sim.ms_to_cycles(sc.duration_ms),
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };

@@ -112,6 +112,7 @@ pub fn run_mixed(
         duration: sim.ms_to_cycles(sc.duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     };

@@ -157,7 +157,7 @@ impl Database {
         }
         // Wait for workers to publish their user-interrupt descriptors.
         for w in &workers {
-            while w.upid.get().is_none() {
+            while w.upid().is_none() {
                 std::thread::yield_now();
             }
         }
@@ -208,13 +208,12 @@ impl Database {
                 let w = &self.workers[i];
                 match w.queues[level].push(req) {
                     Ok(()) => {
-                        if priority == Priority::High && self.workers[i].upid.get().is_some() {
-                            let upid = self.workers[i].upid.get().expect("published").clone();
-                            UipiSender::new(upid, priority.level()).send();
+                        if priority == Priority::High {
+                            if let Some(upid) = self.workers[i].upid() {
+                                UipiSender::new(upid, priority.level()).send();
+                            }
                         }
-                        if let Some(t) = w.wake_target.get() {
-                            t.wake();
-                        }
+                        w.wake();
                         return;
                     }
                     Err(back) => req = back,
@@ -312,9 +311,7 @@ impl Database {
     /// Wake-target helper (used internally; exposed for tests).
     pub fn wake_all(&self) {
         for w in &self.workers {
-            if let Some(t) = w.wake_target.get() {
-                t.wake();
-            }
+            w.wake();
         }
     }
 }

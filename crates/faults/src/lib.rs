@@ -41,12 +41,27 @@ pub enum FaultSite {
     PreemptPoint = 3,
     /// `Transaction::commit` on the MVCC engine.
     TxnCommit = 4,
+    /// A worker starting a transaction body — the seeded-panic site.
+    TxnPanic = 5,
+    /// A worker passing a preemption point — the wedge (stop acking,
+    /// stop polling, burn cycles) site.
+    Wedge = 6,
+    /// A worker acquiring a write latch — panic-while-holding-latch.
+    LatchPanic = 7,
 }
 
-const N_SITES: usize = 5;
+const N_SITES: usize = 8;
 
-const SITE_NAMES: [&str; N_SITES] =
-    ["uipi_send", "signal_send", "dispatch", "preempt_point", "txn_commit"];
+const SITE_NAMES: [&str; N_SITES] = [
+    "uipi_send",
+    "signal_send",
+    "dispatch",
+    "preempt_point",
+    "txn_commit",
+    "txn_panic",
+    "wedge",
+    "latch_panic",
+];
 
 /// Outcome of consulting the injector at an interrupt-send site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +119,18 @@ pub struct FaultPlan {
     pub stall_cycles: u64,
     /// Force a transaction abort at commit.
     pub txn_abort_ppm: u32,
+    /// Panic inside the transaction body (per transaction start). The
+    /// worker's panic firewall must contain it.
+    pub txn_panic_ppm: u32,
+    /// Wedge the worker at a preemption point: it burns `wedge_cycles`
+    /// of virtual time without polling its receiver or acking epochs,
+    /// so the supervisor's liveness lease must notice.
+    pub wedge_ppm: u32,
+    /// Length of an injected wedge.
+    pub wedge_cycles: u64,
+    /// Panic while holding a write latch (per write-latch acquisition):
+    /// exercises latch/active-slot cleanup on the unwind path.
+    pub latch_panic_ppm: u32,
     /// Phase gate for `drop_ppm` at the uipi-send site: when nonzero,
     /// drops are only injected while the caller-supplied virtual clock
     /// is below this cycle count (see [`on_uipi_send_at`]). Zero means
@@ -128,6 +155,10 @@ impl FaultPlan {
             stall_ppm: 0,
             stall_cycles: 0,
             txn_abort_ppm: 0,
+            txn_panic_ppm: 0,
+            wedge_ppm: 0,
+            wedge_cycles: 0,
+            latch_panic_ppm: 0,
             drop_before_cycles: 0,
         }
     }
@@ -184,6 +215,22 @@ impl FaultPlan {
         self
     }
 
+    pub const fn with_txn_panic_ppm(mut self, ppm: u32) -> FaultPlan {
+        self.txn_panic_ppm = ppm;
+        self
+    }
+
+    pub const fn with_wedge(mut self, ppm: u32, cycles: u64) -> FaultPlan {
+        self.wedge_ppm = ppm;
+        self.wedge_cycles = cycles;
+        self
+    }
+
+    pub const fn with_latch_panic_ppm(mut self, ppm: u32) -> FaultPlan {
+        self.latch_panic_ppm = ppm;
+        self
+    }
+
     /// Restrict uipi-send drops to virtual times before `cycles`
     /// (0 = drops apply for the whole run).
     pub const fn with_drop_before(mut self, cycles: u64) -> FaultPlan {
@@ -209,6 +256,12 @@ pub struct FaultStats {
     pub stalls_injected: u64,
     pub commit_attempts: u64,
     pub forced_aborts: u64,
+    pub txn_starts: u64,
+    pub txn_panics: u64,
+    pub wedge_checks: u64,
+    pub wedges_injected: u64,
+    pub latch_acquires: u64,
+    pub latch_panics: u64,
 }
 
 impl FaultStats {
@@ -223,6 +276,9 @@ impl FaultStats {
             + self.dispatch_failures
             + self.stalls_injected
             + self.forced_aborts
+            + self.txn_panics
+            + self.wedges_injected
+            + self.latch_panics
     }
 }
 
@@ -395,6 +451,39 @@ impl FaultInjector {
         }
         false
     }
+
+    fn decide_txn_panic(&self) -> bool {
+        self.stats.borrow_mut().txn_starts += 1;
+        let stream = &self.streams[FaultSite::TxnPanic as usize];
+        if draw_ppm(stream) < self.plan.txn_panic_ppm as u64 {
+            self.record(FaultSite::TxnPanic, "panic");
+            self.stats.borrow_mut().txn_panics += 1;
+            return true;
+        }
+        false
+    }
+
+    fn decide_wedge(&self) -> Option<u64> {
+        self.stats.borrow_mut().wedge_checks += 1;
+        let stream = &self.streams[FaultSite::Wedge as usize];
+        if draw_ppm(stream) < self.plan.wedge_ppm as u64 {
+            self.record(FaultSite::Wedge, "wedge");
+            self.stats.borrow_mut().wedges_injected += 1;
+            return Some(self.plan.wedge_cycles);
+        }
+        None
+    }
+
+    fn decide_latch_panic(&self) -> bool {
+        self.stats.borrow_mut().latch_acquires += 1;
+        let stream = &self.streams[FaultSite::LatchPanic as usize];
+        if draw_ppm(stream) < self.plan.latch_panic_ppm as u64 {
+            self.record(FaultSite::LatchPanic, "panic");
+            self.stats.borrow_mut().latch_panics += 1;
+            return true;
+        }
+        false
+    }
 }
 
 thread_local! {
@@ -497,6 +586,29 @@ pub fn on_txn_commit() -> bool {
     with_injector(|inj| inj.decide_txn_abort()).unwrap_or(false)
 }
 
+/// Hook for a worker starting a transaction body; `true` asks the
+/// worker to panic inside the transaction (the firewall must contain
+/// it and turn it into a typed abort).
+#[inline]
+pub fn on_txn_start() -> bool {
+    with_injector(|inj| inj.decide_txn_panic()).unwrap_or(false)
+}
+
+/// Hook for worker preemption points; `Some(cycles)` asks the worker to
+/// wedge — burn that much virtual time without polling its receiver or
+/// acking interrupt epochs — so supervision has something to detect.
+#[inline]
+pub fn on_wedge() -> Option<u64> {
+    with_injector(|inj| inj.decide_wedge()).flatten()
+}
+
+/// Hook for write-latch acquisition; `true` asks the caller to panic
+/// while the latch is held (cleanup-on-unwind coverage).
+#[inline]
+pub fn on_latch_acquire() -> bool {
+    with_injector(|inj| inj.decide_latch_panic()).unwrap_or(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +621,9 @@ mod tests {
             let _ = on_dispatch();
             let _ = on_preempt_point();
             let _ = on_txn_commit();
+            let _ = on_txn_start();
+            let _ = on_wedge();
+            let _ = on_latch_acquire();
         }
         (guard.stats(), guard.trace())
     }
@@ -521,6 +636,9 @@ mod tests {
         assert!(!on_dispatch());
         assert_eq!(on_preempt_point(), None);
         assert!(!on_txn_commit());
+        assert!(!on_txn_start());
+        assert_eq!(on_wedge(), None);
+        assert!(!on_latch_acquire());
     }
 
     #[test]
@@ -559,7 +677,10 @@ mod tests {
             .with_duplicate_ppm(20_000)
             .with_spurious_ppm(10_000)
             .with_dispatch_fail_ppm(40_000)
-            .with_stall(25_000, 5_000);
+            .with_stall(25_000, 5_000)
+            .with_txn_panic_ppm(15_000)
+            .with_wedge(8_000, 100_000)
+            .with_latch_panic_ppm(12_000);
         let (s1, t1) = run_plan(plan, 5_000);
         let (s2, t2) = run_plan(plan, 5_000);
         assert_eq!(s1, s2);
@@ -633,6 +754,30 @@ mod tests {
         assert_eq!(plan.drop_before_cycles, 0);
         let _guard = install(plan);
         assert_eq!(on_uipi_send_at(u64::MAX), SendFault::Drop);
+    }
+
+    #[test]
+    fn worker_fault_sites_draw_independent_streams() {
+        // Raising a worker-fault rate must not change the decisions at
+        // the pre-existing sites: each site owns its own stream.
+        let base = FaultPlan::quiet(21)
+            .with_drop_ppm(200_000)
+            .with_txn_abort_ppm(100_000);
+        let chaotic = base
+            .with_txn_panic_ppm(500_000)
+            .with_wedge(300_000, 50_000)
+            .with_latch_panic_ppm(400_000);
+        let (s1, _) = run_plan(base, 4_000);
+        let (s2, _) = run_plan(chaotic, 4_000);
+        assert_eq!(s1.uipi_dropped, s2.uipi_dropped);
+        assert_eq!(s1.forced_aborts, s2.forced_aborts);
+        assert_eq!(s1.txn_panics, 0);
+        assert!(s2.txn_panics > 0, "txn panics injected");
+        assert!(s2.wedges_injected > 0, "wedges injected");
+        assert!(s2.latch_panics > 0, "latch panics injected");
+        // Payload plumbs through.
+        let _guard = install(FaultPlan::quiet(5).with_wedge(PPM_SCALE as u32, 77_777));
+        assert_eq!(on_wedge(), Some(77_777));
     }
 
     #[test]

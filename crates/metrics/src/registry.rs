@@ -48,10 +48,15 @@ pub enum Counter {
     ControllerRaises,
     ControllerLowers,
     ControllerHolds,
+    WorkerPanics,
+    WorkersDead,
+    WorkersRespawned,
+    WorkersQuarantined,
+    OrphansAborted,
 }
 
 /// Number of fixed counters (the width of a shard's counter block).
-pub const COUNTERS: usize = 26;
+pub const COUNTERS: usize = 31;
 
 impl Counter {
     /// Every counter, in export order.
@@ -82,6 +87,11 @@ impl Counter {
         Counter::ControllerRaises,
         Counter::ControllerLowers,
         Counter::ControllerHolds,
+        Counter::WorkerPanics,
+        Counter::WorkersDead,
+        Counter::WorkersRespawned,
+        Counter::WorkersQuarantined,
+        Counter::OrphansAborted,
     ];
 
     pub fn name(self) -> &'static str {
@@ -112,6 +122,11 @@ impl Counter {
             Counter::ControllerRaises => "controller_raises",
             Counter::ControllerLowers => "controller_lowers",
             Counter::ControllerHolds => "controller_holds",
+            Counter::WorkerPanics => "worker_panics",
+            Counter::WorkersDead => "workers_dead",
+            Counter::WorkersRespawned => "workers_respawned",
+            Counter::WorkersQuarantined => "workers_quarantined",
+            Counter::OrphansAborted => "orphans_aborted",
         }
     }
 
@@ -143,6 +158,11 @@ impl Counter {
             Counter::ControllerRaises => "Controller decisions that raised the threshold",
             Counter::ControllerLowers => "Controller decisions that lowered the threshold",
             Counter::ControllerHolds => "Controller decisions that held the threshold",
+            Counter::WorkerPanics => "Transaction panics contained by the worker firewall",
+            Counter::WorkersDead => "Workers declared dead by the supervisor",
+            Counter::WorkersRespawned => "Dead workers respawned with a fresh context",
+            Counter::WorkersQuarantined => "Workers quarantined after exhausting respawns",
+            Counter::OrphansAborted => "Orphaned transactions aborted centrally (slots force-released)",
         }
     }
 }

@@ -7,6 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::log::LogManager;
+use crate::orphan::OrphanSweep;
 use crate::registry::ActiveTxns;
 use crate::table::{Table, TableId};
 use crate::txn::{IsolationLevel, Transaction};
@@ -116,6 +117,7 @@ impl Engine {
         // above our snapshot and reclaim versions this transaction still
         // needs. The ts-0 slot pins the watermark at 0 for that window.
         let slot = self.inner.registry.enter(0);
+        slot.set_txid(txid);
         let begin_ts = self.inner.ts.load(Ordering::SeqCst);
         slot.publish(begin_ts);
         // Periodically refresh the cached GC watermark (cheap scan).
@@ -188,6 +190,40 @@ impl Engine {
     }
     pub(crate) fn note_write(&self) {
         self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Centrally aborts every transaction owned by a dead worker (see
+    /// [`crate::orphan`]). Call only after the worker can never run
+    /// again — its abandoned frames hold guards whose `Drop` must never
+    /// fire after this sweep.
+    ///
+    /// Order matters:
+    /// 1. force-release the owner's write latches first —
+    ///    `unlink_pending` takes `latch.write()` internally and would
+    ///    spin forever on a latch the dead worker still holds;
+    /// 2. unlink each orphaned txid's pending versions so
+    ///    first-updater-wins writers stop seeing dead intents;
+    /// 3. free the registry slots *last*, keeping the GC watermark
+    ///    pinned at the orphans' snapshots until their intents are gone.
+    pub fn orphan_sweep(&self, owner: u64) -> OrphanSweep {
+        let mut sweep = OrphanSweep::default();
+        let orphans = self.inner.registry.orphan_txids(owner);
+        let tables: Vec<Arc<Table>> = self.inner.tables.read().clone();
+        for table in &tables {
+            for record in table.records() {
+                if record.latch().force_release_write_held_by(owner) {
+                    sweep.latches_released += 1;
+                }
+                for &txid in &orphans {
+                    sweep.intents_unlinked += record.unlink_pending(txid);
+                }
+            }
+        }
+        sweep.slots_released = self.inner.registry.force_release_owner(owner);
+        for _ in 0..sweep.slots_released {
+            self.note_abort();
+        }
+        sweep
     }
 
     /// The registry slot of the engine's Arc, for identity checks.

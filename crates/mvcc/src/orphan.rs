@@ -1,0 +1,98 @@
+//! Orphan-transaction recovery: owner tags and the central sweep.
+//!
+//! Cleanup of latches, active-registry slots, and pending versions
+//! normally rides on `Drop` guards, which run even when a transaction
+//! body panics (the unwind executes destructors). The one case `Drop`
+//! cannot cover is a *dead worker*: a context suspended mid-transaction
+//! whose frames are abandoned when the supervisor declares the worker
+//! dead and replaces it — no unwind ever runs, so its latches, registry
+//! slot, and pending versions leak, pinning the GC watermark and
+//! blocking first-updater-wins writers forever.
+//!
+//! This module gives every resource an *owner tag* (the worker id,
+//! installed context-locally by the scheduling runtime) so the
+//! supervisor can abort a dead worker's transactions centrally:
+//! [`crate::Engine::orphan_sweep`] force-releases the owner's write
+//! latches, unlinks its pending versions, and frees its registry slots.
+//!
+//! Safety argument (DESIGN.md §11): a force-release is only sound once
+//! the dead worker can never run again — otherwise its abandoned
+//! `WriteGuard` could later release a latch a new owner holds. The
+//! supervisor therefore sweeps only after the worker's exit flag is set
+//! (terminate-unwind completed) or its context is permanently parked.
+
+use preempt_context::cls::ClsCell;
+
+/// Context-local owner tag: worker id + 1, 0 = untagged. Lives in CLS,
+/// not a thread-local, because the simulator multiplexes many workers'
+/// contexts onto one OS thread.
+static CURRENT_OWNER: ClsCell<u64> = ClsCell::new(|| 0);
+
+/// Installs `owner` (a worker id) as the current context's resource
+/// owner. Every write latch and active-txn slot acquired by this
+/// context is tagged with it until [`clear_current_owner`].
+pub fn set_current_owner(owner: u64) {
+    CURRENT_OWNER.set(owner + 1);
+}
+
+/// Removes the current context's owner tag.
+pub fn clear_current_owner() {
+    CURRENT_OWNER.set(0);
+}
+
+/// The current context's owner, if one is installed.
+pub fn current_owner() -> Option<u64> {
+    match CURRENT_OWNER.get() {
+        0 => None,
+        tag => Some(tag - 1),
+    }
+}
+
+/// Raw tag (owner + 1, 0 = none) stored into latch holder words and
+/// registry owner slots.
+#[inline]
+pub(crate) fn current_owner_tag() -> u64 {
+    CURRENT_OWNER.get()
+}
+
+/// Result of one central orphan sweep ([`crate::Engine::orphan_sweep`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrphanSweep {
+    /// Write latches force-released (held by the dead owner).
+    pub latches_released: usize,
+    /// Active-txn registry slots freed (each is one orphaned
+    /// transaction aborted centrally).
+    pub slots_released: usize,
+    /// Pending (uncommitted) versions unlinked from record chains.
+    pub intents_unlinked: usize,
+}
+
+impl OrphanSweep {
+    /// Whether the sweep found anything to clean.
+    pub fn is_empty(&self) -> bool {
+        self.latches_released == 0 && self.slots_released == 0 && self.intents_unlinked == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_tag_round_trips() {
+        assert_eq!(current_owner(), None);
+        set_current_owner(3);
+        assert_eq!(current_owner(), Some(3));
+        assert_eq!(current_owner_tag(), 4);
+        clear_current_owner();
+        assert_eq!(current_owner(), None);
+    }
+
+    #[test]
+    fn owner_zero_is_distinct_from_untagged() {
+        set_current_owner(0);
+        assert_eq!(current_owner(), Some(0));
+        assert_eq!(current_owner_tag(), 1);
+        clear_current_owner();
+    }
+}

@@ -8,6 +8,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::orphan;
 use crate::version::Timestamp;
 
 /// Maximum simultaneously active transactions (workers × contexts is far
@@ -17,12 +18,22 @@ pub const MAX_ACTIVE: usize = 512;
 /// Slot value 0 = free; otherwise `begin_ts + 1` (so ts 0 is storable).
 pub struct ActiveTxns {
     slots: Box<[AtomicU64]>,
+    /// Owner tag (worker id + 1, 0 = untagged) of each occupied slot,
+    /// mirrored from the context-local tag at `enter` so a supervisor
+    /// can free a dead worker's slots centrally.
+    owners: Box<[AtomicU64]>,
+    /// Transaction id registered in each occupied slot (0 = unset),
+    /// letting the orphan sweep unlink the dead owner's pending
+    /// versions by txid.
+    txids: Box<[AtomicU64]>,
 }
 
 impl ActiveTxns {
     pub fn new() -> ActiveTxns {
         ActiveTxns {
             slots: (0..MAX_ACTIVE).map(|_| AtomicU64::new(0)).collect(),
+            owners: (0..MAX_ACTIVE).map(|_| AtomicU64::new(0)).collect(),
+            txids: (0..MAX_ACTIVE).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
@@ -37,6 +48,8 @@ impl ActiveTxns {
                 .compare_exchange(0, encoded, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
+                self.owners[idx].store(orphan::current_owner_tag(), Ordering::Relaxed);
+                self.txids[idx].store(0, Ordering::Relaxed);
                 set_slot_hint(idx);
                 return ActiveSlot {
                     registry: self,
@@ -45,6 +58,44 @@ impl ActiveTxns {
             }
         }
         panic!("more than {MAX_ACTIVE} concurrently active transactions");
+    }
+
+    /// Transaction ids of `owner`'s in-flight transactions (the orphan
+    /// candidates once the owner is declared dead).
+    pub fn orphan_txids(&self, owner: u64) -> Vec<u64> {
+        let tag = owner + 1;
+        let mut out = Vec::new();
+        for idx in 0..MAX_ACTIVE {
+            if self.owners[idx].load(Ordering::Acquire) == tag
+                && self.slots[idx].load(Ordering::SeqCst) != 0
+            {
+                let txid = self.txids[idx].load(Ordering::Acquire);
+                if txid != 0 {
+                    out.push(txid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Frees every slot tagged with `owner`, returning how many were
+    /// released. Only sound once the owner can never run again (its
+    /// abandoned `ActiveSlot` guards must never drop); see
+    /// [`crate::orphan`] for the safety argument.
+    pub fn force_release_owner(&self, owner: u64) -> usize {
+        let tag = owner + 1;
+        let mut released = 0;
+        for idx in 0..MAX_ACTIVE {
+            if self.owners[idx].load(Ordering::Acquire) == tag
+                && self.slots[idx].load(Ordering::SeqCst) != 0
+            {
+                self.txids[idx].store(0, Ordering::Relaxed);
+                self.owners[idx].store(0, Ordering::Relaxed);
+                self.slots[idx].store(0, Ordering::SeqCst);
+                released += 1;
+            }
+        }
+        released
     }
 
     /// Oldest active begin timestamp, or `fallback` when none are active.
@@ -106,10 +157,18 @@ impl ActiveSlot<'_> {
     pub fn publish(&self, begin_ts: Timestamp) {
         self.registry.slots[self.idx].store(begin_ts + 1, Ordering::SeqCst);
     }
+
+    /// Records the transaction id occupying this slot, so the orphan
+    /// sweep can unlink its pending versions if the owner dies.
+    pub fn set_txid(&self, txid: u64) {
+        self.registry.txids[self.idx].store(txid, Ordering::Release);
+    }
 }
 
 impl Drop for ActiveSlot<'_> {
     fn drop(&mut self) {
+        self.registry.txids[self.idx].store(0, Ordering::Relaxed);
+        self.registry.owners[self.idx].store(0, Ordering::Relaxed);
         self.registry.slots[self.idx].store(0, Ordering::Release);
     }
 }
@@ -145,6 +204,35 @@ mod tests {
             let g = r.enter(i as u64);
             drop(g);
         }
+        assert_eq!(r.active_count(), 0);
+    }
+
+    #[test]
+    fn force_release_owner_frees_tagged_slots() {
+        let r = ActiveTxns::new();
+        crate::orphan::set_current_owner(2);
+        let a = r.enter(10);
+        a.set_txid(101);
+        let b = r.enter(20);
+        b.set_txid(102);
+        crate::orphan::set_current_owner(3);
+        let c = r.enter(5);
+        c.set_txid(103);
+        crate::orphan::clear_current_owner();
+
+        let mut orphans = r.orphan_txids(2);
+        orphans.sort_unstable();
+        assert_eq!(orphans, vec![101, 102]);
+
+        // Simulate abandoned frames for owner 2: guards never drop.
+        std::mem::forget(a);
+        std::mem::forget(b);
+        assert_eq!(r.force_release_owner(2), 2);
+        assert_eq!(r.force_release_owner(2), 0, "idempotent");
+        // Owner 3's slot survives and still pins the watermark.
+        assert_eq!(r.watermark(99), 5);
+        assert_eq!(r.active_count(), 1);
+        drop(c);
         assert_eq!(r.active_count(), 0);
     }
 

@@ -57,6 +57,11 @@ impl Table {
         self.records.read().get(oid as usize).cloned()
     }
 
+    /// Snapshot of every record handle (orphan sweep, diagnostics).
+    pub fn records(&self) -> Vec<Arc<Record>> {
+        self.records.read().clone()
+    }
+
     /// Allocates a fresh record slot.
     pub(crate) fn create_record(&self) -> (Oid, Arc<Record>) {
         let rec = Arc::new(Record::new());

@@ -275,8 +275,10 @@ impl Record {
 
     /// Removes `txid`'s pending versions from the head of the chain
     /// (abort path). The caller must be inside a non-preemptible region.
-    pub fn unlink_pending(&self, txid: u64) {
+    /// Returns the number of versions unlinked.
+    pub fn unlink_pending(&self, txid: u64) -> usize {
         let _g = self.latch.write();
+        let mut unlinked = 0;
         // SAFETY: under latch.
         let head = unsafe { &mut *self.head.get() };
         while let Some(h) = head.as_ref() {
@@ -284,10 +286,12 @@ impl Record {
                 // SAFETY: under latch; taking the next pointer out of the
                 // version being unlinked.
                 *head = unsafe { (*h.next.get()).take() };
+                unlinked += 1;
             } else {
                 break;
             }
         }
+        unlinked
     }
 
     /// Drops versions no active snapshot can see: keeps everything newer

@@ -38,7 +38,8 @@ pub use policy::{Policy, STARVATION_DISABLED};
 pub use request::{Priority, Request, RequestQueue, WorkOutcome};
 pub use runner::{cross_check_registry, run, RunReport, Runtime, WorkerTotals};
 pub use scheduler::{
-    scheduler_main, DriverConfig, RobustnessConfig, SchedRun, SchedulerStats, WorkloadFactory,
+    scheduler_main, DriverConfig, RecoveryHooks, RobustnessConfig, SchedRun, SchedulerStats,
+    SpawnFn, SweepFn, WorkloadFactory,
 };
 pub use starvation::StarvationState;
 pub use worker::{worker_main, yield_hint, WakeTarget, WorkerShared};

@@ -194,6 +194,9 @@ pub struct KindMetrics {
     /// Requests that exhausted their worker-level retry budget without
     /// committing.
     pub failed: u64,
+    /// Requests whose work closure panicked; the worker's firewall
+    /// contained the panic and kept running.
+    pub panicked: u64,
 }
 
 impl KindMetrics {
@@ -204,6 +207,7 @@ impl KindMetrics {
         self.retries += other.retries;
         self.deadline_aborted += other.deadline_aborted;
         self.failed += other.failed;
+        self.panicked += other.panicked;
     }
 }
 
@@ -250,6 +254,12 @@ impl Metrics {
         e.retries += retries;
     }
 
+    /// Records a request whose work closure panicked (contained by the
+    /// worker's panic firewall; no latency sample).
+    pub fn record_panicked(&mut self, kind: &'static str) {
+        self.entry(kind).panicked += 1;
+    }
+
     pub fn merge(&mut self, other: &Metrics) {
         for (kind, m) in &other.kinds {
             self.entry(kind).merge(m);
@@ -280,6 +290,11 @@ impl Metrics {
     /// Total retry-budget exhaustions across kinds.
     pub fn total_failed(&self) -> u64 {
         self.kinds.iter().map(|(_, m)| m.failed).sum()
+    }
+
+    /// Total contained transaction panics across kinds.
+    pub fn total_panicked(&self) -> u64 {
+        self.kinds.iter().map(|(_, m)| m.panicked).sum()
     }
 }
 

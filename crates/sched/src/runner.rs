@@ -36,6 +36,9 @@ pub struct WorkerTotals {
     pub uintr_deferred: u64,
     /// Cycles spent executing requests, summed over workers.
     pub busy_cycles: u64,
+    /// Transactions that panicked and were contained by the worker's
+    /// panic firewall (turned into typed aborts), summed over workers.
+    pub panics: u64,
 }
 
 /// Everything measured in one run.
@@ -69,6 +72,13 @@ pub struct RunReport {
     /// when the run carried one ([`DriverConfig::metrics`], or the
     /// scheduler's fallback registry under an adaptive policy).
     pub metrics_snapshot: Option<preempt_metrics::MetricsSnapshot>,
+    /// Captured messages of every transaction panic the firewall
+    /// contained, in per-worker order ("kind: payload").
+    pub panic_messages: Vec<String>,
+    /// Contained worker-core deaths observed by the simulator (a worker
+    /// whose *main context* panicked past the firewall — e.g. a poisoned
+    /// sibling context); empty on the thread runtime.
+    pub core_failures: Vec<preempt_sim::CoreFailure>,
 }
 
 impl std::fmt::Debug for Metrics {
@@ -178,6 +188,7 @@ fn collect(
     use std::sync::atomic::Ordering;
     let mut metrics = Metrics::new();
     let mut totals = WorkerTotals::default();
+    let mut panic_messages = Vec::new();
     for w in workers {
         metrics.merge(&w.metrics.lock());
         totals.preemptions += w.preemptions.load(Ordering::Relaxed);
@@ -186,6 +197,8 @@ fn collect(
         totals.uintr_delivered += w.uintr_delivered.load(Ordering::Relaxed);
         totals.uintr_deferred += w.uintr_deferred.load(Ordering::Relaxed);
         totals.busy_cycles += w.busy_cycles.load(Ordering::Relaxed);
+        totals.panics += w.worker_panics.load(Ordering::Relaxed);
+        panic_messages.extend(w.panics.lock().iter().cloned());
     }
     let trace = cfg.trace.as_ref().map(|s| s.merge());
     let preempt_breakdown = trace.as_ref().map(|t| t.breakdown());
@@ -206,6 +219,8 @@ fn collect(
         trace,
         preempt_breakdown,
         metrics_snapshot,
+        panic_messages,
+        core_failures: Vec::new(),
     };
     debug_assert_eq!(
         cross_check_registry(&report),
@@ -310,6 +325,42 @@ pub fn cross_check_registry(report: &RunReport) -> Result<(), String> {
         report.workers.uintr_deferred,
         snap.counter(Counter::UintrDeferred),
     )?;
+    // Containment plane: the panic firewall and the supervisor's
+    // escalation ladder emit to both planes at the same sites. Contained
+    // panics are deliberately *not* transaction aborts, so the
+    // `total_aborted` identity above also proves they are never
+    // double-counted into the abort series.
+    err(
+        "worker_panics",
+        report.workers.panics,
+        snap.counter(Counter::WorkerPanics),
+    )?;
+    err(
+        "worker_panics(per-kind)",
+        report.metrics.total_panicked(),
+        snap.counter(Counter::WorkerPanics),
+    )?;
+    err(
+        "worker_panics(messages)",
+        report.panic_messages.len() as u64,
+        snap.counter(Counter::WorkerPanics),
+    )?;
+    err("workers_dead", s.workers_dead, snap.counter(Counter::WorkersDead))?;
+    err(
+        "workers_respawned",
+        s.workers_respawned,
+        snap.counter(Counter::WorkersRespawned),
+    )?;
+    err(
+        "workers_quarantined",
+        s.workers_quarantined,
+        snap.counter(Counter::WorkersQuarantined),
+    )?;
+    err(
+        "orphans_aborted",
+        s.orphans_aborted,
+        snap.counter(Counter::OrphansAborted),
+    )?;
     Ok(())
 }
 
@@ -338,7 +389,7 @@ fn register_worker_shards(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
 
 fn run_simulated(
     sim_cfg: SimConfig,
-    cfg: DriverConfig,
+    mut cfg: DriverConfig,
     mut factory: Box<dyn WorkloadFactory>,
 ) -> RunReport {
     let sim = Simulation::new(sim_cfg);
@@ -351,9 +402,21 @@ fn run_simulated(
         let ws = w.clone();
         let policy = cfg.policy;
         let core = sim.spawn_core("worker", WORKER_STACK, move || worker_main(ws, policy));
-        w.wake_target
-            .set(WakeTarget::Sim(core))
-            .expect("wake target set once");
+        w.set_wake_target(WakeTarget::Sim(core));
+    }
+    // Default respawn hook: a replacement worker core spawned into the
+    // *running* simulation at the supervisor's virtual time. Configs may
+    // pre-install their own (e.g. to count respawns externally).
+    if cfg.recovery.spawner.is_none() {
+        let policy = cfg.policy;
+        cfg.recovery.spawner = Some(Arc::new(move |w: &Arc<WorkerShared>| {
+            let ws = w.clone();
+            let core =
+                preempt_sim::api::spawn_core("worker", WORKER_STACK, move || {
+                    worker_main(ws, policy)
+                });
+            w.set_wake_target(WakeTarget::Sim(core));
+        }));
     }
     let sched_out = Arc::new(Mutex::new(SchedRun::default()));
     {
@@ -369,15 +432,33 @@ fn run_simulated(
     let mut report = collect(&cfg, &workers, sched, sim_cfg.freq_hz);
     report.faults = sim.fault_stats();
     report.fault_trace = sim.fault_trace();
+    report.core_failures = sim.core_failures();
     report
 }
 
-fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunReport {
+fn run_threads(mut cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunReport {
     let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
     register_worker_rings(&cfg, &workers);
     register_worker_shards(&cfg, &workers);
+    // Default respawn hook: replacement OS threads, with their handles
+    // parked so the run can join them before collecting metrics.
+    let respawned: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+        Arc::new(Mutex::new(Vec::new()));
+    if cfg.recovery.spawner.is_none() {
+        let policy = cfg.policy;
+        let respawned = respawned.clone();
+        cfg.recovery.spawner = Some(Arc::new(move |w: &Arc<WorkerShared>| {
+            let ws = w.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("worker-{}r{}", w.id, w.incarnation()))
+                .spawn(move || worker_main(ws, policy))
+                .expect("spawn replacement worker");
+            w.set_wake_target(WakeTarget::Thread(h.thread().clone()));
+            respawned.lock().push(h);
+        }));
+    }
     // Live observability is wall-clock-driven, so it only exists on the
     // thread runtime: a sampler thread refreshes SLO burn-rate gauges on
     // the configured interval and (behind the `serve` flag) answers
@@ -404,8 +485,11 @@ fn run_threads(cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunR
         );
     }
     let sched = scheduler_main(&cfg, &workers, &mut *factory);
-    for h in handles {
-        h.join().expect("worker panicked");
+    // A worker thread the supervisor declared dead may have exited via a
+    // contained panic; a failed join is the expected shape of that, not
+    // a run failure (the report carries the panic counters).
+    for h in handles.into_iter().chain(respawned.lock().drain(..)) {
+        let _ = h.join();
     }
     if let Some(s) = sampler {
         s.stop();
@@ -438,6 +522,8 @@ mod tests {
             trace: None,
             preempt_breakdown: None,
             metrics_snapshot: None,
+            panic_messages: Vec::new(),
+            core_failures: Vec::new(),
         };
         assert_eq!(r.completed("k"), 2);
         assert!((r.tps("k") - 2.0).abs() < 1e-9);
@@ -487,6 +573,7 @@ mod tests {
             duration: 120_000_000,       // 50 ms
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         }
@@ -511,6 +598,8 @@ mod tests {
             trace: None,
             preempt_breakdown: None,
             metrics_snapshot: None,
+            panic_messages: Vec::new(),
+            core_failures: Vec::new(),
         };
         for v in [
             r.tps("k"),

@@ -88,6 +88,22 @@ pub struct RobustnessConfig {
     /// Max no-progress dispatch retry rounds per tick before the batch
     /// remainder is abandoned (bounds the full-queue busy-retry loop).
     pub max_full_retries: u32,
+    /// Worker supervision (liveness leases + declare-dead escalation).
+    /// Only meaningful under interrupt-sending policies: the lease is
+    /// renewed by epoch acknowledgements.
+    pub supervise: bool,
+    /// Cycles a worker may stay unresponsive (unacknowledged delivery
+    /// epoch with top-priority work queued) before the supervisor
+    /// declares it dead. Sized well past `watchdog_backoff_max` so the
+    /// resend → degrade rungs of the ladder run first (≈ 20 ms).
+    pub dead_after: u64,
+    /// Bound on waiting for a terminated worker to leave `worker_main`
+    /// before giving up and quarantining it without an orphan sweep
+    /// (≈ 10 ms).
+    pub exit_wait: u64,
+    /// Respawn budget per worker slot; exceeding it quarantines the
+    /// worker instead of replacing it again.
+    pub max_respawns: u32,
 }
 
 impl Default for RobustnessConfig {
@@ -103,6 +119,10 @@ impl Default for RobustnessConfig {
             degrade_eval_interval: 4_800_000,
             upgrade_quiet: 24_000_000,
             max_full_retries: 8,
+            supervise: true,
+            dead_after: 48_000_000,
+            exit_wait: 24_000_000,
+            max_respawns: 3,
         }
     }
 }
@@ -174,6 +194,38 @@ impl DegradeWindow {
     }
 }
 
+/// Sweep hook: force-releases everything an owner (= worker id) still
+/// holds in the storage engine, returning what was reclaimed.
+pub type SweepFn = dyn Fn(u64) -> preempt_mvcc::OrphanSweep + Send + Sync;
+
+/// Spawner hook: starts a fresh incarnation of a worker slot.
+pub type SpawnFn = dyn Fn(&Arc<WorkerShared>) + Send + Sync;
+
+/// Supervisor recovery hooks: how to sweep a dead worker's engine-side
+/// orphans and how to spawn a replacement incarnation. Wired by the
+/// runner (spawner) and by engine-backed workloads (sweep).
+#[derive(Clone, Default)]
+pub struct RecoveryHooks {
+    /// Force-releases everything `owner` (= worker id) still holds in
+    /// the storage engine: write latches, active-transaction slots,
+    /// pending version intents. Run only after the dead incarnation's
+    /// exit was observed. `None` = nothing engine-side to sweep.
+    pub sweep: Option<Arc<SweepFn>>,
+    /// Spawns a fresh incarnation of the worker (a new simulated core or
+    /// OS thread running `worker_main`) and registers its wake target.
+    /// `None` = dead workers are quarantined instead of respawned.
+    pub spawner: Option<Arc<SpawnFn>>,
+}
+
+impl std::fmt::Debug for RecoveryHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecoveryHooks")
+            .field("sweep", &self.sweep.is_some())
+            .field("spawner", &self.spawner.is_some())
+            .finish()
+    }
+}
+
 /// Driver configuration (§6.1 defaults in [`DriverConfig::paper_default`]).
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
@@ -191,8 +243,11 @@ pub struct DriverConfig {
     /// Send a user interrupt to every worker at every tick even without
     /// high-priority work — the pure-overhead mode of Figure 8.
     pub always_interrupt: bool,
-    /// Fault-tolerance knobs (watchdog, deadlines, degradation).
+    /// Fault-tolerance knobs (watchdog, deadlines, degradation,
+    /// supervision).
     pub robustness: RobustnessConfig,
+    /// Supervisor recovery hooks (orphan sweep + worker respawn).
+    pub recovery: RecoveryHooks,
     /// Event-trace session: when set, the runner registers one ring per
     /// worker (plus the scheduler's own), and the run report carries the
     /// merged trace and preemption-latency breakdown. `None` (the
@@ -223,6 +278,7 @@ impl DriverConfig {
             duration: 2_400_000_000,     // 1 s at 2.4 GHz
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
+            recovery: RecoveryHooks::default(),
             trace: None,
             metrics: None,
         }
@@ -264,6 +320,20 @@ pub struct SchedulerStats {
     pub policy_downgrades: u64,
     /// Degraded → preemptive re-upgrades after a quiet period.
     pub policy_upgrades: u64,
+    /// Workers declared dead by the supervisor (liveness lease expired).
+    pub workers_dead: u64,
+    /// Dead workers replaced with a fresh incarnation.
+    pub workers_respawned: u64,
+    /// Workers quarantined (respawn budget spent, no spawner, or the
+    /// terminated incarnation never exited).
+    pub workers_quarantined: u64,
+    /// Orphaned transactions aborted centrally by the orphan sweep
+    /// (active-transaction slots force-released).
+    pub orphans_aborted: u64,
+    /// Write latches force-released by the orphan sweep.
+    pub orphan_latches_released: u64,
+    /// Queued requests rejected when their worker was quarantined.
+    pub rejected_orphaned: u64,
 }
 
 fn sleep_until_cycles(t: u64) {
@@ -296,24 +366,121 @@ fn charge(cycles: u64) {
 
 /// Sends a user interrupt to `w` targeting priority `level`.
 fn send_uintr(w: &WorkerShared, level: u8) -> bool {
-    let Some(upid) = w.upid.get() else {
+    let Some(upid) = w.upid() else {
         return false;
     };
     // Bump the delivery epoch before posting: the handler acknowledges by
     // copying it, so ack ≥ this value proves this (or a later) interrupt
     // reached the worker. Release pairs with the handler's Acquire.
     w.uintr_epoch.fetch_add(1, std::sync::atomic::Ordering::Release);
-    match w.wake_target.get() {
+    match w.wake_target() {
         Some(WakeTarget::Sim(core)) if preempt_sim::api::active() => {
-            preempt_sim::SimUipiSender::new(upid.clone(), level, *core).send();
+            preempt_sim::SimUipiSender::new(upid, level, core).send();
             true
         }
         _ => {
-            let ok = UipiSender::new(upid.clone(), level).send();
-            if let Some(wt) = w.wake_target.get() {
-                wt.wake();
-            }
+            let ok = UipiSender::new(upid, level).send();
+            w.wake();
             ok
+        }
+    }
+}
+
+/// Terminal step of the containment ladder: declare `w` dead, terminate
+/// it and await its exit, sweep its engine-side orphans, and respawn a
+/// fresh incarnation or quarantine the slot. Returns `true` when the
+/// worker ended up quarantined (the caller must stop dispatching to it).
+fn recover_worker(
+    w: &Arc<WorkerShared>,
+    rb: &RobustnessConfig,
+    recovery: &RecoveryHooks,
+    stats: &mut SchedulerStats,
+    sched_shard: &Option<Arc<preempt_metrics::Shard>>,
+) -> bool {
+    preempt_trace::emit(preempt_trace::TraceEvent::WorkerDead {
+        worker: w.id as u16,
+    });
+    stats.workers_dead += 1;
+    if let Some(sh) = sched_shard {
+        sh.bump(Counter::WorkersDead);
+    }
+    // Order the incarnation out and wait (bounded) for it to leave
+    // worker_main. The orphan sweep is only sound once the dead worker
+    // can never run again — its abandoned guards must never drop.
+    w.terminate();
+    let wait_deadline = now_cycles().saturating_add(rb.exit_wait);
+    while !w.has_exited() && now_cycles() < wait_deadline {
+        if preempt_sim::api::active() {
+            preempt_sim::api::sleep(50_000);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+    if !w.has_exited() {
+        // Beyond recovery: the incarnation ignored termination (stuck in
+        // a loop with no preemption points). Quarantine without sweeping
+        // — force-releasing under a possibly-still-running owner would
+        // hand its latches to new holders it could stomp on.
+        quarantine(w, stats, sched_shard);
+        return true;
+    }
+    // Exit observed: force-release whatever the dead incarnation still
+    // held in the storage engine.
+    if let Some(sweep) = &recovery.sweep {
+        let result = sweep(w.id as u64);
+        preempt_trace::emit(preempt_trace::TraceEvent::OrphanSweep {
+            worker: w.id as u16,
+            latches: result.latches_released.min(u16::MAX as usize) as u16,
+            slots: result.slots_released.min(u16::MAX as usize) as u16,
+        });
+        stats.orphan_latches_released += result.latches_released as u64;
+        stats.orphans_aborted += result.slots_released as u64;
+        if let Some(sh) = sched_shard {
+            sh.bump_by(Counter::OrphansAborted, result.slots_released as u64);
+        }
+    }
+    // Respawn a fresh incarnation — its queued requests are implicitly
+    // requeued, since the queues live in `WorkerShared` and the
+    // replacement drains them — or quarantine when the budget is spent
+    // or no spawner is wired.
+    let budget_spent =
+        w.incarnation.load(std::sync::atomic::Ordering::Acquire) >= rb.max_respawns as u64;
+    match (&recovery.spawner, budget_spent) {
+        (Some(spawner), false) => {
+            let inc = w.reset_for_respawn();
+            preempt_trace::emit(preempt_trace::TraceEvent::WorkerRespawn {
+                worker: w.id as u16,
+                incarnation: inc.min(u8::MAX as u64) as u8,
+            });
+            stats.workers_respawned += 1;
+            if let Some(sh) = sched_shard {
+                sh.bump(Counter::WorkersRespawned);
+            }
+            spawner(w);
+            false
+        }
+        _ => {
+            quarantine(w, stats, sched_shard);
+            true
+        }
+    }
+}
+
+/// Quarantines a worker slot: the caller stops dispatching to it, and
+/// its queued requests are rejected (counted as orphaned) rather than
+/// left stranded forever.
+fn quarantine(
+    w: &Arc<WorkerShared>,
+    stats: &mut SchedulerStats,
+    sched_shard: &Option<Arc<preempt_metrics::Shard>>,
+) {
+    stats.workers_quarantined += 1;
+    if let Some(sh) = sched_shard {
+        sh.bump(Counter::WorkersQuarantined);
+    }
+    for q in &w.queues {
+        while q.pop().is_some() {
+            stats.rejected_orphaned += 1;
         }
     }
 }
@@ -350,7 +517,7 @@ pub fn scheduler_main(
     // Real-thread mode: wait until all workers have published their UPIDs.
     if !preempt_sim::api::active() {
         for w in workers {
-            while w.upid.get().is_none() {
+            while w.upid().is_none() {
                 std::thread::yield_now();
             }
         }
@@ -428,6 +595,20 @@ pub fn scheduler_main(
     let mut wd_backoff = vec![rb.watchdog_backoff_min.max(1); workers.len()];
     let mut wd_next = vec![0u64; workers.len()];
 
+    // Supervision state: per-worker liveness leases. `stale_since[i]` is
+    // when worker i was first seen unresponsive (unacknowledged epoch
+    // with top-priority work queued); the lease expires `rb.dead_after`
+    // later. Quarantined slots receive no further dispatch.
+    let supervising = rb.supervise && cfg.policy.sends_uintr();
+    let mut stale_since: Vec<Option<u64>> = vec![None; workers.len()];
+    // `calm_since[i]` is when worker i was first seen *stranded*: top
+    // queue non-empty but every delivery acknowledged, so nothing would
+    // ever bump the epoch again (sends ride on fresh enqueues, and a
+    // full queue admits none). After a full window the supervisor sends
+    // a probe interrupt to re-arm the epoch/ack lease.
+    let mut calm_since: Vec<Option<u64>> = vec![None; workers.len()];
+    let mut quarantined = vec![false; workers.len()];
+
     loop {
         let now = now_cycles();
         if now >= deadline {
@@ -435,7 +616,10 @@ pub fn scheduler_main(
         }
 
         // Refill low-priority queues.
-        for w in workers.iter() {
+        for (wi, w) in workers.iter().enumerate() {
+            if quarantined[wi] {
+                continue;
+            }
             let mut pushed_any = false;
             while !w.queues[0].is_full() {
                 match factory.make_low(now) {
@@ -455,9 +639,7 @@ pub fn scheduler_main(
                 }
             }
             if pushed_any {
-                if let Some(wt) = w.wake_target.get() {
-                    wt.wake();
-                }
+                w.wake();
             }
         }
 
@@ -502,8 +684,12 @@ pub fn scheduler_main(
                     if pending.is_empty() {
                         break;
                     }
-                    let w = &workers[rr % workers.len()];
+                    let wi = rr % workers.len();
+                    let w = &workers[wi];
                     rr += 1;
+                    if quarantined[wi] {
+                        continue;
+                    }
                     // Starvation decision site 1 (§5): compare against
                     // the worker's *live* threshold cell — static
                     // policies arm it once, the adaptive controller
@@ -574,6 +760,9 @@ pub fn scheduler_main(
             // (one per worker per batch — batched on-demand preemption),
             // plain wake-ups otherwise or while degraded.
             for (i, w) in workers.iter().enumerate() {
+                if quarantined[i] {
+                    continue;
+                }
                 let should_interrupt =
                     cfg.policy.sends_uintr() && !degraded && (kick[i] || cfg.always_interrupt);
                 if should_interrupt {
@@ -596,14 +785,10 @@ pub fn scheduler_main(
                         last_failure_at = now_cycles();
                         // Fall back to a plain wake so the work is not
                         // stranded behind the failed interrupt.
-                        if let Some(wt) = w.wake_target.get() {
-                            wt.wake();
-                        }
+                        w.wake();
                     }
                 } else if kick[i] {
-                    if let Some(wt) = w.wake_target.get() {
-                        wt.wake();
-                    }
+                    w.wake();
                 }
             }
 
@@ -618,6 +803,9 @@ pub fn scheduler_main(
             let top = cfg.levels() as usize - 1;
             let wnow = now_cycles();
             for (i, w) in workers.iter().enumerate() {
+                if quarantined[i] {
+                    continue;
+                }
                 let epoch = w.uintr_epoch.load(std::sync::atomic::Ordering::Acquire);
                 let ack = w.uintr_ack.load(std::sync::atomic::Ordering::Acquire);
                 if epoch > ack && !w.queues[top].is_empty() {
@@ -645,6 +833,71 @@ pub fn scheduler_main(
                 } else {
                     wd_backoff[i] = rb.watchdog_backoff_min.max(1);
                 }
+            }
+        }
+
+        // Worker supervision: the terminal rung of the containment
+        // ladder. A worker whose delivery epoch stays unacknowledged
+        // while top-priority work is queued is merely *slow* until
+        // `dead_after` cycles pass — the watchdog keeps re-sending and
+        // degradation may kick in below. Once the lease expires the
+        // supervisor declares it dead: terminate + await exit, sweep
+        // engine-side orphans, respawn or quarantine. Healthy runs take
+        // the `stale_since = None` path only — zero extra events, zero
+        // virtual-time charges — so supervision cannot perturb
+        // fault-free trajectories.
+        let mut sup_earliest = u64::MAX;
+        if supervising {
+            let top = cfg.levels() as usize - 1;
+            let snow = now_cycles();
+            for (i, w) in workers.iter().enumerate() {
+                if quarantined[i] {
+                    continue;
+                }
+                let epoch = w.uintr_epoch.load(std::sync::atomic::Ordering::Acquire);
+                let ack = w.uintr_ack.load(std::sync::atomic::Ordering::Acquire);
+                if w.queues[top].is_empty() {
+                    stale_since[i] = None;
+                    calm_since[i] = None;
+                    continue;
+                }
+                if epoch == ack {
+                    // Stranded: top-priority work queued, nothing
+                    // outstanding to ack. Normal while a worker drains —
+                    // but a worker that never drains (say a respawned
+                    // incarnation wedged in low work, its top queue
+                    // already full so dispatch never enqueues-and-sends)
+                    // would keep the lease disarmed forever. After one
+                    // full window, probe it: the send bumps the epoch, a
+                    // healthy worker acks and drains, a wedged one now
+                    // trips the ordinary lease below.
+                    stale_since[i] = None;
+                    let since = *calm_since[i].get_or_insert(snow);
+                    if snow.saturating_sub(since) >= rb.dead_after {
+                        calm_since[i] = None;
+                        if send_uintr(w, top as u8) {
+                            stats.interrupts_sent += 1;
+                            if let Some(sh) = &sched_shard {
+                                sh.bump(Counter::UintrSent);
+                            }
+                        }
+                    } else {
+                        sup_earliest = sup_earliest.min(since + rb.dead_after);
+                    }
+                    continue;
+                }
+                calm_since[i] = None;
+                let since = *stale_since[i].get_or_insert(snow);
+                if snow.saturating_sub(since) < rb.dead_after {
+                    sup_earliest = sup_earliest.min(since + rb.dead_after);
+                    continue;
+                }
+                // Lease expired.
+                stale_since[i] = None;
+                wd_backoff[i] = rb.watchdog_backoff_min.max(1);
+                wd_next[i] = 0;
+                quarantined[i] =
+                    recover_worker(w, &rb, &cfg.recovery, &mut stats, &sched_shard);
             }
         }
 
@@ -752,12 +1005,13 @@ pub fn scheduler_main(
         }
 
         // Sleep until the earliest of the next low refill, the next
-        // high-priority arrival, a pending watchdog re-send, or the
-        // next controller window boundary.
+        // high-priority arrival, a pending watchdog re-send, a liveness
+        // lease expiry, or the next controller window boundary.
         let wake = next_high_tick
             .min(now_cycles() + low_refill)
             .min(deadline)
             .min(wd_earliest)
+            .min(sup_earliest)
             .min(ctl_earliest);
         if wake > now_cycles() {
             sleep_until_cycles(wake);
@@ -887,6 +1141,7 @@ mod tests {
             duration: 24_000_000,         // 10 ms
             always_interrupt: false,
             robustness: RobustnessConfig::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };
@@ -897,7 +1152,7 @@ mod tests {
             let ws = w.clone();
             let pol = cfg.policy;
             let core = sim.spawn_core("worker", 256 * 1024, move || worker_main(ws, pol));
-            w.wake_target.set(WakeTarget::Sim(core)).unwrap();
+            w.set_wake_target(WakeTarget::Sim(core));
         }
         let ws = workers.clone();
         let cfg2 = cfg.clone();

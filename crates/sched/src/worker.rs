@@ -23,6 +23,7 @@
 //! accounting.
 
 use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -36,7 +37,7 @@ use preempt_uintr::{UintrReceiver, Upid};
 use crate::clock::now_cycles;
 use crate::metrics::Metrics;
 use crate::policy::Policy;
-use crate::request::{Request, RequestQueue};
+use crate::request::{Request, RequestQueue, WorkOutcome};
 use crate::starvation::StarvationState;
 
 /// Cycles charged for dequeuing a request and setting it up.
@@ -86,19 +87,52 @@ impl WakeTarget {
     }
 }
 
+/// Panic payload used to unwind a live transaction when the supervisor
+/// terminates its worker. The firewall in `run_request` recognizes it and
+/// treats the unwind as an ordered termination, not a transaction panic.
+struct TerminateToken;
+
+/// Best-effort text of a caught panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Terminal state of one request's execute/retry loop.
+enum TxnEnd {
+    /// Committed with the closure's outcome.
+    Committed(WorkOutcome),
+    /// Retry budget exhausted without a commit.
+    Exhausted,
+    /// Deadline passed between attempts.
+    TimedOut,
+    /// The transaction panicked; the firewall contained it.
+    Panicked(String),
+    /// The supervisor terminated this worker mid-transaction.
+    Terminated,
+}
+
 /// The scheduler-visible half of a worker.
 pub struct WorkerShared {
     pub id: usize,
     /// `queues[level]`: level 0 = low priority; the paper's default has
     /// `queues[0]` (capacity 1) and `queues[1]` (capacity 4).
     pub queues: Vec<Arc<RequestQueue>>,
-    /// Set by the worker at startup; the scheduler's UITT entry target.
-    pub upid: OnceLock<Arc<Upid>>,
+    /// Published by the worker at startup (once per incarnation); the
+    /// scheduler's UITT entry target. A mutex rather than a `OnceLock`
+    /// because a respawned incarnation publishes a fresh UPID.
+    pub upid: Mutex<Option<Arc<Upid>>>,
     /// Trace ring for this worker, registered by the runner when the
     /// driver config carries a [`preempt_trace::TraceSession`].
     pub trace: OnceLock<Arc<preempt_trace::TraceRing>>,
-    /// Set by the runner (sim) or the worker itself (threads).
-    pub wake_target: OnceLock<WakeTarget>,
+    /// Set by the runner/supervisor (sim) or the worker itself (threads);
+    /// replaced on respawn.
+    pub wake_target: Mutex<Option<WakeTarget>>,
     pub starvation: StarvationState,
     /// This worker's slice of the run's metrics registry, set by the
     /// runner (or by the scheduler's fallback registry for adaptive
@@ -108,6 +142,20 @@ pub struct WorkerShared {
     /// means metrics are off and each emit costs one atomic load.
     pub metrics_shard: OnceLock<Arc<preempt_metrics::Shard>>,
     pub stopped: AtomicBool,
+    // ---- failure containment (supervisor ↔ worker handshake) ----
+    /// Supervisor order for the *current incarnation* to unwind out of
+    /// whatever it is doing and leave `worker_main` (declared dead).
+    /// Unlike `stopped`, it is cleared before a respawn.
+    pub terminated: AtomicBool,
+    /// Set (via an unwind-safe drop guard) when the current incarnation
+    /// has left `worker_main` — the supervisor's license to orphan-sweep.
+    pub exited: AtomicBool,
+    /// Incarnation number: 0 for the first spawn, +1 per respawn.
+    pub incarnation: AtomicU64,
+    /// Messages of transaction panics contained by the firewall.
+    pub panics: Mutex<Vec<String>>,
+    /// Transaction panics contained by the firewall (all incarnations).
+    pub worker_panics: AtomicU64,
     /// Worker-local metrics, flushed here when the worker exits.
     pub metrics: Mutex<Metrics>,
     // ---- delivery watchdog state (scheduler ↔ worker handshake) ----
@@ -147,12 +195,17 @@ impl WorkerShared {
                 .iter()
                 .map(|&c| Arc::new(RequestQueue::new(c)))
                 .collect(),
-            upid: OnceLock::new(),
+            upid: Mutex::new(None),
             trace: OnceLock::new(),
-            wake_target: OnceLock::new(),
+            wake_target: Mutex::new(None),
             starvation: StarvationState::new(),
             metrics_shard: OnceLock::new(),
             stopped: AtomicBool::new(false),
+            terminated: AtomicBool::new(false),
+            exited: AtomicBool::new(false),
+            incarnation: AtomicU64::new(0),
+            panics: Mutex::new(Vec::new()),
+            worker_panics: AtomicU64::new(0),
             metrics: Mutex::new(Metrics::new()),
             uintr_epoch: AtomicU64::new(0),
             uintr_ack: AtomicU64::new(0),
@@ -170,15 +223,78 @@ impl WorkerShared {
         self.queues.len() as u8
     }
 
-    pub fn stop(&self) {
-        self.stopped.store(true, Ordering::Release);
-        if let Some(w) = self.wake_target.get() {
+    /// Current UPID, if the current incarnation has started.
+    pub fn upid(&self) -> Option<Arc<Upid>> {
+        self.upid.lock().clone()
+    }
+
+    pub fn set_upid(&self, upid: Arc<Upid>) {
+        *self.upid.lock() = Some(upid);
+    }
+
+    pub fn wake_target(&self) -> Option<WakeTarget> {
+        self.wake_target.lock().clone()
+    }
+
+    pub fn set_wake_target(&self, target: WakeTarget) {
+        *self.wake_target.lock() = Some(target);
+    }
+
+    /// Wakes the worker if a wake target is registered.
+    pub fn wake(&self) {
+        if let Some(w) = self.wake_target() {
             w.wake();
         }
     }
 
+    pub fn stop(&self) {
+        self.stopped.store(true, Ordering::Release);
+        self.wake();
+    }
+
     pub fn is_stopped(&self) -> bool {
         self.stopped.load(Ordering::Acquire)
+    }
+
+    /// Supervisor: orders the current incarnation to exit. A running
+    /// transaction unwinds into the panic firewall at its next preemption
+    /// point; an idle worker wakes and observes the flag.
+    pub fn terminate(&self) {
+        self.terminated.store(true, Ordering::Release);
+        self.wake();
+    }
+
+    pub fn is_terminated(&self) -> bool {
+        self.terminated.load(Ordering::Acquire)
+    }
+
+    pub fn has_exited(&self) -> bool {
+        self.exited.load(Ordering::Acquire)
+    }
+
+    /// Times this slot has been respawned (0 = original incarnation).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.load(Ordering::Acquire)
+    }
+
+    /// Stop or termination: every worker loop exits on either.
+    pub fn should_exit(&self) -> bool {
+        self.is_stopped() || self.is_terminated()
+    }
+
+    /// Supervisor: clears per-incarnation state before a respawn and
+    /// returns the new incarnation number. Only sound after
+    /// [`has_exited`](Self::has_exited) was observed true.
+    pub fn reset_for_respawn(&self) -> u64 {
+        self.terminated.store(false, Ordering::Release);
+        self.exited.store(false, Ordering::Release);
+        *self.upid.lock() = None;
+        // Epochs sent to the dead incarnation are void; start the new
+        // lease fully acknowledged so the watchdog doesn't instantly
+        // re-escalate against the replacement.
+        self.uintr_ack
+            .store(self.uintr_epoch.load(Ordering::Acquire), Ordering::Release);
+        self.incarnation.fetch_add(1, Ordering::AcqRel) + 1
     }
 }
 
@@ -297,7 +413,7 @@ impl WorkerCtx {
         if level as usize >= self.level_tcbs.len() {
             return; // unknown (spurious) vector: acknowledged, ignored
         }
-        if self.shared.is_stopped() {
+        if self.shared.should_exit() {
             return;
         }
         // Do not interrupt an equal-or-higher-priority transaction
@@ -320,10 +436,33 @@ impl WorkerCtx {
 
     /// Called at every preemption point (through the hook).
     fn on_point(&self) {
+        // Supervisor termination: unwind the live transaction into the
+        // panic firewall (`run_request` catches the token and releases
+        // everything on the way). Never raised mid-unwind — a panic
+        // during a panic aborts the process — and never inside a
+        // non-preemptible region: `Transaction::commit` runs preemption
+        // points *after* stamping versions under its §4.4 guard, and an
+        // unwind there would tear down a transaction that is already
+        // durably committed (a lost commit). The token obeys the same
+        // discipline as preemption itself and fires at the next
+        // preemptible point instead.
+        if self.shared.is_terminated()
+            && self.current_txn_priority.get().is_some()
+            && !std::thread::panicking()
+            && !tcb::with_current(|t| t.is_nonpreemptible())
+        {
+            std::panic::panic_any(TerminateToken);
+        }
+
         // Fault injection: a stalled worker (page fault, scheduling blip,
         // SMI) modeled as extra cycles at a preemption point.
         if let Some(stall) = preempt_faults::on_preempt_point() {
             charge(stall);
+        }
+
+        // Fault injection: a wedged worker goes unresponsive for a while.
+        if let Some(cycles) = preempt_faults::on_wedge() {
+            self.wedge(cycles);
         }
 
         // Deliver pending user interrupts (no-op fast path). Only the
@@ -372,6 +511,48 @@ impl WorkerCtx {
         }
     }
 
+    /// Chaos injection: go unresponsive for `cycles` of virtual time — no
+    /// receiver polls, no epoch acks, no yields to higher levels. This is
+    /// the stuck-worker shape the scheduler's liveness lease is built to
+    /// catch; the only signal that still gets through is supervisor
+    /// termination, checked once per chunk.
+    fn wedge(&self, cycles: u64) {
+        const WEDGE_CHUNK: u64 = 10_000;
+        let end = now_cycles().saturating_add(cycles);
+        loop {
+            if self.shared.is_stopped() {
+                return;
+            }
+            if self.shared.is_terminated() {
+                // Same guards as `on_point`: no unwind mid-unwind, none
+                // inside a non-preemptible region (see there).
+                if self.current_txn_priority.get().is_some()
+                    && !std::thread::panicking()
+                    && !tcb::with_current(|t| t.is_nonpreemptible())
+                {
+                    std::panic::panic_any(TerminateToken);
+                }
+                return;
+            }
+            let now = now_cycles();
+            if now >= end {
+                return;
+            }
+            let step = WEDGE_CHUNK.min(end - now);
+            if preempt_sim::api::active() {
+                // Burn virtual time without executing a preemption point:
+                // the receiver stays unpolled and epochs unacknowledged,
+                // exactly like a worker stuck outside the runtime.
+                preempt_sim::api::advance(step);
+                preempt_sim::api::yield_now();
+            } else {
+                for _ in 0..step {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+
     /// Called at workload-annotated yield hints.
     fn on_yield_hint(&self) {
         if let Policy::CooperativeHandcrafted { block_interval } = self.policy {
@@ -409,7 +590,10 @@ impl WorkerCtx {
     /// * an uncommitted outcome is re-executed up to `max_retries` times
     ///   with exponential backoff, re-checking the deadline between
     ///   attempts;
-    /// * exhausting the budget records a failure, not a completion.
+    /// * exhausting the budget records a failure, not a completion;
+    /// * a panicking transaction is contained by the firewall: its unwind
+    ///   releases latches and MVCC state via drop guards, the panic
+    ///   message is captured, and the worker keeps serving requests.
     fn run_request(&self, req: Request, at_level: u8) -> u64 {
         let started = now_cycles();
         let kind = req.kind;
@@ -435,28 +619,48 @@ impl WorkerCtx {
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_started(started);
         }
-        self.current_txn_priority.set(Some(req.priority));
+        let priority = req.priority;
+        self.current_txn_priority.set(Some(priority));
         let mut work = req.work;
         let mut attempts: u32 = 0;
-        let mut timed_out = false;
-        let outcome = loop {
-            let o = work();
-            if o.committed {
-                break Some(o);
-            }
-            if attempts >= req.max_retries {
-                break None;
-            }
-            attempts += 1;
-            // Backoff between attempts runs at a preemption point, so a
-            // retrying low-priority transaction stays preemptible.
-            let shift = (attempts - 1).min(RETRY_BACKOFF_MAX_SHIFT);
-            runtime::preempt_point(RETRY_BACKOFF_BASE << shift);
-            if let Some(dl) = req.deadline {
-                if now_cycles() >= dl {
-                    timed_out = true;
-                    break None;
+        // Panic firewall (failure containment): the whole execute/retry
+        // loop runs under `catch_unwind`, so a panicking transaction
+        // unwinds back to here — releasing its latches and MVCC slot
+        // through the usual drop guards on the way — and the worker keeps
+        // running. The supervisor's `TerminateToken` takes the same path
+        // but is an ordered unwind, not a contained failure.
+        let end = {
+            let attempts = &mut attempts;
+            let deadline = req.deadline;
+            let max_retries = req.max_retries;
+            match catch_unwind(AssertUnwindSafe(|| {
+                if preempt_faults::on_txn_start() {
+                    panic!("injected: transaction panic");
                 }
+                loop {
+                    let o = work();
+                    if o.committed {
+                        return TxnEnd::Committed(o);
+                    }
+                    if *attempts >= max_retries {
+                        return TxnEnd::Exhausted;
+                    }
+                    *attempts += 1;
+                    // Backoff between attempts runs at a preemption point,
+                    // so a retrying low-priority transaction stays
+                    // preemptible.
+                    let shift = (*attempts - 1).min(RETRY_BACKOFF_MAX_SHIFT);
+                    runtime::preempt_point(RETRY_BACKOFF_BASE << shift);
+                    if let Some(dl) = deadline {
+                        if now_cycles() >= dl {
+                            return TxnEnd::TimedOut;
+                        }
+                    }
+                }
+            })) {
+                Ok(end) => end,
+                Err(p) if p.is::<TerminateToken>() => TxnEnd::Terminated,
+                Err(p) => TxnEnd::Panicked(payload_message(&*p)),
             }
         };
         self.current_txn_priority.set(None);
@@ -464,31 +668,42 @@ impl WorkerCtx {
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_finished();
         }
-        match outcome {
-            Some(_) => preempt_trace::emit(preempt_trace::TraceEvent::TxnCommit { txn }),
-            None => preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn }),
+        match &end {
+            TxnEnd::Committed(_) => {
+                preempt_trace::emit(preempt_trace::TraceEvent::TxnCommit { txn })
+            }
+            TxnEnd::Panicked(_) => preempt_trace::emit(preempt_trace::TraceEvent::TxnPanic { txn }),
+            _ => preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn }),
         }
         let mut metrics = self.metrics.borrow_mut();
-        match outcome {
-            Some(o) => {
+        match end {
+            TxnEnd::Committed(o) => {
                 let latency = finished.saturating_sub(created);
                 let retries = o.retries + attempts as u64;
                 metrics.record(kind, latency, sched_latency, retries);
                 if let Some(sh) = self.shared.metrics_shard.get() {
-                    sh.txn_completed(kind, req.priority, latency, sched_latency, retries);
+                    sh.txn_completed(kind, priority, latency, sched_latency, retries);
                 }
             }
-            None if timed_out => {
+            TxnEnd::TimedOut => {
                 metrics.record_deadline_abort(kind);
                 if let Some(sh) = self.shared.metrics_shard.get() {
                     sh.txn_deadline_abort(kind);
                 }
             }
-            None => {
+            TxnEnd::Exhausted | TxnEnd::Terminated => {
                 metrics.record_failed(kind, attempts as u64);
                 if let Some(sh) = self.shared.metrics_shard.get() {
                     sh.txn_failed(kind, attempts as u64);
                 }
+            }
+            TxnEnd::Panicked(msg) => {
+                metrics.record_panicked(kind);
+                if let Some(sh) = self.shared.metrics_shard.get() {
+                    sh.bump(preempt_metrics::Counter::WorkerPanics);
+                }
+                self.shared.worker_panics.fetch_add(1, Ordering::Relaxed);
+                self.shared.panics.lock().push(format!("{kind}: {msg}"));
             }
         }
         drop(metrics);
@@ -503,7 +718,7 @@ impl WorkerCtx {
         loop {
             // We were just switched into (passively or cooperatively).
             loop {
-                if self.shared.is_stopped() {
+                if self.shared.should_exit() {
                     break;
                 }
                 let Some(req) = self.shared.queues[level as usize].pop() else {
@@ -553,7 +768,7 @@ impl WorkerCtx {
         // miss it; retry here until it lands so main-context emits from
         // the uintr/latch/fault layers aren't silently dropped.
         let mut shard_installed = self.shared.metrics_shard.get().is_some();
-        while !self.shared.is_stopped() {
+        while !self.shared.should_exit() {
             if !shard_installed {
                 if let Some(sh) = self.shared.metrics_shard.get() {
                     preempt_metrics::install_current(sh);
@@ -590,7 +805,7 @@ impl WorkerCtx {
 /// Parks the worker until the scheduler wakes it (or a timeout passes on
 /// real threads, to self-heal missed wake-ups).
 fn idle_wait(shared: &WorkerShared) {
-    if shared.is_stopped() {
+    if shared.should_exit() {
         return;
     }
     if preempt_sim::api::active() {
@@ -630,6 +845,17 @@ pub const PREEMPTIVE_CTX_STACK: usize = 256 * 1024;
 /// dedicated thread or simulated core.
 pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     let levels = shared.levels();
+    shared.exited.store(false, Ordering::Release);
+    // Sets `exited` on every way out of this frame — including an unwind
+    // that poisons the worker's context — so the supervisor can tell
+    // "dead and gone" (safe to orphan-sweep) from "still running".
+    struct ExitFlag(Arc<WorkerShared>);
+    impl Drop for ExitFlag {
+        fn drop(&mut self) {
+            self.0.exited.store(true, Ordering::Release);
+        }
+    }
+    let _exit_flag = ExitFlag(shared.clone());
     // Arm the live threshold cell so the decision sites see the policy's
     // threshold even when this worker runs without the full scheduler
     // (unit tests, examples). The scheduler re-arms it at run start and
@@ -637,11 +863,11 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     if let Some(l0) = policy.starvation_threshold() {
         shared.starvation.set_threshold(l0);
     }
-    if shared.wake_target.get().is_none() {
-        // Real-thread mode: register our own thread handle.
-        let _ = shared
-            .wake_target
-            .set(WakeTarget::Thread(std::thread::current()));
+    if !preempt_sim::api::active() {
+        // Real-thread mode: register our own thread handle, replacing a
+        // dead incarnation's stale one on respawn. (In sim mode the
+        // spawner registers the core id before the worker runs.)
+        shared.set_wake_target(WakeTarget::Thread(std::thread::current()));
     }
 
     let mut wc = Box::new(WorkerCtx {
@@ -660,6 +886,37 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         metrics: std::cell::RefCell::new(Metrics::new()),
     });
     let wc_ptr = &*wc as *const WorkerCtx as usize;
+    // Flushes local metrics and receiver stats to the shared side on
+    // every way out of this frame. Cumulative (`fetch_add`, `merge`)
+    // because a respawned incarnation must add to — not overwrite — its
+    // predecessors' totals, and unwind-safe so even an incarnation dying
+    // of a contained panic settles its accounting (collect() cross-checks
+    // these against the registry, which records at delivery time).
+    struct FlushStats {
+        shared: Arc<WorkerShared>,
+        wc: *const WorkerCtx,
+    }
+    impl Drop for FlushStats {
+        fn drop(&mut self) {
+            // SAFETY: declared after `wc`, so it drops first, while the
+            // WorkerCtx (and its receiver) is still alive.
+            let wc = unsafe { &*self.wc };
+            if let Ok(m) = wc.metrics.try_borrow() {
+                self.shared.metrics.lock().merge(&m);
+            }
+            let rs = wc.receiver.stats();
+            self.shared
+                .uintr_delivered
+                .fetch_add(rs.delivered, Ordering::Relaxed);
+            self.shared
+                .uintr_deferred
+                .fetch_add(rs.deferred, Ordering::Relaxed);
+        }
+    }
+    let _flush_stats = FlushStats {
+        shared: shared.clone(),
+        wc: wc_ptr as *const WorkerCtx,
+    };
     // The runner registers a ring before starting the worker (or never);
     // every context this worker runs records into the same ring.
     let trace_ring = shared.trace.get().cloned();
@@ -673,7 +930,7 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         .register_handler(move |vector| unsafe { (*(wc_ptr as *const WorkerCtx)).on_uintr(vector) });
     let upid = wc.receiver.upid();
     upid.set_owner(shared.id as u16);
-    shared.upid.set(upid).expect("worker started twice");
+    shared.set_upid(upid);
 
     // Level 0 runs on this (main) context.
     wc.level_tcbs.push(Cell::new(tcb::current_ptr()));
@@ -683,6 +940,10 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         let ms = shared.clone();
         let ctx = Context::new(PREEMPTIVE_CTX_STACK, "preemptive", move || {
             CURRENT_WORKER.set(wc_ptr);
+            // Tag engine-side resources (latches, MVCC slots) acquired on
+            // this context with the worker id, so the supervisor's orphan
+            // sweep can find them if this worker dies holding them.
+            preempt_mvcc::set_current_owner(ms.id as u64);
             if let Some(r) = &tr {
                 preempt_trace::install_current(r);
             }
@@ -702,6 +963,7 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     }
 
     CURRENT_WORKER.set(wc_ptr);
+    preempt_mvcc::set_current_owner(shared.id as u64);
     if let Some(r) = &trace_ring {
         preempt_trace::install_current(r);
     }
@@ -725,14 +987,10 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
         runtime::with_hook(&hook, || wc.regular_loop());
     }
     CURRENT_WORKER.set(0);
+    preempt_mvcc::clear_current_owner();
     preempt_trace::clear_current();
     preempt_metrics::clear_current();
-
-    // Flush local metrics and receiver stats to the shared side.
-    shared.metrics.lock().merge(&wc.metrics.borrow());
-    let rs = wc.receiver.stats();
-    shared.uintr_delivered.store(rs.delivered, Ordering::Relaxed);
-    shared.uintr_deferred.store(rs.deferred, Ordering::Relaxed);
+    // Metrics and receiver stats flush via `_flush_stats`' drop.
 }
 
 #[cfg(test)]
@@ -759,19 +1017,14 @@ mod tests {
         let core = sim.spawn_core("worker", 256 * 1024, move || {
             worker_main(ws, Policy::preemptdb());
         });
-        shared
-            .wake_target
-            .set(WakeTarget::Sim(core))
-            .expect("set once");
+        shared.set_wake_target(WakeTarget::Sim(core));
 
         let ws = shared.clone();
         sim.spawn_core("sched", 128 * 1024, move || {
             preempt_sim::api::sleep_until(1_000);
             ws.queues[0].push(mk_req("low", 0, 1_000, 50_000)).ok();
             ws.queues[1].push(mk_req("high", 1, 1_000, 2_000)).ok();
-            if let Some(w) = ws.wake_target.get() {
-                w.wake();
-            }
+            ws.wake();
             preempt_sim::api::sleep_until(200_000);
             ws.stop();
         });
@@ -796,7 +1049,7 @@ mod tests {
         let core = sim.spawn_core("worker", 256 * 1024, move || {
             worker_main(ws, Policy::preemptdb());
         });
-        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+        shared.set_wake_target(WakeTarget::Sim(core));
 
         let ws = shared.clone();
         let (hd, ld) = (high_done.clone(), low_done.clone());
@@ -812,9 +1065,7 @@ mod tests {
                     WorkOutcome::default()
                 }))
                 .ok();
-            if let Some(w) = ws.wake_target.get() {
-                w.wake();
-            }
+            ws.wake();
             // Mid-flight (1M cycles in), dispatch a high txn + uintr.
             preempt_sim::api::sleep_until(1_000_000);
             let hd2 = hd.clone();
@@ -826,7 +1077,7 @@ mod tests {
                     WorkOutcome::default()
                 }))
                 .ok();
-            let upid = ws.upid.get().unwrap().clone();
+            let upid = ws.upid().unwrap();
             preempt_sim::SimUipiSender::new(upid, 1, core).send();
             // Give everything time to finish, then stop.
             preempt_sim::api::sleep_until(60_000_000);
@@ -863,7 +1114,7 @@ mod tests {
         let core = sim.spawn_core("worker", 256 * 1024, move || {
             worker_main(ws, Policy::Wait);
         });
-        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+        shared.set_wake_target(WakeTarget::Sim(core));
 
         let ws = shared.clone();
         let (hd, ld) = (high_done.clone(), low_done.clone());
@@ -878,7 +1129,7 @@ mod tests {
                     WorkOutcome::default()
                 }))
                 .ok();
-            ws.wake_target.get().unwrap().wake();
+            ws.wake();
             preempt_sim::api::sleep_until(1_000_000);
             let hd2 = hd.clone();
             let now = crate::clock::now_cycles();
@@ -889,7 +1140,7 @@ mod tests {
                     WorkOutcome::default()
                 }))
                 .ok();
-            ws.wake_target.get().unwrap().wake();
+            ws.wake();
             preempt_sim::api::sleep_until(60_000_000);
             ws.stop();
         });
@@ -919,7 +1170,7 @@ mod tests {
                 },
             );
         });
-        shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+        shared.set_wake_target(WakeTarget::Sim(core));
 
         let ws = shared.clone();
         let (hd, ld) = (high_done.clone(), low_done.clone());
@@ -934,7 +1185,7 @@ mod tests {
                     WorkOutcome::default()
                 }))
                 .ok();
-            ws.wake_target.get().unwrap().wake();
+            ws.wake();
             preempt_sim::api::sleep_until(1_000_000);
             let hd2 = hd.clone();
             let now = crate::clock::now_cycles();
@@ -966,15 +1217,13 @@ mod tests {
         let ws = shared.clone();
         let handle = std::thread::spawn(move || worker_main(ws, Policy::preemptdb()));
         // Wait for startup.
-        while shared.upid.get().is_none() {
+        while shared.upid().is_none() {
             std::thread::yield_now();
         }
         let t0 = now_cycles();
         shared.queues[1].push(mk_req("high", 1, t0, 100)).ok();
         shared.queues[0].push(mk_req("low", 0, t0, 100)).ok();
-        if let Some(w) = shared.wake_target.get() {
-            w.wake();
-        }
+        shared.wake();
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
         loop {
             if shared.queues[0].is_empty() && shared.queues[1].is_empty() {

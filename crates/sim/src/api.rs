@@ -54,6 +54,9 @@ pub fn current_core() -> CoreId {
         CoreId(
             s.borrow()
                 .current_core()
+                // preempt-lint: allow(handler-panic) — usage invariant:
+                // calling sim::* off a simulated core is a test-harness
+                // bug, not a runtime condition to recover from.
                 .expect("not running on a simulated core"),
         )
     })
@@ -214,4 +217,18 @@ impl SimUipiSender {
 /// Schedules a plain wake-up for `target` at absolute virtual time `t`.
 pub fn wake_at(t: u64, target: CoreId) {
     with_sim(|s| s.borrow_mut().schedule_wake(t, target));
+}
+
+/// Adds a core to the *running* simulation — the respawn path a
+/// supervisor uses to replace a worker it declared dead. The new core's
+/// clock starts at the caller's current virtual time (a respawned worker
+/// cannot run in its supervisor's virtual past) and it becomes runnable
+/// immediately. Retired cores keep their [`CoreId`]s; the replacement
+/// gets a fresh one.
+pub fn spawn_core(
+    name: &'static str,
+    stack_size: usize,
+    entry: impl FnOnce() + Send + 'static,
+) -> CoreId {
+    with_sim(|s| s.borrow_mut().spawn_core_inline(name, stack_size, entry))
 }

@@ -33,7 +33,7 @@ pub mod simulation;
 
 pub use api::SimUipiSender;
 pub use config::SimConfig;
-pub use simulation::{CoreId, CoreStats, Simulation};
+pub use simulation::{CoreFailure, CoreId, CoreStats, Simulation};
 
 #[cfg(test)]
 mod tests {
@@ -143,11 +143,57 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "panicked: boom")]
-    fn core_panic_propagates() {
+    fn core_panic_is_contained() {
+        // A panicking core is recorded and retired; its peers finish.
+        let survivor_done = Arc::new(AtomicU64::new(0));
+        let s = survivor_done.clone();
         let sim = Simulation::new(SimConfig::default());
-        sim.spawn_core("bad", 64 * 1024, || panic!("boom"));
+        let bad = sim.spawn_core("bad", 64 * 1024, || {
+            preempt_point(500);
+            panic!("boom");
+        });
+        sim.spawn_core("survivor", 64 * 1024, move || {
+            preempt_point(10_000);
+            s.store(api::now_cycles(), Ordering::Relaxed);
+        });
         sim.run();
+        assert_eq!(
+            survivor_done.load(Ordering::Relaxed),
+            10_000,
+            "peer cores keep running after a contained panic"
+        );
+        let failures = sim.core_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].core, bad);
+        assert_eq!(failures[0].name, "bad");
+        assert_eq!(failures[0].message, "boom");
+        assert_eq!(failures[0].at, 500);
+    }
+
+    #[test]
+    fn spawn_core_mid_run_starts_at_spawner_time() {
+        // A supervisor core replaces a failed worker mid-run; the
+        // replacement starts at the supervisor's virtual time and runs
+        // to completion.
+        let replacement_ran = Arc::new(AtomicU64::new(0));
+        let r = replacement_ran.clone();
+        let sim = Simulation::new(SimConfig::default());
+        sim.spawn_core("worker", 64 * 1024, || panic!("wedged"));
+        sim.spawn_core("supervisor", 64 * 1024, move || {
+            preempt_point(5_000);
+            let r2 = r.clone();
+            api::spawn_core("worker'", 64 * 1024, move || {
+                preempt_point(100);
+                r2.store(api::now_cycles(), Ordering::Relaxed);
+            });
+        });
+        sim.run();
+        assert_eq!(
+            replacement_ran.load(Ordering::Relaxed),
+            5_100,
+            "replacement inherits the supervisor's clock, then works"
+        );
+        assert_eq!(sim.core_failures().len(), 1, "original failure recorded");
     }
 
     thread_local! {

@@ -95,6 +95,21 @@ pub struct CoreStats {
     pub final_vclock: u64,
 }
 
+/// A contained core failure: the core's main context panicked, and the
+/// simulation recorded the panic and marked the core Done instead of
+/// propagating it — the rest of the machine keeps running, exactly as a
+/// hardware core wedging does not halt its peers. Supervisors (the
+/// scheduling thread) read these to drive worker respawn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CoreFailure {
+    pub core: CoreId,
+    pub name: &'static str,
+    /// Captured panic message ("unknown panic" for non-string payloads).
+    pub message: String,
+    /// Virtual time at which the failure was observed by the event loop.
+    pub at: u64,
+}
+
 enum TimerAction {
     /// Post `vector` into `upid` and wake `target` (user-interrupt
     /// delivery completing).
@@ -143,6 +158,8 @@ pub(crate) struct SimState {
     /// from outside any core).
     floor: u64,
     running: bool,
+    /// Contained core panics, in observation order.
+    failures: Vec<CoreFailure>,
 }
 
 thread_local! {
@@ -186,6 +203,7 @@ impl Simulation {
                 root: std::ptr::null(),
                 floor: 0,
                 running: false,
+                failures: Vec::new(),
             })),
             fault_report: RefCell::new(None),
         }
@@ -223,9 +241,12 @@ impl Simulation {
         CoreId(st.cores.len() - 1)
     }
 
-    /// Runs the simulation to completion (all cores Done). Panics if a
-    /// core's context panicked, or on deadlock (nothing runnable, no
-    /// timers, and at least one core blocked forever).
+    /// Runs the simulation to completion (all cores Done). A core whose
+    /// context panics is *contained*: the panic is recorded as a
+    /// [`CoreFailure`] (see [`core_failures`](Self::core_failures)), the
+    /// core is marked Done, and the remaining cores keep running. Panics
+    /// only on deadlock (nothing runnable, no timers, and at least one
+    /// core blocked forever).
     pub fn run(&self) {
         {
             let mut st = self.state.borrow_mut();
@@ -414,11 +435,20 @@ impl Simulation {
                     match main_state {
                         CtxState::Finished => c.status = CoreStatus::Done,
                         CtxState::Poisoned => {
+                            // Contain the failure: record it, retire the
+                            // core, keep the rest of the machine running.
                             // SAFETY: main_tcb outlives the owning
                             // Context in `c` (same contract as above).
                             let msg = unsafe { (*c.main_tcb).panic_message() }
                                 .unwrap_or_else(|| "unknown panic".into());
-                            panic!("simulated core '{}' panicked: {msg}", c.name);
+                            c.status = CoreStatus::Done;
+                            let failure = CoreFailure {
+                                core: CoreId(i),
+                                name: c.name,
+                                message: msg,
+                                at: c.vclock,
+                            };
+                            st.failures.push(failure);
                         }
                         _ => {}
                     }
@@ -459,6 +489,12 @@ impl Simulation {
     /// reruns of the same configuration.
     pub fn fault_trace(&self) -> Option<String> {
         self.fault_report.borrow().as_ref().map(|(_, t)| t.clone())
+    }
+
+    /// Contained core panics from the last [`run`](Self::run), in
+    /// observation order (empty when every core finished cleanly).
+    pub fn core_failures(&self) -> Vec<CoreFailure> {
+        self.state.borrow().failures.clone()
     }
 
     /// Final virtual time (cycles) when the simulation ended.
@@ -524,6 +560,9 @@ impl PreemptHook for SimHook {
 pub(crate) fn suspend_current(state: &Rc<RefCell<SimState>>) {
     let root = {
         let mut st = state.borrow_mut();
+        // preempt-lint: allow(handler-panic) — simulator invariant: the
+        // event loop sets `current` before every grant, so a miss here
+        // is a simulator bug, never a workload condition.
         let i = st.current.expect("suspend outside a granted core");
         st.cores[i].active = tcb::current_ptr();
         st.root
@@ -595,5 +634,37 @@ impl SimState {
             self.cores[i].vclock += cycles;
             self.cores[i].busy_cycles += cycles;
         }
+    }
+
+    /// Adds a core while the simulation is running (worker respawn). The
+    /// new core's clock starts at the spawner's current virtual time (or
+    /// the event floor when called from the simulator loop), so it can
+    /// never run in the spawner's virtual past.
+    pub(crate) fn spawn_core_inline(
+        &mut self,
+        name: &'static str,
+        stack_size: usize,
+        entry: impl FnOnce() + Send + 'static,
+    ) -> CoreId {
+        let start = match self.current {
+            Some(i) => self.cores[i].vclock,
+            None => self.floor,
+        };
+        let context = Context::new(stack_size, name, entry).expect("stack allocation failed");
+        let main_tcb = context.tcb_ptr();
+        self.cores.push(CoreState {
+            name,
+            vclock: start,
+            deadline: start,
+            status: CoreStatus::Runnable,
+            active: main_tcb,
+            main_tcb,
+            context,
+            receiver: None,
+            core_hook: None,
+            busy_cycles: 0,
+            preempt_points: 0,
+        });
+        CoreId(self.cores.len() - 1)
     }
 }

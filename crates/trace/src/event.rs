@@ -35,6 +35,10 @@ pub(crate) const K_STARVATION_BOOST: u8 = 11;
 pub(crate) const K_LATCH_ACQUIRE: u8 = 12;
 pub(crate) const K_LATCH_RELEASE: u8 = 13;
 pub(crate) const K_CONTROLLER: u8 = 14;
+pub(crate) const K_TXN_PANIC: u8 = 15;
+pub(crate) const K_WORKER_DEAD: u8 = 16;
+pub(crate) const K_WORKER_RESPAWN: u8 = 17;
+pub(crate) const K_ORPHAN_SWEEP: u8 = 18;
 
 /// One event in the preemption lifecycle.
 ///
@@ -129,6 +133,34 @@ pub enum TraceEvent {
         /// Decision code: 0 = hold, 1 = raise, 2 = lower (2 bits).
         decision: u8,
     },
+    /// The transaction body panicked and the worker's firewall contained
+    /// it (typed abort; the worker keeps running).
+    TxnPanic {
+        /// Worker-local transaction sequence number (40 bits).
+        txn: u64,
+    },
+    /// The supervisor declared a worker dead after its liveness lease
+    /// expired (unacked epochs + no completions across the ladder).
+    WorkerDead {
+        /// Worker declared dead.
+        worker: u16,
+    },
+    /// The supervisor respawned a dead worker with a fresh context.
+    WorkerRespawn {
+        /// Worker being respawned.
+        worker: u16,
+        /// Respawn count for this slot (1 = first respawn).
+        incarnation: u8,
+    },
+    /// The supervisor force-released a dead worker's orphaned resources.
+    OrphanSweep {
+        /// Worker whose orphans were swept.
+        worker: u16,
+        /// Write latches force-released.
+        latches: u16,
+        /// Active-txn registry slots force-released.
+        slots: u16,
+    },
 }
 
 impl TraceEvent {
@@ -150,6 +182,10 @@ impl TraceEvent {
             TraceEvent::LatchAcquire { .. } => K_LATCH_ACQUIRE,
             TraceEvent::LatchRelease { .. } => K_LATCH_RELEASE,
             TraceEvent::ControllerDecision { .. } => K_CONTROLLER,
+            TraceEvent::TxnPanic { .. } => K_TXN_PANIC,
+            TraceEvent::WorkerDead { .. } => K_WORKER_DEAD,
+            TraceEvent::WorkerRespawn { .. } => K_WORKER_RESPAWN,
+            TraceEvent::OrphanSweep { .. } => K_ORPHAN_SWEEP,
         }
     }
 
@@ -170,6 +206,10 @@ impl TraceEvent {
             TraceEvent::LatchAcquire { .. } => "latch-acquire",
             TraceEvent::LatchRelease { .. } => "latch-release",
             TraceEvent::ControllerDecision { .. } => "controller-decision",
+            TraceEvent::TxnPanic { .. } => "txn-panic",
+            TraceEvent::WorkerDead { .. } => "worker-dead",
+            TraceEvent::WorkerRespawn { .. } => "worker-respawn",
+            TraceEvent::OrphanSweep { .. } => "orphan-sweep",
         }
     }
 
@@ -217,6 +257,17 @@ impl TraceEvent {
                     | u64::from(window) << 24
                     | u64::from(decision & 0b11) << 40
             }
+            TraceEvent::TxnPanic { txn } => txn & MAX_TXN_ID,
+            TraceEvent::WorkerDead { worker } => u64::from(worker),
+            TraceEvent::WorkerRespawn {
+                worker,
+                incarnation,
+            } => u64::from(worker) | u64::from(incarnation) << 16,
+            TraceEvent::OrphanSweep {
+                worker,
+                latches,
+                slots,
+            } => u64::from(worker) | u64::from(latches) << 16 | u64::from(slots) << 32,
         };
         u64::from(self.kind()) << 56 | u64::from(depth) << 48 | (payload & PAYLOAD_MASK)
     }
@@ -266,6 +317,21 @@ impl TraceEvent {
                 threshold_milli: (payload & 0xFF_FFFF) as u32,
                 decision: ((payload >> 40) & 0b11) as u8,
             },
+            K_TXN_PANIC => TraceEvent::TxnPanic {
+                txn: payload & MAX_TXN_ID,
+            },
+            K_WORKER_DEAD => TraceEvent::WorkerDead {
+                worker: payload as u16,
+            },
+            K_WORKER_RESPAWN => TraceEvent::WorkerRespawn {
+                worker: payload as u16,
+                incarnation: (payload >> 16) as u8,
+            },
+            K_ORPHAN_SWEEP => TraceEvent::OrphanSweep {
+                worker: payload as u16,
+                latches: (payload >> 16) as u16,
+                slots: (payload >> 32) as u16,
+            },
             _ => return None,
         };
         Some((ev, depth))
@@ -302,6 +368,17 @@ mod tests {
                 window: 17,
                 threshold_milli: 450,
                 decision: 2,
+            },
+            TraceEvent::TxnPanic { txn: 44 },
+            TraceEvent::WorkerDead { worker: 5 },
+            TraceEvent::WorkerRespawn {
+                worker: 5,
+                incarnation: 2,
+            },
+            TraceEvent::OrphanSweep {
+                worker: 5,
+                latches: 3,
+                slots: 1,
             },
         ];
         for (i, ev) in evs.iter().enumerate() {

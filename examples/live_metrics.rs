@@ -58,6 +58,7 @@ fn main() {
         duration: hz / 2,             // 500 ms wall clock
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: Some(registry.clone()),
     };

@@ -45,6 +45,7 @@ fn main() {
             duration: sim.ms_to_cycles(250),
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };

@@ -77,6 +77,7 @@ fn small_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> D
         duration: duration_ms * MS,
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
+        recovery: Default::default(),
         trace,
         metrics: None,
     }

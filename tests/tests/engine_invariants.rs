@@ -42,6 +42,7 @@ fn tpcc_consistency_survives_preemption() {
         duration: sim.ms_to_cycles(80),
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     };
@@ -134,6 +135,7 @@ fn consistency_is_policy_independent() {
             duration: sim.ms_to_cycles(40),
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };

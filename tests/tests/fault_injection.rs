@@ -84,6 +84,7 @@ fn small_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         duration: duration_ms * 2_400_000,
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     }

@@ -56,6 +56,7 @@ fn cfg(policy: Policy, registry: Option<MetricsRegistry>) -> DriverConfig {
         duration: 120_000_000,       // 50 ms
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: registry,
     }

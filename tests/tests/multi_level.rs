@@ -25,7 +25,7 @@ fn nested_scenario(send_urgent: bool) -> (Vec<u64>, Arc<WorkerShared>) {
     let core = sim.spawn_core("worker", 256 * 1024, move || {
         worker_main(ws, Policy::preemptdb());
     });
-    shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+    shared.set_wake_target(WakeTarget::Sim(core));
 
     let ws = shared.clone();
     let st = stamps.clone();
@@ -41,7 +41,7 @@ fn nested_scenario(send_urgent: bool) -> (Vec<u64>, Arc<WorkerShared>) {
                 WorkOutcome::default()
             }))
             .ok();
-        ws.wake_target.get().unwrap().wake();
+        ws.wake();
 
         // At 1 ms: a mid-priority 5 M cycle (~2 ms) transaction.
         preemptdb::sim::api::sleep_until(2_400_000);
@@ -55,7 +55,7 @@ fn nested_scenario(send_urgent: bool) -> (Vec<u64>, Arc<WorkerShared>) {
                 WorkOutcome::default()
             }))
             .ok();
-        SimUipiSender::new(ws.upid.get().unwrap().clone(), 1, core).send();
+        SimUipiSender::new(ws.upid().unwrap(), 1, core).send();
 
         if send_urgent {
             // At 2 ms — while the mid txn runs — an urgent 50 k cycle
@@ -71,7 +71,7 @@ fn nested_scenario(send_urgent: bool) -> (Vec<u64>, Arc<WorkerShared>) {
                     WorkOutcome::default()
                 }))
                 .ok();
-            SimUipiSender::new(ws.upid.get().unwrap().clone(), 2, core).send();
+            SimUipiSender::new(ws.upid().unwrap(), 2, core).send();
         }
 
         preemptdb::sim::api::sleep_until(80_000_000);
@@ -135,7 +135,7 @@ fn lower_priority_never_interrupts_higher() {
     let core = sim.spawn_core("worker", 256 * 1024, move || {
         worker_main(ws, Policy::preemptdb());
     });
-    shared.wake_target.set(WakeTarget::Sim(core)).unwrap();
+    shared.set_wake_target(WakeTarget::Sim(core));
 
     let ws = shared.clone();
     let st = done_at.clone();
@@ -151,8 +151,8 @@ fn lower_priority_never_interrupts_higher() {
                 WorkOutcome::default()
             }))
             .ok();
-        SimUipiSender::new(ws.upid.get().unwrap().clone(), 2, core).send();
-        ws.wake_target.get().unwrap().wake();
+        SimUipiSender::new(ws.upid().unwrap(), 2, core).send();
+        ws.wake();
 
         // Mid-run, a level-1 transaction arrives with an interrupt.
         preemptdb::sim::api::sleep_until(1_200_000);
@@ -164,7 +164,7 @@ fn lower_priority_never_interrupts_higher() {
                 WorkOutcome::default()
             }))
             .ok();
-        SimUipiSender::new(ws.upid.get().unwrap().clone(), 1, core).send();
+        SimUipiSender::new(ws.upid().unwrap(), 1, core).send();
 
         preemptdb::sim::api::sleep_until(40_000_000);
         ws.stop();

@@ -48,6 +48,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
         duration: sim.ms_to_cycles(duration_ms),
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     };
@@ -116,6 +117,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
             duration: sim.ms_to_cycles(60),
             always_interrupt: false,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };
@@ -172,6 +174,7 @@ fn uintr_machinery_overhead_is_small() {
             duration: sim.ms_to_cycles(60),
             always_interrupt: on,
             robustness: Default::default(),
+            recovery: Default::default(),
             trace: None,
             metrics: None,
         };

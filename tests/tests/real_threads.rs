@@ -17,6 +17,7 @@ fn thread_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         duration: freq / 1_000 * duration_ms,
         always_interrupt: false,
         robustness: Default::default(),
+        recovery: Default::default(),
         trace: None,
         metrics: None,
     }

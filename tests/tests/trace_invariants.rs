@@ -61,6 +61,7 @@ fn traced_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> 
         duration: duration_ms * 2_400_000,
         always_interrupt: false,
         robustness: RobustnessConfig::default(),
+        recovery: Default::default(),
         trace,
         metrics: None,
     }
