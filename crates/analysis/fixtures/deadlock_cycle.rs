@@ -1,0 +1,21 @@
+// Fixture: a three-latch acquisition-order cycle. No pair of sites is
+// inconsistent on its own — only the global graph (a → b → c → a) shows
+// the deadlock, which is exactly what the v1 pairwise check missed.
+
+fn lock_ab(a: &Record, b: &Record) {
+    let _ga = a.latch.write();
+    let _gb = b.latch.write();
+    touch(a, b);
+}
+
+fn lock_bc(b: &Record, c: &Record) {
+    let _gb = b.latch.write();
+    let _gc = c.latch.write();
+    touch(b, c);
+}
+
+fn lock_ca(c: &Record, a: &Record) {
+    let _gc = c.latch.write();
+    let _ga = a.latch.write(); //~ ERROR lock-order-cycle
+    touch(c, a);
+}

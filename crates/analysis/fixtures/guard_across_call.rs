@@ -1,0 +1,25 @@
+// Fixture: a latch guard held across a call whose callee (transitively)
+// reaches a preemption point. The guard's function never names
+// `preempt_point` itself — only the call graph sees the violation. The
+// finding anchors at the call site, where the fix (drop the guard first)
+// or a reasoned `allow` belongs.
+
+fn update_hot(r: &Record) {
+    let _g = r.latch.write();
+    refresh_stats(r); //~ ERROR preempt-in-critical
+}
+
+fn refresh_stats(r: &Record) {
+    recompute(r);
+    preempt_point(0);
+}
+
+fn recompute(_r: &Record) {}
+
+fn update_cold(r: &Record) {
+    {
+        let _g = r.latch.write();
+        recompute(r); // fine: recompute never reaches a preemption point
+    }
+    refresh_stats(r); // fine: guard scope already closed
+}

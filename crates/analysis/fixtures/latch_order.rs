@@ -8,7 +8,7 @@ fn transfer_ab(a: &Record, b: &Record) {
 
 fn transfer_ba(a: &Record, b: &Record) {
     let _gb = b.latch.write();
-    let _ga = a.latch.write(); //~ ERROR latch-order
+    let _ga = a.latch.write(); //~ ERROR lock-order-cycle
     move_funds(b, a);
 }
 

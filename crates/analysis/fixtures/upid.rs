@@ -1,8 +1,8 @@
-// Fixture: atomic-ordering policy violations. Named `upid.rs` so the
-// per-file policy table for the UPID pending/active protocol applies.
+// Fixture: protocol spec-table violations. Named `upid.rs` so the
+// per-file rows for the UPID pending/active protocol apply.
 
 fn post_bad(p: &Upid) {
-    p.pending.fetch_or(1u64, Ordering::Relaxed); //~ ERROR atomic-ordering
+    p.pending.fetch_or(1u64, Ordering::Relaxed); //~ ERROR protocol-ordering
 }
 
 fn post_good(p: &Upid) {
@@ -16,6 +16,13 @@ fn drain_good(p: &Upid) -> u64 {
         return 0; // fast-path probe may be Relaxed: swap below is authoritative
     }
     p.pending.swap(0, Ordering::Acquire)
+}
+
+fn clear_uncovered(p: &Upid) {
+    // No spec row exists for `pending.fetch_and`: the table is an
+    // allow-list with coverage, so an op it has never heard of is a
+    // finding until the table (and its loom model) are extended.
+    p.pending.fetch_and(0, Ordering::Release); //~ ERROR protocol-ordering
 }
 
 fn stats_good(p: &Upid) -> u64 {

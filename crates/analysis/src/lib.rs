@@ -3,15 +3,23 @@
 //!
 //! The compiler cannot see the invariants this engine's correctness
 //! rests on: preemption points must not fire inside latch critical
-//! sections, handler-reachable code must not allocate or panic, and the
-//! UPID / watchdog handoffs depend on exact atomic orderings. This crate
-//! walks every workspace source file with a hand-rolled lexer (the CI
-//! image is hermetic — no `syn`) and enforces those invariants as lint
-//! rules. See DESIGN.md §7 for the rule catalogue and suppression
-//! syntax.
+//! sections (wherever the guard flows), the global latch acquisition
+//! order must be acyclic, handler-reachable code must not allocate or
+//! panic, and the UPID / watchdog / terminate handoffs depend on exact
+//! atomic orderings. This crate walks every workspace source file with a
+//! hand-rolled lexer (the CI image is hermetic — no `syn`), builds a
+//! workspace-wide symbol table and call graph, and enforces those
+//! invariants as lint rules. See DESIGN.md §12 for the rule catalogue,
+//! the protocol spec table format, the suppression syntax, and the
+//! baseline workflow.
 
 pub mod lexer;
+pub mod lockorder;
 pub mod model;
+pub mod protocol;
+pub mod regions;
+pub mod report;
+pub mod resolve;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
@@ -20,12 +28,15 @@ pub use rules::Finding;
 
 use model::FileModel;
 
-/// Analyze a single source string (used by the fixture tests).
+/// Analyze a single source string (used by the fixture tests). No loom
+/// suite is attached, so the model-drift check does not run here.
 pub fn analyze_source(path: &str, src: &str) -> Vec<Finding> {
-    rules::run_all(&[FileModel::build(path, src)])
+    rules::run_all(&[FileModel::build(path, src)], None)
 }
 
 /// Analyze a set of files together (cross-file rules see all of them).
+/// When the workspace's loom suite exists under `root`, the protocol
+/// spec table is cross-validated against it.
 pub fn analyze_files(root: &Path, paths: &[PathBuf]) -> Vec<Finding> {
     let mut models = Vec::new();
     for p in paths {
@@ -37,8 +48,16 @@ pub fn analyze_files(root: &Path, paths: &[PathBuf]) -> Vec<Finding> {
             .replace('\\', "/");
         models.push(FileModel::build(&rel, &src));
     }
-    rules::run_all(&models)
+    let loom_path = root.join(LOOM_SUITE);
+    let loom = std::fs::read_to_string(&loom_path)
+        .ok()
+        .map(|src| FileModel::build(LOOM_SUITE, &src));
+    rules::run_all(&models, loom.as_ref())
 }
+
+/// Workspace-relative path of the loom interleaving suite the protocol
+/// table cross-references.
+pub const LOOM_SUITE: &str = "crates/uintr/tests/loom.rs";
 
 /// Analyze every production source file in the workspace rooted at
 /// `root`: `crates/*/src/**/*.rs`. Fixture files, `vendor/`, and the

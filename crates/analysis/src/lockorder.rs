@@ -1,0 +1,317 @@
+//! Global latch acquisition-order graph and deadlock-cycle detection.
+//!
+//! v1 compared acquisition *pairs* at two sites; that misses any cycle
+//! longer than two and cannot see an order established across a call.
+//! This pass builds one directed graph over the whole workspace:
+//!
+//! * **nodes** are normalized latch keys. A `self.latch` key is
+//!   qualified by the `impl` receiver type (`Record.latch`), so the same
+//!   field acquired from two methods is one node and two unrelated
+//!   types' `self.latch` fields are two;
+//! * **edges** `A → B` mean "some site acquires `B` while holding `A`" —
+//!   either lexically (a second binding inside the first guard's scope)
+//!   or one call level deep (a call site inside `A`'s scope resolving to
+//!   a function that acquires `B`). Each edge carries its witnessing
+//!   acquisition sites.
+//!
+//! Every strongly connected component with a cycle becomes exactly one
+//! `lock-order-cycle` finding listing the participating keys and every
+//! witness, anchored at the lexically last witness (the site a fix or
+//! `allow` naturally lands on).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::model::{FileModel, GuardKind};
+use crate::resolve::Symbols;
+use crate::rules::Finding;
+
+/// One observed "B acquired while A held" site.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Witness {
+    file: String,
+    line: u32,
+    held: String,
+    acquired: String,
+}
+
+pub fn check(models: &[FileModel], syms: &Symbols, out: &mut Vec<Finding>) {
+    // key → key → witnesses. BTree keeps reporting deterministic.
+    let mut edges: BTreeMap<String, BTreeMap<String, Vec<Witness>>> = BTreeMap::new();
+    let mut add = |from: String, to: String, w: Witness| {
+        edges.entry(from).or_default().entry(to).or_default().push(w);
+    };
+
+    for (mi, m) in models.iter().enumerate() {
+        for (gi, g) in m.guards.iter().enumerate() {
+            if g.kind != GuardKind::Latch || g.func.is_none() {
+                continue;
+            }
+            let held = qualify(m, g.start, &g.key);
+            // Lexical: a later latch binding opened inside g's scope.
+            for h in &m.guards[gi + 1..] {
+                if h.kind == GuardKind::Latch
+                    && h.func == g.func
+                    && h.start > g.start
+                    && h.start < g.end
+                    && g.key != h.key
+                {
+                    let acquired = qualify(m, h.start, &h.key);
+                    add(
+                        held.clone(),
+                        acquired.clone(),
+                        Witness { file: m.path.clone(), line: h.line, held: held.clone(), acquired },
+                    );
+                }
+            }
+            // Interprocedural, one level: a call inside g's scope whose
+            // callee acquires a latch of its own. One level is exact for
+            // this codebase's helper pattern and never invents an order
+            // a deeper walk could only widen.
+            let caller_impl = m.impl_type_at(g.start).map(str::to_string);
+            let span = (g.start, g.end.min(m.toks.len()));
+            for s in Symbols::call_sites(m, span) {
+                for t in syms.resolve(models, mi, caller_impl.as_deref(), &s) {
+                    let tf = &syms.fns[t];
+                    let tm = &models[tf.model];
+                    for tg in &tm.guards {
+                        if tg.kind == GuardKind::Latch
+                            && tg.func == syms_fnidx(syms, t)
+                            && tg.start > tf.body.0
+                            && tg.start < tf.body.1
+                        {
+                            let acquired = qualify(tm, tg.start, &tg.key);
+                            if acquired == held {
+                                continue; // re-entrant self-acquisition is its own bug class
+                            }
+                            add(
+                                held.clone(),
+                                acquired.clone(),
+                                Witness {
+                                    file: tm.path.clone(),
+                                    line: tg.line,
+                                    held: held.clone(),
+                                    acquired,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for scc in cyclic_sccs(&edges) {
+        // Collect the intra-SCC witnesses; anchor at the lexically last.
+        let mut witnesses: Vec<&Witness> = Vec::new();
+        for from in &scc {
+            if let Some(tos) = edges.get(from) {
+                for (to, ws) in tos {
+                    if scc.contains(to) {
+                        witnesses.extend(ws.iter());
+                    }
+                }
+            }
+        }
+        witnesses.sort();
+        witnesses.dedup();
+        let Some(anchor) = witnesses.iter().max_by_key(|w| (&w.file, w.line)) else {
+            continue;
+        };
+        let keys = scc.iter().cloned().collect::<Vec<_>>().join("`, `");
+        let sites = witnesses
+            .iter()
+            .map(|w| format!("{}:{} (`{}` while holding `{}`)", w.file, w.line, w.acquired, w.held))
+            .collect::<Vec<_>>()
+            .join("; ");
+        out.push(Finding {
+            file: anchor.file.clone(),
+            line: anchor.line,
+            rule: "lock-order-cycle",
+            msg: format!(
+                "latch acquisition-order cycle over `{keys}`: {sites}; pick one \
+                 global order (DESIGN.md §12)"
+            ),
+        });
+    }
+}
+
+/// Qualify a guard key by the `impl` receiver type when it is a
+/// `self.`-relative path.
+fn qualify(m: &FileModel, tok: usize, key: &str) -> String {
+    if let Some(rest) = key.strip_prefix("self.") {
+        if let Some(ty) = m.impl_type_at(tok) {
+            return format!("{ty}.{rest}");
+        }
+    }
+    key.to_string()
+}
+
+/// The flat-id → per-model fn index mapping (guards store the latter).
+fn syms_fnidx(syms: &Symbols, id: usize) -> Option<usize> {
+    Some(syms.fns[id].fnidx)
+}
+
+/// Kosaraju SCC over the edge map, returning only components that
+/// actually contain a cycle (size > 1, or a self-loop).
+fn cyclic_sccs(
+    edges: &BTreeMap<String, BTreeMap<String, Vec<Witness>>>,
+) -> Vec<BTreeSet<String>> {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, tos) in edges {
+        nodes.insert(from);
+        for to in tos.keys() {
+            nodes.insert(to);
+        }
+    }
+    let nodes: Vec<&str> = nodes.into_iter().collect();
+    let idx: BTreeMap<&str, usize> = nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let n = nodes.len();
+    let mut fwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bwd: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, tos) in edges {
+        let f = idx[from.as_str()];
+        for to in tos.keys() {
+            let t = idx[to.as_str()];
+            fwd[f].push(t);
+            bwd[t].push(f);
+        }
+    }
+
+    // Pass 1: finish order on the forward graph (iterative DFS).
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        seen[start] = true;
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            if *ei < fwd[v].len() {
+                let w = fwd[v][*ei];
+                *ei += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+
+    // Pass 2: reverse graph in reverse finish order.
+    let mut comp = vec![usize::MAX; n];
+    let mut ncomp = 0;
+    for &start in order.iter().rev() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        comp[start] = ncomp;
+        while let Some(v) = stack.pop() {
+            for &w in &bwd[v] {
+                if comp[w] == usize::MAX {
+                    comp[w] = ncomp;
+                    stack.push(w);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+
+    let mut groups: Vec<BTreeSet<String>> = vec![BTreeSet::new(); ncomp];
+    for (i, &c) in comp.iter().enumerate() {
+        groups[c].insert(nodes[i].to_string());
+    }
+    groups.retain(|g| {
+        g.len() > 1
+            || g.iter().any(|k| {
+                edges.get(k).is_some_and(|tos| tos.contains_key(k)) // self-loop
+            })
+    });
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resolve::Symbols;
+
+    fn run(srcs: &[(&str, &str)]) -> Vec<Finding> {
+        let models: Vec<FileModel> =
+            srcs.iter().map(|(p, s)| FileModel::build(p, s)).collect();
+        let syms = Symbols::build(&models);
+        let mut out = Vec::new();
+        check(&models, &syms, &mut out);
+        out
+    }
+
+    #[test]
+    fn two_cycle_is_one_finding() {
+        let f = run(&[(
+            "crates/mvcc/src/a.rs",
+            "fn ab(a: &R, b: &R) { let _x = a.latch.write(); let _y = b.latch.write(); }\n\
+             fn ba(a: &R, b: &R) { let _x = b.latch.write(); let _y = a.latch.write(); }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "lock-order-cycle");
+        assert_eq!(f[0].line, 2, "anchored at the last witness");
+        assert!(f[0].msg.contains("cycle"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn three_cycle_across_files_is_found() {
+        let f = run(&[
+            (
+                "crates/mvcc/src/a.rs",
+                "fn ab(a: &R, b: &R) { let _x = a.latch.write(); let _y = b.latch.write(); }\n\
+                 fn bc(b: &R, c: &R) { let _x = b.latch.write(); let _y = c.latch.write(); }\n",
+            ),
+            (
+                "crates/sched/src/b.rs",
+                "fn ca(c: &R, a: &R) { let _x = c.latch.write(); let _y = a.latch.write(); }\n",
+            ),
+        ]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].file.ends_with("b.rs"));
+        assert!(f[0].msg.contains("a.latch") && f[0].msg.contains("c.latch"));
+    }
+
+    #[test]
+    fn consistent_global_order_is_clean() {
+        let f = run(&[(
+            "crates/mvcc/src/a.rs",
+            "fn ab(a: &R, b: &R) { let _x = a.latch.write(); let _y = b.latch.write(); }\n\
+             fn ab2(a: &R, b: &R) { let _x = a.latch.read(); let _y = b.latch.read(); }\n",
+        )]);
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn callee_acquisition_builds_an_edge() {
+        let f = run(&[(
+            "crates/mvcc/src/a.rs",
+            "fn outer(a: &R, b: &R) { let _x = a.latch.write(); lock_b(b); }\n\
+             fn lock_b(b: &R) { let _y = b.latch.write(); }\n\
+             fn rev(a: &R, b: &R) { let _x = b.latch.write(); let _y = a.latch.write(); }\n",
+        )]);
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].msg.contains("cycle"));
+    }
+
+    #[test]
+    fn self_keys_qualified_by_impl_type_do_not_collide() {
+        // Two types each acquire their own `self.latch` then the peer's:
+        // the keys must stay distinct nodes (here: consistent order, no
+        // cycle).
+        let f = run(&[(
+            "crates/mvcc/src/a.rs",
+            "struct Rec;\nimpl Rec { fn m(&self, o: &Idx) { let _x = self.latch.write(); let _y = o.latch.write(); } }\n\
+             struct Idx;\nimpl Idx { fn m(&self, o: &Rec) { let _x = o.latch.write(); let _y = self.latch.write(); } }\n",
+        )]);
+        // Rec.latch → o.latch (twice, same direction): no cycle.
+        assert!(f.is_empty(), "{f:#?}");
+    }
+}

@@ -1,12 +1,31 @@
 //! `preempt-lint` — run the preemption-safety rules over the workspace.
 //!
-//! Usage: `preempt-lint [workspace-root]`. With no argument the tool
-//! walks upward from the current directory looking for a `Cargo.toml`
-//! next to a `crates/` directory. Exits non-zero iff findings remain
-//! after suppressions.
+//! Usage:
+//!
+//! ```text
+//! preempt-lint [root] [--format text|json] [--baseline FILE]
+//!              [--write-baseline FILE] [--json-out FILE]
+//! ```
+//!
+//! With no root the tool walks upward from the current directory looking
+//! for a `Cargo.toml` next to a `crates/` directory.
+//!
+//! * default: print findings, exit non-zero iff any remain after
+//!   suppressions;
+//! * `--baseline FILE`: diff-aware mode — exit non-zero only on findings
+//!   *not* in the baseline; baselined-but-fixed findings are reported as
+//!   resolved notes (refresh the baseline to clear them);
+//! * `--write-baseline FILE`: write the current findings as the new
+//!   baseline and exit 0;
+//! * `--format json`: print the versioned JSON document instead of text;
+//! * `--json-out FILE`: additionally write the JSON document to `FILE`
+//!   (the artifact CI archives).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
+
+use preempt_analysis::report;
 
 fn find_root() -> Option<PathBuf> {
     let mut dir = std::env::current_dir().ok()?;
@@ -20,16 +39,61 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
-fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
-        None => match find_root() {
-            Some(r) => r,
-            None => {
-                eprintln!("preempt-lint: could not locate workspace root (Cargo.toml + crates/)");
-                return ExitCode::from(2);
+struct Opts {
+    root: Option<PathBuf>,
+    format_json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    json_out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: None,
+        format_json: false,
+        baseline: None,
+        write_baseline: None,
+        json_out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut path_arg = |flag: &str| {
+            args.next().map(PathBuf::from).ok_or(format!("{flag} needs a file argument"))
+        };
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.format_json = true,
+                Some("text") => opts.format_json = false,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--baseline" => opts.baseline = Some(path_arg("--baseline")?),
+            "--write-baseline" => opts.write_baseline = Some(path_arg("--write-baseline")?),
+            "--json-out" => opts.json_out = Some(path_arg("--json-out")?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            root => {
+                if opts.root.replace(PathBuf::from(root)).is_some() {
+                    return Err("more than one root argument".to_string());
+                }
             }
-        },
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("preempt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match opts.root.or_else(find_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("preempt-lint: could not locate workspace root (Cargo.toml + crates/)");
+            return ExitCode::from(2);
+        }
     };
 
     let files = preempt_analysis::workspace_files(&root);
@@ -37,19 +101,82 @@ fn main() -> ExitCode {
         eprintln!("preempt-lint: no source files found under {}", root.display());
         return ExitCode::from(2);
     }
+    let started = Instant::now();
     let findings = preempt_analysis::analyze_files(&root, &files);
-    for f in &findings {
-        println!("{f}");
+    let elapsed = started.elapsed();
+
+    let json = report::to_json(&findings);
+    if let Some(out) = &opts.json_out {
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("preempt-lint: cannot write {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
     }
-    if findings.is_empty() {
-        println!(
-            "preempt-lint: {} files clean (preempt-in-critical, missing-safety-comment, \
-             atomic-ordering, handler-alloc/panic/block, latch-order)",
-            files.len()
+    if let Some(out) = &opts.write_baseline {
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("preempt-lint: cannot write baseline {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "preempt-lint: wrote baseline with {} finding(s) to {}",
+            findings.len(),
+            out.display()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    // Which findings gate the exit code?
+    let gating: Vec<&preempt_analysis::Finding> = match &opts.baseline {
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("preempt-lint: cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            let Some(base) = report::parse_baseline(&src) else {
+                eprintln!("preempt-lint: malformed baseline {}", path.display());
+                return ExitCode::from(2);
+            };
+            let (new, resolved) = report::diff(&findings, &base);
+            for r in &resolved {
+                eprintln!(
+                    "preempt-lint: note: baselined finding resolved ({}: [{}] {}); \
+                     refresh with --write-baseline",
+                    r.file, r.rule, r.msg
+                );
+            }
+            new
+        }
+        None => findings.iter().collect(),
+    };
+
+    if opts.format_json {
+        print!("{json}");
+    } else {
+        for f in &gating {
+            println!("{f} [{}]", report::severity(f.rule));
+        }
+    }
+
+    if gating.is_empty() {
+        if !opts.format_json {
+            println!(
+                "preempt-lint: {} files clean in {:?} (preempt-in-critical, lock-order-cycle, \
+                 protocol-ordering/model-drift, handler-alloc/panic/block, \
+                 missing-safety-comment)",
+                files.len(),
+                elapsed
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("preempt-lint: {} finding(s)", findings.len());
+        eprintln!(
+            "preempt-lint: {} gating finding(s){}",
+            gating.len(),
+            if opts.baseline.is_some() { " not in baseline" } else { "" }
+        );
         ExitCode::FAILURE
     }
 }

@@ -18,6 +18,13 @@ pub enum GuardKind {
     Latch,
     /// A `NonPreemptGuard::enter()` region.
     NonPreempt,
+    /// An active-txn registry slot (`… registry … .enter(…)`). The
+    /// critical window is the *provisional* span: binding → the
+    /// `.publish(…)` call that installs the real snapshot (preempting
+    /// inside it pins the GC watermark at the provisional timestamp);
+    /// holding a published slot across preemption is the normal state
+    /// of every active transaction.
+    Registry,
 }
 
 /// A `let` binding that holds a guard, with the token range over which
@@ -58,9 +65,24 @@ pub struct Allow {
     pub has_reason: bool,
 }
 
+/// An `impl` block: the implementing type and its body token range.
+#[derive(Clone, Debug)]
+pub struct ImplBlock {
+    /// Last path segment of the implementing type (`impl Trait for Ty`
+    /// records `Ty`; `impl Ty` records `Ty`).
+    pub ty: String,
+    /// Body `{` token index.
+    pub open: usize,
+    /// Matching `}` token index.
+    pub close: usize,
+}
+
 pub struct FileModel {
     /// Display path (workspace-relative where possible).
     pub path: String,
+    /// Crate this file belongs to, normalized to the in-code crate name
+    /// (`crates/mvcc/…` → `preempt_mvcc`, `crates/core/…` → `preemptdb`).
+    pub crate_name: String,
     pub toks: Vec<Tok>,
     pub comments: Vec<Comment>,
     pub src_lines: Vec<String>,
@@ -71,6 +93,15 @@ pub struct FileModel {
     pub fns: Vec<FnDef>,
     pub guards: Vec<GuardBinding>,
     pub allows: Vec<Allow>,
+    /// `use` aliases visible in this file: local name → full path
+    /// segments (`use preempt_context::nonpreempt::NonPreemptGuard` maps
+    /// `NonPreemptGuard` → `[preempt_context, nonpreempt, NonPreemptGuard]`).
+    pub uses: HashMap<String, Vec<String>>,
+    /// `impl` blocks, for qualifying method definitions by receiver type.
+    pub impls: Vec<ImplBlock>,
+    /// Names of `static … : ClsCell<…>` items declared in this file;
+    /// `NAME.with(…)` closures on these are reentrancy-guarded borrows.
+    pub cls_statics: Vec<String>,
 }
 
 const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -83,6 +114,7 @@ impl FileModel {
         let skips = find_skips(&toks, &braces);
         let mut m = FileModel {
             path: path.to_string(),
+            crate_name: crate_name_of(path),
             toks,
             comments,
             src_lines,
@@ -91,11 +123,29 @@ impl FileModel {
             fns: Vec::new(),
             guards: Vec::new(),
             allows: Vec::new(),
+            uses: HashMap::new(),
+            impls: Vec::new(),
+            cls_statics: Vec::new(),
         };
         m.fns = m.find_fns();
+        m.impls = m.find_impls();
         m.guards = m.find_guards();
         m.allows = m.find_allows();
+        m.uses = m.find_uses();
+        m.cls_statics = m.find_cls_statics();
         m
+    }
+
+    /// The `impl` block type enclosing token `i`, if any (innermost).
+    pub fn impl_type_at(&self, i: usize) -> Option<&str> {
+        let mut best: Option<&ImplBlock> = None;
+        for b in &self.impls {
+            if i > b.open && i < b.close && best.is_none_or(|p| b.close - b.open < p.close - p.open)
+            {
+                best = Some(b);
+            }
+        }
+        best.map(|b| b.ty.as_str())
     }
 
     /// Is token index `i` inside a skipped (`#[cfg(test)]`/`#[cfg(loom)]`)
@@ -246,10 +296,16 @@ impl FileModel {
         // Classify the initializer.
         let is_nonpreempt = init.iter().any(|t| t.is_ident("NonPreemptGuard"))
             && init.iter().any(|t| t.is_ident("enter"));
+        let is_registry = init.iter().any(|t| t.is_ident("registry"))
+            && init
+                .windows(3)
+                .any(|w| w[0].is(".") && w[1].is_ident("enter") && w[2].is("("));
         let mut kind = None;
         let mut key = String::new();
         if is_nonpreempt {
             kind = Some(GuardKind::NonPreempt);
+        } else if is_registry {
+            kind = Some(GuardKind::Registry);
         } else if init.iter().any(|t| t.is_ident("latch")) {
             // Find `.read(` / `.write(` / `.try_write(` and build the key
             // from everything before the method's `.`.
@@ -272,7 +328,9 @@ impl FileModel {
         let kind = kind?;
 
         // Scope: from the `;` to the close of the innermost enclosing
-        // block, cut short by an explicit `drop(name)`.
+        // block, cut short by an explicit `drop(name)` or
+        // `std::mem::forget(name)`. Registry guards additionally end at
+        // `name.publish(…)` — the provisional window closes there.
         let mut end = open_stack
             .last()
             .and_then(|open| self.braces.get(open).copied())
@@ -280,7 +338,18 @@ impl FileModel {
         if let Some(name) = &name {
             let mut d = semi;
             while d + 2 < end {
-                if toks[d].is_ident("drop") && toks[d + 1].is("(") && toks[d + 2].is(name) {
+                if (toks[d].is_ident("drop") || toks[d].is_ident("forget"))
+                    && toks[d + 1].is("(")
+                    && toks[d + 2].is(name)
+                {
+                    end = d;
+                    break;
+                }
+                if kind == GuardKind::Registry
+                    && toks[d].is(name)
+                    && toks[d + 1].is(".")
+                    && toks[d + 2].is_ident("publish")
+                {
                     end = d;
                     break;
                 }
@@ -296,6 +365,163 @@ impl FileModel {
             end,
             func: self.enclosing_fn(let_idx),
         })
+    }
+
+    /// Parse `use` declarations into an alias map: local name → full
+    /// path segments. Handles nested groups (`use a::{b, c::{d as e}};`)
+    /// and `as` renames; glob imports are ignored (nothing to alias).
+    fn find_uses(&self) -> HashMap<String, Vec<String>> {
+        let mut out = HashMap::new();
+        let mut i = 0;
+        while i < self.toks.len() {
+            if self.toks[i].is_ident("use") && !self.skipped(i) {
+                let mut cur = i + 1;
+                self.use_tree(&mut cur, &[], &mut out);
+                i = cur;
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Parse one use-tree at cursor `i` (grammar: `path (::{tree,…} | as
+    /// alias)?`), leaving the cursor on the terminator (`;`, `,`, or the
+    /// group's `}` — consumed for nested groups, left for the caller's
+    /// separator otherwise).
+    fn use_tree(&self, i: &mut usize, prefix: &[String], out: &mut HashMap<String, Vec<String>>) {
+        let toks = &self.toks;
+        let mut path: Vec<String> = prefix.to_vec();
+        let mut last: Option<String> = None;
+        while let Some(t) = toks.get(*i) {
+            match t.text.as_str() {
+                ";" | "," | "}" => break, // terminator: caller consumes
+                ":" => *i += 1,
+                "{" => {
+                    // Group: recurse per comma-separated subtree.
+                    *i += 1;
+                    if let Some(seg) = last.take() {
+                        path.push(seg);
+                    }
+                    loop {
+                        self.use_tree(i, &path, out);
+                        match toks.get(*i).map(|t| t.text.as_str()) {
+                            Some(",") => *i += 1,
+                            Some("}") => {
+                                *i += 1;
+                                return;
+                            }
+                            _ => return, // malformed / end of input
+                        }
+                    }
+                }
+                "as" if t.kind == TokKind::Ident => {
+                    *i += 1;
+                    let alias = toks
+                        .get(*i)
+                        .filter(|n| n.kind == TokKind::Ident)
+                        .map(|n| n.text.clone());
+                    if let (Some(seg), Some(alias)) = (last.take(), alias) {
+                        *i += 1;
+                        path.push(seg);
+                        out.insert(alias, path.clone());
+                    }
+                }
+                "*" => {
+                    last = None; // glob: nothing to alias
+                    *i += 1;
+                }
+                _ if t.kind == TokKind::Ident => {
+                    if let Some(seg) = last.take() {
+                        path.push(seg);
+                    }
+                    last = Some(t.text.clone());
+                    *i += 1;
+                }
+                _ => *i += 1,
+            }
+        }
+        if let Some(seg) = last {
+            path.push(seg.clone());
+            out.insert(seg, path);
+        }
+    }
+
+    /// Find `impl` blocks and the (last segment of the) implementing type.
+    fn find_impls(&self) -> Vec<ImplBlock> {
+        let toks = &self.toks;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            if !toks[i].is_ident("impl") {
+                i += 1;
+                continue;
+            }
+            // Walk to the body `{`, tracking the last ident seen at
+            // angle/paren depth 0 before `{`/`where`; an ident after
+            // `for` overrides (the implementing type of a trait impl).
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut last_ident: Option<String> = None;
+            let mut after_for: Option<String> = None;
+            let mut in_for = false;
+            let mut body = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                match t.text.as_str() {
+                    "<" => angle += 1,
+                    ">" => angle -= 1,
+                    "(" | "[" => angle += 1, // tuple/array types: skip inside
+                    ")" | "]" => angle -= 1,
+                    "where" if angle <= 0 && t.kind == TokKind::Ident => {
+                        // Type portion ended.
+                        while j < toks.len() && !toks[j].is("{") {
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    "for" if angle <= 0 && t.kind == TokKind::Ident => in_for = true,
+                    "{" if angle <= 0 => {
+                        if let Some(&close) = self.braces.get(&j) {
+                            body = Some((j, close));
+                        }
+                        break;
+                    }
+                    ";" if angle <= 0 => break,
+                    _ if t.kind == TokKind::Ident && angle <= 0 => {
+                        if in_for {
+                            after_for = Some(t.text.clone());
+                        } else {
+                            last_ident = Some(t.text.clone());
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let (Some((open, close)), Some(ty)) = (body, after_for.or(last_ident)) {
+                out.push(ImplBlock { ty, open, close });
+            }
+            i = j + 1;
+        }
+        out
+    }
+
+    /// Names of `static NAME: ClsCell<…>` items in this file.
+    fn find_cls_statics(&self) -> Vec<String> {
+        let toks = &self.toks;
+        let mut out = Vec::new();
+        for i in 0..toks.len().saturating_sub(3) {
+            if toks[i].is_ident("static")
+                && toks[i + 1].kind == TokKind::Ident
+                && toks[i + 2].is(":")
+                && toks
+                    .get(i + 3)
+                    .is_some_and(|t| t.is_ident("ClsCell"))
+            {
+                out.push(toks[i + 1].text.clone());
+            }
+        }
+        out
     }
 
     fn find_allows(&self) -> Vec<Allow> {
@@ -413,6 +639,19 @@ impl FileModel {
             }
         }
         None
+    }
+}
+
+/// Normalized in-code crate name for a workspace-relative path:
+/// `crates/mvcc/src/…` → `preempt_mvcc`, `crates/core/…` → `preemptdb`
+/// (the one package whose lib name drops the prefix). Non-workspace
+/// paths (fixtures) use the path itself so same-crate resolution
+/// degenerates to same-file — exactly right for single-file analysis.
+pub fn crate_name_of(path: &str) -> String {
+    match path.strip_prefix("crates/").and_then(|r| r.split('/').next()) {
+        Some("core") => "preemptdb".to_string(),
+        Some(dir) => format!("preempt_{dir}"),
+        None => path.to_string(),
     }
 }
 
@@ -546,6 +785,71 @@ mod tests {
         assert!(m.allows[0].has_reason);
         assert!(m.allows[0].covers.contains(&2));
         assert!(!m.allows[1].has_reason);
+    }
+
+    #[test]
+    fn use_aliases_cover_groups_and_renames() {
+        let src = "use preempt_context::nonpreempt::NonPreemptGuard;\n\
+                   use crate::lexer::{lex, Comment as C, Tok};\n\
+                   use std::collections::*;\n";
+        let m = FileModel::build("crates/analysis/src/x.rs", src);
+        assert_eq!(
+            m.uses.get("NonPreemptGuard").unwrap(),
+            &vec![
+                "preempt_context".to_string(),
+                "nonpreempt".to_string(),
+                "NonPreemptGuard".to_string()
+            ]
+        );
+        assert_eq!(
+            m.uses.get("C").unwrap(),
+            &vec!["crate".to_string(), "lexer".to_string(), "Comment".to_string()]
+        );
+        assert_eq!(
+            m.uses.get("Tok").unwrap(),
+            &vec!["crate".to_string(), "lexer".to_string(), "Tok".to_string()]
+        );
+        assert!(m.uses.contains_key("lex"));
+        assert!(!m.uses.contains_key("*"));
+    }
+
+    #[test]
+    fn impl_blocks_record_receiver_type() {
+        let src = "struct Foo;\nimpl Foo { fn m(&self) {} }\n\
+                   impl<T: Clone> Drop for Bar<T> where T: Send { fn drop(&mut self) {} }\n";
+        let m = FileModel::build("t.rs", src);
+        assert_eq!(m.impls.len(), 2);
+        assert_eq!(m.impls[0].ty, "Foo");
+        assert_eq!(m.impls[1].ty, "Bar");
+        let m_idx = m.toks.iter().position(|t| t.is_ident("m")).unwrap();
+        assert_eq!(m.impl_type_at(m_idx + 2), Some("Foo"));
+    }
+
+    #[test]
+    fn registry_guard_window_ends_at_publish() {
+        let src = "fn begin(e: &E) {\n    let slot = e.registry.enter(0);\n    let ts = e.clock();\n    slot.publish(ts);\n    later();\n}\n";
+        let m = FileModel::build("t.rs", src);
+        assert_eq!(m.guards.len(), 1);
+        let g = &m.guards[0];
+        assert_eq!(g.kind, GuardKind::Registry);
+        let later = m.toks.iter().position(|t| t.is_ident("later")).unwrap();
+        let publish = m.toks.iter().position(|t| t.is_ident("publish")).unwrap();
+        assert!(g.end <= publish, "window must close at publish");
+        assert!(g.end < later);
+    }
+
+    #[test]
+    fn cls_statics_are_found() {
+        let src = "static CURRENT: ClsCell<u64> = ClsCell::new(|| 0);\nstatic OTHER: u32 = 0;\n";
+        let m = FileModel::build("t.rs", src);
+        assert_eq!(m.cls_statics, vec!["CURRENT".to_string()]);
+    }
+
+    #[test]
+    fn crate_names_normalize() {
+        assert_eq!(crate_name_of("crates/mvcc/src/latch.rs"), "preempt_mvcc");
+        assert_eq!(crate_name_of("crates/core/src/lib.rs"), "preemptdb");
+        assert_eq!(crate_name_of("fixtures/upid.rs"), "fixtures/upid.rs");
     }
 
     #[test]

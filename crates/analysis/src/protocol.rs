@@ -1,0 +1,488 @@
+//! Declarative atomic-protocol specifications.
+//!
+//! The engine's lock-free handoffs are four small protocols; each has an
+//! exact ordering contract per (field, op) and a loom model that
+//! explores its interleavings. v1 enforced a *deny*-list (specific bad
+//! orderings); this table is an *allow*-list with coverage: every atomic
+//! op touching a governed field must match a spec row, and every spec'd
+//! orderings set is exhaustive. Adding a new op on `pending` without
+//! extending the table is itself a finding — the spec, the code, and the
+//! models cannot silently drift apart:
+//!
+//! * `protocol-ordering`    — an op uses an ordering outside its row's
+//!   allow set, or touches a governed field with no row at all;
+//! * `protocol-model-drift` — a protocol's loom model function is
+//!   missing from the loom suite, or no longer mentions the identifiers
+//!   the protocol is about (the model was renamed or hollowed out).
+//!
+//! The vendored loom stub explores sequentially-consistent
+//! interleavings; orderings stronger than SC cannot be distinguished
+//! dynamically, which is exactly why the static allow-list and the
+//! model-existence check are two halves of one gate.
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+use crate::rules::Finding;
+
+/// One row: the only orderings `field.op(…)` may use in `file`.
+pub struct SpecRow {
+    pub protocol: &'static str,
+    /// Base file name the row governs (`upid.rs`, `worker.rs`, …).
+    pub file: &'static str,
+    pub field: &'static str,
+    pub op: &'static str,
+    pub allow: &'static [&'static str],
+    pub why: &'static str,
+}
+
+/// A protocol's loom model: the test fn that must exist in the loom
+/// suite and the identifiers its body must still mention.
+pub struct ModelRef {
+    pub protocol: &'static str,
+    pub model_fn: &'static str,
+    pub idents: &'static [&'static str],
+}
+
+/// The four protocols (DESIGN.md §12). Governed fields are closed per
+/// file: any ordering-bearing atomic op on a listed field that has no
+/// row here is flagged until the table is extended.
+pub const SPEC: &[SpecRow] = &[
+    // ── UPID pending-bit post/take/repost ────────────────────────────
+    SpecRow {
+        protocol: "upid-pending",
+        file: "upid.rs",
+        field: "pending",
+        op: "fetch_or",
+        allow: &["Release"],
+        why: "posting a vector publishes the sender's writes",
+    },
+    SpecRow {
+        protocol: "upid-pending",
+        file: "upid.rs",
+        field: "pending",
+        op: "swap",
+        allow: &["Acquire"],
+        why: "draining must observe the sender's writes",
+    },
+    SpecRow {
+        protocol: "upid-pending",
+        file: "upid.rs",
+        field: "pending",
+        op: "load",
+        allow: &["Relaxed"],
+        why: "fast-path emptiness probe; the subsequent swap is authoritative",
+    },
+    SpecRow {
+        protocol: "upid-pending",
+        file: "upid.rs",
+        field: "active",
+        op: "store",
+        allow: &["Release"],
+        why: "deactivation is ordered after teardown writes",
+    },
+    SpecRow {
+        protocol: "upid-pending",
+        file: "upid.rs",
+        field: "active",
+        op: "load",
+        allow: &["Acquire"],
+        why: "the active check gates posting into freed state",
+    },
+    // ── Epoch/ack delivery watchdog ──────────────────────────────────
+    SpecRow {
+        protocol: "watchdog-epoch-ack",
+        file: "scheduler.rs",
+        field: "uintr_epoch",
+        op: "fetch_add",
+        allow: &["Release"],
+        why: "the epoch bump must happen-before the UPID post",
+    },
+    SpecRow {
+        protocol: "watchdog-epoch-ack",
+        file: "scheduler.rs",
+        field: "uintr_epoch",
+        op: "load",
+        allow: &["Acquire"],
+        why: "watchdog comparison against the ack",
+    },
+    SpecRow {
+        protocol: "watchdog-epoch-ack",
+        file: "scheduler.rs",
+        field: "uintr_ack",
+        op: "load",
+        allow: &["Acquire"],
+        why: "watchdog comparison against the epoch",
+    },
+    SpecRow {
+        protocol: "watchdog-epoch-ack",
+        file: "worker.rs",
+        field: "uintr_epoch",
+        op: "load",
+        allow: &["Acquire"],
+        why: "the ack must copy an epoch no older than the delivered post",
+    },
+    SpecRow {
+        protocol: "watchdog-epoch-ack",
+        file: "worker.rs",
+        field: "uintr_ack",
+        op: "store",
+        allow: &["Release"],
+        why: "publishing the ack races the watchdog's re-send decision",
+    },
+    // ── Degraded-mode flag ───────────────────────────────────────────
+    SpecRow {
+        protocol: "degraded",
+        file: "scheduler.rs",
+        field: "degraded",
+        op: "store",
+        allow: &["Release"],
+        why: "degraded-mode entry publishes the wake-fallback configuration",
+    },
+    SpecRow {
+        protocol: "degraded",
+        file: "worker.rs",
+        field: "degraded",
+        op: "load",
+        allow: &["Acquire"],
+        why: "pairs with the scheduler's Release store on mode entry",
+    },
+    // ── Terminate / exited / supervision lifecycle ───────────────────
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "stopped",
+        op: "store",
+        allow: &["Release"],
+        why: "the stop flag publishes queue teardown",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "stopped",
+        op: "load",
+        allow: &["Acquire"],
+        why: "observing stop must also observe teardown",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "terminated",
+        op: "store",
+        allow: &["Release"],
+        why: "the terminate order must be visible at the next preemption point",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "terminated",
+        op: "load",
+        allow: &["Acquire"],
+        why: "terminate-token eligibility check",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "exited",
+        op: "store",
+        allow: &["Release"],
+        why: "the exit flag publishes every release the worker performed",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "exited",
+        op: "load",
+        allow: &["Acquire"],
+        why: "the supervisor orphan-sweeps only after observing exit",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "incarnation",
+        op: "load",
+        allow: &["Acquire"],
+        why: "lease checks compare against the published incarnation",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "worker.rs",
+        field: "incarnation",
+        op: "fetch_add",
+        allow: &["AcqRel"],
+        why: "respawn both observes the old lease and publishes the new one",
+    },
+    SpecRow {
+        protocol: "terminate-exited",
+        file: "scheduler.rs",
+        field: "incarnation",
+        op: "load",
+        allow: &["Acquire"],
+        why: "respawn-budget check against the published incarnation",
+    },
+];
+
+/// Every protocol must keep a live loom model. `idents` are searched in
+/// the model fn's body tokens.
+pub const MODELS: &[ModelRef] = &[
+    ModelRef {
+        protocol: "upid-pending",
+        model_fn: "pending_bit_post_is_never_lost",
+        idents: &["post", "take_pending"],
+    },
+    ModelRef {
+        protocol: "upid-pending",
+        model_fn: "repost_preserves_vectors_under_concurrency",
+        idents: &["repost"],
+    },
+    ModelRef {
+        protocol: "watchdog-epoch-ack",
+        model_fn: "epoch_ack_watchdog_has_no_lost_wakeup_or_double_execution",
+        idents: &["epoch", "ack", "pending"],
+    },
+    ModelRef {
+        protocol: "degraded",
+        model_fn: "degraded_entry_publishes_wake_fallback",
+        idents: &["degraded"],
+    },
+    ModelRef {
+        protocol: "terminate-exited",
+        model_fn: "terminate_exit_flag_gates_orphan_sweep",
+        idents: &["terminated", "exited", "sweep"],
+    },
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Check every `field.op(…)` in the governed files against the table.
+pub fn check_orderings(models: &[FileModel], out: &mut Vec<Finding>) {
+    for m in models {
+        let base = m.path.rsplit('/').next().unwrap_or(&m.path);
+        let rows: Vec<&SpecRow> = SPEC.iter().filter(|r| r.file == base).collect();
+        if rows.is_empty() {
+            continue;
+        }
+        let governed: std::collections::HashSet<&str> =
+            rows.iter().map(|r| r.field).collect();
+        for i in 0..m.toks.len().saturating_sub(3) {
+            if m.skipped(i) {
+                continue;
+            }
+            let [f, dot, op, paren] =
+                [&m.toks[i], &m.toks[i + 1], &m.toks[i + 2], &m.toks[i + 3]];
+            if f.kind != TokKind::Ident
+                || !dot.is(".")
+                || op.kind != TokKind::Ident
+                || !paren.is("(")
+                || !governed.contains(f.text.as_str())
+            {
+                continue;
+            }
+            // Only the call's own orderings (paren depth 1) count: a
+            // nested `x.load(Acquire)` argument is matched at its own
+            // position, not attributed to the outer op.
+            let ords = orderings_at_depth1(m, i + 3);
+            if ords.is_empty() {
+                continue; // not an atomic op (`.is_empty()` on a field, …)
+            }
+            match rows.iter().find(|r| r.field == f.text && r.op == op.text) {
+                Some(row) => {
+                    for ord in ords {
+                        if !row.allow.contains(&ord) {
+                            out.push(Finding {
+                                file: m.path.clone(),
+                                line: f.line,
+                                rule: "protocol-ordering",
+                                msg: format!(
+                                    "`{}.{}` uses Ordering::{}, but the {} protocol \
+                                     requires {:?}: {}",
+                                    row.field, row.op, ord, row.protocol, row.allow, row.why
+                                ),
+                            });
+                        }
+                    }
+                }
+                None => {
+                    out.push(Finding {
+                        file: m.path.clone(),
+                        line: f.line,
+                        rule: "protocol-ordering",
+                        msg: format!(
+                            "`{}.{}` touches protocol field `{}` but has no spec row; \
+                             extend the protocol table (crates/analysis/src/protocol.rs) \
+                             with the required ordering",
+                            f.text, op.text, f.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Orderings appearing at paren depth 1 of the call whose `(` is at
+/// `open` (i.e. the call's own arguments, not nested calls').
+fn orderings_at_depth1(m: &FileModel, open: usize) -> Vec<&str> {
+    let mut depth = 0i32;
+    let mut out = Vec::new();
+    for t in &m.toks[open..] {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ if depth == 1
+                && t.kind == TokKind::Ident
+                && ORDERINGS.contains(&t.text.as_str()) =>
+            {
+                out.push(t.text.as_str())
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Cross-validate the spec table against the loom suite: every protocol's
+/// model fn must exist and still mention its protocol identifiers.
+pub fn check_models(loom: &FileModel, out: &mut Vec<Finding>) {
+    for mr in MODELS {
+        let Some(f) = loom.fns.iter().find(|f| f.name == mr.model_fn) else {
+            out.push(Finding {
+                file: loom.path.clone(),
+                line: 1,
+                rule: "protocol-model-drift",
+                msg: format!(
+                    "loom model `{}` for protocol {} is missing; the spec table \
+                     requires a live interleaving model per protocol",
+                    mr.model_fn, mr.protocol
+                ),
+            });
+            continue;
+        };
+        let Some((open, close)) = f.body else { continue };
+        for ident in mr.idents {
+            let found = loom.toks[open..=close]
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text.contains(ident));
+            if !found {
+                out.push(Finding {
+                    file: loom.path.clone(),
+                    line: f.line,
+                    rule: "protocol-model-drift",
+                    msg: format!(
+                        "loom model `{}` no longer mentions `{}`; it has drifted \
+                         from the {} protocol it is supposed to explore",
+                        mr.model_fn, ident, mr.protocol
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        let m = FileModel::build(path, src);
+        let mut out = Vec::new();
+        check_orderings(&[m], &mut out);
+        out
+    }
+
+    #[test]
+    fn wrong_ordering_is_flagged() {
+        let f = run(
+            "crates/uintr/src/upid.rs",
+            "fn post(p: &U) { p.pending.fetch_or(1, Ordering::Relaxed); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].rule, "protocol-ordering");
+        assert!(f[0].msg.contains("upid-pending"));
+    }
+
+    #[test]
+    fn unspecced_op_on_governed_field_is_flagged() {
+        let f = run(
+            "crates/uintr/src/upid.rs",
+            "fn clear(p: &U) { p.pending.fetch_and(0, Ordering::Release); }\n",
+        );
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].msg.contains("no spec row"), "{}", f[0].msg);
+    }
+
+    #[test]
+    fn nested_call_orderings_are_not_misattributed() {
+        // `uintr_ack.store(uintr_epoch.load(Acquire), Release)`: the
+        // Acquire belongs to the inner load, not the outer store.
+        let f = run(
+            "crates/sched/src/worker.rs",
+            "fn ack(s: &S) { s.uintr_ack.store(s.uintr_epoch.load(Ordering::Acquire), Ordering::Release); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn non_atomic_method_on_governed_field_is_ignored() {
+        let f = run(
+            "crates/uintr/src/upid.rs",
+            "fn probe(p: &U) -> bool { p.pending.is_set() }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn ungoverned_files_are_unconstrained() {
+        let f = run(
+            "crates/metrics/src/counters.rs",
+            "fn bump(c: &C) { c.pending.fetch_or(1, Ordering::Relaxed); }\n",
+        );
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn missing_model_is_drift() {
+        let loom = FileModel::build(
+            "crates/uintr/tests/loom.rs",
+            "fn pending_bit_post_is_never_lost() { post(); take_pending(); }\n",
+        );
+        let mut out = Vec::new();
+        check_models(&loom, &mut out);
+        assert!(
+            out.iter().any(|f| f.rule == "protocol-model-drift"
+                && f.msg.contains("terminate_exit_flag_gates_orphan_sweep")),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn hollowed_out_model_is_drift() {
+        let loom = FileModel::build(
+            "crates/uintr/tests/loom.rs",
+            "fn degraded_entry_publishes_wake_fallback() { let x = 1; }\n",
+        );
+        let mut out = Vec::new();
+        check_models(&loom, &mut out);
+        assert!(
+            out.iter().any(|f| f.rule == "protocol-model-drift"
+                && f.msg.contains("degraded_entry_publishes_wake_fallback")
+                && f.msg.contains("drifted")),
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn spec_covers_all_four_protocols_with_models() {
+        use std::collections::HashSet;
+        let spec: HashSet<&str> = SPEC.iter().map(|r| r.protocol).collect();
+        let modeled: HashSet<&str> = MODELS.iter().map(|m| m.protocol).collect();
+        for p in ["upid-pending", "watchdog-epoch-ack", "degraded", "terminate-exited"] {
+            assert!(spec.contains(p), "protocol {p} has no spec rows");
+            assert!(modeled.contains(p), "protocol {p} has no loom model");
+        }
+    }
+}

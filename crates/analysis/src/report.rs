@@ -1,0 +1,350 @@
+//! Machine-readable findings: JSON emission, severities, and the
+//! checked-in baseline for diff-aware CI.
+//!
+//! The baseline (`lint-baseline.json` at the workspace root) records the
+//! findings a tree is *known* to have; CI fails only on findings not in
+//! the baseline, so a rule can be landed before the last offender is
+//! fixed without going red, and fixing an offender shows up as a
+//! "resolved" note prompting a baseline refresh. Entries match on
+//! `(file, rule, msg)` — deliberately not line numbers, so unrelated
+//! edits shifting a finding down a few lines do not churn the diff.
+//!
+//! Both the writer and the reader are hand-rolled (the CI image carries
+//! no serde); the reader is a small full JSON parser, so hand-edited
+//! baselines with reordered keys or extra fields still load.
+
+use crate::rules::Finding;
+
+/// Severity tiers, keyed by rule id. `critical` findings are latent
+/// deadlocks or protocol breaks; `error` findings are crash paths;
+/// `warning` findings are documentation debt.
+pub fn severity(rule: &str) -> &'static str {
+    match rule {
+        "lock-order-cycle" | "preempt-in-critical" | "protocol-ordering" | "handler-block" => {
+            "critical"
+        }
+        "handler-alloc" | "handler-panic" | "protocol-model-drift" => "error",
+        _ => "warning",
+    }
+}
+
+/// Render findings as the versioned JSON document CI archives.
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"severity\": {}, \"msg\": {}}}",
+            esc(&f.file),
+            f.line,
+            esc(f.rule),
+            esc(severity(f.rule)),
+            esc(&f.msg)
+        ));
+    }
+    if !findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One baseline entry; `line` is informational only (not part of the
+/// match key).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub file: String,
+    pub rule: String,
+    pub msg: String,
+}
+
+/// Parse a baseline document. Returns `None` on malformed JSON (callers
+/// treat that as a hard error — a corrupt baseline must not silently
+/// suppress everything).
+pub fn parse_baseline(src: &str) -> Option<Vec<BaselineEntry>> {
+    let v = json::parse(src)?;
+    let findings = v.get("findings")?;
+    let json::Value::Array(items) = findings else { return None };
+    let mut out = Vec::new();
+    for it in items {
+        out.push(BaselineEntry {
+            file: it.get("file")?.as_str()?.to_string(),
+            rule: it.get("rule")?.as_str()?.to_string(),
+            msg: it.get("msg")?.as_str()?.to_string(),
+        });
+    }
+    Some(out)
+}
+
+/// Diff findings against a baseline: `(new, resolved)`. A finding is new
+/// when no baseline entry matches its `(file, rule, msg)`; an entry is
+/// resolved when no finding matches it.
+pub fn diff<'f, 'b>(
+    findings: &'f [Finding],
+    baseline: &'b [BaselineEntry],
+) -> (Vec<&'f Finding>, Vec<&'b BaselineEntry>) {
+    let matches =
+        |f: &Finding, b: &BaselineEntry| f.file == b.file && f.rule == b.rule && f.msg == b.msg;
+    let new: Vec<&Finding> =
+        findings.iter().filter(|f| !baseline.iter().any(|b| matches(f, b))).collect();
+    let resolved: Vec<&BaselineEntry> =
+        baseline.iter().filter(|b| !findings.iter().any(|f| matches(f, b))).collect();
+    (new, resolved)
+}
+
+/// A minimal but complete JSON parser (objects, arrays, strings with
+/// escapes, numbers, booleans, null).
+mod json {
+    #[derive(Debug, PartialEq)]
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Num(f64),
+        Bool(bool),
+        Null,
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(kvs) => kvs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(src: &str) -> Option<Value> {
+        let b: Vec<char> = src.chars().collect();
+        let mut i = 0;
+        let v = value(&b, &mut i)?;
+        skip_ws(&b, &mut i);
+        if i == b.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn skip_ws(b: &[char], i: &mut usize) {
+        while *i < b.len() && b[*i].is_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[char], i: &mut usize) -> Option<Value> {
+        skip_ws(b, i);
+        match *b.get(*i)? {
+            '{' => {
+                *i += 1;
+                let mut kvs = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&'}') {
+                    *i += 1;
+                    return Some(Value::Object(kvs));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let Value::Str(k) = value(b, i)? else { return None };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&':') {
+                        return None;
+                    }
+                    *i += 1;
+                    kvs.push((k, value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(',') => *i += 1,
+                        Some('}') => {
+                            *i += 1;
+                            return Some(Value::Object(kvs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            '[' => {
+                *i += 1;
+                let mut items = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&']') {
+                    *i += 1;
+                    return Some(Value::Array(items));
+                }
+                loop {
+                    items.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(',') => *i += 1,
+                        Some(']') => {
+                            *i += 1;
+                            return Some(Value::Array(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            '"' => {
+                *i += 1;
+                let mut s = String::new();
+                while *i < b.len() {
+                    match b[*i] {
+                        '"' => {
+                            *i += 1;
+                            return Some(Value::Str(s));
+                        }
+                        '\\' => {
+                            *i += 1;
+                            match b.get(*i)? {
+                                'n' => s.push('\n'),
+                                't' => s.push('\t'),
+                                'r' => s.push('\r'),
+                                'u' => {
+                                    let hex: String =
+                                        b.get(*i + 1..*i + 5)?.iter().collect();
+                                    let code = u32::from_str_radix(&hex, 16).ok()?;
+                                    s.push(char::from_u32(code)?);
+                                    *i += 4;
+                                }
+                                c => s.push(*c),
+                            }
+                            *i += 1;
+                        }
+                        c => {
+                            s.push(c);
+                            *i += 1;
+                        }
+                    }
+                }
+                None // unterminated
+            }
+            't' if starts(b, *i, "true") => {
+                *i += 4;
+                Some(Value::Bool(true))
+            }
+            'f' if starts(b, *i, "false") => {
+                *i += 5;
+                Some(Value::Bool(false))
+            }
+            'n' if starts(b, *i, "null") => {
+                *i += 4;
+                Some(Value::Null)
+            }
+            c if c == '-' || c.is_ascii_digit() => {
+                let start = *i;
+                *i += 1;
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit() || matches!(b[*i], '.' | 'e' | 'E' | '+' | '-'))
+                {
+                    *i += 1;
+                }
+                let s: String = b[start..*i].iter().collect();
+                s.parse().ok().map(Value::Num)
+            }
+            _ => None,
+        }
+    }
+
+    fn starts(b: &[char], i: usize, kw: &str) -> bool {
+        b.get(i..i + kw.len())
+            .is_some_and(|w| w.iter().collect::<String>() == kw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &'static str, msg: &str) -> Finding {
+        Finding { file: file.to_string(), line: 7, rule, msg: msg.to_string() }
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_parser() {
+        let fs = vec![
+            finding("crates/a/src/x.rs", "lock-order-cycle", "cycle over `a`, `b` — \"quoted\"\nnewline"),
+            finding("crates/b/src/y.rs", "handler-alloc", "Box::new in `f`"),
+        ];
+        let doc = to_json(&fs);
+        let parsed = parse_baseline(&doc).expect("self-emitted JSON must parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].file, "crates/a/src/x.rs");
+        assert_eq!(parsed[0].msg, "cycle over `a`, `b` — \"quoted\"\nnewline");
+    }
+
+    #[test]
+    fn empty_findings_make_an_empty_baseline() {
+        let doc = to_json(&[]);
+        let parsed = parse_baseline(&doc).unwrap();
+        assert!(parsed.is_empty());
+    }
+
+    #[test]
+    fn diff_is_line_insensitive_and_symmetric() {
+        let base = parse_baseline(&to_json(&[finding("f.rs", "handler-panic", "unwrap in `g`")]))
+            .unwrap();
+        let mut now = finding("f.rs", "handler-panic", "unwrap in `g`");
+        now.line = 99; // moved: still baselined
+        let fs = vec![now, finding("f.rs", "handler-alloc", "vec! in `h`")];
+        let (new, resolved) = diff(&fs, &base);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].rule, "handler-alloc");
+        assert!(resolved.is_empty());
+
+        let (new2, resolved2) = diff(&[], &base);
+        assert!(new2.is_empty());
+        assert_eq!(resolved2.len(), 1);
+    }
+
+    #[test]
+    fn malformed_baseline_is_rejected_not_ignored() {
+        assert!(parse_baseline("{\"findings\": [{\"file\": }]}").is_none());
+        assert!(parse_baseline("not json").is_none());
+        assert!(parse_baseline("{\"version\": 1}").is_none());
+    }
+
+    #[test]
+    fn severities_cover_every_rule() {
+        for rule in [
+            "preempt-in-critical",
+            "lock-order-cycle",
+            "protocol-ordering",
+            "protocol-model-drift",
+            "handler-alloc",
+            "handler-panic",
+            "handler-block",
+            "missing-safety-comment",
+            "allow-missing-reason",
+        ] {
+            assert!(!severity(rule).is_empty());
+        }
+        assert_eq!(severity("lock-order-cycle"), "critical");
+        assert_eq!(severity("missing-safety-comment"), "warning");
+    }
+}

@@ -1,0 +1,500 @@
+//! Workspace-wide symbol table and cross-crate call graph.
+//!
+//! v1 of the analyzer resolved calls by bare name with a same-crate-first
+//! heuristic; that cannot carry interprocedural region inference or a
+//! global lock-order graph. This module builds, once per analysis run:
+//!
+//! * a flat table of every function definition, qualified by crate and
+//!   (for methods) the `impl` receiver type;
+//! * per-function call-site lists distinguishing bare calls, qualified
+//!   path calls (`crate::a::f(…)`, `Type::method(…)`, `use`-aliased
+//!   names), and method-receiver calls (`.f(…)`);
+//! * a resolver mapping each site to candidate definitions. Path calls
+//!   resolve precisely (crate and/or receiver type pinned); bare calls
+//!   resolve same-file → same-crate → workspace; method calls resolve by
+//!   name across `impl` blocks workspace-wide, subject to the ubiquity
+//!   stoplist (following `.load(…)` by name would union every atomic's
+//!   impl into the graph).
+//!
+//! The resolver is deliberately an over-approximation (candidate *sets*,
+//! not unique targets): downstream passes treat "any candidate reaches X"
+//! as reachable, which is the conservative direction for safety rules.
+
+use std::collections::HashMap;
+
+use crate::lexer::TokKind;
+use crate::model::FileModel;
+
+/// Flat function id: index into [`Symbols::fns`].
+pub type FnId = usize;
+
+/// One function definition, workspace-qualified.
+pub struct FnInfo {
+    /// Index of the defining file in the model slice.
+    pub model: usize,
+    /// Index into that model's `fns`.
+    pub fnidx: usize,
+    pub name: String,
+    pub crate_name: String,
+    /// Receiver type when defined inside an `impl` block.
+    pub impl_type: Option<String>,
+    /// Body token range `(open, close)`, present for every entry here.
+    pub body: (usize, usize),
+    pub line: u32,
+}
+
+/// How a call site names its target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CallKind {
+    /// `f(…)` with no qualifier.
+    Bare,
+    /// `.f(…)` on a receiver expression.
+    Method,
+    /// `a::b::f(…)` — the segments *before* the called name.
+    Path(Vec<String>),
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// Token index of the called name.
+    pub tok: usize,
+    pub line: u32,
+    pub name: String,
+    pub kind: CallKind,
+}
+
+/// Common method names excluded from name-based expansion: following
+/// them by bare name would union unrelated `impl`s into the graph
+/// (`.load(…)` on an atomic must not pull in every workload's `load`).
+/// Path-qualified calls (`Type::new(…)`) are exempt — the receiver type
+/// pins the definition.
+pub const CALL_STOPLIST: &[&str] = &[
+    "new", "len", "is_empty", "push", "pop", "get", "set", "insert", "remove", "clear",
+    "iter", "next", "drop", "clone", "fmt", "default", "from", "into", "as_ref", "as_mut",
+    "eq", "hash", "cmp", "with", "take", "replace", "contains", "min", "max", "map",
+    "load", "store", "swap", "fetch_add", "fetch_sub", "fetch_or", "fetch_and",
+    "compare_exchange", "compare_exchange_weak", "entry", "collect", "read", "write",
+    "send", "recv", "flush", "extend", "filter", "count", "sum", "get_or_init",
+];
+
+pub struct Symbols {
+    pub fns: Vec<FnInfo>,
+    /// name → flat fn ids.
+    by_name: HashMap<String, Vec<FnId>>,
+    /// `(model, fnidx)` → flat id, for mapping back from models.
+    by_def: HashMap<(usize, usize), FnId>,
+}
+
+impl Symbols {
+    pub fn build(models: &[FileModel]) -> Symbols {
+        let mut fns = Vec::new();
+        let mut by_name: HashMap<String, Vec<FnId>> = HashMap::new();
+        let mut by_def = HashMap::new();
+        for (mi, m) in models.iter().enumerate() {
+            for (fi, f) in m.fns.iter().enumerate() {
+                let Some(body) = f.body else { continue };
+                let id = fns.len();
+                fns.push(FnInfo {
+                    model: mi,
+                    fnidx: fi,
+                    name: f.name.clone(),
+                    crate_name: m.crate_name.clone(),
+                    impl_type: m.impl_type_at(body.0).map(str::to_string),
+                    body,
+                    line: f.line,
+                });
+                by_name.entry(f.name.clone()).or_default().push(id);
+                by_def.insert((mi, fi), id);
+            }
+        }
+        Symbols { fns, by_name, by_def }
+    }
+
+    pub fn id_of(&self, model: usize, fnidx: usize) -> Option<FnId> {
+        self.by_def.get(&(model, fnidx)).copied()
+    }
+
+    /// All definitions with `name` (unfiltered).
+    pub fn defs_named(&self, name: &str) -> &[FnId] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Extract the call sites inside token range `(open, close)` of
+    /// `model` (exclusive of the braces themselves). Skipped regions
+    /// (`#[cfg(test)]` bodies) are excluded.
+    pub fn call_sites(m: &FileModel, (open, close): (usize, usize)) -> Vec<CallSite> {
+        let toks = &m.toks;
+        let mut out = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            let callable = t.kind == TokKind::Ident
+                && toks.get(i + 1).is_some_and(|n| n.is("("))
+                && !(i > 0 && toks[i - 1].is_ident("fn"))
+                && !m.skipped(i);
+            if !callable {
+                i += 1;
+                continue;
+            }
+            // Qualifier: walk back over `seg ::` pairs.
+            let mut segs: Vec<String> = Vec::new();
+            let mut j = i;
+            while j >= 2 && toks[j - 1].is(":") && toks[j - 2].is(":") {
+                // Closing `>` of a turbofish ends the path walk.
+                let Some(prev) = j.checked_sub(3).map(|p| &toks[p]) else { break };
+                if prev.kind == TokKind::Ident {
+                    segs.push(prev.text.clone());
+                    j -= 3;
+                } else {
+                    break;
+                }
+            }
+            segs.reverse();
+            let kind = if !segs.is_empty() {
+                CallKind::Path(segs)
+            } else if i > 0 && toks[i - 1].is(".") {
+                CallKind::Method
+            } else {
+                CallKind::Bare
+            };
+            out.push(CallSite {
+                tok: i,
+                line: t.line,
+                name: t.text.clone(),
+                kind,
+            });
+            i += 1;
+        }
+        out
+    }
+
+    /// Resolve a call site in `models[caller_model]` to candidate
+    /// definitions. Returns flat fn ids; empty when the target is
+    /// external (std, vendored deps) or stoplisted.
+    pub fn resolve(
+        &self,
+        models: &[FileModel],
+        caller_model: usize,
+        caller_impl: Option<&str>,
+        site: &CallSite,
+    ) -> Vec<FnId> {
+        let caller = &models[caller_model];
+        match &site.kind {
+            CallKind::Path(segs) => {
+                // Expand a leading `use` alias: `alias::f(…)` where
+                // `use a::b as alias` → `a::b::f(…)`.
+                let mut segs = segs.clone();
+                if let Some(expansion) = caller.uses.get(&segs[0]) {
+                    let mut full = expansion.clone();
+                    full.extend(segs.drain(1..));
+                    segs = full;
+                }
+                // `Self::f` pins the caller's own impl type.
+                let type_seg = match segs.last().map(String::as_str) {
+                    Some("Self") => caller_impl.map(str::to_string),
+                    Some(s) if s.chars().next().is_some_and(char::is_uppercase) => {
+                        Some(s.to_string())
+                    }
+                    _ => None,
+                };
+                // Crate scope from the first segment.
+                let crate_scope = match segs[0].as_str() {
+                    "crate" | "self" | "super" => Some(caller.crate_name.clone()),
+                    s if models.iter().any(|m| m.crate_name == s) => Some(s.to_string()),
+                    "std" | "core" | "alloc" => return Vec::new(),
+                    _ => None,
+                };
+                // A path that pins neither a crate nor a type
+                // (`u64::from(…)`, `mem::swap(…)`) carries no more
+                // information than a bare call — stoplisted names would
+                // fan out to every unrelated definition.
+                if crate_scope.is_none()
+                    && type_seg.is_none()
+                    && CALL_STOPLIST.contains(&site.name.as_str())
+                {
+                    return Vec::new();
+                }
+                let mut cands: Vec<FnId> = self
+                    .defs_named(&site.name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        let f = &self.fns[id];
+                        crate_scope.as_deref().is_none_or(|c| f.crate_name == c)
+                            && type_seg
+                                .as_deref()
+                                .is_none_or(|t| f.impl_type.as_deref() == Some(t))
+                    })
+                    .collect();
+                // An unpinned path (`module::f`) with no workspace-crate
+                // prefix could be anything; prefer same-crate if present.
+                if crate_scope.is_none() && type_seg.is_none() {
+                    let local: Vec<FnId> = cands
+                        .iter()
+                        .copied()
+                        .filter(|&id| self.fns[id].crate_name == caller.crate_name)
+                        .collect();
+                    if !local.is_empty() {
+                        cands = local;
+                    }
+                }
+                cands
+            }
+            CallKind::Method => {
+                if CALL_STOPLIST.contains(&site.name.as_str()) {
+                    return Vec::new();
+                }
+                // Methods resolve by name across impl blocks workspace-
+                // wide: the receiver's type is unknown lexically, and
+                // cross-crate method calls (e.g. sched calling an mvcc
+                // engine method) are exactly what v1 missed.
+                self.defs_named(&site.name)
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].impl_type.is_some())
+                    .collect()
+            }
+            CallKind::Bare => {
+                if CALL_STOPLIST.contains(&site.name.as_str()) {
+                    return Vec::new();
+                }
+                let defs = self.defs_named(&site.name);
+                // A `use`d free function resolves to its source crate.
+                if let Some(path) = caller.uses.get(&site.name) {
+                    if let Some(krate) =
+                        path.first().filter(|s| models.iter().any(|m| m.crate_name == **s))
+                    {
+                        let from_crate: Vec<FnId> = defs
+                            .iter()
+                            .copied()
+                            .filter(|&id| self.fns[id].crate_name == *krate)
+                            .collect();
+                        if !from_crate.is_empty() {
+                            return from_crate;
+                        }
+                    }
+                    if path.first().map(String::as_str) == Some("std") {
+                        return Vec::new();
+                    }
+                }
+                let same_file: Vec<FnId> = defs
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].model == caller_model)
+                    .collect();
+                if !same_file.is_empty() {
+                    return same_file;
+                }
+                let same_crate: Vec<FnId> = defs
+                    .iter()
+                    .copied()
+                    .filter(|&id| self.fns[id].crate_name == caller.crate_name)
+                    .collect();
+                if !same_crate.is_empty() {
+                    return same_crate;
+                }
+                defs.to_vec()
+            }
+        }
+    }
+}
+
+/// The resolved call graph: per function, its call sites with candidate
+/// callees. Built once and shared by the region, lock-order, and handler
+/// passes.
+pub struct CallGraph {
+    /// `edges[f]` = the call sites in `f`'s body with resolved targets.
+    pub edges: Vec<Vec<(CallSite, Vec<FnId>)>>,
+}
+
+impl CallGraph {
+    pub fn build(models: &[FileModel], syms: &Symbols) -> CallGraph {
+        let mut edges = Vec::with_capacity(syms.fns.len());
+        for f in &syms.fns {
+            let m = &models[f.model];
+            let sites = Symbols::call_sites(m, f.body);
+            let resolved = sites
+                .into_iter()
+                .map(|s| {
+                    let targets = syms.resolve(models, f.model, f.impl_type.as_deref(), &s);
+                    (s, targets)
+                })
+                .collect();
+            edges.push(resolved);
+        }
+        CallGraph { edges }
+    }
+
+    /// Breadth-first walk from `roots`, invoking `visit` for every
+    /// reached function with the call path (flat fn ids, root first).
+    /// `max_depth` bounds the chain length; `visit` returning `false`
+    /// stops expansion *through* that node (its body is not walked).
+    pub fn walk<F: FnMut(FnId, &[FnId]) -> bool>(
+        &self,
+        roots: &[FnId],
+        max_depth: usize,
+        mut visit: F,
+    ) {
+        use std::collections::{HashSet, VecDeque};
+        let mut seen: HashSet<FnId> = HashSet::new();
+        let mut queue: VecDeque<(FnId, Vec<FnId>)> = VecDeque::new();
+        for &r in roots {
+            if seen.insert(r) {
+                queue.push_back((r, vec![r]));
+            }
+        }
+        while let Some((id, path)) = queue.pop_front() {
+            if !visit(id, &path) || path.len() > max_depth {
+                continue;
+            }
+            for (_, targets) in &self.edges[id] {
+                for &t in targets {
+                    if seen.insert(t) {
+                        let mut p = path.clone();
+                        p.push(t);
+                        queue.push_back((t, p));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(srcs: &[(&str, &str)]) -> (Vec<FileModel>, Symbols) {
+        let models: Vec<FileModel> =
+            srcs.iter().map(|(p, s)| FileModel::build(p, s)).collect();
+        let syms = Symbols::build(&models);
+        (models, syms)
+    }
+
+    fn names_of(syms: &Symbols, ids: &[FnId]) -> Vec<String> {
+        let mut v: Vec<String> =
+            ids.iter().map(|&id| format!("{}::{}", syms.fns[id].crate_name, syms.fns[id].name)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn crate_qualified_paths_resolve_cross_crate() {
+        let (models, syms) = build(&[
+            (
+                "crates/sched/src/a.rs",
+                "fn caller() { preempt_mvcc::helper(); crate::local(); }\nfn local() {}\n",
+            ),
+            ("crates/mvcc/src/b.rs", "pub fn helper() {}\nfn local() {}\n"),
+        ]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        assert_eq!(sites.len(), 2);
+        let r0 = syms.resolve(&models, 0, None, &sites[0]);
+        assert_eq!(names_of(&syms, &r0), vec!["preempt_mvcc::helper"]);
+        let r1 = syms.resolve(&models, 0, None, &sites[1]);
+        assert_eq!(names_of(&syms, &r1), vec!["preempt_sched::local"]);
+    }
+
+    #[test]
+    fn use_aliased_bare_calls_resolve_to_source_crate() {
+        let (models, syms) = build(&[
+            (
+                "crates/sched/src/a.rs",
+                "use preempt_context::runtime::preempt_point;\nfn caller() { preempt_point(1); }\n",
+            ),
+            ("crates/context/src/runtime.rs", "pub fn preempt_point(_c: u64) {}\n"),
+            ("crates/workloads/src/x.rs", "pub fn preempt_point(_c: u64) {}\n"),
+        ]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        let r = syms.resolve(&models, 0, None, &sites[0]);
+        assert_eq!(names_of(&syms, &r), vec!["preempt_context::preempt_point"]);
+    }
+
+    #[test]
+    fn type_qualified_calls_ignore_stoplist() {
+        let (models, syms) = build(&[
+            (
+                "crates/sched/src/a.rs",
+                "fn caller(u: &Upid) { Upid::new(); }\n",
+            ),
+            (
+                "crates/uintr/src/upid.rs",
+                "struct Upid;\nimpl Upid { pub fn new() -> Upid { Upid } }\nstruct Other;\nimpl Other { pub fn new() -> Other { Other } }\n",
+            ),
+        ]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        let r = syms.resolve(&models, 0, None, &sites[0]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(syms.fns[r[0]].impl_type.as_deref(), Some("Upid"));
+    }
+
+    #[test]
+    fn method_calls_resolve_across_crates_minus_stoplist() {
+        let (models, syms) = build(&[
+            ("crates/sched/src/a.rs", "fn caller(e: &E) { e.orphan_sweep(2); e.load(); }\n"),
+            (
+                "crates/mvcc/src/engine.rs",
+                "struct Engine;\nimpl Engine { pub fn orphan_sweep(&self, _o: u64) {} pub fn load(&self) {} }\n",
+            ),
+        ]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        let r0 = syms.resolve(&models, 0, None, &sites[0]);
+        assert_eq!(names_of(&syms, &r0), vec!["preempt_mvcc::orphan_sweep"]);
+        let r1 = syms.resolve(&models, 0, None, &sites[1]);
+        assert!(r1.is_empty(), "`.load(…)` is stoplisted");
+    }
+
+    #[test]
+    fn unpinned_paths_respect_the_stoplist() {
+        // `u64::from(x)` pins neither a crate nor a (workspace) type:
+        // it must not fan out to every `From` impl in the tree.
+        let (models, syms) = build(&[
+            ("crates/trace/src/event.rs", "fn encode(v: u8) -> u64 { u64::from(v) }\n"),
+            (
+                "crates/uintr/src/signal.rs",
+                "struct DeliveryError;\nimpl From<DeliveryError> for Error { fn from(e: DeliveryError) -> Error { panic!() } }\n",
+            ),
+        ]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        assert_eq!(sites.len(), 1);
+        let r = syms.resolve(&models, 0, None, &sites[0]);
+        assert!(r.is_empty(), "{:?}", names_of(&syms, &r));
+    }
+
+    #[test]
+    fn self_paths_pin_the_impl_type() {
+        let (models, syms) = build(&[(
+            "crates/mvcc/src/latch.rs",
+            "struct Latch;\nimpl Latch { fn read(&self) { Self::spin_once(0); } fn spin_once(_s: u64) {} }\n\
+             struct Other;\nimpl Other { fn spin_once(_s: u64) {} }\n",
+        )]);
+        let sites = Symbols::call_sites(&models[0], models[0].fns[0].body.unwrap());
+        let r = syms.resolve(&models, 0, Some("Latch"), &sites[0]);
+        assert_eq!(r.len(), 1);
+        assert_eq!(syms.fns[r[0]].impl_type.as_deref(), Some("Latch"));
+    }
+
+    #[test]
+    fn walk_visits_transitively_with_paths() {
+        let (models, syms) = build(&[(
+            "crates/a/src/l.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let graph = CallGraph::build(&models, &syms);
+        let root = syms.defs_named("root")[0];
+        let mut seen = Vec::new();
+        graph.walk(&[root], 8, |id, path| {
+            seen.push((syms.fns[id].name.clone(), path.len()));
+            true
+        });
+        assert_eq!(
+            seen,
+            vec![
+                ("root".to_string(), 1),
+                ("mid".to_string(), 2),
+                ("leaf".to_string(), 3)
+            ]
+        );
+    }
+}

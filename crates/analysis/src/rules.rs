@@ -1,28 +1,34 @@
-//! The lint rules.
+//! Rule orchestration and the per-file rules.
 //!
 //! Rule ids (used in findings and in suppression comments — see
-//! DESIGN.md §7 for the `allow` syntax; spelling it out here would make
+//! DESIGN.md §12 for the `allow` syntax; spelling it out here would make
 //! this very file's doc comment parse as a suppression):
 //!
-//! * `preempt-in-critical`  — a preemption point (`preempt_point`, `poll`,
-//!   `yield_now`) called while a latch guard or nonpreempt region is live.
+//! * `preempt-in-critical`  — a preemption point reached (directly or
+//!   through the call graph) while a latch guard, nonpreempt region,
+//!   registry provisional window, or CLS borrow is live (regions.rs).
+//! * `lock-order-cycle`     — a cycle in the global latch
+//!   acquisition-order graph (lockorder.rs).
+//! * `protocol-ordering`    — an atomic op on a protocol field using an
+//!   ordering outside the spec table's allow set, or with no spec row at
+//!   all (protocol.rs).
+//! * `protocol-model-drift` — a protocol's loom model is missing or no
+//!   longer mentions its protocol identifiers (protocol.rs).
 //! * `missing-safety-comment` — an `unsafe` block/fn/impl without a
 //!   `// SAFETY:` (or `/// # Safety`) comment.
-//! * `atomic-ordering`      — an atomic op on a protocol-critical field
-//!   using an `Ordering` the policy table forbids.
 //! * `handler-alloc`        — allocation in code reachable from the
 //!   user-interrupt handler.
 //! * `handler-panic`        — a panicking macro/method reachable from the
 //!   handler (`debug_assert!` is exempt: compiled out in release).
 //! * `handler-block`        — a blocking call reachable from the handler.
-//! * `latch-order`          — two latches acquired in opposite orders at
-//!   two different sites.
 //! * `allow-missing-reason` — a suppression comment without a reason.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 
 use crate::lexer::TokKind;
-use crate::model::{FileModel, GuardKind};
+use crate::model::FileModel;
+use crate::resolve::{CallGraph, FnId, Symbols};
+use crate::{lockorder, protocol, regions};
 
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Finding {
@@ -38,165 +44,15 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Per-field atomic-ordering policy. An entry denies specific orderings
-/// for one `(file-name, field, op)` triple; fields not listed are
-/// unconstrained (plain counters may stay `Relaxed`).
-struct OrderingPolicy {
-    file: &'static str,
-    field: &'static str,
-    op: &'static str,
-    deny: &'static [&'static str],
-    why: &'static str,
-}
-
-/// The policy table mirrors the protocols documented in DESIGN.md §7:
-/// the UPID pending/active handoff and the PR-1 epoch/ack watchdog.
-/// `pending.load` is deliberately absent: the fast-path emptiness probe
-/// is allowed to be `Relaxed` because the authoritative read is the
-/// subsequent `swap(_, Acquire)`.
-const ORDERING_POLICIES: &[OrderingPolicy] = &[
-    OrderingPolicy {
-        file: "upid.rs",
-        field: "pending",
-        op: "fetch_or",
-        deny: &["Relaxed"],
-        why: "posting a vector publishes the sender's writes; needs Release",
-    },
-    OrderingPolicy {
-        file: "upid.rs",
-        field: "pending",
-        op: "swap",
-        deny: &["Relaxed"],
-        why: "draining pending must observe the sender's writes; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "upid.rs",
-        field: "active",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "deactivation must be ordered after teardown writes; needs Release",
-    },
-    OrderingPolicy {
-        file: "upid.rs",
-        field: "active",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "the active check gates posting into freed state; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "uintr_epoch",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "ack must copy an epoch no older than the delivered post; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "uintr_ack",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "publishing the ack races the watchdog's re-send decision; needs Release",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "stopped",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "stop flag publishes queue teardown; needs Release",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "stopped",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "observing stop must also observe teardown; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "degraded",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "pairs with the scheduler's Release store when entering degraded mode",
-    },
-    OrderingPolicy {
-        file: "scheduler.rs",
-        field: "uintr_epoch",
-        op: "fetch_add",
-        deny: &["Relaxed"],
-        why: "the epoch bump must precede the UPID post; needs Release",
-    },
-    OrderingPolicy {
-        file: "scheduler.rs",
-        field: "uintr_epoch",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "watchdog comparison; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "scheduler.rs",
-        field: "uintr_ack",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "watchdog comparison; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "scheduler.rs",
-        field: "degraded",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "degraded-mode entry publishes the wake fallback; needs Release",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "terminated",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "termination order must be visible at the worker's next preemption point; needs Release",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "terminated",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "terminate-token eligibility check; needs Acquire",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "exited",
-        op: "store",
-        deny: &["Relaxed"],
-        why: "the supervisor orphan-sweeps only after observing exit; needs Release",
-    },
-    OrderingPolicy {
-        file: "worker.rs",
-        field: "exited",
-        op: "load",
-        deny: &["Relaxed"],
-        why: "gates the force-release safety argument; needs Acquire",
-    },
-];
-
 /// Functions the handler reachability walk starts from. `on_point` and
 /// `wedge` are the supervisor-facing worker entry points: the terminate
 /// token raise and the wedge fault both execute at preemption points,
 /// possibly under a handler-driven drain, so they obey the same
 /// alloc/panic/block discipline as the delivery path.
-const HANDLER_ROOTS: &[&str] = &["on_uintr", "deliver_pending", "on_point", "wedge"];
+pub const HANDLER_ROOTS: &[&str] = &["on_uintr", "deliver_pending", "on_point", "wedge"];
 
 /// Preemption-point calls denied inside critical sections.
-const PREEMPT_POINTS: &[&str] = &["preempt_point", "poll", "yield_now"];
-
-/// Common method names excluded from call-graph expansion: following
-/// them by name would union unrelated `impl`s into the handler graph
-/// (`.load(` on an atomic must not pull in every workload's `load`).
-const CALL_STOPLIST: &[&str] = &[
-    "new", "len", "is_empty", "push", "pop", "get", "set", "insert", "remove", "clear",
-    "iter", "next", "drop", "clone", "fmt", "default", "from", "into", "as_ref", "as_mut",
-    "eq", "hash", "cmp", "with", "take", "replace", "contains", "min", "max", "map",
-    "load", "store", "swap", "fetch_add", "fetch_sub", "fetch_or", "fetch_and",
-    "compare_exchange", "compare_exchange_weak", "entry", "collect", "read", "write",
-    "send", "recv", "flush", "extend", "filter", "count", "sum", "get_or_init",
-];
+pub const PREEMPT_POINTS: &[&str] = &["preempt_point", "poll", "yield_now"];
 
 /// Metric-emit entry points known to be handler-safe by construction
 /// (one relaxed load when disabled, relaxed `fetch_add`s when enabled —
@@ -232,51 +88,27 @@ const BLOCK_CALLS: &[&str] = &["sleep", "park", "park_timeout", "recv", "join", 
 
 /// Run every rule over a set of file models and return the findings that
 /// survive `allow` suppressions (plus findings for reason-less allows).
-pub fn run_all(models: &[FileModel]) -> Vec<Finding> {
+/// `loom` is the loom test suite's model when available (workspace runs);
+/// without it the protocol/model drift check is skipped.
+pub fn run_all(models: &[FileModel], loom: Option<&FileModel>) -> Vec<Finding> {
+    let syms = Symbols::build(models);
+    let graph = CallGraph::build(models, &syms);
+
     let mut out = Vec::new();
     for m in models {
-        check_preempt_in_critical(m, &mut out);
         check_safety_comments(m, &mut out);
-        check_atomic_orderings(m, &mut out);
     }
-    check_handler_reachability(models, &mut out);
-    check_latch_order(models, &mut out);
+    regions::check(models, &syms, &graph, &mut out);
+    lockorder::check(models, &syms, &mut out);
+    protocol::check_orderings(models, &mut out);
+    if let Some(loom) = loom {
+        protocol::check_models(loom, &mut out);
+    }
+    check_handler_reachability(models, &syms, &graph, &mut out);
     apply_allows(models, &mut out);
     out.sort();
     out.dedup();
     out
-}
-
-fn check_preempt_in_critical(m: &FileModel, out: &mut Vec<Finding>) {
-    for g in &m.guards {
-        let what = match g.kind {
-            GuardKind::Latch => "latch guard",
-            GuardKind::NonPreempt => "nonpreempt region",
-        };
-        let end = g.end.min(m.toks.len());
-        for i in g.start..end {
-            if m.skipped(i) {
-                continue;
-            }
-            let t = &m.toks[i];
-            if t.kind == TokKind::Ident
-                && PREEMPT_POINTS.contains(&t.text.as_str())
-                && m.toks.get(i + 1).is_some_and(|n| n.is("("))
-                && !(i > 0 && m.toks[i - 1].is_ident("fn"))
-            {
-                out.push(Finding {
-                    file: m.path.clone(),
-                    line: t.line,
-                    rule: "preempt-in-critical",
-                    msg: format!(
-                        "`{}` called inside a {} opened at line {}; a preemption here \
-                         could park the latch holder",
-                        t.text, what, g.line
-                    ),
-                });
-            }
-        }
-    }
 }
 
 fn check_safety_comments(m: &FileModel, out: &mut Vec<Finding>) {
@@ -312,117 +144,46 @@ fn check_safety_comments(m: &FileModel, out: &mut Vec<Finding>) {
     }
 }
 
-fn check_atomic_orderings(m: &FileModel, out: &mut Vec<Finding>) {
-    let applicable: Vec<&OrderingPolicy> = ORDERING_POLICIES
-        .iter()
-        .filter(|p| m.path.ends_with(p.file))
-        .collect();
-    if applicable.is_empty() {
-        return;
-    }
-    for i in 0..m.toks.len().saturating_sub(3) {
-        if m.skipped(i) {
-            continue;
-        }
-        let [f, dot, op, paren] = [&m.toks[i], &m.toks[i + 1], &m.toks[i + 2], &m.toks[i + 3]];
-        if f.kind != TokKind::Ident || !dot.is(".") || op.kind != TokKind::Ident || !paren.is("(") {
-            continue;
-        }
-        for p in &applicable {
-            if f.text != p.field || op.text != p.op {
-                continue;
-            }
-            for ord in m.orderings_in_call(i + 3) {
-                if p.deny.contains(&ord) {
-                    out.push(Finding {
-                        file: m.path.clone(),
-                        line: f.line,
-                        rule: "atomic-ordering",
-                        msg: format!(
-                            "`{}.{}` uses Ordering::{}, forbidden by policy: {}",
-                            p.field, p.op, ord, p.why
-                        ),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// BFS over a name-resolved call graph from the handler roots; scan each
-/// reachable body for allocation, panics, and blocking calls.
-fn check_handler_reachability(models: &[FileModel], out: &mut Vec<Finding>) {
-    // Crate of a model, derived from its `crates/<name>/…` path.
-    let crate_of = |path: &str| -> String {
-        path.strip_prefix("crates/")
-            .and_then(|r| r.split('/').next())
-            .unwrap_or("")
-            .to_string()
-    };
-    // name -> [(model idx, fn idx)]
-    let mut by_name: HashMap<&str, Vec<(usize, usize)>> = HashMap::new();
-    for (mi, m) in models.iter().enumerate() {
-        for (fi, f) in m.fns.iter().enumerate() {
-            if f.body.is_some() {
-                by_name.entry(f.name.as_str()).or_default().push((mi, fi));
-            }
-        }
-    }
-    // Same-crate-first resolution: if the caller's crate defines the
-    // name, the call resolves there; only otherwise does it fan out to
-    // every crate. This keeps e.g. a scheduler-internal helper from
-    // unioning with a like-named function in the workloads crate.
-    let resolve = |name: &str, caller_crate: &str| -> Vec<(usize, usize)> {
-        let Some(defs) = by_name.get(name) else { return Vec::new() };
-        let local: Vec<(usize, usize)> = defs
-            .iter()
-            .copied()
-            .filter(|&(mi, _)| crate_of(&models[mi].path) == caller_crate)
-            .collect();
-        if local.is_empty() { defs.clone() } else { local }
-    };
-
-    let mut queue: VecDeque<(usize, usize, String, usize)> = VecDeque::new();
-    let mut seen: HashSet<(usize, usize)> = HashSet::new();
-    for root in HANDLER_ROOTS {
-        for &(mi, fi) in by_name.get(root).into_iter().flatten() {
-            if seen.insert((mi, fi)) {
-                queue.push_back((mi, fi, root.to_string(), 0));
-            }
-        }
-    }
-
+/// BFS over the resolved call graph from the handler roots; scan each
+/// reachable body for allocation, panics, and blocking calls. Expansion
+/// stops at `HANDLER_SAFE_CALLS` names (their bodies are safe by
+/// construction and deliberately not re-scanned).
+fn check_handler_reachability(
+    models: &[FileModel],
+    syms: &Symbols,
+    graph: &CallGraph,
+    out: &mut Vec<Finding>,
+) {
     const MAX_DEPTH: usize = 16;
-    const MAX_VISITED: usize = 600;
-    while let Some((mi, fi, root, depth)) = queue.pop_front() {
-        let m = &models[mi];
-        let f = &m.fns[fi];
-        let Some((open, close)) = f.body else { continue };
-        scan_handler_body(m, (open, close), &f.name, &root, out);
+    const MAX_VISITED: usize = 800;
+
+    let mut queue: std::collections::VecDeque<(FnId, String, usize)> =
+        std::collections::VecDeque::new();
+    let mut seen: HashSet<FnId> = HashSet::new();
+    for root in HANDLER_ROOTS {
+        for &id in syms.defs_named(root) {
+            if seen.insert(id) {
+                queue.push_back((id, root.to_string(), 0));
+            }
+        }
+    }
+
+    while let Some((id, root, depth)) = queue.pop_front() {
+        let f = &syms.fns[id];
+        let m = &models[f.model];
+        scan_handler_body(m, f.body, &f.name, &root, out);
         if depth >= MAX_DEPTH || seen.len() >= MAX_VISITED {
             continue;
         }
-        let caller_crate = crate_of(&m.path);
-        // Expand callees by name.
-        let mut i = open;
-        while i < close {
-            let t = &m.toks[i];
-            let next_is_call = m.toks.get(i + 1).is_some_and(|n| n.is("("));
-            let expandable = !CALL_STOPLIST.contains(&t.text.as_str())
-                && !HANDLER_SAFE_CALLS.contains(&t.text.as_str());
-            if t.kind == TokKind::Ident
-                && next_is_call
-                && !m.skipped(i)
-                && !(i > 0 && m.toks[i - 1].is_ident("fn"))
-                && expandable
-            {
-                for (cmi, cfi) in resolve(&t.text, &caller_crate) {
-                    if seen.insert((cmi, cfi)) {
-                        queue.push_back((cmi, cfi, root.clone(), depth + 1));
-                    }
+        for (site, targets) in &graph.edges[id] {
+            if HANDLER_SAFE_CALLS.contains(&site.name.as_str()) {
+                continue;
+            }
+            for &t in targets {
+                if seen.insert(t) {
+                    queue.push_back((t, root.clone(), depth + 1));
                 }
             }
-            i += 1;
         }
     }
 }
@@ -516,43 +277,6 @@ fn scan_handler_body(
             }
         }
         i += 1;
-    }
-}
-
-/// Detect inconsistent latch acquisition order: if site X acquires
-/// (A then B, with A still live) and site Y acquires (B then A), flag Y.
-fn check_latch_order(models: &[FileModel], out: &mut Vec<Finding>) {
-    let mut pairs: HashMap<(String, String), (String, u32)> = HashMap::new();
-    for m in models {
-        for (gi, g) in m.guards.iter().enumerate() {
-            if g.kind != GuardKind::Latch {
-                continue;
-            }
-            for h in &m.guards[gi + 1..] {
-                if h.kind != GuardKind::Latch || h.func != g.func || g.func.is_none() {
-                    continue;
-                }
-                // h acquired while g is still live?
-                if h.start < g.end && h.start > g.start && g.key != h.key {
-                    let fwd = (g.key.clone(), h.key.clone());
-                    let rev = (h.key.clone(), g.key.clone());
-                    if let Some((file, line)) = pairs.get(&rev) {
-                        out.push(Finding {
-                            file: m.path.clone(),
-                            line: h.line,
-                            rule: "latch-order",
-                            msg: format!(
-                                "latch `{}` acquired after `{}`, but {}:{} acquires them in \
-                                 the opposite order; pick one global order (see DESIGN.md §7)",
-                                h.key, g.key, file, line
-                            ),
-                        });
-                    } else {
-                        pairs.entry(fwd).or_insert((m.path.clone(), g.line));
-                    }
-                }
-            }
-        }
     }
 }
 

@@ -59,21 +59,42 @@ fn every_seeded_violation_is_flagged_and_nothing_else() {
             );
         }
     }
-    assert!(total >= 9, "fixture suite shrank unexpectedly ({total} markers)");
+    assert!(total >= 13, "fixture suite shrank unexpectedly ({total} markers)");
 }
 
-/// Satellite regression test: the analyzer must reject a fixture that
-/// takes two MVCC latches in inconsistent order. The companion
-/// workspace test proves the real engine defines a single order (no
-/// `latch-order` findings there).
+/// Regression test: the analyzer must reject a fixture that takes two
+/// MVCC latches in inconsistent order — as a two-node cycle in the
+/// global acquisition-order graph, reported exactly once with both
+/// witnessing sites. The companion workspace test proves the real
+/// engine defines a single order (no cycles there).
 #[test]
-fn inconsistent_latch_order_is_rejected() {
+fn inconsistent_latch_order_is_a_cycle() {
     let path = fixture_dir().join("latch_order.rs");
     let src = fs::read_to_string(&path).unwrap();
     let findings = preempt_analysis::analyze_source("fixtures/latch_order.rs", &src);
-    let latch: Vec<_> = findings.iter().filter(|f| f.rule == "latch-order").collect();
-    assert_eq!(latch.len(), 1, "expected exactly one latch-order finding: {findings:#?}");
-    assert!(latch[0].msg.contains("opposite order"));
+    let cyc: Vec<_> = findings.iter().filter(|f| f.rule == "lock-order-cycle").collect();
+    assert_eq!(cyc.len(), 1, "expected exactly one cycle finding: {findings:#?}");
+    assert!(cyc[0].msg.contains("cycle"), "{}", cyc[0].msg);
+    assert!(
+        cyc[0].msg.contains("a.latch") && cyc[0].msg.contains("b.latch"),
+        "cycle must name both keys: {}",
+        cyc[0].msg
+    );
+}
+
+/// The three-latch fixture is invisible to any pairwise check: every
+/// pair of sites is order-consistent. Only the global graph closes the
+/// cycle.
+#[test]
+fn three_way_deadlock_needs_the_global_graph() {
+    let path = fixture_dir().join("deadlock_cycle.rs");
+    let src = fs::read_to_string(&path).unwrap();
+    let findings = preempt_analysis::analyze_source("fixtures/deadlock_cycle.rs", &src);
+    let cyc: Vec<_> = findings.iter().filter(|f| f.rule == "lock-order-cycle").collect();
+    assert_eq!(cyc.len(), 1, "{findings:#?}");
+    for key in ["a.latch", "b.latch", "c.latch"] {
+        assert!(cyc[0].msg.contains(key), "cycle must name `{key}`: {}", cyc[0].msg);
+    }
 }
 
 /// The suppression mechanism must not silence a *different* rule.

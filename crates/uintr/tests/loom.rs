@@ -164,3 +164,102 @@ fn epoch_ack_watchdog_has_no_lost_wakeup_or_double_execution() {
         assert_eq!(handled, 1, "interrupt must be handled exactly once");
     });
 }
+
+/// The PR 6 terminate / exit-flag / orphan-sweep handoff. The worker
+/// observes the terminate order at a preemption point, releases every
+/// resource it owns (modeled by one latch word), and only then raises
+/// the exit flag with `Release` (the `ExitFlag` RAII drop). The
+/// supervisor sweeps orphans only after observing the flag with
+/// `Acquire`: in every interleaving where the sweep runs, the worker's
+/// releases are already visible — the sweep never runs before the exit
+/// flag is observed, and never sees a half-released record.
+#[test]
+fn terminate_exit_flag_gates_orphan_sweep() {
+    loom::model(|| {
+        let terminated = Arc::new(AtomicU64::new(0));
+        let exited = Arc::new(AtomicU64::new(0));
+        // 1 = the worker still holds its record latch.
+        let record_held = Arc::new(AtomicU64::new(1));
+
+        let (t, e, r) = (terminated.clone(), exited.clone(), record_held.clone());
+        let worker = thread::spawn(move || {
+            // Preemption point: the terminate order may or may not be
+            // visible yet; the exit path is the same either way.
+            let _saw_terminate = t.load(Ordering::Acquire) == 1;
+            r.store(0, Ordering::Release); // release owned resources…
+            e.store(1, Ordering::Release); // …then ExitFlag raises exited
+        });
+
+        // Supervisor: raise the terminate order, then decide on a sweep.
+        terminated.store(1, Ordering::Release);
+        let sweep_allowed = exited.load(Ordering::Acquire) == 1;
+        if sweep_allowed {
+            // Sweep path: the flag was observed, so every release the
+            // worker performed before raising it must be visible.
+            assert_eq!(
+                record_held.load(Ordering::Acquire),
+                0,
+                "orphan sweep observed the exit flag but not the release \
+                 that happened-before it"
+            );
+        }
+        // (exited == 0 ⇒ the supervisor must NOT sweep this incarnation;
+        // there is nothing to assert — not sweeping is the safe branch.)
+
+        worker.join().unwrap();
+        assert_eq!(exited.load(Ordering::Acquire), 1, "exit flag must be raised on every path");
+    });
+}
+
+/// Teeth check: with the exit protocol deliberately inverted — raising
+/// the exit flag *before* releasing the record — the explorer must find
+/// the interleaving where the sweep observes the flag while the record
+/// is still held: exactly the torn handoff the `ExitFlag`-last ordering
+/// (and the `exited` store/load spec rows) exists to prevent.
+#[test]
+#[should_panic(expected = "sweep raced the release")]
+fn explorer_catches_exit_flag_before_release() {
+    loom::model(|| {
+        let exited = Arc::new(AtomicU64::new(0));
+        let record_held = Arc::new(AtomicU64::new(1));
+
+        let (e, r) = (exited.clone(), record_held.clone());
+        let worker = thread::spawn(move || {
+            e.store(1, Ordering::Release); // BUG: flag first…
+            r.store(0, Ordering::Release); // …release after
+        });
+
+        if exited.load(Ordering::Acquire) == 1 {
+            assert_eq!(record_held.load(Ordering::Acquire), 0, "sweep raced the release");
+        }
+        worker.join().unwrap();
+    });
+}
+
+/// Degraded-mode entry: the scheduler configures the wake fallback
+/// (modeled by one word) before the `Release` store of the degraded
+/// flag; a worker that observes the flag with `Acquire` must also
+/// observe the fallback configuration. Observing the flag down is
+/// always fine — the worker just keeps using UIPI delivery.
+#[test]
+fn degraded_entry_publishes_wake_fallback() {
+    loom::model(|| {
+        let degraded = Arc::new(AtomicU64::new(0));
+        let fallback_ready = Arc::new(AtomicU64::new(0));
+
+        let (d, f) = (degraded.clone(), fallback_ready.clone());
+        let scheduler = thread::spawn(move || {
+            f.store(1, Ordering::Release); // configure the fallback…
+            d.store(1, Ordering::Release); // …then publish degraded mode
+        });
+
+        if degraded.load(Ordering::Acquire) == 1 {
+            assert_eq!(
+                fallback_ready.load(Ordering::Acquire),
+                1,
+                "worker entered degraded mode before the wake fallback was configured"
+            );
+        }
+        scheduler.join().unwrap();
+    });
+}

@@ -9,9 +9,11 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Static preemption-safety analysis (DESIGN.md §7): exits non-zero on
-# any finding; suppressions require a written reason.
-cargo run -p preempt-analysis --release
+# Static preemption-safety analysis (DESIGN.md §12), diff-aware: fails
+# only on findings not in the checked-in baseline; suppressions require
+# a written reason. The JSON document is archived by CI as an artifact.
+cargo run -p preempt-analysis --release -- \
+    --baseline lint-baseline.json --json-out target/preempt-lint.json
 
 # Exhaustive interleaving checks for the UPID pending-bit and epoch/ack
 # watchdog protocols. `--cfg loom` changes every crate's fingerprint, so
