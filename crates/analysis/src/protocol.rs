@@ -1,6 +1,6 @@
 //! Declarative atomic-protocol specifications.
 //!
-//! The engine's lock-free handoffs are four small protocols; each has an
+//! The engine's lock-free handoffs are five small protocols; each has an
 //! exact ordering contract per (field, op) and a loom model that
 //! explores its interleavings. v1 enforced a *deny*-list (specific bad
 //! orderings); this table is an *allow*-list with coverage: every atomic
@@ -43,7 +43,7 @@ pub struct ModelRef {
     pub idents: &'static [&'static str],
 }
 
-/// The four protocols (DESIGN.md §12). Governed fields are closed per
+/// The five protocols (DESIGN.md §12–§13). Governed fields are closed per
 /// file: any ordering-bearing atomic op on a listed field that has no
 /// row here is flagged until the table is extended.
 pub const SPEC: &[SpecRow] = &[
@@ -219,6 +219,48 @@ pub const SPEC: &[SpecRow] = &[
         allow: &["Acquire"],
         why: "respawn-budget check against the published incarnation",
     },
+    // ── Sharded steal deque (DESIGN.md §13) ──────────────────────────
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "state",
+        op: "load",
+        allow: &["Acquire"],
+        why: "a claim attempt must observe slot stores published by prior claims",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "state",
+        op: "compare_exchange",
+        allow: &["AcqRel", "Acquire"],
+        why: "a successful claim both acquires the prior owner's slot writes \
+              and releases the stamp bump to racing claimants",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "slot",
+        op: "load",
+        allow: &["Acquire"],
+        why: "the push-side drain probe must observe the consumer's null handoff",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "slot",
+        op: "store",
+        allow: &["Release"],
+        why: "publishing the request pointer must happen-after its construction",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "slot",
+        op: "swap",
+        allow: &["Acquire"],
+        why: "taking a claimed slot must observe the producer's request writes",
+    },
 ];
 
 /// Every protocol must keep a live loom model. `idents` are searched in
@@ -248,6 +290,11 @@ pub const MODELS: &[ModelRef] = &[
         protocol: "terminate-exited",
         model_fn: "terminate_exit_flag_gates_orphan_sweep",
         idents: &["terminated", "exited", "sweep"],
+    },
+    ModelRef {
+        protocol: "shard-deque",
+        model_fn: "steal_deque_no_lost_or_duplicated_requests",
+        idents: &["state", "slot", "steal"],
     },
 ];
 
@@ -476,11 +523,17 @@ mod tests {
     }
 
     #[test]
-    fn spec_covers_all_four_protocols_with_models() {
+    fn spec_covers_all_five_protocols_with_models() {
         use std::collections::HashSet;
         let spec: HashSet<&str> = SPEC.iter().map(|r| r.protocol).collect();
         let modeled: HashSet<&str> = MODELS.iter().map(|m| m.protocol).collect();
-        for p in ["upid-pending", "watchdog-epoch-ack", "degraded", "terminate-exited"] {
+        for p in [
+            "upid-pending",
+            "watchdog-epoch-ack",
+            "degraded",
+            "terminate-exited",
+            "shard-deque",
+        ] {
             assert!(spec.contains(p), "protocol {p} has no spec rows");
             assert!(modeled.contains(p), "protocol {p} has no loom model");
         }

@@ -59,7 +59,7 @@ fn every_seeded_violation_is_flagged_and_nothing_else() {
             );
         }
     }
-    assert!(total >= 13, "fixture suite shrank unexpectedly ({total} markers)");
+    assert!(total >= 14, "fixture suite shrank unexpectedly ({total} markers)");
 }
 
 /// Regression test: the analyzer must reject a fixture that takes two

@@ -35,6 +35,7 @@ fn run_policy(policy: Policy, sc: &Scenario) -> RunReport {
     let cfg = DriverConfig {
         policy,
         n_workers: sc.workers,
+        shards: 1,
         queue_caps: vec![1, 100],
         batch_size: 100 * sc.workers,
         arrival_interval: sim.us_to_cycles(sc.arrival_us),

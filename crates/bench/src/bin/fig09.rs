@@ -1,20 +1,109 @@
 //! Regenerates Figure 9: mixed-workload throughput scalability across
-//! worker counts under Wait / Cooperative / PreemptDB.
+//! worker counts under Wait / Cooperative / PreemptDB — plus the
+//! sharded-plane scaling gate (ISSUE 8), which is self-checking:
+//!
+//! 1. at every sweep point with >= 4 workers, the sharded plane's
+//!    throughput is at least the single-global-queue baseline's;
+//! 2. sharded throughput grows strictly monotonically with the worker
+//!    count (the per-shard dispatch cores keep the plane worker-bound
+//!    where one scheduler saturates).
+//!
+//! ```sh
+//! cargo run --release -p preempt-bench --bin fig09 [-- --check|--full]
+//! ```
+//!
+//! `--check` runs only the scaling gate at CI scale (no tables, no file
+//! output). `--full` stretches the sweep and rewrites `BENCH_fig09.json`
+//! at the repo root (the checked-in machine-readable record).
 
-use preempt_bench::{fig09, Scenario};
+use std::process::ExitCode;
 
-fn main() {
+use preempt_bench::{fig09, fig09_sharded, Scenario, ShardScalePoint};
+
+fn write_json(path: &str, duration_ms: u64, points: &[ShardScalePoint]) -> std::io::Result<()> {
+    let mut rows = String::new();
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"workers\": {}, \"shards\": {}, \"single_queue_tps\": {:.0}, \
+             \"sharded_tps\": {:.0}, \"speedup\": {:.3}}}",
+            p.workers, p.shards, p.baseline_tps, p.sharded_tps, p.speedup()
+        ));
+    }
+    let doc = format!(
+        "{{\n  \"figure\": \"fig09_sharded\",\n  \"description\": \"dispatch-bound point-transaction \
+         throughput, sharded scheduler plane vs single global run queue\",\n  \
+         \"duration_ms\": {duration_ms},\n  \"rows\": [\n{rows}\n  ]\n}}\n"
+    );
+    std::fs::write(path, doc)
+}
+
+fn check_points(points: &[ShardScalePoint]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for p in points {
+        if p.workers >= 4 && p.sharded_tps < p.baseline_tps {
+            failures.push(format!(
+                "{} workers: sharded {:.0} tps fell below the single-queue baseline {:.0} tps",
+                p.workers, p.sharded_tps, p.baseline_tps
+            ));
+        }
+    }
+    for w in points.windows(2) {
+        if w[1].sharded_tps <= w[0].sharded_tps {
+            failures.push(format!(
+                "sharded throughput is not monotonic: {:.0} tps at {} workers vs {:.0} at {}",
+                w[1].sharded_tps, w[1].workers, w[0].sharded_tps, w[0].workers
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
     let full = std::env::args().any(|a| a == "--full");
-    let sc = if full {
-        Scenario::full()
+    let check = std::env::args().any(|a| a == "--check");
+
+    if !check {
+        let sc = if full {
+            Scenario::full()
+        } else {
+            Scenario::quick()
+        };
+        let workers: &[usize] = if full {
+            &[1, 2, 4, 8, 16]
+        } else {
+            &[2, 8, 16]
+        };
+        eprintln!("running fig09 with {sc:?} workers={workers:?} ...");
+        fig09(&sc, workers).print();
+    }
+
+    let (duration_ms, counts): (u64, &[usize]) = if full {
+        (50, &[1, 2, 4, 8, 16])
     } else {
-        Scenario::quick()
+        (15, &[2, 4, 8])
     };
-    let workers: &[usize] = if full {
-        &[1, 2, 4, 8, 16]
+    eprintln!("running fig09 sharded-plane sweep ({duration_ms} ms, workers {counts:?}) ...");
+    let (table, points) = fig09_sharded(duration_ms, counts);
+    table.print();
+
+    let failures = check_points(&points);
+    if full && failures.is_empty() {
+        match write_json("BENCH_fig09.json", duration_ms, &points) {
+            Ok(()) => println!("wrote BENCH_fig09.json"),
+            Err(e) => eprintln!("fig09: could not write BENCH_fig09.json: {e}"),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("fig09: sharded scaling gate passed");
+        ExitCode::SUCCESS
     } else {
-        &[2, 8, 16]
-    };
-    eprintln!("running fig09 with {sc:?} workers={workers:?} ...");
-    fig09(&sc, workers).print();
+        for f in &failures {
+            eprintln!("fig09 FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }

@@ -106,6 +106,7 @@ fn run_shifted(policy: Policy, sc: &Shift, duration_ms: u64) -> RunReport {
     let cfg = DriverConfig {
         policy,
         n_workers: sc.workers,
+        shards: 1,
         queue_caps: vec![1, sc.high_queue],
         batch_size: sc.batch_size(),
         arrival_interval: sim.us_to_cycles(sc.arrival_us),

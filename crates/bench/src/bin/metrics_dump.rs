@@ -53,6 +53,7 @@ fn sim_cfg(policy: Policy, registry: Option<MetricsRegistry>) -> DriverConfig {
     DriverConfig {
         policy,
         n_workers: 4,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 16,
         arrival_interval: 2_400_000, // 1 ms of virtual time

@@ -40,6 +40,7 @@ fn main() {
     let cfg = DriverConfig {
         policy: Policy::preemptdb(),
         n_workers: workers,
+        shards: 1,
         queue_caps: vec![1, 100],
         batch_size: 100 * workers,
         arrival_interval: sim.us_to_cycles(1_000),

@@ -92,6 +92,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                     Policy::Wait
                 },
                 n_workers: workers,
+                shards: 1,
                 // Deep low queue keeps workers saturated with OLTP (the
                 // overhead is invisible if workers idle between arrivals).
                 queue_caps: vec![64, 4],
@@ -142,6 +143,115 @@ pub fn fig09(sc: &Scenario, worker_counts: &[usize]) -> Table {
         }
     }
     t
+}
+
+/// One row of the sharded-plane scaling sweep (`fig09_sharded`).
+pub struct ShardScalePoint {
+    pub workers: usize,
+    /// Shard count used for the sharded configuration at this size.
+    pub shards: usize,
+    pub baseline_tps: f64,
+    pub sharded_tps: f64,
+}
+
+impl ShardScalePoint {
+    pub fn speedup(&self) -> f64 {
+        if self.baseline_tps > 0.0 {
+            self.sharded_tps / self.baseline_tps
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Virtual cycles burned by one point transaction in the scaling sweep.
+/// Short enough that the dispatch plane, not the workers, is the
+/// binding resource once four or more workers drain a single queue:
+/// each push charges `DISPATCH_PUSH_COST` (250 cycles) to the
+/// scheduling core's virtual clock, so one scheduler saturates near
+/// 2.4 GHz / 250 ≈ 9.6 M dispatches/s while each worker consumes
+/// ~2.8 M/s — the single global queue stops scaling at ~4 workers and
+/// the per-shard planes keep going.
+const POINT_BODY_CYCLES: u64 = 700;
+
+/// Figure 9 (sharded-plane extension, ISSUE 8): throughput of the
+/// sharded scheduler plane (two workers per shard, one dispatch core
+/// per shard) against the single-global-queue baseline across worker
+/// counts, on a dispatch-bound point-transaction stream. The shard
+/// count grows with the machine (`workers / 2`, floored at one), so a
+/// 1- or 2-worker sweep point degenerates to the baseline exactly.
+pub fn fig09_sharded(duration_ms: u64, worker_counts: &[usize]) -> (Table, Vec<ShardScalePoint>) {
+    use preemptdb::sched::{Request, WorkOutcome, WorkloadFactory};
+
+    /// A stateless stream of minimal low-priority "point" transactions;
+    /// splitting it hands every shard an identical independent stream.
+    struct PointStream;
+    impl WorkloadFactory for PointStream {
+        fn make_low(&mut self, now: u64) -> Option<Request> {
+            Some(Request::new("point", 0, now, || {
+                preemptdb::context::runtime::preempt_point(POINT_BODY_CYCLES);
+                WorkOutcome::default()
+            }))
+        }
+        fn make_high(&mut self, _now: u64) -> Option<Request> {
+            None
+        }
+        fn try_split(&mut self, shards: usize) -> Option<Vec<Box<dyn WorkloadFactory>>> {
+            Some(
+                (0..shards)
+                    .map(|_| Box::new(PointStream) as Box<dyn WorkloadFactory>)
+                    .collect(),
+            )
+        }
+    }
+
+    let run_one = |workers: usize, shards: usize| {
+        let sim = SimConfig::default();
+        let cfg = DriverConfig {
+            policy: Policy::preemptdb(),
+            n_workers: workers,
+            shards,
+            // Deep low queues: the refill cadence (10 us) must never be
+            // what limits a worker, only dispatch-plane capacity.
+            queue_caps: vec![32, 4],
+            batch_size: 0,
+            arrival_interval: sim.us_to_cycles(10),
+            duration: sim.ms_to_cycles(duration_ms),
+            always_interrupt: false,
+            robustness: Default::default(),
+            recovery: Default::default(),
+            trace: None,
+            metrics: None,
+        };
+        run(Runtime::Simulated(sim), cfg, Box::new(PointStream))
+    };
+
+    let mut t = Table::new(
+        "Figure 9 (sharded plane): dispatch-bound throughput vs workers",
+        &["workers", "shards", "single-queue", "sharded", "speedup", "steals"],
+    );
+    let mut points = Vec::new();
+    for &workers in worker_counts {
+        let shards = (workers / 2).max(1);
+        let baseline = run_one(workers, 1);
+        let sharded = run_one(workers, shards);
+        let p = ShardScalePoint {
+            workers,
+            shards,
+            baseline_tps: baseline.total_tps(),
+            sharded_tps: sharded.total_tps(),
+        };
+        t.row(vec![
+            workers.to_string(),
+            shards.to_string(),
+            tps(p.baseline_tps),
+            tps(p.sharded_tps),
+            format!("{:.2}x", p.speedup()),
+            sharded.workers.steals.to_string(),
+        ]);
+        points.push(p);
+    }
+    (t, points)
 }
 
 /// Figure 10: end-to-end latency percentiles of NewOrder (top) and Q2
@@ -312,6 +422,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
         let cfg = preemptdb::sched::DriverConfig {
             policy: Policy::preemptdb(),
             n_workers: sc.workers,
+            shards: 1,
             queue_caps: vec![1, sc.high_queue],
             batch_size: sc.batch_size(),
             arrival_interval: sim.us_to_cycles(sc.arrival_us),

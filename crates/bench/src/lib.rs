@@ -106,6 +106,7 @@ pub fn run_mixed(
     let cfg = DriverConfig {
         policy,
         n_workers: sc.workers,
+        shards: 1,
         queue_caps: vec![1, sc.high_queue],
         batch_size: sc.batch_size(),
         arrival_interval: sim.us_to_cycles(sc.arrival_us),

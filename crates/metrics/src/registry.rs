@@ -53,10 +53,12 @@ pub enum Counter {
     WorkersRespawned,
     WorkersQuarantined,
     OrphansAborted,
+    Steals,
+    Shootdowns,
 }
 
 /// Number of fixed counters (the width of a shard's counter block).
-pub const COUNTERS: usize = 31;
+pub const COUNTERS: usize = 33;
 
 impl Counter {
     /// Every counter, in export order.
@@ -92,6 +94,8 @@ impl Counter {
         Counter::WorkersRespawned,
         Counter::WorkersQuarantined,
         Counter::OrphansAborted,
+        Counter::Steals,
+        Counter::Shootdowns,
     ];
 
     pub fn name(self) -> &'static str {
@@ -127,6 +131,8 @@ impl Counter {
             Counter::WorkersRespawned => "workers_respawned",
             Counter::WorkersQuarantined => "workers_quarantined",
             Counter::OrphansAborted => "orphans_aborted",
+            Counter::Steals => "sched_steals",
+            Counter::Shootdowns => "sched_shootdowns",
         }
     }
 
@@ -163,6 +169,8 @@ impl Counter {
             Counter::WorkersRespawned => "Dead workers respawned with a fresh context",
             Counter::WorkersQuarantined => "Workers quarantined after exhausting respawns",
             Counter::OrphansAborted => "Orphaned transactions aborted centrally (slots force-released)",
+            Counter::Steals => "Requests stolen from a same-shard sibling's queue tail",
+            Counter::Shootdowns => "Starved requests moved cross-shard with a uintr kick",
         }
     }
 }
@@ -870,6 +878,16 @@ impl MetricsRegistry {
 
     /// One-pass cumulative read of the controller's sensor series.
     pub fn sensor_totals(&self) -> SensorTotals {
+        self.sensor_totals_where(|_, _| true)
+    }
+
+    /// [`sensor_totals`](Self::sensor_totals) restricted to the shards
+    /// whose `(label, index)` satisfies `pred` — how a shard-local
+    /// controller on the sharded scheduling plane reads only its own
+    /// workers' series. With an always-true predicate this is exactly
+    /// the global read, so single-shard runs are byte-identical to the
+    /// pre-sharding trajectory.
+    pub fn sensor_totals_where(&self, pred: impl Fn(&'static str, u32) -> bool) -> SensorTotals {
         let mut t = SensorTotals::zero();
         let shards = self
             .inner
@@ -877,6 +895,10 @@ impl MetricsRegistry {
             .lock()
             .expect("metrics shard list poisoned");
         for s in shards.iter() {
+            let (label, index) = s.label();
+            if !pred(label, index) {
+                continue;
+            }
             t.high_completed += s.counter(Counter::TxnCompletedHigh);
             t.low_completed += s.counter(Counter::TxnCompletedLow);
             t.aborts += s.counter(Counter::TxnAborted);

@@ -88,6 +88,33 @@ impl AdmissionControl {
         }
     }
 
+    /// Derives a fresh per-shard limiter from this one's parameters:
+    /// each shard gets `1/shards` of the rate (per-token cycle cost
+    /// multiplied) and of the burst (floored at 1 token), so `shards`
+    /// copies admit roughly the same aggregate load as the original.
+    /// Unlimited controllers stay unlimited. Counters start at zero.
+    pub fn split(&self, shards: usize) -> AdmissionControl {
+        if self.cycles_per_token == 0 {
+            return AdmissionControl::unlimited();
+        }
+        let (cycles_per_token, burst) = if shards <= 1 {
+            (self.cycles_per_token, self.burst)
+        } else {
+            (
+                self.cycles_per_token.saturating_mul(shards as u64),
+                (self.burst / shards as u64).max(1),
+            )
+        };
+        AdmissionControl {
+            cycles_per_token,
+            burst,
+            credit_cycles: burst.saturating_mul(cycles_per_token),
+            last_refill: now_cycles(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
     pub fn admitted(&self) -> u64 {
         self.admitted
     }
@@ -127,6 +154,25 @@ impl<F: crate::scheduler::WorkloadFactory> crate::scheduler::WorkloadFactory
         } else {
             None
         }
+    }
+
+    /// Splits only when the inner workload splits; each part is wrapped
+    /// with a per-shard limiter from [`AdmissionControl::split`], so the
+    /// aggregate admitted load matches the unsharded configuration.
+    fn try_split(
+        &mut self,
+        shards: usize,
+    ) -> Option<Vec<Box<dyn crate::scheduler::WorkloadFactory>>> {
+        let parts = self.inner.try_split(shards)?;
+        Some(
+            parts
+                .into_iter()
+                .map(|p| {
+                    Box::new(AdmittedFactory::new(p, self.control.split(shards)))
+                        as Box<dyn crate::scheduler::WorkloadFactory>
+                })
+                .collect(),
+        )
     }
 }
 

@@ -1,0 +1,537 @@
+//! The sharded plane's stealing deque: a bounded lock-free MPMC ring
+//! with FIFO local dispatch (`push`/`pop`) and LIFO stealing from the
+//! tail (`steal`), so a thief takes the *newest* request while the
+//! owner keeps draining the oldest — the classic work-stealing split,
+//! here applied to bounded per-worker run queues.
+//!
+//! ## Protocol
+//!
+//! All index state lives in one packed word, [`state`](StealDeque):
+//!
+//! ```text
+//! bits 63..32   stamp — bumped on every successful claim (ABA guard)
+//! bits 31..16   head  — ring index of the oldest element
+//! bits 15..0    len   — number of live elements
+//! ```
+//!
+//! Every operation first *claims* its slot with a single
+//! `compare_exchange` on the word (push reserves `head + len`, pop
+//! advances `head`, steal shrinks `len` from the tail), then completes
+//! the element handoff through that slot's `AtomicPtr`:
+//!
+//! * a **pop/steal** that won its claim swaps the slot to null and owns
+//!   whatever pointer comes out — spinning briefly if the push that
+//!   reserved the slot has not stored yet;
+//! * a **push** that won its claim waits for the slot to read null
+//!   (a previous pop may have claimed the index but not yet swapped the
+//!   old pointer out) and then stores with `Release`.
+//!
+//! The stamp makes the word-CAS immune to ABA: a claim computed against
+//! a stale snapshot can never succeed, because even a head/len pattern
+//! that recurred carries a different stamp. The window between a
+//! successful claim and the slot swap/store is the deque's
+//! **non-preemptible region** — a fiber parked there stalls every peer
+//! spinning on the same slot, which is why the worker's steal path runs
+//! under a `NonPreemptGuard` and why preempt-lint's `shard-deque`
+//! protocol rows pin these orderings (see `crates/analysis`'s spec
+//! table; the loom model `steal_deque_no_lost_or_duplicated_requests`
+//! proves the claim/handoff split).
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use crate::request::Request;
+
+const LEN_SHIFT: u32 = 0;
+const HEAD_SHIFT: u32 = 16;
+const STAMP_SHIFT: u32 = 32;
+const FIELD_MASK: u64 = 0xFFFF;
+
+#[inline]
+fn pack(stamp: u32, head: u16, len: u16) -> u64 {
+    (u64::from(stamp) << STAMP_SHIFT)
+        | (u64::from(head) << HEAD_SHIFT)
+        | (u64::from(len) << LEN_SHIFT)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u16, u16) {
+    (
+        (word >> STAMP_SHIFT) as u32,
+        ((word >> HEAD_SHIFT) & FIELD_MASK) as u16,
+        ((word >> LEN_SHIFT) & FIELD_MASK) as u16,
+    )
+}
+
+/// Bounded lock-free stealing deque of [`Request`]s.
+///
+/// `push` appends at the tail, `pop` takes the oldest element (FIFO —
+/// per-level priority order within a shard is preserved), `steal` takes
+/// the *newest* element from the tail. Any thread may call any
+/// operation; the scheduler's cross-shard shootdown path makes foreign
+/// pushers a normal case, not an exception.
+pub struct StealDeque {
+    /// Packed `stamp | head | len` word; see the module docs.
+    state: AtomicU64,
+    /// Ring of owned `Request` pointers; null = empty/in-handoff.
+    slots: Box<[AtomicPtr<Request>]>,
+}
+
+// SAFETY: requests are moved in and out whole through owned raw
+// pointers; `Request` is `Send`, and the claim protocol hands each slot
+// to exactly one owner at a time.
+unsafe impl Send for StealDeque {}
+// SAFETY: as above — all shared mutation goes through the atomics.
+unsafe impl Sync for StealDeque {}
+
+impl StealDeque {
+    /// Creates a deque holding at most `capacity` requests
+    /// (`capacity >= 1`; the ring index arithmetic needs `< u16::MAX`).
+    pub fn new(capacity: usize) -> StealDeque {
+        let capacity = capacity.max(1);
+        assert!(
+            capacity < u16::MAX as usize,
+            "StealDeque capacity must fit the packed index field"
+        );
+        StealDeque {
+            state: AtomicU64::new(0),
+            slots: (0..capacity)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn len(&self) -> usize {
+        let (_, _, len) = unpack(self.state.load(Ordering::Acquire));
+        len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.len() == self.capacity()
+    }
+
+    /// Claims a transition of the packed word. `f` maps the current
+    /// `(head, len)` to the claimed `(new_head, new_len, slot_index)`,
+    /// or `None` to abandon (empty/full). Returns the claimed slot.
+    #[inline]
+    fn claim<F>(&self, f: F) -> Option<usize>
+    where
+        F: Fn(u16, u16) -> Option<(u16, u16, usize)>,
+    {
+        let mut cur = self.state.load(Ordering::Acquire);
+        loop {
+            let (stamp, head, len) = unpack(cur);
+            let (new_head, new_len, idx) = f(head, len)?;
+            let next = pack(stamp.wrapping_add(1), new_head, new_len);
+            match self
+                .state
+                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(idx),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Appends a request at the tail; `Err` gives it back when full.
+    pub fn push(&self, req: Request) -> Result<(), Request> {
+        let cap = self.capacity();
+        let Some(idx) = self.claim(|head, len| {
+            if len as usize == cap {
+                return None;
+            }
+            let idx = (head as usize + len as usize) % cap;
+            Some((head, len + 1, idx))
+        }) else {
+            return Err(req);
+        };
+        let ptr = Box::into_raw(Box::new(req));
+        let slot = &self.slots[idx];
+        // A pop/steal that claimed this index may not have swapped the
+        // old pointer out yet; never overwrite a live element.
+        while !slot.load(Ordering::Acquire).is_null() {
+            std::hint::spin_loop();
+        }
+        slot.store(ptr, Ordering::Release);
+        Ok(())
+    }
+
+    /// Takes the pointer out of a claimed slot, waiting out an
+    /// in-flight push that has reserved but not yet stored.
+    #[inline]
+    fn take_slot(&self, idx: usize) -> Request {
+        let slot = &self.slots[idx];
+        loop {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+            if !ptr.is_null() {
+                // SAFETY: the claim gave this thread exclusive ownership
+                // of the slot's element; the pointer came from
+                // `Box::into_raw` in `push`.
+                return *unsafe { Box::from_raw(ptr) };
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Removes the oldest request (the owner's FIFO dispatch path).
+    pub fn pop(&self) -> Option<Request> {
+        let cap = self.capacity();
+        let idx = self.claim(|head, len| {
+            if len == 0 {
+                return None;
+            }
+            let next_head = ((head as usize + 1) % cap) as u16;
+            Some((next_head, len - 1, head as usize))
+        })?;
+        Some(self.take_slot(idx))
+    }
+
+    /// Removes the newest request (the thief's path: steal from the
+    /// tail so the victim keeps its oldest — and most starved — work).
+    pub fn steal(&self) -> Option<Request> {
+        let cap = self.capacity();
+        let idx = self.claim(|head, len| {
+            if len == 0 {
+                return None;
+            }
+            let idx = (head as usize + len as usize - 1) % cap;
+            Some((head, len - 1, idx))
+        })?;
+        Some(self.take_slot(idx))
+    }
+}
+
+impl Drop for StealDeque {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+            if !ptr.is_null() {
+                // SAFETY: dropping with `&mut self` — no other owner —
+                // and non-null slots hold pointers from `Box::into_raw`.
+                drop(unsafe { Box::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkOutcome;
+    use std::collections::VecDeque;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    fn req(tag: u64) -> Request {
+        Request::new("t", 0, tag, WorkOutcome::default)
+    }
+
+    /// `created_at` doubles as the test payload tag.
+    fn tag(r: &Request) -> u64 {
+        r.created_at
+    }
+
+    #[test]
+    fn pop_is_fifo() {
+        let d = StealDeque::new(4);
+        for i in 0..4 {
+            d.push(req(i)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(tag(&d.pop().unwrap()), i);
+        }
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn steal_takes_newest() {
+        let d = StealDeque::new(4);
+        for i in 0..3 {
+            d.push(req(i)).unwrap();
+        }
+        assert_eq!(tag(&d.steal().unwrap()), 2, "steal takes the tail");
+        assert_eq!(tag(&d.pop().unwrap()), 0, "owner keeps the oldest");
+        assert_eq!(tag(&d.steal().unwrap()), 1);
+        assert!(d.steal().is_none());
+    }
+
+    #[test]
+    fn bounded_capacity_rejects_overflow() {
+        let d = StealDeque::new(2);
+        d.push(req(0)).unwrap();
+        d.push(req(1)).unwrap();
+        let back = d.push(req(2)).unwrap_err();
+        assert_eq!(tag(&back), 2, "rejected request is returned intact");
+        assert!(d.is_full());
+        d.pop().unwrap();
+        d.push(req(3)).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let d = StealDeque::new(3);
+        // Drive head around the ring several times.
+        let mut next = 0u64;
+        let mut expect = 0u64;
+        for _ in 0..10 {
+            while d.push(req(next)).is_ok() {
+                next += 1;
+            }
+            assert_eq!(tag(&d.pop().unwrap()), expect);
+            expect += 1;
+            assert_eq!(tag(&d.pop().unwrap()), expect);
+            expect += 1;
+        }
+    }
+
+    #[test]
+    fn drop_frees_live_elements() {
+        let d = StealDeque::new(8);
+        for i in 0..5 {
+            d.push(req(i)).unwrap();
+        }
+        drop(d); // Miri/asan shape: no leak, no double free.
+    }
+
+    /// Concurrent owner + thief + producer: every pushed tag is consumed
+    /// exactly once, across pops and steals combined.
+    #[test]
+    fn concurrent_push_pop_steal_loses_nothing() {
+        const N: u64 = 2_000;
+        let d = Arc::new(StealDeque::new(8));
+        let popped = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let stolen = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let done = Arc::new(AtomicUsize::new(0));
+
+        let producer = {
+            let d = d.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while i < N {
+                    if d.push(req(i)).is_ok() {
+                        i += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+                done.store(1, Ordering::Release);
+            })
+        };
+        let owner = {
+            let d = d.clone();
+            let popped = popped.clone();
+            let done = done.clone();
+            std::thread::spawn(move || loop {
+                match d.pop() {
+                    Some(r) => popped.lock().push(tag(&r)),
+                    None if done.load(Ordering::Acquire) == 1 && d.is_empty() => break,
+                    None => std::thread::yield_now(),
+                }
+            })
+        };
+        let thief = {
+            let d = d.clone();
+            let stolen = stolen.clone();
+            let done = done.clone();
+            std::thread::spawn(move || loop {
+                match d.steal() {
+                    Some(r) => stolen.lock().push(tag(&r)),
+                    None if done.load(Ordering::Acquire) == 1 && d.is_empty() => break,
+                    None => std::thread::yield_now(),
+                }
+            })
+        };
+        producer.join().unwrap();
+        owner.join().unwrap();
+        thief.join().unwrap();
+
+        let mut all: Vec<u64> = popped.lock().clone();
+        all.extend(stolen.lock().iter().copied());
+        all.sort_unstable();
+        let want: Vec<u64> = (0..N).collect();
+        assert_eq!(all, want, "every request consumed exactly once");
+        // The owner's view alone is still in FIFO order.
+        let p = popped.lock();
+        assert!(p.windows(2).all(|w| w[0] < w[1]), "pops preserve FIFO order");
+    }
+
+    /// Two producers racing into one small ring: the MPMC shape the
+    /// cross-shard shootdown path creates (a foreign scheduler pushing
+    /// into a queue its owner also fills).
+    #[test]
+    fn concurrent_producers_never_duplicate() {
+        const PER: u64 = 1_000;
+        let d = Arc::new(StealDeque::new(4));
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let mut producers = Vec::new();
+        for p in 0..2u64 {
+            let d = d.clone();
+            producers.push(std::thread::spawn(move || {
+                let mut i = 0;
+                while i < PER {
+                    if d.push(req(p * PER + i)).is_ok() {
+                        i += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        let consumer = {
+            let d = d.clone();
+            let seen = seen.clone();
+            std::thread::spawn(move || {
+                let mut got = 0;
+                while got < 2 * PER {
+                    if let Some(r) = d.pop() {
+                        seen.lock().push(tag(&r));
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        consumer.join().unwrap();
+        let mut all = seen.lock().clone();
+        all.sort_unstable();
+        let want: Vec<u64> = (0..2 * PER).collect();
+        assert_eq!(all, want);
+    }
+
+    // ---- property tests (vendored proptest stub; deterministic) ----
+
+    use proptest::prelude::*;
+
+    /// 0 = push, 1 = pop, 2 = steal.
+    fn apply(d: &StealDeque, model: &mut VecDeque<u64>, op: u8, next: &mut u64) -> Option<String> {
+        match op % 3 {
+            0 => {
+                let r = d.push(req(*next));
+                if model.len() < d.capacity() {
+                    if r.is_err() {
+                        return Some(format!("push of {next} rejected below capacity"));
+                    }
+                    model.push_back(*next);
+                    *next += 1;
+                } else if r.is_ok() {
+                    return Some("push accepted past capacity".to_string());
+                }
+            }
+            1 => {
+                let got = d.pop().map(|r| tag(&r));
+                let want = model.pop_front();
+                if got != want {
+                    return Some(format!("pop: got {got:?}, model says {want:?}"));
+                }
+            }
+            _ => {
+                let got = d.steal().map(|r| tag(&r));
+                let want = model.pop_back();
+                if got != want {
+                    return Some(format!("steal: got {got:?}, model says {want:?}"));
+                }
+            }
+        }
+        None
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Sequential linearizability against a `VecDeque` model: any
+        /// interleaving of push/pop/steal matches push_back / pop_front
+        /// / pop_back exactly — no lost, duplicated, or reordered
+        /// requests, and FIFO (priority) order is preserved for pops.
+        #[test]
+        fn matches_vecdeque_model(
+            cap in 1usize..9,
+            ops in prop::collection::vec(0u8..3, 1..200),
+        ) {
+            let d = StealDeque::new(cap);
+            let mut model = VecDeque::new();
+            let mut next = 0u64;
+            for op in ops {
+                if let Some(err) = apply(&d, &mut model, op, &mut next) {
+                    prop_assert!(false, "{}", err);
+                }
+                prop_assert_eq!(d.len(), model.len());
+            }
+            // Drain: the leftovers agree element-for-element.
+            while let Some(want) = model.pop_front() {
+                let got = d.pop().map(|r| tag(&r));
+                prop_assert_eq!(got, Some(want));
+            }
+            prop_assert!(d.pop().is_none());
+            prop_assert!(d.steal().is_none());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Concurrency property: under an arbitrary split of consumers
+        /// into poppers and stealers racing one producer, every request
+        /// is consumed exactly once (no lost or duplicated requests).
+        #[test]
+        fn concurrent_interleavings_conserve_requests(
+            cap in 1usize..6,
+            n in 50u64..300,
+            stealers in 0usize..3,
+            poppers in 1usize..3,
+        ) {
+            let d = Arc::new(StealDeque::new(cap));
+            let produced = Arc::new(AtomicUsize::new(0));
+            let consumed = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+            let producer = {
+                let d = d.clone();
+                let produced = produced.clone();
+                std::thread::spawn(move || {
+                    let mut i = 0u64;
+                    while i < n {
+                        if d.push(req(i)).is_ok() {
+                            i += 1;
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                    produced.store(1, Ordering::Release);
+                })
+            };
+            let mut consumers = Vec::new();
+            for steals in (0..poppers).map(|_| false).chain((0..stealers).map(|_| true)) {
+                let d = d.clone();
+                let produced = produced.clone();
+                let consumed = consumed.clone();
+                consumers.push(std::thread::spawn(move || loop {
+                    let got = if steals { d.steal() } else { d.pop() };
+                    match got {
+                        Some(r) => consumed.lock().push(tag(&r)),
+                        None if produced.load(Ordering::Acquire) == 1 && d.is_empty() => break,
+                        None => std::thread::yield_now(),
+                    }
+                }));
+            }
+            producer.join().unwrap();
+            for c in consumers {
+                c.join().unwrap();
+            }
+            let mut all = consumed.lock().clone();
+            all.sort_unstable();
+            let want: Vec<u64> = (0..n).collect();
+            prop_assert_eq!(all, want, "requests lost or duplicated");
+        }
+    }
+}

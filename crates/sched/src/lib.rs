@@ -21,6 +21,7 @@
 pub mod admission;
 pub mod clock;
 pub mod controller;
+pub mod deque;
 pub mod metrics;
 pub mod policy;
 pub mod request;
@@ -30,6 +31,7 @@ pub mod starvation;
 pub mod worker;
 
 pub use admission::{AdmissionControl, AdmittedFactory};
+pub use deque::StealDeque;
 pub use controller::{
     Controller, ControllerConfig, ControllerReport, Decision, SensorSnapshot, ThresholdPoint,
 };
@@ -38,8 +40,9 @@ pub use policy::{Policy, STARVATION_DISABLED};
 pub use request::{Priority, Request, RequestQueue, WorkOutcome};
 pub use runner::{cross_check_registry, run, RunReport, Runtime, WorkerTotals};
 pub use scheduler::{
-    scheduler_main, DriverConfig, RecoveryHooks, RobustnessConfig, SchedRun, SchedulerStats,
-    SpawnFn, SweepFn, WorkloadFactory,
+    scheduler_main, scheduler_shard_main, split_factory, DriverConfig, RecoveryHooks,
+    RobustnessConfig, SchedRun, SchedulerStats, SharedFactory, SpawnFn, SweepFn,
+    WorkloadFactory,
 };
 pub use starvation::StarvationState;
 pub use worker::{worker_main, yield_hint, WakeTarget, WorkerShared};

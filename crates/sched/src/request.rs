@@ -6,7 +6,7 @@
 //! kind label, priority level, and the generation timestamp the latency
 //! metrics are measured from.
 
-use crossbeam::queue::ArrayQueue;
+use crate::deque::StealDeque;
 
 /// Priority level: 0 = lowest ("normal"); higher numbers are more urgent.
 /// The paper's configuration uses two levels (low/high); more levels are
@@ -112,15 +112,19 @@ impl std::fmt::Debug for Request {
     }
 }
 
-/// A bounded lock-free dispatch queue (one per worker per priority).
+/// A bounded lock-free dispatch queue (one per worker per priority),
+/// backed by the sharded plane's [`StealDeque`]: the owner pops FIFO,
+/// same-shard siblings may [`steal`](RequestQueue::steal) the newest
+/// entry from the tail, and foreign schedulers may push (the
+/// cross-shard shootdown path).
 pub struct RequestQueue {
-    q: ArrayQueue<Request>,
+    q: StealDeque,
 }
 
 impl RequestQueue {
     pub fn new(capacity: usize) -> RequestQueue {
         RequestQueue {
-            q: ArrayQueue::new(capacity.max(1)),
+            q: StealDeque::new(capacity.max(1)),
         }
     }
 
@@ -131,6 +135,13 @@ impl RequestQueue {
 
     pub fn pop(&self) -> Option<Request> {
         self.q.pop()
+    }
+
+    /// Removes the newest request from the tail (work stealing): the
+    /// thief takes the most recently dispatched work, leaving the
+    /// victim's oldest — and most latency-critical — entries in place.
+    pub fn steal(&self) -> Option<Request> {
+        self.q.steal()
     }
 
     pub fn len(&self) -> usize {

@@ -9,7 +9,10 @@ use preempt_sim::{SimConfig, Simulation};
 
 use crate::controller::ControllerReport;
 use crate::metrics::Metrics;
-use crate::scheduler::{scheduler_main, DriverConfig, SchedRun, SchedulerStats, WorkloadFactory};
+use crate::scheduler::{
+    scheduler_main, scheduler_shard_main, split_factory, DriverConfig, SchedRun, SchedulerStats,
+    WorkloadFactory,
+};
 use crate::worker::{worker_main, WakeTarget, WorkerShared};
 
 /// Worker main-context stack size (runs full transaction logic).
@@ -39,6 +42,9 @@ pub struct WorkerTotals {
     /// Transactions that panicked and were contained by the worker's
     /// panic firewall (turned into typed aborts), summed over workers.
     pub panics: u64,
+    /// Requests stolen from same-shard siblings' queue tails, summed
+    /// over workers (sharded plane only; 0 when `shards == 1`).
+    pub steals: u64,
 }
 
 /// Everything measured in one run.
@@ -198,6 +204,7 @@ fn collect(
         totals.uintr_deferred += w.uintr_deferred.load(Ordering::Relaxed);
         totals.busy_cycles += w.busy_cycles.load(Ordering::Relaxed);
         totals.panics += w.worker_panics.load(Ordering::Relaxed);
+        totals.steals += w.steals.load(Ordering::Relaxed);
         panic_messages.extend(w.panics.lock().iter().cloned());
     }
     let trace = cfg.trace.as_ref().map(|s| s.merge());
@@ -361,7 +368,77 @@ pub fn cross_check_registry(report: &RunReport) -> Result<(), String> {
         s.orphans_aborted,
         snap.counter(Counter::OrphansAborted),
     )?;
+    // Sharded plane: steals are recorded by the thief worker, shootdowns
+    // by the wedged scheduler shard; both planes see the same events.
+    err("steals", report.workers.steals, snap.counter(Counter::Steals))?;
+    err("shootdowns", s.shootdowns, snap.counter(Counter::Shootdowns))?;
     Ok(())
+}
+
+/// Contiguous worker id ranges for `shards` scheduler shards (the first
+/// `n_workers % shards` shards get one extra worker). `shards` is
+/// clamped to `[1, n_workers]`.
+fn shard_ranges(n_workers: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.clamp(1, n_workers.max(1));
+    let base = n_workers / shards;
+    let extra = n_workers % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Wires each worker's same-shard steal peers, pre-rotated to start just
+/// after the worker's own id. Called only when the plane is sharded —
+/// an unset peer list disables stealing, keeping single-shard runs
+/// byte-identical to the pre-sharding scheduler.
+fn wire_steal_peers(workers: &[Arc<WorkerShared>], ranges: &[std::ops::Range<usize>]) {
+    for range in ranges {
+        for i in range.clone() {
+            let mut peers = Vec::with_capacity(range.len().saturating_sub(1));
+            for off in 1..range.len() {
+                let j = range.start + (i - range.start + off) % range.len();
+                peers.push(Arc::downgrade(&workers[j]));
+            }
+            let _ = workers[i].steal_peers.set(peers);
+        }
+    }
+}
+
+/// Merges per-shard [`SchedRun`]s: stats are summed; the controller
+/// trajectory and registry come from the lowest shard that produced one
+/// (all shards share the run's registry, so any shard's handle works).
+fn merge_shard_runs(outs: Vec<Arc<Mutex<SchedRun>>>) -> SchedRun {
+    let mut it = outs.into_iter();
+    let first = it.next().expect("at least one scheduler shard");
+    let mut merged = first.lock().clone();
+    for out in it {
+        let run = out.lock();
+        merged.stats.absorb(&run.stats);
+        if merged.controller.is_none() {
+            merged.controller = run.controller.clone();
+        }
+        if merged.registry.is_none() {
+            merged.registry = run.registry.clone();
+        }
+    }
+    merged
+}
+
+/// Sharded adaptive runs need one shared sensor plane: when the config
+/// carries no registry but the policy runs a controller, each shard
+/// would otherwise create a private fallback registry and the per-shard
+/// sensor reads (and the run's cross-check) would see disjoint planes.
+fn ensure_shared_registry(cfg: &mut DriverConfig, shards: usize) {
+    if shards > 1 && cfg.metrics.is_none() && cfg.policy.controller_config().is_some() {
+        cfg.metrics = Some(preempt_metrics::MetricsRegistry::new(
+            preempt_metrics::MetricsConfig::default(),
+        ));
+    }
 }
 
 /// Registers one trace ring per worker when the config carries a session.
@@ -390,14 +467,20 @@ fn register_worker_shards(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
 fn run_simulated(
     sim_cfg: SimConfig,
     mut cfg: DriverConfig,
-    mut factory: Box<dyn WorkloadFactory>,
+    factory: Box<dyn WorkloadFactory>,
 ) -> RunReport {
+    let shards = cfg.shards.clamp(1, cfg.n_workers.max(1));
+    ensure_shared_registry(&mut cfg, shards);
     let sim = Simulation::new(sim_cfg);
     let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
     register_worker_rings(&cfg, &workers);
     register_worker_shards(&cfg, &workers);
+    let ranges = shard_ranges(cfg.n_workers, shards);
+    if shards > 1 {
+        wire_steal_peers(&workers, &ranges);
+    }
     for w in &workers {
         let ws = w.clone();
         let policy = cfg.policy;
@@ -418,17 +501,24 @@ fn run_simulated(
             w.set_wake_target(WakeTarget::Sim(core));
         }));
     }
-    let sched_out = Arc::new(Mutex::new(SchedRun::default()));
-    {
-        let workers = workers.clone();
+    // One scheduler core per shard, each owning a contiguous worker
+    // slice and its own slice of the workload. A 1-shard plane spawns
+    // exactly the pre-sharding scheduler.
+    let parts = split_factory(factory, shards);
+    let sched_outs: Vec<Arc<Mutex<SchedRun>>> = (0..shards)
+        .map(|_| Arc::new(Mutex::new(SchedRun::default())))
+        .collect();
+    for (si, (mut part, range)) in parts.into_iter().zip(ranges).enumerate() {
+        let local: Vec<Arc<WorkerShared>> = workers[range].to_vec();
+        let all = workers.clone();
         let cfg = cfg.clone();
-        let out = sched_out.clone();
+        let out = sched_outs[si].clone();
         sim.spawn_core("scheduler", SCHED_STACK, move || {
-            *out.lock() = scheduler_main(&cfg, &workers, &mut *factory);
+            *out.lock() = scheduler_shard_main(&cfg, si, &local, &all, &mut part);
         });
     }
     sim.run();
-    let sched = sched_out.lock().clone();
+    let sched = merge_shard_runs(sched_outs);
     let mut report = collect(&cfg, &workers, sched, sim_cfg.freq_hz);
     report.faults = sim.fault_stats();
     report.fault_trace = sim.fault_trace();
@@ -437,11 +527,17 @@ fn run_simulated(
 }
 
 fn run_threads(mut cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> RunReport {
+    let shards = cfg.shards.clamp(1, cfg.n_workers.max(1));
+    ensure_shared_registry(&mut cfg, shards);
     let workers: Vec<Arc<WorkerShared>> = (0..cfg.n_workers)
         .map(|i| WorkerShared::new(i, &cfg.queue_caps))
         .collect();
     register_worker_rings(&cfg, &workers);
     register_worker_shards(&cfg, &workers);
+    let ranges = shard_ranges(cfg.n_workers, shards);
+    if shards > 1 {
+        wire_steal_peers(&workers, &ranges);
+    }
     // Default respawn hook: replacement OS threads, with their handles
     // parked so the run can join them before collecting metrics.
     let respawned: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
@@ -484,7 +580,30 @@ fn run_threads(mut cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> 
                 .expect("spawn worker"),
         );
     }
-    let sched = scheduler_main(&cfg, &workers, &mut *factory);
+    let sched = if shards <= 1 {
+        scheduler_main(&cfg, &workers, &mut *factory)
+    } else {
+        // One scheduler thread per shard, joined before collection.
+        let parts = split_factory(factory, shards);
+        let sched_outs: Vec<Arc<Mutex<SchedRun>>> = (0..shards)
+            .map(|_| Arc::new(Mutex::new(SchedRun::default())))
+            .collect();
+        std::thread::scope(|scope| {
+            for (si, (mut part, range)) in parts.into_iter().zip(ranges).enumerate() {
+                let local: Vec<Arc<WorkerShared>> = workers[range].to_vec();
+                let all = workers.clone();
+                let cfg = &cfg;
+                let out = sched_outs[si].clone();
+                std::thread::Builder::new()
+                    .name(format!("scheduler-{si}"))
+                    .spawn_scoped(scope, move || {
+                        *out.lock() = scheduler_shard_main(cfg, si, &local, &all, &mut part);
+                    })
+                    .expect("spawn scheduler shard");
+            }
+        });
+        merge_shard_runs(sched_outs)
+    };
     // A worker thread the supervisor declared dead may have exited via a
     // contained panic; a failed join is the expected shape of that, not
     // a run failure (the report carries the panic counters).
@@ -567,6 +686,7 @@ mod tests {
         DriverConfig {
             policy,
             n_workers: 4,
+            shards: 1,
             queue_caps: vec![1, 4],
             batch_size: 16,
             arrival_interval: 2_400_000, // 1 ms

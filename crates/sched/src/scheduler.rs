@@ -42,6 +42,71 @@ pub trait WorkloadFactory: Send {
     /// Next high-priority transaction, or `None` if none (e.g. the
     /// overhead experiment of Figure 8 sends empty interrupts only).
     fn make_high(&mut self, now: u64) -> Option<Request>;
+
+    /// Splits this factory into `shards` independent per-shard factories
+    /// (consuming `self`'s state by draining it through `&mut`). Return
+    /// `None` (the default) when the workload has no natural partition;
+    /// the runner then falls back to a mutex-shared wrapper (see
+    /// [`split_factory`]), which is still deterministic under the
+    /// simulator because shards run interleaved on one OS thread.
+    fn try_split(&mut self, shards: usize) -> Option<Vec<Box<dyn WorkloadFactory>>> {
+        let _ = shards;
+        None
+    }
+}
+
+impl WorkloadFactory for Box<dyn WorkloadFactory> {
+    fn make_low(&mut self, now: u64) -> Option<Request> {
+        (**self).make_low(now)
+    }
+    fn make_high(&mut self, now: u64) -> Option<Request> {
+        (**self).make_high(now)
+    }
+    fn try_split(&mut self, shards: usize) -> Option<Vec<Box<dyn WorkloadFactory>>> {
+        (**self).try_split(shards)
+    }
+}
+
+/// A [`WorkloadFactory`] handle shared between scheduler shards via a
+/// mutex — the fallback when a workload cannot be partitioned. Each
+/// `make_*` call locks for exactly one request, so shards interleave at
+/// request granularity.
+pub struct SharedFactory {
+    inner: Arc<parking_lot::Mutex<Box<dyn WorkloadFactory>>>,
+}
+
+impl WorkloadFactory for SharedFactory {
+    fn make_low(&mut self, now: u64) -> Option<Request> {
+        self.inner.lock().make_low(now)
+    }
+    fn make_high(&mut self, now: u64) -> Option<Request> {
+        self.inner.lock().make_high(now)
+    }
+}
+
+/// Splits `factory` into one factory per scheduler shard: the factory's
+/// own [`WorkloadFactory::try_split`] when it has one, else
+/// [`SharedFactory`] clones of a single mutex-guarded instance.
+pub fn split_factory(
+    factory: Box<dyn WorkloadFactory>,
+    shards: usize,
+) -> Vec<Box<dyn WorkloadFactory>> {
+    let mut factory = factory;
+    if shards <= 1 {
+        return vec![factory];
+    }
+    if let Some(parts) = factory.try_split(shards) {
+        assert_eq!(parts.len(), shards, "try_split must return one factory per shard");
+        return parts;
+    }
+    let shared = Arc::new(parking_lot::Mutex::new(factory));
+    (0..shards)
+        .map(|_| {
+            Box::new(SharedFactory {
+                inner: shared.clone(),
+            }) as Box<dyn WorkloadFactory>
+        })
+        .collect()
 }
 
 /// Robustness knobs: delivery watchdog, per-request deadlines/retries,
@@ -231,6 +296,17 @@ impl std::fmt::Debug for RecoveryHooks {
 pub struct DriverConfig {
     pub policy: Policy,
     pub n_workers: usize,
+    /// Scheduler-plane shards. `1` (the default) is the paper's single
+    /// scheduling thread and reproduces its trajectories exactly. With
+    /// `S > 1` the runner partitions workers contiguously into `S`
+    /// groups, each owned by its own scheduler shard with local
+    /// admission, dispatch, watchdog, supervision and controller;
+    /// same-shard workers steal from each other's queue tails, and a
+    /// shard whose queues are wedged moves starved high-priority work
+    /// cross-shard with a uintr kick (shootdown). `batch_size` and the
+    /// workload factory are split per shard (see
+    /// [`split_factory`]).
+    pub shards: usize,
     /// Queue capacity per priority level: `[low, high, ...]`.
     pub queue_caps: Vec<usize>,
     /// High-priority batch size per arrival; the paper uses
@@ -272,6 +348,7 @@ impl DriverConfig {
         DriverConfig {
             policy,
             n_workers,
+            shards: 1,
             queue_caps: vec![1, high_cap],
             batch_size: n_workers * high_cap,
             arrival_interval: 2_400_000, // 1 ms at 2.4 GHz
@@ -334,6 +411,38 @@ pub struct SchedulerStats {
     pub orphan_latches_released: u64,
     /// Queued requests rejected when their worker was quarantined.
     pub rejected_orphaned: u64,
+    /// Starved high-priority requests moved to a foreign shard's worker
+    /// with a uintr kick after this shard's dispatch gave up (the
+    /// cross-shard shootdown path; always 0 when `shards == 1`).
+    pub shootdowns: u64,
+}
+
+impl SchedulerStats {
+    /// Sums another scheduler shard's counters into this one (the runner
+    /// merges per-shard stats into the report's single plane).
+    pub fn absorb(&mut self, o: &SchedulerStats) {
+        self.ticks += o.ticks;
+        self.dispatched_low += o.dispatched_low;
+        self.dispatched_high += o.dispatched_high;
+        self.dropped_high += o.dropped_high;
+        self.skipped_starving += o.skipped_starving;
+        self.interrupts_sent += o.interrupts_sent;
+        self.watchdog_resends += o.watchdog_resends;
+        self.abandoned_batches += o.abandoned_batches;
+        self.retry_abandoned_high += o.retry_abandoned_high;
+        self.controller_evals += o.controller_evals;
+        self.dispatch_faults += o.dispatch_faults;
+        self.delivery_errors += o.delivery_errors;
+        self.policy_downgrades += o.policy_downgrades;
+        self.policy_upgrades += o.policy_upgrades;
+        self.workers_dead += o.workers_dead;
+        self.workers_respawned += o.workers_respawned;
+        self.workers_quarantined += o.workers_quarantined;
+        self.orphans_aborted += o.orphans_aborted;
+        self.orphan_latches_released += o.orphan_latches_released;
+        self.rejected_orphaned += o.rejected_orphaned;
+        self.shootdowns += o.shootdowns;
+    }
 }
 
 fn sleep_until_cycles(t: u64) {
@@ -485,6 +594,78 @@ fn quarantine(
     }
 }
 
+/// Cross-shard shootdown: moves as much of a wedged shard's high-priority
+/// remainder as possible onto foreign workers' top queues, kicking each
+/// target with a user interrupt so the starved work runs ahead of the
+/// target's low-priority stream. The epoch bump inside [`send_uintr`] is
+/// benign for the foreign shard's watchdog: the interrupt is an
+/// idempotent "drain your top queue" nudge, and the target acks the
+/// fresher epoch exactly as it would for its own scheduler's sends.
+fn shootdown_remainder(
+    cfg: &DriverConfig,
+    shard_idx: usize,
+    local: &[Arc<WorkerShared>],
+    all_workers: &[Arc<WorkerShared>],
+    pending: &mut VecDeque<Request>,
+    stats: &mut SchedulerStats,
+    sched_shard: &Option<Arc<preempt_metrics::Shard>>,
+) {
+    let level = cfg.levels() as usize - 1;
+    let is_local = |id: usize| local.iter().any(|w| w.id == id);
+    let now = now_cycles();
+    'requests: while let Some(r) = pending.pop_front() {
+        let mut r = Some(r);
+        for w in all_workers {
+            if is_local(w.id) || w.is_stopped() {
+                continue;
+            }
+            // Starvation decision site 1 applies to foreign targets too:
+            // a starving worker receives no additional high work.
+            if cfg.policy.is_preemptive() && w.starvation.starving_live(now) {
+                continue;
+            }
+            let req = r.take().expect("request is present until pushed");
+            match w.queues[level].push(req) {
+                Ok(()) => {
+                    charge(DISPATCH_PUSH_COST);
+                    stats.shootdowns += 1;
+                    stats.dispatched_high += 1;
+                    if let Some(sh) = sched_shard {
+                        sh.bump(Counter::Shootdowns);
+                        sh.bump(Counter::TxnAdmittedHigh);
+                    }
+                    preempt_trace::emit(preempt_trace::TraceEvent::Shootdown {
+                        from_shard: shard_idx as u16,
+                        worker: w.id as u16,
+                    });
+                    if cfg.policy.sends_uintr() {
+                        if send_uintr(w, level as u8) {
+                            stats.interrupts_sent += 1;
+                            if let Some(sh) = sched_shard {
+                                sh.bump(Counter::UintrSent);
+                            }
+                        } else {
+                            // Don't strand the moved request behind a
+                            // failed interrupt.
+                            w.wake();
+                        }
+                    } else {
+                        w.wake();
+                    }
+                    continue 'requests;
+                }
+                Err(back) => r = Some(back),
+            }
+        }
+        // No foreign worker could take it: put it back and stop — the
+        // rest of the remainder would hit the same full queues.
+        if let Some(back) = r {
+            pending.push_front(back);
+        }
+        return;
+    }
+}
+
 /// Everything the scheduling thread hands back at the end of a run.
 #[derive(Clone, Debug, Default)]
 pub struct SchedRun {
@@ -500,17 +681,46 @@ pub struct SchedRun {
 
 /// Runs the scheduling thread until `cfg.duration` elapses, then stops
 /// all workers. Call on the dedicated scheduler thread or simulated core.
+///
+/// This is shard 0 of a 1-shard plane — see [`scheduler_shard_main`] for
+/// the sharded form. The two are trajectory-identical when
+/// `cfg.shards == 1`.
 pub fn scheduler_main(
     cfg: &DriverConfig,
     workers: &[Arc<WorkerShared>],
     factory: &mut dyn WorkloadFactory,
 ) -> SchedRun {
+    scheduler_shard_main(cfg, 0, workers, workers, factory)
+}
+
+/// Runs one shard of the scheduler plane until `cfg.duration` elapses,
+/// then stops its **own** workers.
+///
+/// `workers` is this shard's contiguous slice of the worker set;
+/// `all_workers` is the full set (used only by the cross-shard shootdown
+/// path, which moves starved high-priority work to a foreign worker when
+/// every local queue is wedged). Each shard runs its own admission,
+/// dispatch, watchdog, supervision, degradation and controller loop over
+/// its local slice, so fault containment and adaptation are shard-local.
+/// With `shard_idx == 0` and `workers == all_workers` this is exactly
+/// the single scheduling thread of the paper.
+pub fn scheduler_shard_main(
+    cfg: &DriverConfig,
+    shard_idx: usize,
+    workers: &[Arc<WorkerShared>],
+    all_workers: &[Arc<WorkerShared>],
+    factory: &mut dyn WorkloadFactory,
+) -> SchedRun {
     let mut stats = SchedulerStats::default();
-    // The scheduler records into its own ring (worker id u16::MAX). The
-    // ring pointer is context-local and this function can run on a
-    // long-lived root context (real-thread mode), so it is uninstalled
-    // before returning.
-    let sched_ring = cfg.trace.as_ref().map(|s| s.register("scheduler", u16::MAX));
+    // Each shard records into its own ring (worker id u16::MAX - shard:
+    // shard 0 keeps the historical scheduler id, so single-shard traces
+    // stay byte-identical). The ring pointer is context-local and this
+    // function can run on a long-lived root context (real-thread mode),
+    // so it is uninstalled before returning.
+    let sched_ring = cfg
+        .trace
+        .as_ref()
+        .map(|s| s.register("scheduler", u16::MAX - shard_idx as u16));
     if let Some(r) = &sched_ring {
         preempt_trace::install_current(r);
     }
@@ -543,7 +753,7 @@ pub fn scheduler_main(
                 let _ = w.metrics_shard.set(r.register_shard("worker", w.id as u32));
             }
         }
-        r.register_shard("scheduler", u32::MAX)
+        r.register_shard("scheduler", u32::MAX - shard_idx as u32)
     });
     // Context-local install so fault hooks firing on the scheduling
     // thread attribute to the scheduler's shard; uninstalled before
@@ -725,7 +935,7 @@ pub fn scheduler_main(
                                     sh.bump(Counter::TxnAdmittedHigh);
                                 }
                                 charge(DISPATCH_PUSH_COST);
-                                kick[w.id] = true;
+                                kick[wi] = true;
                                 progress = true;
                             }
                             Err(r) => pending.push_front(r),
@@ -738,8 +948,24 @@ pub fn scheduler_main(
                 if !progress {
                     full_retries += 1;
                     if full_retries > rb.max_full_retries {
-                        // The give-up path: the remainder will be
-                        // dropped at the next interval.
+                        // The give-up path. With a sharded plane, first
+                        // try to re-home the starved remainder
+                        // cross-shard: every local top queue is wedged,
+                        // so park each request on a foreign worker and
+                        // kick it with a user interrupt (shootdown).
+                        if cfg.shards > 1 {
+                            shootdown_remainder(
+                                cfg,
+                                shard_idx,
+                                workers,
+                                all_workers,
+                                &mut pending,
+                                &mut stats,
+                                &sched_shard,
+                            );
+                        }
+                        // Whatever could not be re-homed is dropped at
+                        // the next interval.
                         stats.retry_abandoned_high += pending.len() as u64;
                         break;
                     }
@@ -956,10 +1182,26 @@ pub fn scheduler_main(
         if let Some(ctl) = controller.as_mut() {
             let cnow = now_cycles();
             if cnow >= ctl.next_eval() {
-                let totals = registry
+                let reg = registry
                     .as_ref()
-                    .expect("adaptive policy always has a registry")
-                    .sensor_totals();
+                    .expect("adaptive policy always has a registry");
+                // Sharded plane: each shard's controller reads only its
+                // own workers' (and its own scheduler shard's) sensors,
+                // so every shard adapts to its local load. The
+                // single-shard path keeps the unfiltered read and is
+                // trajectory-identical to the pre-sharding scheduler.
+                let totals = if cfg.shards > 1 {
+                    let own = u32::MAX - shard_idx as u32;
+                    let local_ids: Vec<u32> =
+                        workers.iter().map(|w| w.id as u32).collect();
+                    reg.sensor_totals_where(|label, index| match label {
+                        "scheduler" => index == own,
+                        "worker" => local_ids.contains(&index),
+                        _ => false,
+                    })
+                } else {
+                    reg.sensor_totals()
+                };
                 let win = totals.delta_since(&ctl_prev_sensors);
                 let snapshot = crate::controller::SensorSnapshot {
                     high_completed: win.high_completed,
@@ -1135,6 +1377,7 @@ mod tests {
         let cfg = DriverConfig {
             policy: Policy::preemptdb(),
             n_workers: 2,
+            shards: 1,
             queue_caps: vec![1, 4],
             batch_size: 8,
             arrival_interval: 2_400_000,  // 1 ms

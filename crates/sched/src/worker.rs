@@ -182,6 +182,15 @@ pub struct WorkerShared {
     pub uintr_deferred: AtomicU64,
     /// Cycles spent executing requests (utilization numerator).
     pub busy_cycles: AtomicU64,
+    /// Requests stolen from same-shard siblings' queue tails.
+    pub steals: AtomicU64,
+    /// Same-shard siblings this worker may steal level-0 work from,
+    /// pre-rotated to start just after this worker's id (fixed scan
+    /// order keeps sharded runs deterministic under the simulator). Set
+    /// by the runner **only** when `shards > 1`; unset means stealing is
+    /// off, which keeps single-shard trajectories byte-identical to the
+    /// pre-sharding plane. `Weak` breaks the sibling `Arc` cycle.
+    pub steal_peers: OnceLock<Vec<std::sync::Weak<WorkerShared>>>,
 }
 
 impl WorkerShared {
@@ -216,6 +225,8 @@ impl WorkerShared {
             uintr_delivered: AtomicU64::new(0),
             uintr_deferred: AtomicU64::new(0),
             busy_cycles: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            steal_peers: OnceLock::new(),
         })
     }
 
@@ -796,9 +807,56 @@ impl WorkerCtx {
                     }
                     self.run_request(req, 0);
                 }
-                None => idle_wait(&self.shared),
+                None => match self.try_steal() {
+                    Some(req) => {
+                        runtime::preempt_point(DISPATCH_POP_COST);
+                        self.run_request(req, 0);
+                    }
+                    None => idle_wait(&self.shared),
+                },
             }
         }
+    }
+
+    /// Work stealing (sharded plane only): with every local queue empty,
+    /// scan same-shard siblings in their pre-rotated fixed order and
+    /// take the newest entry from the first non-empty level-0 queue tail
+    /// — the victim keeps its oldest, most latency-critical work. The
+    /// scan and deque claim run under a
+    /// [`NonPreemptGuard`](preempt_context::nonpreempt::NonPreemptGuard):
+    /// a user interrupt landing between the deque's word-CAS claim and
+    /// the slot handoff would strand the claimed slot until the thief
+    /// resumed, stalling the victim's owner pops behind it.
+    fn try_steal(&self) -> Option<Request> {
+        let peers = self.shared.steal_peers.get()?;
+        let stolen = {
+            let _np = preempt_context::nonpreempt::NonPreemptGuard::enter();
+            let mut found = None;
+            for peer in peers {
+                let Some(victim) = peer.upgrade() else {
+                    continue;
+                };
+                if victim.is_stopped() {
+                    continue;
+                }
+                if let Some(req) = victim.queues[0].steal() {
+                    found = Some((req, victim.id as u16));
+                    break;
+                }
+            }
+            found
+        };
+        let (req, victim) = stolen?;
+        preempt_trace::emit(preempt_trace::TraceEvent::Steal {
+            victim,
+            thief: self.shared.id as u16,
+            level: 0,
+        });
+        if let Some(sh) = self.shared.metrics_shard.get() {
+            sh.bump(preempt_metrics::Counter::Steals);
+        }
+        self.shared.steals.fetch_add(1, Ordering::Relaxed);
+        Some(req)
     }
 }
 

@@ -39,6 +39,8 @@ pub(crate) const K_TXN_PANIC: u8 = 15;
 pub(crate) const K_WORKER_DEAD: u8 = 16;
 pub(crate) const K_WORKER_RESPAWN: u8 = 17;
 pub(crate) const K_ORPHAN_SWEEP: u8 = 18;
+pub(crate) const K_STEAL: u8 = 19;
+pub(crate) const K_SHOOTDOWN: u8 = 20;
 
 /// One event in the preemption lifecycle.
 ///
@@ -161,6 +163,25 @@ pub enum TraceEvent {
         /// Active-txn registry slots force-released.
         slots: u16,
     },
+    /// An idle worker stole a request from a same-shard sibling's queue
+    /// tail (the sharded plane's load-balancing path).
+    Steal {
+        /// Worker whose queue lost the request.
+        victim: u16,
+        /// Worker that took it.
+        thief: u16,
+        /// Priority level of the queue stolen from.
+        level: u8,
+    },
+    /// A shard scheduler moved starved high-priority work to a foreign
+    /// shard's worker and kicked it with a user interrupt (cross-shard
+    /// shootdown — the only cross-shard signaling the plane allows).
+    Shootdown {
+        /// Shard that gave up dispatching locally.
+        from_shard: u16,
+        /// Foreign worker the request landed on.
+        worker: u16,
+    },
 }
 
 impl TraceEvent {
@@ -186,6 +207,8 @@ impl TraceEvent {
             TraceEvent::WorkerDead { .. } => K_WORKER_DEAD,
             TraceEvent::WorkerRespawn { .. } => K_WORKER_RESPAWN,
             TraceEvent::OrphanSweep { .. } => K_ORPHAN_SWEEP,
+            TraceEvent::Steal { .. } => K_STEAL,
+            TraceEvent::Shootdown { .. } => K_SHOOTDOWN,
         }
     }
 
@@ -210,6 +233,8 @@ impl TraceEvent {
             TraceEvent::WorkerDead { .. } => "worker-dead",
             TraceEvent::WorkerRespawn { .. } => "worker-respawn",
             TraceEvent::OrphanSweep { .. } => "orphan-sweep",
+            TraceEvent::Steal { .. } => "steal",
+            TraceEvent::Shootdown { .. } => "shootdown",
         }
     }
 
@@ -268,6 +293,14 @@ impl TraceEvent {
                 latches,
                 slots,
             } => u64::from(worker) | u64::from(latches) << 16 | u64::from(slots) << 32,
+            TraceEvent::Steal {
+                victim,
+                thief,
+                level,
+            } => u64::from(victim) | u64::from(thief) << 16 | u64::from(level) << 32,
+            TraceEvent::Shootdown { from_shard, worker } => {
+                u64::from(from_shard) | u64::from(worker) << 16
+            }
         };
         u64::from(self.kind()) << 56 | u64::from(depth) << 48 | (payload & PAYLOAD_MASK)
     }
@@ -332,6 +365,15 @@ impl TraceEvent {
                 latches: (payload >> 16) as u16,
                 slots: (payload >> 32) as u16,
             },
+            K_STEAL => TraceEvent::Steal {
+                victim: payload as u16,
+                thief: (payload >> 16) as u16,
+                level: (payload >> 32) as u8,
+            },
+            K_SHOOTDOWN => TraceEvent::Shootdown {
+                from_shard: payload as u16,
+                worker: (payload >> 16) as u16,
+            },
             _ => return None,
         };
         Some((ev, depth))
@@ -379,6 +421,15 @@ mod tests {
                 worker: 5,
                 latches: 3,
                 slots: 1,
+            },
+            TraceEvent::Steal {
+                victim: 2,
+                thief: 3,
+                level: 1,
+            },
+            TraceEvent::Shootdown {
+                from_shard: 1,
+                worker: 9,
             },
         ];
         for (i, ev) in evs.iter().enumerate() {

@@ -236,6 +236,192 @@ fn explorer_catches_exit_flag_before_release() {
     });
 }
 
+// ─── Sharded-plane steal deque (crates/sched/src/deque.rs) ──────────────
+//
+// The deque's protocol is a packed (stamp, head, len) word claimed by
+// CAS, then a per-slot value handoff. The models mirror that protocol
+// on `AtomicU64` slots (0 = empty) and stay *spin-free* — they only pop
+// or steal pre-stored slots and only push into slots that are empty by
+// construction — because the stub's DFS cannot bound a busy-wait. The
+// real deque's slot spin (a claimed slot whose value has not landed
+// yet) is exactly the window preempt-lint's non-preemptible-region rule
+// guards, and the concurrent proptests in deque.rs exercise it on real
+// threads.
+
+const DQ_CAP: u64 = 4;
+
+fn dq_pack(stamp: u64, head: u64, len: u64) -> u64 {
+    (stamp << 32) | (head << 16) | len
+}
+
+fn dq_unpack(w: u64) -> (u64, u64, u64) {
+    (w >> 32, (w >> 16) & 0xFFFF, w & 0xFFFF)
+}
+
+/// Mirrors `StealDeque::claim`: CAS the packed word, bumping the stamp
+/// (the ABA guard) on every success. `f(head, len)` returns the new
+/// (head, len) and the claimed slot index, or `None` to give up.
+fn dq_claim(
+    state: &AtomicU64,
+    f: impl Fn(u64, u64) -> Option<(u64, u64, u64)>,
+) -> Option<u64> {
+    loop {
+        let cur = state.load(Ordering::Acquire);
+        let (stamp, head, len) = dq_unpack(cur);
+        let (new_head, new_len, idx) = f(head, len)?;
+        let next = dq_pack(stamp.wrapping_add(1), new_head, new_len);
+        if state
+            .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return Some(idx);
+        }
+    }
+}
+
+/// Owner pop: claim the FIFO head, then take the slot value.
+fn dq_pop(state: &AtomicU64, slots: &[AtomicU64]) -> Option<u64> {
+    let idx = dq_claim(state, |head, len| {
+        if len == 0 {
+            None
+        } else {
+            Some(((head + 1) % DQ_CAP, len - 1, head))
+        }
+    })?;
+    let v = slots[idx as usize].swap(0, Ordering::Acquire);
+    assert_ne!(v, 0, "claimed slot had no stored request");
+    Some(v)
+}
+
+/// Sibling steal: claim the newest tail entry, then take the slot value.
+fn dq_steal(state: &AtomicU64, slots: &[AtomicU64]) -> Option<u64> {
+    let idx = dq_claim(state, |head, len| {
+        if len == 0 {
+            None
+        } else {
+            Some((head, len - 1, (head + len - 1) % DQ_CAP))
+        }
+    })?;
+    let v = slots[idx as usize].swap(0, Ordering::Acquire);
+    assert_ne!(v, 0, "claimed slot had no stored request");
+    Some(v)
+}
+
+/// Push (dispatch or cross-shard shootdown): claim the slot past the
+/// tail, then store the value.
+fn dq_push(state: &AtomicU64, slots: &[AtomicU64], v: u64) -> bool {
+    let Some(idx) = dq_claim(state, |head, len| {
+        if len == DQ_CAP {
+            None
+        } else {
+            Some((head, len + 1, (head + len) % DQ_CAP))
+        }
+    }) else {
+        return false;
+    };
+    // The real deque spins here until a racing consumer drains the slot;
+    // the models push only into slots empty by construction.
+    assert_eq!(
+        slots[idx as usize].load(Ordering::Acquire),
+        0,
+        "pushed into an undrained slot"
+    );
+    slots[idx as usize].store(v, Ordering::Release);
+    true
+}
+
+fn dq_slots(init: &[u64]) -> Arc<Vec<AtomicU64>> {
+    Arc::new(
+        (0..DQ_CAP)
+            .map(|i| AtomicU64::new(init.get(i as usize).copied().unwrap_or(0)))
+            .collect(),
+    )
+}
+
+/// The sharded plane's two races, each explored exhaustively: a
+/// shard-local owner pops FIFO from its own queue while a same-shard
+/// sibling steals the newest tail entry; and a foreign owner drains its
+/// queue while the wedged shard's scheduler shoots a starved request
+/// into it. In every interleaving no request is lost or duplicated, the
+/// owner gets the FIFO head, the thief gets the newest tail, and the
+/// shot-down request survives to be drained exactly once. (Two separate
+/// explorations rather than one four-thread model: the races touch
+/// disjoint deques, so composing them only multiplies the state space
+/// without adding interactions.)
+#[test]
+fn steal_deque_no_lost_or_duplicated_requests() {
+    // Race 1: owner pop vs sibling steal on one shard's queue.
+    loom::model(|| {
+        // Requests 1 (oldest) and 2 (newest) pre-stored.
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 2)));
+        let slots = dq_slots(&[1, 2]);
+
+        let (st, sl) = (state.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+        // Model closure = the same-shard sibling stealing the tail.
+        let stolen = dq_steal(&state, slots.as_slice());
+        let popped = owner.join().unwrap();
+
+        assert_eq!(popped, Some(1), "owner pop takes the FIFO head");
+        assert_eq!(stolen, Some(2), "steal takes the newest tail entry");
+        assert!(dq_pop(&state, slots.as_slice()).is_none());
+        assert!(dq_steal(&state, slots.as_slice()).is_none());
+    });
+
+    // Race 2: foreign owner pop vs cross-shard shootdown push.
+    loom::model(|| {
+        // The foreign queue holds request 3; the wedged shard's
+        // scheduler shoots request 4 into it concurrently.
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 1)));
+        let slots = dq_slots(&[3]);
+
+        let (st, sl) = (state.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+        assert!(
+            dq_push(&state, slots.as_slice(), 4),
+            "foreign queue had room for the shot-down request"
+        );
+        let popped = owner.join().unwrap();
+
+        assert_eq!(popped, Some(3), "foreign owner drains its own head");
+        // Quiescent drain: exactly the shot-down request remains.
+        assert_eq!(
+            dq_pop(&state, slots.as_slice()),
+            Some(4),
+            "shot-down request neither lost nor duplicated"
+        );
+        assert!(dq_pop(&state, slots.as_slice()).is_none());
+    });
+}
+
+/// Teeth check: a stealer that reads the slot value *without* first
+/// claiming the packed word — skipping the CAS — races the owner's pop
+/// of the same slot. The explorer must find the interleaving where both
+/// take request 7: the duplication the word-CAS claim exists to prevent.
+#[test]
+#[should_panic(expected = "duplicated")]
+fn explorer_catches_unclaimed_slot_steal() {
+    loom::model(|| {
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 1)));
+        let slots = dq_slots(&[7]);
+
+        let (st, sl) = (state.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+
+        // BUG: take the tail value without claiming the word first.
+        let stolen = slots[0].load(Ordering::Acquire);
+
+        let popped = owner.join().unwrap();
+        if stolen != 0 {
+            assert_ne!(
+                popped,
+                Some(stolen),
+                "request duplicated: unclaimed steal raced the owner pop"
+            );
+        }
+    });
+}
+
 /// Degraded-mode entry: the scheduler configures the wake fallback
 /// (modeled by one word) before the `Release` store of the degraded
 /// flag; a worker that observes the flag with `Acquire` must also

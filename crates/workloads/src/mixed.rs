@@ -108,6 +108,24 @@ impl WorkloadFactory for MixedWorkload {
             }))
         }
     }
+
+    /// Splits into per-shard mixed workloads over the same databases,
+    /// each with its own RNG stream seeded deterministically from this
+    /// factory's RNG — sharded runs stay reproducible for a given
+    /// (seed, shards) pair.
+    fn try_split(&mut self, shards: usize) -> Option<Vec<Box<dyn WorkloadFactory>>> {
+        Some(
+            (0..shards)
+                .map(|_| {
+                    let seed = self.rng.random::<u64>();
+                    let mut part =
+                        MixedWorkload::new(self.tpcc.clone(), self.tpch.clone(), seed);
+                    part.payment_pct = self.payment_pct;
+                    Box::new(part) as Box<dyn WorkloadFactory>
+                })
+                .collect(),
+        )
+    }
 }
 
 /// Wraps any [`WorkloadFactory`] with a deterministic mid-run load

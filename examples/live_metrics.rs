@@ -52,6 +52,7 @@ fn main() {
     let cfg = DriverConfig {
         policy: Policy::preemptdb(),
         n_workers: 2,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: hz / 1_000, // 1 ms

@@ -39,6 +39,7 @@ fn main() {
         let cfg = DriverConfig {
             policy,
             n_workers: workers,
+            shards: 1,
             queue_caps: vec![1, 4],
             batch_size: workers * 4,
             arrival_interval: sim.ms_to_cycles(1),

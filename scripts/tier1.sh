@@ -27,3 +27,9 @@ CARGO_TARGET_DIR=target/loom RUSTFLAGS="--cfg loom" \
 # the p99 SLO, replays deterministically, and abandons nothing on the
 # no-progress retry path.
 cargo run --release -p preempt-bench --bin fig_adaptive -- --check
+
+# Sharded-plane scaling gate (DESIGN.md §13): replays the fig09 sweep at
+# CI scale and fails unless the sharded scheduler plane at least matches
+# the single-global-queue baseline at >= 4 workers and throughput grows
+# monotonically with the worker count. Full numbers: BENCH_fig09.json.
+cargo run --release -p preempt-bench --bin fig09 -- --check

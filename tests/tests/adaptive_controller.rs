@@ -71,6 +71,7 @@ fn small_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> D
     DriverConfig {
         policy,
         n_workers: N_WORKERS,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: MS,

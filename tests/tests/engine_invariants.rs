@@ -36,6 +36,7 @@ fn tpcc_consistency_survives_preemption() {
     let cfg = DriverConfig {
         policy: Policy::preemptdb(),
         n_workers: workers,
+        shards: 1,
         queue_caps: vec![1, 8],
         batch_size: workers * 8,
         arrival_interval: sim.us_to_cycles(500),
@@ -129,6 +130,7 @@ fn consistency_is_policy_independent() {
         let cfg = DriverConfig {
             policy,
             n_workers: workers,
+            shards: 1,
             queue_caps: vec![1, 4],
             batch_size: 8,
             arrival_interval: sim.us_to_cycles(1_000),

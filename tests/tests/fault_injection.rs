@@ -78,6 +78,7 @@ fn small_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
     DriverConfig {
         policy,
         n_workers: N_WORKERS,
+        shards: 1,
         queue_caps: vec![1, HIGH_CAP],
         batch_size: 8,
         arrival_interval: 2_400_000, // 1 ms of virtual time

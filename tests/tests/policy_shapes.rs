@@ -42,6 +42,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
     let cfg = DriverConfig {
         policy,
         n_workers: workers,
+        shards: 1,
         queue_caps: vec![1, high_queue],
         batch_size: workers * high_queue,
         arrival_interval: sim.us_to_cycles(1_000),
@@ -111,6 +112,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
                 starvation_threshold: thr,
             },
             n_workers: 4,
+            shards: 1,
             queue_caps: vec![1, 100],
             batch_size: 400,
             arrival_interval: sim.us_to_cycles(1_000),
@@ -168,6 +170,7 @@ fn uintr_machinery_overhead_is_small() {
         let cfg = DriverConfig {
             policy: if on { Policy::preemptdb() } else { Policy::Wait },
             n_workers: 4,
+            shards: 1,
             queue_caps: vec![64, 4],
             batch_size: 0,
             arrival_interval: sim.us_to_cycles(1_000),

@@ -11,6 +11,7 @@ fn thread_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
     DriverConfig {
         policy,
         n_workers: 2,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: freq / 1_000, // 1 ms of real time

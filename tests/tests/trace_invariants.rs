@@ -55,6 +55,7 @@ fn traced_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> 
     DriverConfig {
         policy,
         n_workers: N_WORKERS,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: 2_400_000, // 1 ms of virtual time
@@ -347,6 +348,37 @@ fn same_config_runs_are_byte_identical() {
         let (b, _) = canonical_trace(policy, 30);
         assert!(!ta.is_empty(), "{policy:?} run recorded events");
         assert_eq!(a, b, "{policy:?}: merged traces must be byte-identical");
+    }
+}
+
+/// Sharded-plane determinism (ISSUE 8): with the same seed and shard
+/// count, runs are byte-identical at 1, 2 and 4 shards. The shared
+/// workload factory is serialized behind one lock and the simulator's
+/// virtual-time engine orders every shard core deterministically, so
+/// admission, dispatch, steals and shootdowns replay exactly.
+#[test]
+fn sharded_same_seed_runs_are_byte_identical() {
+    for shards in [1usize, 2, 4] {
+        let mk = || {
+            let session = TraceSession::new(TraceConfig::default());
+            let mut cfg = traced_cfg(Policy::preemptdb(), 30, Some(session));
+            cfg.shards = shards;
+            let r = run_traced(cfg, None);
+            let t = r.trace.expect("trace recorded");
+            (t.canonical_text(), t)
+        };
+        let (a, ta) = mk();
+        let (b, _) = mk();
+        assert!(!ta.is_empty(), "shards={shards} run recorded events");
+        assert_eq!(
+            ta.ring_labels.len(),
+            N_WORKERS + shards,
+            "one ring per worker plus one per shard scheduler"
+        );
+        assert_eq!(
+            a, b,
+            "shards={shards}: merged traces must be byte-identical"
+        );
     }
 }
 

@@ -156,6 +156,7 @@ fn bank_cfg(engine: &Engine, duration_ms: u64, rb: RobustnessConfig) -> DriverCo
     DriverConfig {
         policy: Policy::preemptdb(),
         n_workers: N_WORKERS,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: 2_400_000, // 1 ms of virtual time
@@ -311,6 +312,119 @@ fn post_recovery_reads_match_fault_free_same_seed_run() {
     assert_engine_clean(&engine2, &table2, &oids2);
 }
 
+/// ISSUE 8 — sharded conservation under chaos: the two-shard plane with
+/// panics and wedges injected still conserves the ledger, leaks no
+/// latch or registry slot, and replays the same recovery counters and
+/// committed set across two same-seed runs. Work stealing between the
+/// shard-local siblings is live during the run.
+#[test]
+fn sharded_chaos_conserves_bank_and_replays() {
+    fn chaos_run() -> (RunReport, Engine, Arc<Table>, Arc<Vec<Oid>>) {
+        let (engine, table, oids) = setup_bank();
+        let plan = FaultPlan::quiet(97)
+            .with_txn_panic_ppm(20_000)
+            .with_wedge(8, 24_000_000);
+        let mut cfg = bank_cfg(&engine, 60, chaos_rb());
+        cfg.shards = 2;
+        let factory = Bank::new(engine.clone(), table.clone(), oids.clone());
+        let r = run_sim(plan, cfg, Box::new(factory));
+        (r, engine, table, oids)
+    }
+
+    let (r, engine, table, oids) = chaos_run();
+    assert!(r.scheduler.workers_dead > 0, "a wedge tripped a lease");
+    assert!(r.scheduler.workers_respawned > 0, "dead workers respawned");
+    let expected = N_ACCOUNTS * INITIAL_BALANCE + 2 * r.completed("deposit");
+    assert_eq!(
+        total_balance(&engine, &table, &oids),
+        expected,
+        "sharded chaos lost or duplicated a deposit"
+    );
+    assert!(r.completed("deposit") > 50, "deposits kept committing");
+    assert_engine_clean(&engine, &table, &oids);
+
+    let (r2, engine2, table2, oids2) = chaos_run();
+    assert_eq!(r.completed("deposit"), r2.completed("deposit"));
+    assert_eq!(r.workers.panics, r2.workers.panics);
+    assert!(
+        r.workers.steals > 0,
+        "idle shard siblings steal from wedged peers"
+    );
+    assert_eq!(r.workers.steals, r2.workers.steals, "steal count replays");
+    assert_eq!(r.scheduler.shootdowns, r2.scheduler.shootdowns);
+    assert_eq!(r.scheduler.workers_dead, r2.scheduler.workers_dead);
+    assert_eq!(r.scheduler.workers_respawned, r2.scheduler.workers_respawned);
+    let expected2 = N_ACCOUNTS * INITIAL_BALANCE + 2 * r2.completed("deposit");
+    assert_eq!(total_balance(&engine2, &table2, &oids2), expected2);
+    assert_engine_clean(&engine2, &table2, &oids2);
+}
+
+/// ISSUE 8 — cross-shard shootdown fires when a shard wedges: with
+/// supervision off and workers wedging permanently at staggered times
+/// (moderate per-point odds on a highs-only stream, so the two shards
+/// do not die in the same tick), the first fully-wedged shard's top
+/// queues stop draining; after the bounded dispatch retries its
+/// scheduler gives up locally and re-homes the starved high-priority
+/// remainder onto the other, still-live shard's workers. The trace
+/// carries the `Shootdown` events with the origin shard attached.
+#[test]
+fn wedged_shard_shoots_starved_work_cross_shard() {
+    /// Highs only: no long scans, so wedge arrival is a per-request
+    /// geometric draw and the shards wedge out at different ticks.
+    struct PointsOnly;
+    impl WorkloadFactory for PointsOnly {
+        fn make_low(&mut self, _now: u64) -> Option<Request> {
+            None
+        }
+        fn make_high(&mut self, now: u64) -> Option<Request> {
+            Some(Request::new("point", 1, now, || {
+                for _ in 0..20 {
+                    preemptdb::context::runtime::preempt_point(1_000);
+                }
+                WorkOutcome::default()
+            }))
+        }
+    }
+
+    let plan = FaultPlan::quiet(13).with_wedge(10_000, 1 << 40);
+    let session = TraceSession::new(TraceConfig::default());
+    let mut cfg = synthetic_cfg(
+        60,
+        RobustnessConfig {
+            supervise: false,
+            ..chaos_rb()
+        },
+        Some(session),
+    );
+    cfg.shards = 2;
+    let r = run_sim(plan, cfg, Box::new(PointsOnly));
+
+    assert!(
+        r.scheduler.shootdowns > 0,
+        "wedged shards must re-home starved work cross-shard"
+    );
+    let t = r.trace.as_ref().expect("trace session installed");
+    let shot: Vec<(u16, u16)> = t
+        .records
+        .iter()
+        .filter_map(|rec| match rec.event {
+            TraceEvent::Shootdown { from_shard, worker } => Some((from_shard, worker)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(shot.len() as u64, r.scheduler.shootdowns, "one event per move");
+    for (from_shard, worker) in shot {
+        assert!(from_shard < 2, "origin shard id is recorded");
+        // 4 workers, 2 shards: shard 0 owns workers {0, 1}, shard 1 owns
+        // {2, 3}; a shootdown always lands on the *other* shard.
+        let target_shard = u16::from(worker >= 2);
+        assert_ne!(
+            target_shard, from_shard,
+            "a shootdown never targets the origin shard's own workers"
+        );
+    }
+}
+
 /// Synthetic no-engine workload for the supervision-timing tests.
 struct Synthetic;
 impl WorkloadFactory for Synthetic {
@@ -336,6 +450,7 @@ fn synthetic_cfg(duration_ms: u64, rb: RobustnessConfig, trace: Option<TraceSess
     DriverConfig {
         policy: Policy::preemptdb(),
         n_workers: N_WORKERS,
+        shards: 1,
         queue_caps: vec![1, 4],
         batch_size: 8,
         arrival_interval: 2_400_000,
