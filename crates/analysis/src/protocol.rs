@@ -226,7 +226,7 @@ pub const SPEC: &[SpecRow] = &[
         field: "state",
         op: "load",
         allow: &["Acquire"],
-        why: "a claim attempt must observe slot stores published by prior claims",
+        why: "a claim attempt must observe the ticket/len published by racing claims",
     },
     SpecRow {
         protocol: "shard-deque",
@@ -234,16 +234,35 @@ pub const SPEC: &[SpecRow] = &[
         field: "state",
         op: "compare_exchange",
         allow: &["AcqRel", "Acquire"],
-        why: "a successful claim both acquires the prior owner's slot writes \
-              and releases the stamp bump to racing claimants",
+        why: "a successful claim both acquires prior transitions of the packed \
+              word and releases its ticket/len update to racing claimants",
     },
     SpecRow {
         protocol: "shard-deque",
         file: "deque.rs",
-        field: "slot",
+        field: "seq",
         op: "load",
         allow: &["Acquire"],
-        why: "the push-side drain probe must observe the consumer's null handoff",
+        why: "a handoff waiting on its claim's phase stamp must observe the \
+              slot writes that published the stamp",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "seq",
+        op: "compare_exchange",
+        allow: &["AcqRel", "Acquire"],
+        why: "winning a phase transition acquires the previous phase's slot \
+              writes and publishes this claim's exclusive ownership",
+    },
+    SpecRow {
+        protocol: "shard-deque",
+        file: "deque.rs",
+        field: "seq",
+        op: "store",
+        allow: &["Release"],
+        why: "publishing FULL or re-opening EMPTY must happen-after the \
+              deposit or drain it covers",
     },
     SpecRow {
         protocol: "shard-deque",
@@ -295,6 +314,11 @@ pub const MODELS: &[ModelRef] = &[
         protocol: "shard-deque",
         model_fn: "steal_deque_no_lost_or_duplicated_requests",
         idents: &["state", "slot", "steal"],
+    },
+    ModelRef {
+        protocol: "shard-deque",
+        model_fn: "steal_deque_slot_reuse_pairs_handoffs",
+        idents: &["seq", "steal", "push"],
     },
 ];
 

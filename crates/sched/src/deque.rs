@@ -9,57 +9,81 @@
 //! All index state lives in one packed word, [`state`](StealDeque):
 //!
 //! ```text
-//! bits 63..32   stamp — bumped on every successful claim (ABA guard)
-//! bits 31..16   head  — ring index of the oldest element
-//! bits 15..0    len   — number of live elements
+//! bits 63..32   head — *ticket* of the oldest element
+//! bits 15..0    len  — number of live elements
 //! ```
 //!
-//! Every operation first *claims* its slot with a single
-//! `compare_exchange` on the word (push reserves `head + len`, pop
-//! advances `head`, steal shrinks `len` from the tail), then completes
-//! the element handoff through that slot's `AtomicPtr`:
+//! A ticket is an absolute position counter, wrapping at the largest
+//! multiple of the capacity that fits 32 bits so `ticket % capacity`
+//! stays a consistent ring index across the wrap. Every operation
+//! first *claims* a ticket with a single `compare_exchange` on the
+//! word (push claims `head + len`, pop advances `head`, steal claims
+//! `head + len - 1` from the tail), then completes the element handoff
+//! through the claimed slot. The word CAS needs no ABA stamp: the
+//! transition (new word, claimed ticket) is a pure function of the
+//! packed bits, so a CAS that succeeds against a recurred bit pattern
+//! performs exactly the transition a fresh snapshot would have.
 //!
-//! * a **pop/steal** that won its claim swaps the slot to null and owns
-//!   whatever pointer comes out — spinning briefly if the push that
-//!   reserved the slot has not stored yet;
-//! * a **push** that won its claim waits for the slot to read null
-//!   (a previous pop may have claimed the index but not yet swapped the
-//!   old pointer out) and then stores with `Release`.
+//! The handoff is paired to the claim by a per-slot **sequence stamp**
+//! (`ticket << 2 | phase`, crossbeam-`ArrayQueue` style, extended with
+//! a steal-side ticket rollback):
 //!
-//! The stamp makes the word-CAS immune to ABA: a claim computed against
-//! a stale snapshot can never succeed, because even a head/len pattern
-//! that recurred carries a different stamp. The window between a
-//! successful claim and the slot swap/store is the deque's
-//! **non-preemptible region** — a fiber parked there stalls every peer
-//! spinning on the same slot, which is why the worker's steal path runs
-//! under a `NonPreemptGuard` and why preempt-lint's `shard-deque`
-//! protocol rows pin these orderings (see `crates/analysis`'s spec
-//! table; the loom model `steal_deque_no_lost_or_duplicated_requests`
-//! proves the claim/handoff split).
+//! * a **push** that claimed ticket `t` CASes `seq` from `EMPTY(t)` to
+//!   `STORING(t)`, deposits the pointer, then publishes `FULL(t)`;
+//! * a **pop/steal** that claimed ticket `t` CASes `seq` from
+//!   `FULL(t)` to `TAKING(t)`, swaps the pointer out, then opens the
+//!   slot for its next ticket: `EMPTY(t + capacity)` after a pop (the
+//!   head moved on), `EMPTY(t)` after a steal (the tail position is
+//!   reused by the next push).
+//!
+//! The seq CAS is what makes two in-flight operations on the same slot
+//! safe: a push that stalls between its word-claim and its deposit
+//! while a steal and a second push race past it (the tail ticket is
+//! *reused* after a steal) can never overwrite — the loser of the
+//! `EMPTY(t)` CAS re-waits for the slot to come round again. The
+//! window between a successful seq CAS and the phase publication is
+//! the deque's **non-preemptible region** — a fiber parked there
+//! stalls every peer spinning on the same slot — so *every* operation
+//! (owner pop and dispatch push just as much as the thief's steal)
+//! holds a `NonPreemptGuard` across its claim-to-handoff window;
+//! preempt-lint's `shard-deque` protocol rows pin the orderings (see
+//! `crates/analysis`'s spec table) and the loom models
+//! `steal_deque_no_lost_or_duplicated_requests` and
+//! `steal_deque_slot_reuse_pairs_handoffs` explore the claim/handoff
+//! split exhaustively, spin-waits and slot reuse included.
 
 use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+
+use preempt_context::nonpreempt::NonPreemptGuard;
 
 use crate::request::Request;
 
 const LEN_SHIFT: u32 = 0;
-const HEAD_SHIFT: u32 = 16;
-const STAMP_SHIFT: u32 = 32;
+const HEAD_SHIFT: u32 = 32;
 const FIELD_MASK: u64 = 0xFFFF;
 
+/// Per-slot sequence phases (low two bits of the stamp).
+const EMPTY: u64 = 0;
+const STORING: u64 = 1;
+const FULL: u64 = 2;
+const TAKING: u64 = 3;
+
 #[inline]
-fn pack(stamp: u32, head: u16, len: u16) -> u64 {
-    (u64::from(stamp) << STAMP_SHIFT)
-        | (u64::from(head) << HEAD_SHIFT)
-        | (u64::from(len) << LEN_SHIFT)
+fn pack(head: u32, len: u16) -> u64 {
+    (u64::from(head) << HEAD_SHIFT) | (u64::from(len) << LEN_SHIFT)
 }
 
 #[inline]
-fn unpack(word: u64) -> (u32, u16, u16) {
+fn unpack(word: u64) -> (u32, u16) {
     (
-        (word >> STAMP_SHIFT) as u32,
-        ((word >> HEAD_SHIFT) & FIELD_MASK) as u16,
+        (word >> HEAD_SHIFT) as u32,
         ((word >> LEN_SHIFT) & FIELD_MASK) as u16,
     )
+}
+
+#[inline]
+fn stamp(ticket: u32, phase: u64) -> u64 {
+    (u64::from(ticket) << 2) | phase
 }
 
 /// Bounded lock-free stealing deque of [`Request`]s.
@@ -70,15 +94,20 @@ fn unpack(word: u64) -> (u32, u16, u16) {
 /// operation; the scheduler's cross-shard shootdown path makes foreign
 /// pushers a normal case, not an exception.
 pub struct StealDeque {
-    /// Packed `stamp | head | len` word; see the module docs.
+    /// Packed `head | len` word; see the module docs.
     state: AtomicU64,
     /// Ring of owned `Request` pointers; null = empty/in-handoff.
     slots: Box<[AtomicPtr<Request>]>,
+    /// Per-slot sequence stamps pairing each handoff with its claim.
+    seqs: Box<[AtomicU64]>,
+    /// Tickets wrap at this multiple of the capacity (see module docs);
+    /// test builds shrink it to exercise the wrap.
+    ticket_limit: u64,
 }
 
 // SAFETY: requests are moved in and out whole through owned raw
-// pointers; `Request` is `Send`, and the claim protocol hands each slot
-// to exactly one owner at a time.
+// pointers; `Request` is `Send`, and the seq-stamp protocol hands each
+// slot to exactly one owner at a time.
 unsafe impl Send for StealDeque {}
 // SAFETY: as above — all shared mutation goes through the atomics.
 unsafe impl Sync for StealDeque {}
@@ -88,15 +117,32 @@ impl StealDeque {
     /// (`capacity >= 1`; the ring index arithmetic needs `< u16::MAX`).
     pub fn new(capacity: usize) -> StealDeque {
         let capacity = capacity.max(1);
+        let limit = ((1u64 << 32) / capacity as u64) * capacity as u64;
+        Self::with_ticket_limit(capacity, limit)
+    }
+
+    /// As [`new`](Self::new), with an explicit ticket wrap point —
+    /// production uses the largest 32-bit multiple of the capacity;
+    /// tests shrink it so the wrap is actually exercised.
+    fn with_ticket_limit(capacity: usize, ticket_limit: u64) -> StealDeque {
         assert!(
             capacity < u16::MAX as usize,
             "StealDeque capacity must fit the packed index field"
+        );
+        assert!(
+            ticket_limit >= capacity as u64 && ticket_limit.is_multiple_of(capacity as u64),
+            "ticket limit must be a positive multiple of the capacity"
         );
         StealDeque {
             state: AtomicU64::new(0),
             slots: (0..capacity)
                 .map(|_| AtomicPtr::new(std::ptr::null_mut()))
                 .collect(),
+            // Slot `j`'s first push claims ticket `j`.
+            seqs: (0..capacity)
+                .map(|j| AtomicU64::new(stamp(j as u32, EMPTY)))
+                .collect(),
+            ticket_limit,
         }
     }
 
@@ -105,7 +151,7 @@ impl StealDeque {
     }
 
     pub fn len(&self) -> usize {
-        let (_, _, len) = unpack(self.state.load(Ordering::Acquire));
+        let (_, len) = unpack(self.state.load(Ordering::Acquire));
         len as usize
     }
 
@@ -117,24 +163,30 @@ impl StealDeque {
         self.len() == self.capacity()
     }
 
-    /// Claims a transition of the packed word. `f` maps the current
-    /// `(head, len)` to the claimed `(new_head, new_len, slot_index)`,
-    /// or `None` to abandon (empty/full). Returns the claimed slot.
+    /// Ticket arithmetic modulo the wrap point.
     #[inline]
-    fn claim<F>(&self, f: F) -> Option<usize>
+    fn advance(&self, ticket: u32, by: usize) -> u32 {
+        ((u64::from(ticket) + by as u64) % self.ticket_limit) as u32
+    }
+
+    /// Claims a transition of the packed word. `f` maps the current
+    /// `(head, len)` to the claimed `(new_head, new_len, ticket)`, or
+    /// `None` to abandon (empty/full). Returns the claimed ticket.
+    #[inline]
+    fn claim<F>(&self, f: F) -> Option<u32>
     where
-        F: Fn(u16, u16) -> Option<(u16, u16, usize)>,
+        F: Fn(u32, u16) -> Option<(u32, u16, u32)>,
     {
         let mut cur = self.state.load(Ordering::Acquire);
         loop {
-            let (stamp, head, len) = unpack(cur);
-            let (new_head, new_len, idx) = f(head, len)?;
-            let next = pack(stamp.wrapping_add(1), new_head, new_len);
+            let (head, len) = unpack(cur);
+            let (new_head, new_len, ticket) = f(head, len)?;
+            let next = pack(new_head, new_len);
             match self
                 .state
                 .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
             {
-                Ok(_) => return Some(idx),
+                Ok(_) => return Some(ticket),
                 Err(actual) => cur = actual,
             }
         }
@@ -143,68 +195,106 @@ impl StealDeque {
     /// Appends a request at the tail; `Err` gives it back when full.
     pub fn push(&self, req: Request) -> Result<(), Request> {
         let cap = self.capacity();
-        let Some(idx) = self.claim(|head, len| {
+        let ptr = Box::into_raw(Box::new(req));
+        // Claim-to-handoff is the non-preemptible window: a fiber
+        // parked between the seq CAS and the FULL publication stalls
+        // every consumer spinning on this slot (module docs).
+        let _np = NonPreemptGuard::enter();
+        let Some(ticket) = self.claim(|head, len| {
             if len as usize == cap {
                 return None;
             }
-            let idx = (head as usize + len as usize) % cap;
-            Some((head, len + 1, idx))
+            Some((head, len + 1, self.advance(head, len as usize)))
         }) else {
-            return Err(req);
+            // SAFETY: the pointer was just created by `Box::into_raw`
+            // above and never shared.
+            return Err(*unsafe { Box::from_raw(ptr) });
         };
-        let ptr = Box::into_raw(Box::new(req));
-        let slot = &self.slots[idx];
-        // A pop/steal that claimed this index may not have swapped the
-        // old pointer out yet; never overwrite a live element.
-        while !slot.load(Ordering::Acquire).is_null() {
-            std::hint::spin_loop();
-        }
-        slot.store(ptr, Ordering::Release);
-        Ok(())
-    }
-
-    /// Takes the pointer out of a claimed slot, waiting out an
-    /// in-flight push that has reserved but not yet stored.
-    #[inline]
-    fn take_slot(&self, idx: usize) -> Request {
-        let slot = &self.slots[idx];
+        let idx = ticket as usize % cap;
+        let seq = &self.seqs[idx];
+        let empty = stamp(ticket, EMPTY);
+        // The slot may still be mid-handoff for an earlier ticket (or
+        // for *this* ticket: after a steal, the tail ticket is reused,
+        // so two pushes can legitimately wait on the same `EMPTY(t)` —
+        // the CAS admits exactly one at a time).
         loop {
-            let ptr = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
-            if !ptr.is_null() {
-                // SAFETY: the claim gave this thread exclusive ownership
-                // of the slot's element; the pointer came from
-                // `Box::into_raw` in `push`.
-                return *unsafe { Box::from_raw(ptr) };
+            if seq.load(Ordering::Acquire) == empty
+                && seq
+                    .compare_exchange(
+                        empty,
+                        stamp(ticket, STORING),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+            {
+                break;
             }
             std::hint::spin_loop();
         }
+        let slot = &self.slots[idx];
+        slot.store(ptr, Ordering::Release);
+        seq.store(stamp(ticket, FULL), Ordering::Release);
+        Ok(())
+    }
+
+    /// Takes the element whose push claimed `ticket`, waiting out an
+    /// in-flight push that has claimed but not yet deposited. The slot
+    /// reopens at `next_empty` (pop: `ticket + capacity`; steal:
+    /// `ticket`, since the tail position is reused).
+    #[inline]
+    fn take(&self, ticket: u32, next_empty: u32) -> Request {
+        let idx = ticket as usize % self.capacity();
+        let seq = &self.seqs[idx];
+        let full = stamp(ticket, FULL);
+        loop {
+            if seq.load(Ordering::Acquire) == full
+                && seq
+                    .compare_exchange(
+                        full,
+                        stamp(ticket, TAKING),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+            {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        let slot = &self.slots[idx];
+        let ptr = slot.swap(std::ptr::null_mut(), Ordering::Acquire);
+        debug_assert!(!ptr.is_null(), "FULL slot must hold a request");
+        seq.store(stamp(next_empty, EMPTY), Ordering::Release);
+        // SAFETY: the seq CAS gave this thread exclusive ownership of
+        // the slot's element; the pointer came from `Box::into_raw` in
+        // `push`.
+        *unsafe { Box::from_raw(ptr) }
     }
 
     /// Removes the oldest request (the owner's FIFO dispatch path).
     pub fn pop(&self) -> Option<Request> {
-        let cap = self.capacity();
-        let idx = self.claim(|head, len| {
+        let _np = NonPreemptGuard::enter();
+        let ticket = self.claim(|head, len| {
             if len == 0 {
                 return None;
             }
-            let next_head = ((head as usize + 1) % cap) as u16;
-            Some((next_head, len - 1, head as usize))
+            Some((self.advance(head, 1), len - 1, head))
         })?;
-        Some(self.take_slot(idx))
+        Some(self.take(ticket, self.advance(ticket, self.capacity())))
     }
 
     /// Removes the newest request (the thief's path: steal from the
     /// tail so the victim keeps its oldest — and most starved — work).
     pub fn steal(&self) -> Option<Request> {
-        let cap = self.capacity();
-        let idx = self.claim(|head, len| {
+        let _np = NonPreemptGuard::enter();
+        let ticket = self.claim(|head, len| {
             if len == 0 {
                 return None;
             }
-            let idx = (head as usize + len as usize - 1) % cap;
-            Some((head, len - 1, idx))
+            Some((head, len - 1, self.advance(head, len as usize - 1)))
         })?;
-        Some(self.take_slot(idx))
+        Some(self.take(ticket, ticket))
     }
 }
 
@@ -292,6 +382,29 @@ mod tests {
         }
     }
 
+    /// Ticket wrap: with the wrap point shrunk to two laps, the modular
+    /// ticket arithmetic (claims, seq chaining, steal rollback) must
+    /// stay consistent across many wraps.
+    #[test]
+    fn ticket_wrap_preserves_fifo_and_steal_order() {
+        let d = StealDeque::with_ticket_limit(3, 6);
+        let mut next = 0u64;
+        // 20 laps of push-to-full / pop / steal drives tickets around
+        // the 6-ticket wrap repeatedly; lap N pops tag N (one pop per
+        // lap, FIFO).
+        for lap in 0..20u64 {
+            while d.push(req(next)).is_ok() {
+                next += 1;
+            }
+            assert_eq!(tag(&d.pop().unwrap()), lap, "FIFO across ticket wrap");
+            let newest = next - 1;
+            assert_eq!(tag(&d.steal().unwrap()), newest, "steal across ticket wrap");
+            // The stolen (newest) tag is gone; re-push a replacement so
+            // the FIFO expectation stays dense.
+            next = newest;
+        }
+    }
+
     #[test]
     fn drop_frees_live_elements() {
         let d = StealDeque::new(8);
@@ -364,14 +477,17 @@ mod tests {
         assert!(p.windows(2).all(|w| w[0] < w[1]), "pops preserve FIFO order");
     }
 
-    /// Two producers racing into one small ring: the MPMC shape the
-    /// cross-shard shootdown path creates (a foreign scheduler pushing
-    /// into a queue its owner also fills).
+    /// Two producers racing into a capacity-1 ring with a stealer in
+    /// the mix: maximal slot reuse, the exact shape of the push-push
+    /// overwrite race (a push stalled between its word-claim and its
+    /// deposit while a steal recycles the tail ticket for a second
+    /// push). Every tag must come out exactly once.
     #[test]
     fn concurrent_producers_never_duplicate() {
         const PER: u64 = 1_000;
-        let d = Arc::new(StealDeque::new(4));
+        let d = Arc::new(StealDeque::new(1));
         let seen = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let consumed = Arc::new(AtomicUsize::new(0));
         let mut producers = Vec::new();
         for p in 0..2u64 {
             let d = d.clone();
@@ -386,25 +502,31 @@ mod tests {
                 }
             }));
         }
-        let consumer = {
+        let mut consumers = Vec::new();
+        for steals in [false, true] {
             let d = d.clone();
             let seen = seen.clone();
-            std::thread::spawn(move || {
-                let mut got = 0;
-                while got < 2 * PER {
-                    if let Some(r) = d.pop() {
-                        seen.lock().push(tag(&r));
-                        got += 1;
-                    } else {
-                        std::thread::yield_now();
+            let consumed = consumed.clone();
+            consumers.push(std::thread::spawn(move || loop {
+                let got = if steals { d.steal() } else { d.pop() };
+                if let Some(r) = got {
+                    seen.lock().push(tag(&r));
+                    if consumed.fetch_add(1, Ordering::AcqRel) + 1 == 2 * PER as usize {
+                        break;
                     }
+                } else if consumed.load(Ordering::Acquire) == 2 * PER as usize {
+                    break;
+                } else {
+                    std::thread::yield_now();
                 }
-            })
-        };
+            }));
+        }
         for p in producers {
             p.join().unwrap();
         }
-        consumer.join().unwrap();
+        for c in consumers {
+            c.join().unwrap();
+        }
         let mut all = seen.lock().clone();
         all.sort_unstable();
         let want: Vec<u64> = (0..2 * PER).collect();
@@ -455,12 +577,14 @@ mod tests {
         /// interleaving of push/pop/steal matches push_back / pop_front
         /// / pop_back exactly — no lost, duplicated, or reordered
         /// requests, and FIFO (priority) order is preserved for pops.
+        /// A shrunk ticket limit keeps the wrap in play.
         #[test]
         fn matches_vecdeque_model(
             cap in 1usize..9,
+            laps in 1u64..4,
             ops in prop::collection::vec(0u8..3, 1..200),
         ) {
-            let d = StealDeque::new(cap);
+            let d = StealDeque::with_ticket_limit(cap, cap as u64 * laps);
             let mut model = VecDeque::new();
             let mut next = 0u64;
             for op in ops {
@@ -483,33 +607,37 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
         /// Concurrency property: under an arbitrary split of consumers
-        /// into poppers and stealers racing one producer, every request
-        /// is consumed exactly once (no lost or duplicated requests).
+        /// into poppers and stealers racing one or two producers, every
+        /// request is consumed exactly once (no lost or duplicated
+        /// requests) — multiple producers make the same-ticket push
+        /// collision (tail reuse after a steal) reachable.
         #[test]
         fn concurrent_interleavings_conserve_requests(
             cap in 1usize..6,
             n in 50u64..300,
+            producers in 1usize..3,
             stealers in 0usize..3,
             poppers in 1usize..3,
         ) {
             let d = Arc::new(StealDeque::new(cap));
             let produced = Arc::new(AtomicUsize::new(0));
             let consumed = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
-            let producer = {
+            let mut prods = Vec::new();
+            for p in 0..producers as u64 {
                 let d = d.clone();
                 let produced = produced.clone();
-                std::thread::spawn(move || {
+                prods.push(std::thread::spawn(move || {
                     let mut i = 0u64;
                     while i < n {
-                        if d.push(req(i)).is_ok() {
+                        if d.push(req(p * n + i)).is_ok() {
                             i += 1;
                         } else {
                             std::thread::yield_now();
                         }
                     }
-                    produced.store(1, Ordering::Release);
-                })
-            };
+                    produced.fetch_add(1, Ordering::AcqRel);
+                }));
+            }
             let mut consumers = Vec::new();
             for steals in (0..poppers).map(|_| false).chain((0..stealers).map(|_| true)) {
                 let d = d.clone();
@@ -519,18 +647,21 @@ mod tests {
                     let got = if steals { d.steal() } else { d.pop() };
                     match got {
                         Some(r) => consumed.lock().push(tag(&r)),
-                        None if produced.load(Ordering::Acquire) == 1 && d.is_empty() => break,
+                        None if produced.load(Ordering::Acquire) == producers
+                            && d.is_empty() => break,
                         None => std::thread::yield_now(),
                     }
                 }));
             }
-            producer.join().unwrap();
+            for p in prods {
+                p.join().unwrap();
+            }
             for c in consumers {
                 c.join().unwrap();
             }
             let mut all = consumed.lock().clone();
             all.sort_unstable();
-            let want: Vec<u64> = (0..n).collect();
+            let want: Vec<u64> = (0..producers as u64).flat_map(|p| p * n..p * n + n).collect();
             prop_assert_eq!(all, want, "requests lost or duplicated");
         }
     }

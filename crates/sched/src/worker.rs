@@ -822,30 +822,30 @@ impl WorkerCtx {
     /// scan same-shard siblings in their pre-rotated fixed order and
     /// take the newest entry from the first non-empty level-0 queue tail
     /// — the victim keeps its oldest, most latency-critical work. The
-    /// scan and deque claim run under a
-    /// [`NonPreemptGuard`](preempt_context::nonpreempt::NonPreemptGuard):
-    /// a user interrupt landing between the deque's word-CAS claim and
-    /// the slot handoff would strand the claimed slot until the thief
-    /// resumed, stalling the victim's owner pops behind it.
+    /// deque itself holds a
+    /// [`NonPreemptGuard`](preempt_context::nonpreempt::NonPreemptGuard)
+    /// across every claim-to-handoff window — steal here, but equally
+    /// the owner's `pop` and the scheduler's dispatch `push` — because a
+    /// user interrupt landing between the word-CAS claim and the slot
+    /// handoff would strand the claimed slot until this context resumed,
+    /// stalling every peer spinning on that slot for the whole
+    /// high-priority burst. The scan across victims stays preemptible:
+    /// only the per-queue claim window needs the guard.
     fn try_steal(&self) -> Option<Request> {
         let peers = self.shared.steal_peers.get()?;
-        let stolen = {
-            let _np = preempt_context::nonpreempt::NonPreemptGuard::enter();
-            let mut found = None;
-            for peer in peers {
-                let Some(victim) = peer.upgrade() else {
-                    continue;
-                };
-                if victim.is_stopped() {
-                    continue;
-                }
-                if let Some(req) = victim.queues[0].steal() {
-                    found = Some((req, victim.id as u16));
-                    break;
-                }
+        let mut stolen = None;
+        for peer in peers {
+            let Some(victim) = peer.upgrade() else {
+                continue;
+            };
+            if victim.is_stopped() {
+                continue;
             }
-            found
-        };
+            if let Some(req) = victim.queues[0].steal() {
+                stolen = Some((req, victim.id as u16));
+                break;
+            }
+        }
         let (req, victim) = stolen?;
         preempt_trace::emit(preempt_trace::TraceEvent::Steal {
             victim,

@@ -238,102 +238,206 @@ fn explorer_catches_exit_flag_before_release() {
 
 // ─── Sharded-plane steal deque (crates/sched/src/deque.rs) ──────────────
 //
-// The deque's protocol is a packed (stamp, head, len) word claimed by
-// CAS, then a per-slot value handoff. The models mirror that protocol
-// on `AtomicU64` slots (0 = empty) and stay *spin-free* — they only pop
-// or steal pre-stored slots and only push into slots that are empty by
-// construction — because the stub's DFS cannot bound a busy-wait. The
-// real deque's slot spin (a claimed slot whose value has not landed
-// yet) is exactly the window preempt-lint's non-preemptible-region rule
-// guards, and the concurrent proptests in deque.rs exercise it on real
-// threads.
+// Mirror of the deque's two-level protocol: a packed (head ticket, len)
+// word claimed by CAS, then a per-slot *sequence stamp*
+// (`ticket << 2 | phase`, phases EMPTY→STORING→FULL→TAKING) that pairs
+// every deposit and every take with the exact claim that owns it.
+// Values live in `AtomicU64` slots (0 = empty). The real deque's
+// spin-waits — a pusher waiting for its slot's EMPTY stamp, a consumer
+// waiting for FULL — are modeled faithfully with
+// `loom::thread::yield_waiting()`, which parks the spinner until
+// another thread performs a write, so the explorer covers stalled
+// pushers, slot reuse on full rings, and racing handoffs rather than
+// only pre-stored slots. The spin window is exactly the region the
+// deque's internal `NonPreemptGuard` keeps uintr-free; preempt-lint's
+// non-preemptible-region rule pins that statically.
 
-const DQ_CAP: u64 = 4;
+const DQ_EMPTY: u64 = 0;
+const DQ_STORING: u64 = 1;
+const DQ_FULL: u64 = 2;
+const DQ_TAKING: u64 = 3;
 
-fn dq_pack(stamp: u64, head: u64, len: u64) -> u64 {
-    (stamp << 32) | (head << 16) | len
+fn dq_pack(head: u64, len: u64) -> u64 {
+    (head << 32) | len
 }
 
-fn dq_unpack(w: u64) -> (u64, u64, u64) {
-    (w >> 32, (w >> 16) & 0xFFFF, w & 0xFFFF)
+fn dq_unpack(w: u64) -> (u64, u64) {
+    (w >> 32, w & 0xFFFF)
 }
 
-/// Mirrors `StealDeque::claim`: CAS the packed word, bumping the stamp
-/// (the ABA guard) on every success. `f(head, len)` returns the new
-/// (head, len) and the claimed slot index, or `None` to give up.
+fn dq_stamp(ticket: u64, phase: u64) -> u64 {
+    (ticket << 2) | phase
+}
+
+/// Mirrors `StealDeque::claim`: CAS the packed (head ticket, len) word.
+/// No ABA stamp — every transition is a pure function of the packed
+/// bits, so a word that CASes back to an observed value carries the
+/// same meaning. `f(head, len)` returns the new (head, len) and the
+/// claimed ticket, or `None` to give up.
 fn dq_claim(
     state: &AtomicU64,
     f: impl Fn(u64, u64) -> Option<(u64, u64, u64)>,
 ) -> Option<u64> {
     loop {
         let cur = state.load(Ordering::Acquire);
-        let (stamp, head, len) = dq_unpack(cur);
-        let (new_head, new_len, idx) = f(head, len)?;
-        let next = dq_pack(stamp.wrapping_add(1), new_head, new_len);
+        let (head, len) = dq_unpack(cur);
+        let (new_head, new_len, ticket) = f(head, len)?;
+        let next = dq_pack(new_head, new_len);
         if state
             .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
-            return Some(idx);
+            return Some(ticket);
         }
     }
 }
 
-/// Owner pop: claim the FIFO head, then take the slot value.
-fn dq_pop(state: &AtomicU64, slots: &[AtomicU64]) -> Option<u64> {
-    let idx = dq_claim(state, |head, len| {
+/// The push's word claim alone: bumps len and returns the tail ticket.
+fn dq_push_claim(state: &AtomicU64, cap: u64) -> Option<u64> {
+    dq_claim(state, |head, len| {
+        if len == cap {
+            None
+        } else {
+            Some((head, len + 1, head + len))
+        }
+    })
+}
+
+/// The steal's word claim alone: drops len and returns the tail ticket
+/// (rolled back — the next push reuses the position).
+fn dq_steal_claim(state: &AtomicU64) -> Option<u64> {
+    dq_claim(state, |head, len| {
         if len == 0 {
             None
         } else {
-            Some(((head + 1) % DQ_CAP, len - 1, head))
+            Some((head, len - 1, head + len - 1))
         }
-    })?;
-    let v = slots[idx as usize].swap(0, Ordering::Acquire);
-    assert_ne!(v, 0, "claimed slot had no stored request");
-    Some(v)
+    })
 }
 
-/// Sibling steal: claim the newest tail entry, then take the slot value.
-fn dq_steal(state: &AtomicU64, slots: &[AtomicU64]) -> Option<u64> {
-    let idx = dq_claim(state, |head, len| {
-        if len == 0 {
-            None
-        } else {
-            Some((head, len - 1, (head + len - 1) % DQ_CAP))
+/// Mirrors the push handoff: wait for the claimed ticket's EMPTY stamp,
+/// win the slot by CAS (a steal rolls its ticket back, so two pushes
+/// can legitimately hold the same ticket — the CAS admits one at a
+/// time), deposit, publish FULL.
+fn dq_push_handoff(seqs: &[AtomicU64], slots: &[AtomicU64], cap: u64, t: u64, v: u64) {
+    let j = (t % cap) as usize;
+    loop {
+        if seqs[j].load(Ordering::Acquire) == dq_stamp(t, DQ_EMPTY)
+            && seqs[j]
+                .compare_exchange(
+                    dq_stamp(t, DQ_EMPTY),
+                    dq_stamp(t, DQ_STORING),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+        {
+            break;
         }
-    })?;
-    let v = slots[idx as usize].swap(0, Ordering::Acquire);
-    assert_ne!(v, 0, "claimed slot had no stored request");
-    Some(v)
+        thread::yield_waiting();
+    }
+    slots[j].store(v, Ordering::Release);
+    seqs[j].store(dq_stamp(t, DQ_FULL), Ordering::Release);
 }
 
-/// Push (dispatch or cross-shard shootdown): claim the slot past the
-/// tail, then store the value.
-fn dq_push(state: &AtomicU64, slots: &[AtomicU64], v: u64) -> bool {
-    let Some(idx) = dq_claim(state, |head, len| {
-        if len == DQ_CAP {
-            None
-        } else {
-            Some((head, len + 1, (head + len) % DQ_CAP))
-        }
-    }) else {
+/// Claim + handoff: the full push.
+fn dq_push(
+    state: &AtomicU64,
+    seqs: &[AtomicU64],
+    slots: &[AtomicU64],
+    cap: u64,
+    v: u64,
+) -> bool {
+    let Some(t) = dq_push_claim(state, cap) else {
         return false;
     };
-    // The real deque spins here until a racing consumer drains the slot;
-    // the models push only into slots empty by construction.
-    assert_eq!(
-        slots[idx as usize].load(Ordering::Acquire),
-        0,
-        "pushed into an undrained slot"
-    );
-    slots[idx as usize].store(v, Ordering::Release);
+    dq_push_handoff(seqs, slots, cap, t, v);
     true
 }
 
-fn dq_slots(init: &[u64]) -> Arc<Vec<AtomicU64>> {
+/// Mirrors the take handoff shared by pop and steal: wait for the
+/// claimed ticket's FULL stamp, win it by CAS, swap the value out, and
+/// open the slot for `next_empty` (pop: `ticket + cap`, the position
+/// one lap later; steal: `ticket` itself, rolled back for the next
+/// push).
+fn dq_take(
+    seqs: &[AtomicU64],
+    slots: &[AtomicU64],
+    cap: u64,
+    ticket: u64,
+    next_empty: u64,
+) -> u64 {
+    let j = (ticket % cap) as usize;
+    loop {
+        if seqs[j].load(Ordering::Acquire) == dq_stamp(ticket, DQ_FULL)
+            && seqs[j]
+                .compare_exchange(
+                    dq_stamp(ticket, DQ_FULL),
+                    dq_stamp(ticket, DQ_TAKING),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+        {
+            break;
+        }
+        thread::yield_waiting();
+    }
+    let v = slots[j].swap(0, Ordering::Acquire);
+    assert_ne!(v, 0, "claimed slot had no stored request");
+    seqs[j].store(dq_stamp(next_empty, DQ_EMPTY), Ordering::Release);
+    v
+}
+
+/// Owner pop: claim the FIFO head ticket, then take its slot.
+fn dq_pop(
+    state: &AtomicU64,
+    seqs: &[AtomicU64],
+    slots: &[AtomicU64],
+    cap: u64,
+) -> Option<u64> {
+    let t = dq_claim(state, |head, len| {
+        if len == 0 {
+            None
+        } else {
+            Some((head + 1, len - 1, head))
+        }
+    })?;
+    Some(dq_take(seqs, slots, cap, t, t + cap))
+}
+
+/// Sibling steal: claim the newest tail ticket, then take its slot,
+/// rolling the ticket back so the next push reuses the position.
+fn dq_steal(
+    state: &AtomicU64,
+    seqs: &[AtomicU64],
+    slots: &[AtomicU64],
+    cap: u64,
+) -> Option<u64> {
+    let t = dq_steal_claim(state)?;
+    Some(dq_take(seqs, slots, cap, t, t))
+}
+
+fn dq_slots(cap: u64, init: &[u64]) -> Arc<Vec<AtomicU64>> {
     Arc::new(
-        (0..DQ_CAP)
+        (0..cap)
             .map(|i| AtomicU64::new(init.get(i as usize).copied().unwrap_or(0)))
+            .collect(),
+    )
+}
+
+/// Sequence stamps for a fresh ring with the first `filled` tickets
+/// pre-stored (matching `dq_slots(cap, init)` with `init.len() == filled`).
+fn dq_seqs(cap: u64, filled: u64) -> Arc<Vec<AtomicU64>> {
+    Arc::new(
+        (0..cap)
+            .map(|i| {
+                AtomicU64::new(if i < filled {
+                    dq_stamp(i, DQ_FULL)
+                } else {
+                    dq_stamp(i, DQ_EMPTY)
+                })
+            })
             .collect(),
     )
 }
@@ -353,32 +457,34 @@ fn steal_deque_no_lost_or_duplicated_requests() {
     // Race 1: owner pop vs sibling steal on one shard's queue.
     loom::model(|| {
         // Requests 1 (oldest) and 2 (newest) pre-stored.
-        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 2)));
-        let slots = dq_slots(&[1, 2]);
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 2)));
+        let slots = dq_slots(4, &[1, 2]);
+        let seqs = dq_seqs(4, 2);
 
-        let (st, sl) = (state.clone(), slots.clone());
-        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+        let (st, sq, sl) = (state.clone(), seqs.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, &sq, &sl, 4));
         // Model closure = the same-shard sibling stealing the tail.
-        let stolen = dq_steal(&state, slots.as_slice());
+        let stolen = dq_steal(&state, &seqs, &slots, 4);
         let popped = owner.join().unwrap();
 
         assert_eq!(popped, Some(1), "owner pop takes the FIFO head");
         assert_eq!(stolen, Some(2), "steal takes the newest tail entry");
-        assert!(dq_pop(&state, slots.as_slice()).is_none());
-        assert!(dq_steal(&state, slots.as_slice()).is_none());
+        assert!(dq_pop(&state, &seqs, &slots, 4).is_none());
+        assert!(dq_steal(&state, &seqs, &slots, 4).is_none());
     });
 
     // Race 2: foreign owner pop vs cross-shard shootdown push.
     loom::model(|| {
         // The foreign queue holds request 3; the wedged shard's
         // scheduler shoots request 4 into it concurrently.
-        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 1)));
-        let slots = dq_slots(&[3]);
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 1)));
+        let slots = dq_slots(4, &[3]);
+        let seqs = dq_seqs(4, 1);
 
-        let (st, sl) = (state.clone(), slots.clone());
-        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+        let (st, sq, sl) = (state.clone(), seqs.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, &sq, &sl, 4));
         assert!(
-            dq_push(&state, slots.as_slice(), 4),
+            dq_push(&state, &seqs, &slots, 4, 4),
             "foreign queue had room for the shot-down request"
         );
         let popped = owner.join().unwrap();
@@ -386,11 +492,60 @@ fn steal_deque_no_lost_or_duplicated_requests() {
         assert_eq!(popped, Some(3), "foreign owner drains its own head");
         // Quiescent drain: exactly the shot-down request remains.
         assert_eq!(
-            dq_pop(&state, slots.as_slice()),
+            dq_pop(&state, &seqs, &slots, 4),
             Some(4),
             "shot-down request neither lost nor duplicated"
         );
-        assert!(dq_pop(&state, slots.as_slice()).is_none());
+        assert!(dq_pop(&state, &seqs, &slots, 4).is_none());
+    });
+}
+
+/// The review's high-severity scenario, explored exhaustively on a
+/// capacity-1 ring: a push's handoff stalls while a steal's claim
+/// rolls the tail ticket back and a second push claims the *same
+/// slot*. The three claims are taken up front in the model closure —
+/// exactly the "claims advance around the ring while a deposit is in
+/// flight" window, and it keeps the DFS small — then both deposits and
+/// the steal's take race freely under a preemption bound of 4 (spin
+/// parks are voluntary and stay fully explored; four involuntary
+/// switches cover a deposit stalled at any point across both of the
+/// other threads' critical windows). The sequence stamps must pair
+/// every deposit and take with its own claim: in every explored
+/// interleaving both requests survive, are consumed exactly once, and
+/// the ring ends quiescent — no overwrite, no duplication, no stuck
+/// slot.
+#[test]
+fn steal_deque_slot_reuse_pairs_handoffs() {
+    loom::model_bounded(4, || {
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 0)));
+        let slots = dq_slots(1, &[]);
+        let seqs = dq_seqs(1, 0);
+
+        // Claims, in ring order: push A (ticket 0), steal (ticket 0,
+        // rolled back), push B (ticket 0 again — the reused slot).
+        let ta = dq_push_claim(&state, 1).expect("empty ring accepts a push");
+        let ts = dq_steal_claim(&state).expect("claimed entry is stealable");
+        let tb = dq_push_claim(&state, 1).expect("stolen entry frees the ring");
+        assert_eq!((ta, ts, tb), (0, 0, 0), "all three claims share the slot");
+
+        // Both deposits race each other and the steal's take.
+        let (sq, sl) = (seqs.clone(), slots.clone());
+        let a = thread::spawn(move || dq_push_handoff(&sq, &sl, 1, ta, 1));
+        let (sq, sl) = (seqs.clone(), slots.clone());
+        let b = thread::spawn(move || dq_push_handoff(&sq, &sl, 1, tb, 2));
+        let stolen = dq_take(&seqs, &slots, 1, ts, ts);
+
+        a.join().unwrap();
+        b.join().unwrap();
+        let popped = dq_pop(&state, &seqs, &slots, 1)
+            .expect("second deposit still queued");
+
+        let mut got = [stolen, popped];
+        got.sort_unstable();
+        assert_eq!(got, [1, 2], "slot reuse lost or duplicated a request");
+        assert!(dq_pop(&state, &seqs, &slots, 1).is_none());
+        let (_, len) = dq_unpack(state.load(Ordering::Acquire));
+        assert_eq!(len, 0, "ring quiescent after both handoffs");
     });
 }
 
@@ -402,11 +557,12 @@ fn steal_deque_no_lost_or_duplicated_requests() {
 #[should_panic(expected = "duplicated")]
 fn explorer_catches_unclaimed_slot_steal() {
     loom::model(|| {
-        let state = Arc::new(AtomicU64::new(dq_pack(0, 0, 1)));
-        let slots = dq_slots(&[7]);
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 1)));
+        let slots = dq_slots(4, &[7]);
+        let seqs = dq_seqs(4, 1);
 
-        let (st, sl) = (state.clone(), slots.clone());
-        let owner = thread::spawn(move || dq_pop(&st, sl.as_slice()));
+        let (st, sq, sl) = (state.clone(), seqs.clone(), slots.clone());
+        let owner = thread::spawn(move || dq_pop(&st, &sq, &sl, 4));
 
         // BUG: take the tail value without claiming the word first.
         let stolen = slots[0].load(Ordering::Acquire);
@@ -419,6 +575,68 @@ fn explorer_catches_unclaimed_slot_steal() {
                 "request duplicated: unclaimed steal raced the owner pop"
             );
         }
+    });
+}
+
+/// The pre-fix push handoff (teeth only): the deposit waits for the
+/// slot to *read* empty instead of winning its claim's sequence stamp,
+/// so it is not tied to any particular claim.
+fn dq_push_handoff_unpaired(slots: &[AtomicU64], cap: u64, t: u64, v: u64) {
+    let j = (t % cap) as usize;
+    while slots[j].load(Ordering::Acquire) != 0 {
+        thread::yield_waiting();
+    }
+    slots[j].store(v, Ordering::Release);
+}
+
+/// The pre-fix take handoff (teeth only): spin-swap until a value
+/// appears — any value, not necessarily the claimed ticket's.
+fn dq_take_unpaired(slots: &[AtomicU64], cap: u64, t: u64) -> u64 {
+    let j = (t % cap) as usize;
+    loop {
+        let v = slots[j].swap(0, Ordering::Acquire);
+        if v != 0 {
+            return v;
+        }
+        thread::yield_waiting();
+    }
+}
+
+/// Teeth check: with the *old* null-probe handoff in place of the
+/// sequence stamps, the explorer must find the push-push overwrite the
+/// review flagged. Same claim layout as
+/// `steal_deque_slot_reuse_pairs_handoffs`: on a capacity-1 ring a
+/// steal's claim reuses the stalled pusher's slot for a second push.
+/// Both deposits observe the slot empty and both store, so one request
+/// is overwritten. After the steal's take, the word says one request
+/// is still queued — in the losing schedule its slot is empty instead.
+#[test]
+#[should_panic(expected = "overwrote")]
+fn explorer_catches_push_push_slot_overwrite() {
+    loom::model(|| {
+        let state = Arc::new(AtomicU64::new(dq_pack(0, 0)));
+        let slots = dq_slots(1, &[]);
+
+        let ta = dq_push_claim(&state, 1).expect("empty ring accepts a push");
+        let ts = dq_steal_claim(&state).expect("claimed entry is stealable");
+        let tb = dq_push_claim(&state, 1).expect("stolen entry frees the ring");
+
+        let sl = slots.clone();
+        let a = thread::spawn(move || dq_push_handoff_unpaired(&sl, 1, ta, 1));
+        let sl = slots.clone();
+        let b = thread::spawn(move || dq_push_handoff_unpaired(&sl, 1, tb, 2));
+        let _stolen = dq_take_unpaired(&slots, 1, ts);
+
+        a.join().unwrap();
+        b.join().unwrap();
+
+        let (_, len) = dq_unpack(state.load(Ordering::Acquire));
+        assert_eq!(len, 1, "one steal from two pushes leaves one request queued");
+        assert_ne!(
+            slots[0].load(Ordering::Acquire),
+            0,
+            "request lost: a second push overwrote an undeposited slot"
+        );
     });
 }
 

@@ -42,6 +42,12 @@ struct PoisonUnwind;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Status {
     Runnable,
+    /// Spin-waiting (`yield_waiting`): parked until some other thread
+    /// completes a shared-memory *write* or finishes, i.e. until the
+    /// spin condition could actually change. (Waking on reads would
+    /// let two spinners re-arm each other forever via their own
+    /// condition loads.)
+    Yielded,
     /// Waiting for the thread with this id to finish.
     Joining(usize),
     Finished,
@@ -67,6 +73,13 @@ struct SchedState {
     done: bool,
     /// First failure (panic message or deadlock) of this execution.
     poisoned: Option<String>,
+    /// Involuntary context switches taken so far this execution
+    /// (scheduling away from a still-runnable current thread).
+    preemptions: usize,
+    /// CHESS-style preemption bound (`model_bounded`): once
+    /// `preemptions` reaches it, a runnable current thread keeps the
+    /// token. `None` = exhaustive.
+    bound: Option<usize>,
 }
 
 struct Explorer {
@@ -86,7 +99,7 @@ fn current_ctx() -> Option<(StdArc<Explorer>, usize)> {
 }
 
 impl Explorer {
-    fn new(replay: Vec<Choice>) -> Explorer {
+    fn new(replay: Vec<Choice>, bound: Option<usize>) -> Explorer {
         let cursor = replay.len();
         Explorer {
             state: Mutex::new(SchedState {
@@ -96,6 +109,8 @@ impl Explorer {
                 cursor,
                 done: false,
                 poisoned: None,
+                preemptions: 0,
+                bound,
             }),
             cv: Condvar::new(),
             handles: Mutex::new(Vec::new()),
@@ -105,6 +120,12 @@ impl Explorer {
     /// Picks the next thread to run among runnable ones, consuming or
     /// extending the decision sequence. Returns `None` when nothing is
     /// runnable (caller decides whether that is completion or deadlock).
+    ///
+    /// Under a preemption bound, once the budget is spent a
+    /// still-runnable current thread keeps the token (no branching);
+    /// switching away from a runnable current thread spends one unit.
+    /// Forced switches — the current thread parked, blocked, or
+    /// finished — are free, so spin-wait stalls stay fully explored.
     fn pick(st: &mut SchedState) -> Option<usize> {
         let runnable: Vec<usize> = st
             .statuses
@@ -116,6 +137,11 @@ impl Explorer {
         if runnable.is_empty() {
             return None;
         }
+        let cur_runnable = runnable.contains(&st.current);
+        let options: Vec<usize> = match st.bound {
+            Some(b) if cur_runnable && st.preemptions >= b => vec![st.current],
+            _ => runnable,
+        };
         let depth = st.decisions.len() - st.cursor.min(st.decisions.len());
         assert!(depth < MAX_DEPTH, "loom stub: execution too deep (unbounded loop in model?)");
         let idx = if st.cursor > 0 {
@@ -125,18 +151,22 @@ impl Explorer {
             st.cursor -= 1;
             assert_eq!(
                 c.options,
-                runnable.len(),
+                options.len(),
                 "loom stub: non-deterministic model (branch fan-out changed on replay)"
             );
             c.chosen
         } else {
             st.decisions.push(Choice {
                 chosen: 0,
-                options: runnable.len(),
+                options: options.len(),
             });
             0
         };
-        Some(runnable[idx])
+        let next = options[idx];
+        if cur_runnable && next != st.current {
+            st.preemptions += 1;
+        }
+        Some(next)
     }
 
     fn poison(&self, st: &mut SchedState, msg: String) {
@@ -158,6 +188,19 @@ impl Explorer {
         }
     }
 
+    /// Re-arms every parked spinner: called whenever a thread has
+    /// executed a shared-memory *write* (or has finished), i.e.
+    /// whenever a spin condition may just have changed. Reads do not
+    /// wake: a spinner's own condition load would otherwise perpetually
+    /// re-arm its peers and two spinners could ping-pong forever.
+    fn wake_yielded(st: &mut SchedState) {
+        for s in st.statuses.iter_mut() {
+            if *s == Status::Yielded {
+                *s = Status::Runnable;
+            }
+        }
+    }
+
     /// A scheduling point: every shared-memory (atomic) access goes
     /// through here before executing.
     fn yield_point(&self, me: usize) {
@@ -169,6 +212,86 @@ impl Explorer {
         // The caller is running, hence runnable: pick() cannot fail.
         let next = Self::pick(&mut st).expect("runnable set contains the caller");
         st.current = next;
+        self.cv.notify_all();
+        self.wait_for_token(st, me);
+    }
+
+    /// Re-arms parked spinners after a mutating op has *executed*. The
+    /// wake must not happen at the op's scheduling point (which runs
+    /// before the mutation lands): a spinner scheduled in between
+    /// would re-check stale state and park again, and a writer with no
+    /// later write — say it goes on to `join` — would never re-arm it
+    /// (a lost wakeup in the scheduler itself).
+    fn wake_after_write(&self) {
+        let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+        Self::wake_yielded(&mut st);
+    }
+
+    /// A *spin-wait* scheduling point: parks the caller (`Yielded`) and
+    /// hands the token to a non-parked runnable thread. Parked threads
+    /// re-arm when any other thread completes a shared-memory *write*
+    /// or finishes — the only events that can change a spin condition.
+    /// Re-running a spinner before that observes the same state (its
+    /// condition load is its own scheduling point), so the pruning is
+    /// stutter-equivalent: it shrinks the exploration without hiding
+    /// any reachable state, and it guarantees a thread that can make
+    /// real progress is eventually scheduled even when several threads
+    /// spin at once. If every other live thread is also parked the
+    /// spin conditions can never change: that is a genuine livelock
+    /// and poisons the execution. With no other live thread the call
+    /// is a no-op: the caller re-checks its condition, and a condition
+    /// that can no longer change spins until the depth guard reports
+    /// it.
+    fn yield_waiting_point(&self, me: usize) {
+        let mut st = self.state.lock().expect("loom stub: scheduler mutex poisoned");
+        if st.poisoned.is_some() {
+            drop(st);
+            std::panic::panic_any(PoisonUnwind);
+        }
+        let others: Vec<usize> = st
+            .statuses
+            .iter()
+            .enumerate()
+            .filter(|(i, s)| **s == Status::Runnable && *i != me)
+            .map(|(i, _)| i)
+            .collect();
+        if others.is_empty() {
+            if st
+                .statuses
+                .iter()
+                .enumerate()
+                .any(|(i, s)| *s == Status::Yielded && i != me)
+            {
+                let msg = format!(
+                    "livelock: every live thread is spin-waiting (statuses: {:?})",
+                    st.statuses
+                );
+                self.poison(&mut st, msg);
+                drop(st);
+                std::panic::panic_any(PoisonUnwind);
+            }
+            return;
+        }
+        let depth = st.decisions.len() - st.cursor.min(st.decisions.len());
+        assert!(depth < MAX_DEPTH, "loom stub: execution too deep (unbounded loop in model?)");
+        let idx = if st.cursor > 0 {
+            let c = st.decisions[st.decisions.len() - st.cursor];
+            st.cursor -= 1;
+            assert_eq!(
+                c.options,
+                others.len(),
+                "loom stub: non-deterministic model (branch fan-out changed on replay)"
+            );
+            c.chosen
+        } else {
+            st.decisions.push(Choice {
+                chosen: 0,
+                options: others.len(),
+            });
+            0
+        };
+        st.statuses[me] = Status::Yielded;
+        st.current = others[idx];
         self.cv.notify_all();
         self.wait_for_token(st, me);
     }
@@ -189,6 +312,9 @@ impl Explorer {
                 *s = Status::Runnable;
             }
         }
+        // Finishing is observable progress (e.g. a join edge): parked
+        // spinners whose condition depended on this thread re-arm.
+        Self::wake_yielded(&mut st);
         if st.poisoned.is_some() {
             self.cv.notify_all();
             return;
@@ -308,6 +434,28 @@ pub fn model<F>(f: F)
 where
     F: Fn() + Send + Sync + 'static,
 {
+    model_impl(None, f)
+}
+
+/// CHESS-style bounded exploration (the stub's analogue of real loom's
+/// `Builder::preemption_bound`): explores every schedule with at most
+/// `bound` involuntary context switches. Voluntary handoffs — a
+/// spin-wait parking, a join blocking, a thread finishing — are never
+/// counted, so stall windows remain fully explored. Empirically small
+/// bounds find almost all concurrency bugs (the CHESS result) while
+/// cutting the schedule space exponentially; use this for models whose
+/// exhaustive space is too large to enumerate.
+pub fn model_bounded<F>(bound: usize, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_impl(Some(bound), f)
+}
+
+fn model_impl<F>(bound: Option<usize>, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
     let f = StdArc::new(f);
     let mut replay: Vec<Choice> = Vec::new();
     let mut iterations = 0u64;
@@ -317,7 +465,7 @@ where
             iterations <= MAX_ITERATIONS,
             "loom stub: exceeded {MAX_ITERATIONS} executions; restructure the model"
         );
-        let explorer = StdArc::new(Explorer::new(replay.clone()));
+        let explorer = StdArc::new(Explorer::new(replay.clone(), bound));
         let ff = f.clone();
         // Thread 0 runs the model closure itself; it starts with the token.
         let _root = explorer.spawn_sim(move || ff());
@@ -407,6 +555,21 @@ pub mod thread {
             explorer.yield_point(me);
         }
     }
+
+    /// A spin-wait scheduling point: parks the caller until another
+    /// thread reaches a shared-memory operation or finishes (a no-op
+    /// when the caller is the only live thread). Use inside busy-wait
+    /// loops — `while !ready { …; yield_waiting() }` — where plain
+    /// `yield_now` would let the DFS schedule spinners forever (or two
+    /// spinners ping-pong) and blow the depth bound before the awaited
+    /// store ever runs. If every live thread parks, the model is
+    /// livelocked and the execution fails. See
+    /// [`Explorer::yield_waiting_point`] for why the pruning is sound.
+    pub fn yield_waiting() {
+        if let Some((explorer, me)) = current_ctx() {
+            explorer.yield_waiting_point(me);
+        }
+    }
 }
 pub(crate) use thread::JoinHandle;
 
@@ -429,9 +592,25 @@ pub mod sync {
         pub use std::sync::atomic::Ordering;
         use std::sync::atomic::Ordering::SeqCst;
 
+        /// Scheduling point for a read-only access.
         fn sched_point() {
             if let Some((explorer, me)) = current_ctx() {
                 explorer.yield_point(me);
+            }
+        }
+
+        /// Runs a potentially-mutating access: a scheduling point, the
+        /// op itself, then a wake of threads parked in
+        /// `thread::yield_waiting` — after the mutation has landed, so
+        /// a woken spinner always observes it.
+        fn write_op<T>(f: impl FnOnce() -> T) -> T {
+            if let Some((explorer, me)) = current_ctx() {
+                explorer.yield_point(me);
+                let r = f();
+                explorer.wake_after_write();
+                r
+            } else {
+                f()
             }
         }
 
@@ -454,28 +633,22 @@ pub mod sync {
                         self.0.load(SeqCst)
                     }
                     pub fn store(&self, v: $int, _o: Ordering) {
-                        sched_point();
-                        self.0.store(v, SeqCst)
+                        write_op(|| self.0.store(v, SeqCst))
                     }
                     pub fn swap(&self, v: $int, _o: Ordering) -> $int {
-                        sched_point();
-                        self.0.swap(v, SeqCst)
+                        write_op(|| self.0.swap(v, SeqCst))
                     }
                     pub fn fetch_add(&self, v: $int, _o: Ordering) -> $int {
-                        sched_point();
-                        self.0.fetch_add(v, SeqCst)
+                        write_op(|| self.0.fetch_add(v, SeqCst))
                     }
                     pub fn fetch_sub(&self, v: $int, _o: Ordering) -> $int {
-                        sched_point();
-                        self.0.fetch_sub(v, SeqCst)
+                        write_op(|| self.0.fetch_sub(v, SeqCst))
                     }
                     pub fn fetch_or(&self, v: $int, _o: Ordering) -> $int {
-                        sched_point();
-                        self.0.fetch_or(v, SeqCst)
+                        write_op(|| self.0.fetch_or(v, SeqCst))
                     }
                     pub fn fetch_and(&self, v: $int, _o: Ordering) -> $int {
-                        sched_point();
-                        self.0.fetch_and(v, SeqCst)
+                        write_op(|| self.0.fetch_and(v, SeqCst))
                     }
                     pub fn compare_exchange(
                         &self,
@@ -484,8 +657,7 @@ pub mod sync {
                         _s: Ordering,
                         _f: Ordering,
                     ) -> Result<$int, $int> {
-                        sched_point();
-                        self.0.compare_exchange(cur, new, SeqCst, SeqCst)
+                        write_op(|| self.0.compare_exchange(cur, new, SeqCst, SeqCst))
                     }
                     pub fn compare_exchange_weak(
                         &self,
@@ -518,12 +690,10 @@ pub mod sync {
                 self.0.load(SeqCst)
             }
             pub fn store(&self, v: bool, _o: Ordering) {
-                sched_point();
-                self.0.store(v, SeqCst)
+                write_op(|| self.0.store(v, SeqCst))
             }
             pub fn swap(&self, v: bool, _o: Ordering) -> bool {
-                sched_point();
-                self.0.swap(v, SeqCst)
+                write_op(|| self.0.swap(v, SeqCst))
             }
         }
     }
@@ -579,6 +749,94 @@ mod tests {
                 t.join().unwrap();
             }
             assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        });
+    }
+
+    /// A spin-wait modeled with `yield_waiting` terminates in every
+    /// schedule: the waiter hands the token to the storer instead of
+    /// monopolizing it, so the awaited value always lands.
+    #[test]
+    fn yield_waiting_resolves_spin_loops() {
+        super::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = x.clone();
+            let t = super::thread::spawn(move || {
+                x2.store(7, Ordering::Release);
+            });
+            while x.load(Ordering::Acquire) == 0 {
+                super::thread::yield_waiting();
+            }
+            t.join().unwrap();
+            assert_eq!(x.load(Ordering::Acquire), 7);
+        });
+    }
+
+    /// A single preemption suffices to split the racy read-modify-write,
+    /// so bounded exploration still catches the lost update.
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn bounded_exploration_catches_lost_update() {
+        super::model_bounded(1, || {
+            let c = Arc::new(AtomicU64::new(0));
+            let mut ts = Vec::new();
+            for _ in 0..2 {
+                let c2 = c.clone();
+                ts.push(super::thread::spawn(move || {
+                    let v = c2.load(Ordering::Relaxed);
+                    c2.store(v + 1, Ordering::Relaxed);
+                }));
+            }
+            for t in ts {
+                t.join().unwrap();
+            }
+            assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+        });
+    }
+
+    /// Two spinners waiting on the same store park instead of waking
+    /// each other with their own condition loads; the storer is always
+    /// eventually scheduled and every schedule terminates.
+    #[test]
+    fn yield_waiting_parks_multiple_spinners() {
+        super::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let mut ts = Vec::new();
+            for _ in 0..2 {
+                let x2 = x.clone();
+                ts.push(super::thread::spawn(move || {
+                    while x2.load(Ordering::Acquire) == 0 {
+                        super::thread::yield_waiting();
+                    }
+                }));
+            }
+            let x3 = x.clone();
+            let s = super::thread::spawn(move || x3.store(5, Ordering::Release));
+            for t in ts {
+                t.join().unwrap();
+            }
+            s.join().unwrap();
+            assert_eq!(x.load(Ordering::Acquire), 5);
+        });
+    }
+
+    /// When every live thread is spin-waiting, no condition can ever
+    /// change: the stub reports the livelock instead of exploring the
+    /// spin forever.
+    #[test]
+    #[should_panic(expected = "livelock")]
+    fn reports_all_threads_spinning() {
+        super::model(|| {
+            let x = Arc::new(AtomicU64::new(0));
+            let x2 = x.clone();
+            let t = super::thread::spawn(move || {
+                while x2.load(Ordering::Acquire) == 0 {
+                    super::thread::yield_waiting();
+                }
+            });
+            while x.load(Ordering::Acquire) == 0 {
+                super::thread::yield_waiting();
+            }
+            t.join().unwrap();
         });
     }
 
