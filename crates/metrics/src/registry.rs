@@ -55,10 +55,15 @@ pub enum Counter {
     OrphansAborted,
     Steals,
     Shootdowns,
+    NetConnsAccepted,
+    NetConnsClosed,
+    NetAdmitted,
+    NetRejected,
+    NetProtocolErrors,
 }
 
 /// Number of fixed counters (the width of a shard's counter block).
-pub const COUNTERS: usize = 33;
+pub const COUNTERS: usize = 38;
 
 impl Counter {
     /// Every counter, in export order.
@@ -96,6 +101,11 @@ impl Counter {
         Counter::OrphansAborted,
         Counter::Steals,
         Counter::Shootdowns,
+        Counter::NetConnsAccepted,
+        Counter::NetConnsClosed,
+        Counter::NetAdmitted,
+        Counter::NetRejected,
+        Counter::NetProtocolErrors,
     ];
 
     pub fn name(self) -> &'static str {
@@ -133,6 +143,11 @@ impl Counter {
             Counter::OrphansAborted => "orphans_aborted",
             Counter::Steals => "sched_steals",
             Counter::Shootdowns => "sched_shootdowns",
+            Counter::NetConnsAccepted => "net_conns_accepted",
+            Counter::NetConnsClosed => "net_conns_closed",
+            Counter::NetAdmitted => "net_requests_admitted",
+            Counter::NetRejected => "net_requests_rejected",
+            Counter::NetProtocolErrors => "net_protocol_errors",
         }
     }
 
@@ -171,6 +186,11 @@ impl Counter {
             Counter::OrphansAborted => "Orphaned transactions aborted centrally (slots force-released)",
             Counter::Steals => "Requests stolen from a same-shard sibling's queue tail",
             Counter::Shootdowns => "Starved requests moved cross-shard with a uintr kick",
+            Counter::NetConnsAccepted => "Client connections accepted by the network front door",
+            Counter::NetConnsClosed => "Client connections closed (EOF, error, or shutdown)",
+            Counter::NetAdmitted => "Network requests admitted to the worker pool",
+            Counter::NetRejected => "Network requests rejected with an Overloaded frame",
+            Counter::NetProtocolErrors => "Malformed frames answered with an error and a hangup",
         }
     }
 }
@@ -181,16 +201,18 @@ pub enum Gauge {
     StarvationThreshold,
     ViolationFloor,
     DeliveryDegraded,
+    NetInFlight,
 }
 
 /// Number of fixed gauges.
-pub const GAUGES: usize = 3;
+pub const GAUGES: usize = 4;
 
 impl Gauge {
     pub const ALL: [Gauge; GAUGES] = [
         Gauge::StarvationThreshold,
         Gauge::ViolationFloor,
         Gauge::DeliveryDegraded,
+        Gauge::NetInFlight,
     ];
 
     pub fn name(self) -> &'static str {
@@ -198,6 +220,7 @@ impl Gauge {
             Gauge::StarvationThreshold => "starvation_threshold",
             Gauge::ViolationFloor => "violation_floor",
             Gauge::DeliveryDegraded => "delivery_degraded",
+            Gauge::NetInFlight => "net_in_flight",
         }
     }
 
@@ -208,6 +231,7 @@ impl Gauge {
             }
             Gauge::ViolationFloor => "Controller violation floor (threshold fraction)",
             Gauge::DeliveryDegraded => "1 while interrupt delivery is degraded to cooperative",
+            Gauge::NetInFlight => "Network requests admitted but not yet answered",
         }
     }
 }

@@ -6,15 +6,22 @@
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::export;
 use crate::registry::MetricsRegistry;
 
-/// Handle to a running sampler; dropping it without [`Sampler::stop`]
-/// leaves the thread running until the process exits.
+/// Most scraper connections served concurrently; connections arriving
+/// beyond the cap are dropped (the scraper retries) so a scrape storm
+/// cannot exhaust threads.
+const MAX_SCRAPERS_IN_FLIGHT: usize = 8;
+
+/// Handle to a running sampler. Stops on drop: the destructor signals
+/// the thread and joins it, so a forgotten handle can no longer leak
+/// the sampler (or its listener port) for the life of the process.
+/// [`Sampler::stop`] remains for making shutdown explicit.
 pub struct Sampler {
     stop: Arc<AtomicBool>,
     handle: Option<std::thread::JoinHandle<()>>,
@@ -22,11 +29,22 @@ pub struct Sampler {
 
 impl Sampler {
     /// Signals the thread and joins it.
-    pub fn stop(mut self) {
+    pub fn stop(self) {
+        // Drop does the work; consuming `self` keeps the call-site
+        // meaning ("this sampler ends here") explicit.
+    }
+
+    fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -65,12 +83,29 @@ fn run(
     let mut prev = registry.snapshot();
     let mut last_refresh = Instant::now();
     registry.refresh_slo_gauges(None);
+    let in_flight = Arc::new(AtomicUsize::new(0));
     while !stop.load(Ordering::Relaxed) {
         match listener.as_ref().map(|l| l.accept()) {
             Some(Ok((stream, _))) => {
-                // Serving is best-effort: a broken scraper must never
-                // take the run down.
-                let _ = answer(&registry, stream);
+                // Hand the stream to a short-lived handler thread: a
+                // slow or stalled scraper must not block the gauge
+                // refresh below (it used to, for up to the 500 ms read
+                // timeout). Serving stays best-effort — a broken
+                // scraper must never take the run down.
+                if in_flight.load(Ordering::Acquire) < MAX_SCRAPERS_IN_FLIGHT {
+                    in_flight.fetch_add(1, Ordering::AcqRel);
+                    let reg = registry.clone();
+                    let handler_slot = in_flight.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("metrics-scrape".to_string())
+                        .spawn(move || {
+                            let _ = answer(&reg, stream);
+                            handler_slot.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        in_flight.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
             }
             _ => std::thread::sleep(Duration::from_millis(2)),
         }
@@ -196,6 +231,87 @@ mod tests {
         assert!(json.contains("\"uintr_delivered\":1"));
 
         assert!(scrape(addr, "/nope").is_err(), "404 path must not be 200");
+        sampler.stop();
+    }
+
+    #[test]
+    fn dropping_sampler_joins_thread_and_releases_listener() {
+        let reg = MetricsRegistry::new(MetricsConfig {
+            serve: true,
+            sample_interval_ms: 5,
+            ..MetricsConfig::default()
+        });
+        let sampler = spawn(reg.clone()).expect("bind loopback");
+        let addr = reg.bound_addr().expect("addr recorded at bind time");
+        assert!(scrape(addr, "/metrics").is_ok(), "sampler up before drop");
+
+        drop(sampler);
+
+        // Drop joined the sampler thread, which owned the listener, so
+        // the port is closed: a fresh connect must fail (or at best be
+        // accepted by nobody and die on read). Retry a few times to
+        // shake out TIME_WAIT scheduling noise.
+        let mut refused = false;
+        for _ in 0..20 {
+            match TcpStream::connect(addr) {
+                Err(_) => {
+                    refused = true;
+                    break;
+                }
+                Ok(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        assert!(refused, "listener still accepting after Sampler drop");
+    }
+
+    #[test]
+    fn stalled_scraper_does_not_block_gauge_refresh() {
+        let reg = MetricsRegistry::new(MetricsConfig {
+            serve: true,
+            slos: vec![SloSpec {
+                kind: "point",
+                latency_bound_cycles: 1_000,
+                target_ppm: 10_000,
+            }],
+            sample_interval_ms: 5,
+            ..MetricsConfig::default()
+        });
+        let shard = reg.register_shard("worker", 0);
+        shard.txn_completed("point", 1, 50_000, 10, 0);
+        let sampler = spawn(reg.clone()).expect("bind loopback");
+        let addr = reg.bound_addr().expect("addr recorded at bind time");
+
+        // Stalled scrapers: connect but never send a request. Each one
+        // pins a handler thread for up to its 500 ms read timeout; the
+        // accept loop used to serve them inline, which froze the gauge
+        // refresh for the same window.
+        let stalled: Vec<TcpStream> = (0..3)
+            .map(|_| TcpStream::connect(addr).expect("connect stalled scraper"))
+            .collect();
+        let opened = Instant::now();
+
+        // The burn-rate gauge must appear well before the stalled
+        // clients' 500 ms timeout can expire — proof the refresh loop
+        // kept running while they held their connections open.
+        let mut refreshed = false;
+        while opened.elapsed() < Duration::from_millis(400) {
+            if let Ok(body) = scrape(addr, "/metrics") {
+                let exp = export::parse_prometheus(&body).expect("valid exposition");
+                if exp
+                    .value("preemptdb_slo_burn_rate", &[("kind", "point")])
+                    .is_some()
+                {
+                    refreshed = true;
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            refreshed,
+            "gauge refresh stalled behind a slow scraper for >= 400 ms"
+        );
+        drop(stalled);
         sampler.stop();
     }
 

@@ -90,19 +90,25 @@ impl AdmissionControl {
 
     /// Derives a fresh per-shard limiter from this one's parameters:
     /// each shard gets `1/shards` of the rate (per-token cycle cost
-    /// multiplied) and of the burst (floored at 1 token), so `shards`
-    /// copies admit roughly the same aggregate load as the original.
+    /// multiplied) and a `1/shards` share of the burst, with the
+    /// division remainder distributed one token each to the first
+    /// `burst % shards` shards (`index` is this shard's position), so
+    /// the summed burst across the fleet equals the original whenever
+    /// `burst >= shards`. Shards whose share would round to zero are
+    /// floored at 1 token — a bucket that can never admit is useless.
     /// Unlimited controllers stay unlimited. Counters start at zero.
-    pub fn split(&self, shards: usize) -> AdmissionControl {
+    pub fn split(&self, shards: usize, index: usize) -> AdmissionControl {
         if self.cycles_per_token == 0 {
             return AdmissionControl::unlimited();
         }
         let (cycles_per_token, burst) = if shards <= 1 {
             (self.cycles_per_token, self.burst)
         } else {
+            let shards = shards as u64;
+            let extra = u64::from((index as u64) < self.burst % shards);
             (
-                self.cycles_per_token.saturating_mul(shards as u64),
-                (self.burst / shards as u64).max(1),
+                self.cycles_per_token.saturating_mul(shards),
+                (self.burst / shards + extra).max(1),
             )
         };
         AdmissionControl {
@@ -117,6 +123,11 @@ impl AdmissionControl {
 
     pub fn admitted(&self) -> u64 {
         self.admitted
+    }
+
+    /// Maximum tokens this bucket holds.
+    pub fn burst(&self) -> u64 {
+        self.burst
     }
 
     pub fn rejected(&self) -> u64 {
@@ -167,8 +178,9 @@ impl<F: crate::scheduler::WorkloadFactory> crate::scheduler::WorkloadFactory
         Some(
             parts
                 .into_iter()
-                .map(|p| {
-                    Box::new(AdmittedFactory::new(p, self.control.split(shards)))
+                .enumerate()
+                .map(|(i, p)| {
+                    Box::new(AdmittedFactory::new(p, self.control.split(shards, i)))
                         as Box<dyn crate::scheduler::WorkloadFactory>
                 })
                 .collect(),
@@ -229,6 +241,38 @@ mod tests {
             assert!(!ac.try_admit(), "burst cap holds");
         });
         sim.run();
+    }
+
+    #[test]
+    fn split_conserves_total_burst() {
+        // Splitting must not lose burst tokens to flooring: the
+        // remainder goes one-each to the first shards, so the fleet's
+        // summed burst equals the original whenever burst >= shards.
+        let ac = AdmissionControl::new(1_000, 19, 2_400_000_000);
+        for shards in [1usize, 2, 3, 16] {
+            let parts: Vec<AdmissionControl> =
+                (0..shards).map(|i| ac.split(shards, i)).collect();
+            let total: u64 = parts.iter().map(|p| p.burst()).sum();
+            assert_eq!(
+                total,
+                ac.burst(),
+                "summed burst at {shards} shards must equal the original"
+            );
+            // Later shards never hold more than earlier ones (remainder
+            // tokens go to the front of the fleet).
+            for w in parts.windows(2) {
+                assert!(w[0].burst() >= w[1].burst());
+            }
+        }
+        // Degenerate case: more shards than burst tokens floors each
+        // shard at one token rather than handing out zero-capacity
+        // buckets.
+        let tiny = AdmissionControl::new(1_000, 3, 2_400_000_000);
+        for i in 0..8 {
+            assert!(tiny.split(8, i).burst() >= 1);
+        }
+        // Unlimited controllers stay unlimited under any split.
+        assert_eq!(AdmissionControl::unlimited().split(16, 5).burst(), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Standalone PreemptDB network front door.
+//!
+//! ```text
+//! preemptdb-server [--addr 127.0.0.1:0] [--workers N] [--accounts N]
+//!                  [--high-tps N] [--high-burst N]
+//!                  [--low-tps N] [--low-burst N]
+//!                  [--duration-ms N] [--metrics-addr ADDR] [--chaos]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (the CI smoke
+//! script parses this line), serves until the duration elapses (or
+//! forever with `--duration-ms 0`), then prints a stats summary.
+
+use std::time::Duration;
+
+use preempt_metrics::registry::{MetricsConfig, MetricsRegistry};
+use preemptdb_server::{Server, ServerConfig};
+
+fn parse_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_u64(args: &[String], name: &str) -> Option<u64> {
+    parse_flag(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} expects an integer, got {v:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: preemptdb-server [--addr A] [--workers N] [--accounts N] \
+             [--high-tps N] [--high-burst N] [--low-tps N] [--low-burst N] \
+             [--duration-ms N] [--metrics-addr A] [--chaos]"
+        );
+        return;
+    }
+
+    let mut cfg = ServerConfig::default();
+    if let Some(addr) = parse_flag(&args, "--addr") {
+        cfg.addr = addr;
+    }
+    if let Some(n) = parse_u64(&args, "--workers") {
+        cfg.workers = (n as usize).max(1);
+    }
+    if let Some(n) = parse_u64(&args, "--accounts") {
+        cfg.accounts = n.max(2);
+    }
+    if let Some(tps) = parse_u64(&args, "--high-tps") {
+        cfg.high.tps = Some(tps);
+        cfg.high.burst = parse_u64(&args, "--high-burst").unwrap_or(tps / 10).max(1);
+    }
+    if let Some(tps) = parse_u64(&args, "--low-tps") {
+        cfg.low.tps = Some(tps);
+        cfg.low.burst = parse_u64(&args, "--low-burst").unwrap_or(tps / 10).max(1);
+    }
+    cfg.enable_chaos_ops = args.iter().any(|a| a == "--chaos");
+    if let Some(addr) = parse_flag(&args, "--metrics-addr") {
+        let mc = MetricsConfig {
+            serve: true,
+            serve_addr: addr,
+            ..MetricsConfig::default()
+        };
+        cfg.metrics = Some(MetricsRegistry::new(mc));
+    }
+    let duration_ms = parse_u64(&args, "--duration-ms").unwrap_or(0);
+
+    let metrics = cfg.metrics.clone();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    if let Some(reg) = &metrics {
+        if let Some(addr) = reg.bound_addr() {
+            println!("metrics on http://{addr}/metrics");
+        }
+    }
+
+    if duration_ms == 0 {
+        // Serve until killed.
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    let stats = server.shutdown();
+    println!(
+        "served: conns={} admitted(low/high)={}/{} rejected(low/high)={}/{} \
+         replies(low/high)={}/{} proto_errors={} deposits={}",
+        stats.conns_accepted,
+        stats.admitted[0],
+        stats.admitted[1],
+        stats.rejected[0],
+        stats.rejected[1],
+        stats.replies[0],
+        stats.replies[1],
+        stats.protocol_errors,
+        stats.committed_deposits,
+    );
+}

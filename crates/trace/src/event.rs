@@ -41,6 +41,9 @@ pub(crate) const K_WORKER_RESPAWN: u8 = 17;
 pub(crate) const K_ORPHAN_SWEEP: u8 = 18;
 pub(crate) const K_STEAL: u8 = 19;
 pub(crate) const K_SHOOTDOWN: u8 = 20;
+pub(crate) const K_NET_ACCEPT: u8 = 21;
+pub(crate) const K_NET_REQUEST: u8 = 22;
+pub(crate) const K_NET_CLOSE: u8 = 23;
 
 /// One event in the preemption lifecycle.
 ///
@@ -182,6 +185,28 @@ pub enum TraceEvent {
         /// Foreign worker the request landed on.
         worker: u16,
     },
+    /// The network front door accepted a client connection
+    /// (`preemptdb-server`; recorded on the connection's own ring).
+    NetAccept {
+        /// Server-assigned connection id (wraps at 32 bits).
+        conn: u32,
+    },
+    /// A request frame arrived on a connection and went through the
+    /// per-class admission gate.
+    NetRequest {
+        /// Connection the request arrived on.
+        conn: u32,
+        /// SLO class: 1 = high (Q1), 0 = low (Q2).
+        class: u8,
+        /// Whether admission let it through to the worker pool
+        /// (`false` = rejected with a typed `Overloaded` frame).
+        admitted: bool,
+    },
+    /// The connection closed (client EOF, protocol error, or shutdown).
+    NetClose {
+        /// Connection that closed.
+        conn: u32,
+    },
 }
 
 impl TraceEvent {
@@ -209,6 +234,9 @@ impl TraceEvent {
             TraceEvent::OrphanSweep { .. } => K_ORPHAN_SWEEP,
             TraceEvent::Steal { .. } => K_STEAL,
             TraceEvent::Shootdown { .. } => K_SHOOTDOWN,
+            TraceEvent::NetAccept { .. } => K_NET_ACCEPT,
+            TraceEvent::NetRequest { .. } => K_NET_REQUEST,
+            TraceEvent::NetClose { .. } => K_NET_CLOSE,
         }
     }
 
@@ -235,6 +263,9 @@ impl TraceEvent {
             TraceEvent::OrphanSweep { .. } => "orphan-sweep",
             TraceEvent::Steal { .. } => "steal",
             TraceEvent::Shootdown { .. } => "shootdown",
+            TraceEvent::NetAccept { .. } => "net-accept",
+            TraceEvent::NetRequest { .. } => "net-request",
+            TraceEvent::NetClose { .. } => "net-close",
         }
     }
 
@@ -301,6 +332,13 @@ impl TraceEvent {
             TraceEvent::Shootdown { from_shard, worker } => {
                 u64::from(from_shard) | u64::from(worker) << 16
             }
+            TraceEvent::NetAccept { conn } => u64::from(conn),
+            TraceEvent::NetRequest {
+                conn,
+                class,
+                admitted,
+            } => u64::from(conn) | u64::from(class) << 32 | u64::from(admitted) << 40,
+            TraceEvent::NetClose { conn } => u64::from(conn),
         };
         u64::from(self.kind()) << 56 | u64::from(depth) << 48 | (payload & PAYLOAD_MASK)
     }
@@ -374,6 +412,17 @@ impl TraceEvent {
                 from_shard: payload as u16,
                 worker: (payload >> 16) as u16,
             },
+            K_NET_ACCEPT => TraceEvent::NetAccept {
+                conn: payload as u32,
+            },
+            K_NET_REQUEST => TraceEvent::NetRequest {
+                conn: payload as u32,
+                class: (payload >> 32) as u8,
+                admitted: (payload >> 40) & 1 != 0,
+            },
+            K_NET_CLOSE => TraceEvent::NetClose {
+                conn: payload as u32,
+            },
             _ => return None,
         };
         Some((ev, depth))
@@ -431,6 +480,18 @@ mod tests {
                 from_shard: 1,
                 worker: 9,
             },
+            TraceEvent::NetAccept { conn: 0xDEAD_BEEF },
+            TraceEvent::NetRequest {
+                conn: 12,
+                class: 1,
+                admitted: true,
+            },
+            TraceEvent::NetRequest {
+                conn: 13,
+                class: 0,
+                admitted: false,
+            },
+            TraceEvent::NetClose { conn: 12 },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let depth = (i % 4) as u8;

@@ -17,6 +17,11 @@ impl Enc {
         }
     }
 
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
     pub fn u64(&mut self, v: u64) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
         self
@@ -69,6 +74,10 @@ impl<'a> Dec<'a> {
         s
     }
 
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
     pub fn u64(&mut self) -> u64 {
         u64::from_le_bytes(self.take(8).try_into().expect("u64"))
     }
@@ -103,14 +112,16 @@ mod tests {
     #[test]
     fn round_trip_all_field_types() {
         let row = Enc::with_capacity(64)
+            .u8(0xA5)
             .u64(0xDEAD_BEEF)
             .u32(42)
             .i64(-7)
             .str_fixed("BARBARBAR", 16)
             .pad(8)
             .finish();
-        assert_eq!(row.len(), 8 + 4 + 8 + 16 + 8);
+        assert_eq!(row.len(), 1 + 8 + 4 + 8 + 16 + 8);
         let mut d = Dec::new(&row);
+        assert_eq!(d.u8(), 0xA5);
         assert_eq!(d.u64(), 0xDEAD_BEEF);
         assert_eq!(d.u32(), 42);
         assert_eq!(d.i64(), -7);

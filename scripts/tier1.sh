@@ -33,3 +33,11 @@ cargo run --release -p preempt-bench --bin fig_adaptive -- --check
 # the single-global-queue baseline at >= 4 workers and throughput grows
 # monotonically with the worker count. Full numbers: BENCH_fig09.json.
 cargo run --release -p preempt-bench --bin fig09 -- --check
+
+# Network front-door gate (DESIGN.md §14): closed-loop TCP load against
+# the server with a throttled low class; fails unless accounting is
+# exact (every request gets one typed reply), admission rejections
+# surface as Overloaded frames, in-flight drains to zero, the ledger
+# conserves, and the high class holds its p99 SLO under mixed load.
+# Full numbers: BENCH_server.json.
+cargo run --release -p preempt-bench --bin server_bench -- --check
