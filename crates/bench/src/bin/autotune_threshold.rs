@@ -45,6 +45,7 @@ fn run_policy(policy: Policy, sc: &Scenario) -> RunReport {
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     };
     run(
         Runtime::Simulated(sim),

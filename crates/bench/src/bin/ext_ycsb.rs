@@ -69,6 +69,7 @@ fn main() {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         let factory = YcsbQ2 {
             ycsb,

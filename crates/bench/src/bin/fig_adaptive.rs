@@ -124,6 +124,7 @@ fn run_shifted(policy: Policy, sc: &Shift, duration_ms: u64) -> RunReport {
         recovery: Default::default(),
         metrics: None,
         trace: None,
+        prov: None,
     };
     let factory = LoadShift::new(
         MixedWorkload::new(tpcc, tpch, sc.seed),

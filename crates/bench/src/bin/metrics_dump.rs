@@ -63,6 +63,7 @@ fn sim_cfg(policy: Policy, registry: Option<MetricsRegistry>) -> DriverConfig {
         recovery: Default::default(),
         trace: None,
         metrics: registry,
+        prov: None,
     }
 }
 

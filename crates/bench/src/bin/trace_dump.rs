@@ -50,6 +50,7 @@ fn main() {
         recovery: Default::default(),
         trace: Some(trace.clone()),
         metrics: None,
+        prov: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, 42);
     let report = run(Runtime::Simulated(sim), cfg, Box::new(factory));

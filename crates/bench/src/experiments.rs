@@ -104,6 +104,7 @@ pub fn fig08(sc: &Scenario, worker_counts: &[usize]) -> Table {
                 recovery: Default::default(),
                 trace: None,
                 metrics: None,
+                prov: None,
             };
             let factory = TpccWorkload::new(tpcc.clone(), sc.seed);
             results.push(run(Runtime::Simulated(sim), cfg, Box::new(factory)));
@@ -222,6 +223,7 @@ pub fn fig09_sharded(duration_ms: u64, worker_counts: &[usize]) -> (Table, Vec<S
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         run(Runtime::Simulated(sim), cfg, Box::new(PointStream))
     };
@@ -432,6 +434,7 @@ pub fn ablation_delivery(sc: &Scenario, delivery_us: &[f64]) -> Table {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         let factory = MixedWorkload::new(tpcc.clone(), tpch.clone(), sc.seed);
         let r = run(Runtime::Simulated(sim), cfg, Box::new(factory));

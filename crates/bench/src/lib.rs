@@ -116,6 +116,7 @@ pub fn run_mixed(
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, sc.seed);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))

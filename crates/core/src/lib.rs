@@ -17,6 +17,7 @@
 //! | [`sim`] | deterministic virtual-time multicore substrate (testbed substitute) |
 //! | [`mvcc`] | ERMIA-style snapshot-isolation storage engine (§2.2) |
 //! | [`sched`] | workers, policies, batched on-demand preemption, starvation prevention (§4–5) |
+//! | [`prov`] | latency provenance: per-phase attribution + SLO-violation flight recorder |
 //! | [`workloads`] | TPC-C, TPC-H Q2, mixed-workload factories (§6.1) |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@
 pub use preempt_context as context;
 pub use preempt_metrics as metrics;
 pub use preempt_mvcc as mvcc;
+pub use preempt_prov as prov;
 pub use preempt_sched as sched;
 pub use preempt_sim as sim;
 pub use preempt_trace as trace;
@@ -188,6 +190,23 @@ impl Database {
         priority: Priority,
         work: impl FnOnce() -> WorkOutcome + Send + 'static,
     ) {
+        self.submit_traced(kind, priority, 0, 0, work);
+    }
+
+    /// [`submit`](Self::submit) with a provenance identity: `req_id` is
+    /// the end-to-end request id (0 = let the worker synthesize one) and
+    /// `ingress` the cycle timestamp the request entered the process
+    /// (0 = no front door; admission-wait attributes as zero). The
+    /// server's wire protocol threads both through here so attribution
+    /// and SLO exemplars can name the originating connection.
+    pub fn submit_traced(
+        &self,
+        kind: &'static str,
+        priority: Priority,
+        req_id: u64,
+        ingress: u64,
+        work: impl FnOnce() -> WorkOutcome + Send + 'static,
+    ) {
         let level = priority.level() as usize;
         // Request work is FnMut (re-executable under a retry budget);
         // `submit` takes one-shot closures, and never sets a retry budget,
@@ -199,7 +218,8 @@ impl Database {
                 Some(f) => f(),
                 None => WorkOutcome::failed(0),
             }
-        });
+        })
+        .with_provenance(req_id, ingress);
         // Round-robin with overflow to the next worker (spin if all full:
         // backpressure).
         loop {

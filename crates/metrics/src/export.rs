@@ -10,7 +10,7 @@
 use std::fmt::Write as _;
 
 use crate::buckets;
-use crate::registry::{Counter, FixedHist, HistSnapshot, MetricsSnapshot};
+use crate::registry::{Counter, FixedHist, HistSnapshot, MetricsSnapshot, PHASE_LABELS};
 
 /// Prefix of every exported series.
 pub const NAMESPACE: &str = "preemptdb";
@@ -101,17 +101,29 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
         }
     }
     for h in FixedHist::ALL {
-        let hist = match h {
-            FixedHist::DeliveryLatencyCycles => &snap.delivery_latency,
-            FixedHist::LatchWaitCycles => &snap.latch_wait,
-        };
+        if h.phase_labels().is_some() {
+            continue; // exported below as one labeled family
+        }
         write_hist_family(
             &mut out,
             &format!("{NAMESPACE}_{}", h.name()),
             h.help(),
-            &[(String::new(), hist)],
+            &[(String::new(), snap.fixed(h))],
         );
     }
+    let phase_series: Vec<(String, &HistSnapshot)> = FixedHist::ALL
+        .iter()
+        .filter_map(|&h| {
+            let (phase, class) = h.phase_labels()?;
+            Some((format!("phase=\"{phase}\",class=\"{class}\""), snap.fixed(h)))
+        })
+        .collect();
+    write_hist_family(
+        &mut out,
+        &format!("{NAMESPACE}_txn_phase_cycles"),
+        "Per-commit latency attributed to one provenance phase (cycles)",
+        &phase_series,
+    );
     write_hist_family(
         &mut out,
         &format!("{NAMESPACE}_sensor_high_latency_cycles"),
@@ -250,11 +262,26 @@ pub fn to_json(snap: &MetricsSnapshot) -> String {
     }
     let _ = write!(
         out,
-        "}},\"delivery_latency\":{},\"latch_wait\":{},\"sensor_high_latency\":{},\"kinds\":{{",
+        "}},\"delivery_latency\":{},\"latch_wait\":{},\"sensor_high_latency\":{},\"phases\":{{",
         json_hist(&snap.delivery_latency),
         json_hist(&snap.latch_wait),
         json_hist(&snap.sensor_high_latency)
     );
+    for (ci, class) in ["low", "high"].iter().enumerate() {
+        if ci > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{{", json_str(class));
+        for (pi, phase) in PHASE_LABELS.iter().enumerate() {
+            if pi > 0 {
+                out.push(',');
+            }
+            let h = snap.fixed(FixedHist::phase(pi, ci == 1));
+            let _ = write!(out, "{}:{}", json_str(phase), json_hist(h));
+        }
+        out.push('}');
+    }
+    out.push_str("},\"kinds\":{");
     for (i, k) in snap.kinds.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -46,7 +46,7 @@ use preempt_context::cls::ClsCell;
 pub use export::{parse_prometheus, to_json, to_prometheus, validate_histograms, NAMESPACE};
 pub use registry::{
     Counter, FixedHist, Gauge, HistSnapshot, KindSnapshot, MetricsConfig, MetricsRegistry,
-    MetricsSnapshot, SensorTotals, SensorWindow, Shard, SloSpec,
+    MetricsSnapshot, SensorTotals, SensorWindow, Shard, SloSpec, PHASES, PHASE_LABELS,
 };
 
 /// Count of live [`MetricsRegistry`]s. Zero means the emit helpers
@@ -320,6 +320,29 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.gauge("delivery_degraded"), Some(1.0));
         assert_eq!(snap.gauge("starvation_threshold"), Some(0.625));
+    }
+
+    #[test]
+    fn phase_hists_map_index_and_class_to_distinct_series() {
+        let mut seen = std::collections::HashSet::new();
+        for high in [false, true] {
+            for (idx, &label) in PHASE_LABELS.iter().enumerate() {
+                let h = FixedHist::phase(idx, high);
+                assert!(seen.insert(h as usize), "duplicate hist for {label}/{high}");
+                let (p, c) = h.phase_labels().expect("phase hist has labels");
+                assert_eq!(p, label);
+                assert_eq!(c, if high { "high" } else { "low" });
+            }
+        }
+        assert_eq!(FixedHist::DeliveryLatencyCycles.phase_labels(), None);
+        assert_eq!(FixedHist::LatchWaitCycles.phase_labels(), None);
+        let reg = MetricsRegistry::new(MetricsConfig::default());
+        let shard = reg.register_shard("worker", 0);
+        shard.observe(FixedHist::phase(1, true), 777);
+        let snap = reg.snapshot();
+        assert_eq!(snap.fixed(FixedHist::PhaseQueueHigh).count(), 1);
+        assert_eq!(snap.fixed(FixedHist::PhaseQueueHigh).sum, 777);
+        assert_eq!(snap.fixed(FixedHist::PhaseQueueLow).count(), 0);
     }
 
     #[test]

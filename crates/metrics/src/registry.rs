@@ -60,10 +60,11 @@ pub enum Counter {
     NetAdmitted,
     NetRejected,
     NetProtocolErrors,
+    TraceDropped,
 }
 
 /// Number of fixed counters (the width of a shard's counter block).
-pub const COUNTERS: usize = 38;
+pub const COUNTERS: usize = 39;
 
 impl Counter {
     /// Every counter, in export order.
@@ -106,6 +107,7 @@ impl Counter {
         Counter::NetAdmitted,
         Counter::NetRejected,
         Counter::NetProtocolErrors,
+        Counter::TraceDropped,
     ];
 
     pub fn name(self) -> &'static str {
@@ -148,6 +150,7 @@ impl Counter {
             Counter::NetAdmitted => "net_requests_admitted",
             Counter::NetRejected => "net_requests_rejected",
             Counter::NetProtocolErrors => "net_protocol_errors",
+            Counter::TraceDropped => "trace_events_dropped",
         }
     }
 
@@ -191,6 +194,9 @@ impl Counter {
             Counter::NetAdmitted => "Network requests admitted to the worker pool",
             Counter::NetRejected => "Network requests rejected with an Overloaded frame",
             Counter::NetProtocolErrors => "Malformed frames answered with an error and a hangup",
+            Counter::TraceDropped => {
+                "Trace-ring events overwritten before merge (lossy ring wraparound)"
+            }
         }
     }
 }
@@ -245,19 +251,104 @@ pub enum FixedHist {
     DeliveryLatencyCycles,
     /// Cycles burned spinning on an MVCC latch before acquisition.
     LatchWaitCycles,
+    /// Per-commit latency-provenance phases (DESIGN.md §15): one
+    /// histogram per (phase, class) so the exporter can publish a single
+    /// labeled `txn_phase_cycles` family. Low = normal priority,
+    /// High = latency-sensitive. Order within each class follows
+    /// [`PHASE_LABELS`].
+    PhaseAdmissionLow,
+    PhaseQueueLow,
+    PhaseRunLow,
+    PhasePreemptedLow,
+    PhaseLatchLow,
+    PhaseRetryLow,
+    PhaseHandlerLow,
+    PhaseReplyLow,
+    PhaseAdmissionHigh,
+    PhaseQueueHigh,
+    PhaseRunHigh,
+    PhasePreemptedHigh,
+    PhaseLatchHigh,
+    PhaseRetryHigh,
+    PhaseHandlerHigh,
+    PhaseReplyHigh,
 }
 
 /// Number of fixed histograms.
-pub const FIXED_HISTS: usize = 2;
+pub const FIXED_HISTS: usize = 18;
+
+/// Number of latency-provenance phases per class.
+pub const PHASES: usize = 8;
+
+/// Canonical phase names, indexed by the phase id carried in trace
+/// `TxnPhase` events (crates/prov assigns the ids; this array is the
+/// export-side label table and must stay in the same order).
+pub const PHASE_LABELS: [&str; PHASES] = [
+    "admission", "queue", "run", "preempted", "latch", "retry", "handler", "reply",
+];
 
 impl FixedHist {
-    pub const ALL: [FixedHist; FIXED_HISTS] =
-        [FixedHist::DeliveryLatencyCycles, FixedHist::LatchWaitCycles];
+    pub const ALL: [FixedHist; FIXED_HISTS] = [
+        FixedHist::DeliveryLatencyCycles,
+        FixedHist::LatchWaitCycles,
+        FixedHist::PhaseAdmissionLow,
+        FixedHist::PhaseQueueLow,
+        FixedHist::PhaseRunLow,
+        FixedHist::PhasePreemptedLow,
+        FixedHist::PhaseLatchLow,
+        FixedHist::PhaseRetryLow,
+        FixedHist::PhaseHandlerLow,
+        FixedHist::PhaseReplyLow,
+        FixedHist::PhaseAdmissionHigh,
+        FixedHist::PhaseQueueHigh,
+        FixedHist::PhaseRunHigh,
+        FixedHist::PhasePreemptedHigh,
+        FixedHist::PhaseLatchHigh,
+        FixedHist::PhaseRetryHigh,
+        FixedHist::PhaseHandlerHigh,
+        FixedHist::PhaseReplyHigh,
+    ];
+
+    /// Offset of the first phase histogram within [`FixedHist::ALL`].
+    pub const PHASE_BASE: usize = 2;
+
+    /// The histogram for provenance phase `idx` (0..[`PHASES`]) of the
+    /// given class. Panics on an out-of-range phase index — callers pass
+    /// ids from the in-tree `Phase` enum, never untrusted input.
+    pub fn phase(idx: usize, high: bool) -> FixedHist {
+        assert!(idx < PHASES, "phase index {idx} out of range");
+        Self::ALL[Self::PHASE_BASE + if high { PHASES } else { 0 } + idx]
+    }
+
+    /// `Some((phase_label, class_label))` if this is a phase histogram.
+    pub fn phase_labels(self) -> Option<(&'static str, &'static str)> {
+        let i = (self as usize).checked_sub(Self::PHASE_BASE)?;
+        if i >= 2 * PHASES {
+            return None;
+        }
+        Some((PHASE_LABELS[i % PHASES], if i < PHASES { "low" } else { "high" }))
+    }
 
     pub fn name(self) -> &'static str {
         match self {
             FixedHist::DeliveryLatencyCycles => "uintr_delivery_latency_cycles",
             FixedHist::LatchWaitCycles => "latch_wait_cycles",
+            FixedHist::PhaseAdmissionLow => "txn_phase_admission_low_cycles",
+            FixedHist::PhaseQueueLow => "txn_phase_queue_low_cycles",
+            FixedHist::PhaseRunLow => "txn_phase_run_low_cycles",
+            FixedHist::PhasePreemptedLow => "txn_phase_preempted_low_cycles",
+            FixedHist::PhaseLatchLow => "txn_phase_latch_low_cycles",
+            FixedHist::PhaseRetryLow => "txn_phase_retry_low_cycles",
+            FixedHist::PhaseHandlerLow => "txn_phase_handler_low_cycles",
+            FixedHist::PhaseReplyLow => "txn_phase_reply_low_cycles",
+            FixedHist::PhaseAdmissionHigh => "txn_phase_admission_high_cycles",
+            FixedHist::PhaseQueueHigh => "txn_phase_queue_high_cycles",
+            FixedHist::PhaseRunHigh => "txn_phase_run_high_cycles",
+            FixedHist::PhasePreemptedHigh => "txn_phase_preempted_high_cycles",
+            FixedHist::PhaseLatchHigh => "txn_phase_latch_high_cycles",
+            FixedHist::PhaseRetryHigh => "txn_phase_retry_high_cycles",
+            FixedHist::PhaseHandlerHigh => "txn_phase_handler_high_cycles",
+            FixedHist::PhaseReplyHigh => "txn_phase_reply_high_cycles",
         }
     }
 
@@ -267,6 +358,7 @@ impl FixedHist {
                 "User-interrupt post-to-handler-entry latency (cycles)"
             }
             FixedHist::LatchWaitCycles => "Cycles spun before acquiring an MVCC latch",
+            _ => "Per-commit latency attributed to one provenance phase (cycles)",
         }
     }
 }
@@ -535,10 +627,7 @@ impl Shard {
             label,
             index,
             counters: std::array::from_fn(|_| AtomicU64::new(0)),
-            hists: [
-                AtomicHist::new(buckets::FINE_SUB_BITS),
-                AtomicHist::new(buckets::FINE_SUB_BITS),
-            ],
+            hists: std::array::from_fn(|_| AtomicHist::new(buckets::FINE_SUB_BITS)),
             sensor_high_latency: AtomicHist::new(buckets::WINDOW_SUB_BITS),
             kinds: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
         }
@@ -951,17 +1040,21 @@ impl MetricsRegistry {
             .lock()
             .expect("metrics shard list poisoned");
         let mut counters = [0u64; COUNTERS];
-        let mut delivery_latency = HistSnapshot::empty(buckets::FINE_SUB_BITS);
-        let mut latch_wait = HistSnapshot::empty(buckets::FINE_SUB_BITS);
+        let mut fixed: Vec<HistSnapshot> = (0..FIXED_HISTS)
+            .map(|_| HistSnapshot::empty(buckets::FINE_SUB_BITS))
+            .collect();
         let mut sensor_high_latency = HistSnapshot::empty(buckets::WINDOW_SUB_BITS);
         let mut kinds: Vec<KindSnapshot> = Vec::new();
         for s in shards.iter() {
             s.add_counters_into(&mut counters);
-            s.hists[FixedHist::DeliveryLatencyCycles as usize].add_into(&mut delivery_latency);
-            s.hists[FixedHist::LatchWaitCycles as usize].add_into(&mut latch_wait);
+            for (h, acc) in s.hists.iter().zip(fixed.iter_mut()) {
+                h.add_into(acc);
+            }
             s.sensor_high_latency.add_into(&mut sensor_high_latency);
             s.add_kinds_into(&mut kinds);
         }
+        let delivery_latency = fixed[FixedHist::DeliveryLatencyCycles as usize].clone();
+        let latch_wait = fixed[FixedHist::LatchWaitCycles as usize].clone();
         kinds.sort_by(|a, b| a.name.cmp(&b.name));
         let gauges: Vec<(String, f64)> = Gauge::ALL
             .iter()
@@ -978,6 +1071,7 @@ impl MetricsRegistry {
                 .clone(),
             delivery_latency,
             latch_wait,
+            fixed,
             sensor_high_latency,
             kinds,
             shards: shards.len(),
@@ -1054,6 +1148,9 @@ pub struct MetricsSnapshot {
     pub slo_burn: Vec<(String, f64)>,
     pub delivery_latency: HistSnapshot,
     pub latch_wait: HistSnapshot,
+    /// Every fixed histogram, indexed by `FixedHist as usize` (the two
+    /// named fields above are convenience clones of entries 0 and 1).
+    pub fixed: Vec<HistSnapshot>,
     /// The controller's 3-bit sensor histogram (high-priority latency).
     pub sensor_high_latency: HistSnapshot,
     pub kinds: Vec<KindSnapshot>,
@@ -1065,6 +1162,11 @@ impl MetricsSnapshot {
     /// Total of one fixed counter.
     pub fn counter(&self, c: Counter) -> u64 {
         self.counters[c as usize]
+    }
+
+    /// One fixed histogram by id.
+    pub fn fixed(&self, h: FixedHist) -> &HistSnapshot {
+        &self.fixed[h as usize]
     }
 
     /// Per-kind series by name.

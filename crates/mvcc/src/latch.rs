@@ -163,6 +163,9 @@ impl Latch {
                 preempt_metrics::FixedHist::LatchWaitCycles,
                 spins * SPIN_COST,
             );
+            // Provenance: the running transaction's latch-stall phase
+            // (same approximation as the histogram; handler-safe add).
+            preempt_prov::latch_stall_add(spins * SPIN_COST);
         }
     }
 

@@ -1,0 +1,434 @@
+//! Trace-side reconstruction: replay the merged trace into per-request
+//! span timelines and aggregate a per-class attribution report.
+//!
+//! This is the *independent* half of the reconciliation invariant: the
+//! workers feed phase histograms into the metrics registry directly,
+//! and this module re-derives the same numbers from nothing but the
+//! trace rings. The attribution gate cross-checks the two — any drift
+//! (a lost event, a phase charged twice, a span misattributed) shows
+//! up as a mismatch instead of silently skewing the analysis.
+
+use std::fmt::Write as _;
+
+use preempt_trace::{LatencyStats, MergedTrace, TraceEvent};
+
+use crate::{Phase, PHASES, PHASE_LABELS};
+
+/// Number of SLO classes.
+pub const CLASSES: usize = 2;
+
+/// Class labels, indexed low → high.
+pub const CLASS_LABELS: [&str; CLASSES] = ["low", "high"];
+
+/// Aggregated attribution for one SLO class.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassAttribution {
+    /// Committed spans attributed to this class.
+    pub completed: u64,
+    /// Total cycles per phase across all completions.
+    pub phase_sums: [u64; PHASES],
+    /// Scheduler-visible end-to-end latency (`queue` + window phases —
+    /// everything except `admission`; this matches the registry's
+    /// `txn_latency` population on the same run).
+    pub latency: LatencyStats,
+    /// Full end-to-end latency including `admission`.
+    pub e2e: LatencyStats,
+}
+
+impl ClassAttribution {
+    /// Mean cycles per completion for one phase.
+    pub fn phase_mean(&self, phase: Phase) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.phase_sums[phase as usize] as f64 / self.completed as f64
+    }
+}
+
+/// The reconstruction's output: per-class aggregates plus the loss
+/// accounting that tells downstream consumers how trustworthy they are.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AttributionReport {
+    /// Per-class attribution, indexed low → high.
+    pub classes: [ClassAttribution; CLASSES],
+    /// Spans opened and committed with a full phase vector.
+    pub attributed: u64,
+    /// Spans still open at trace end (in-flight at shutdown, or their
+    /// commit was overwritten by ring wraparound) — excluded.
+    pub incomplete: u64,
+    /// Commits with no matching open span (their begin was overwritten
+    /// by ring wraparound) — excluded.
+    pub unmatched: u64,
+    /// Committed spans whose window phases do not sum exactly to the
+    /// begin→commit span duration. Zero on deterministic simulator
+    /// runs; nonzero means a clamped payload or a racing charge.
+    pub window_mismatch: u64,
+    /// Aborted/panicked spans (no attribution by design).
+    pub aborted: u64,
+    /// Events lost to ring wraparound, from the merged trace.
+    pub ring_dropped: u64,
+}
+
+impl AttributionReport {
+    /// A canonical line-per-fact text form; byte-identical across runs
+    /// iff the attribution is identical (the determinism gate compares
+    /// these).
+    pub fn canonical_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let _ = writeln!(
+            out,
+            "attributed {} incomplete {} unmatched {} window_mismatch {} aborted {} ring_dropped {}",
+            self.attributed,
+            self.incomplete,
+            self.unmatched,
+            self.window_mismatch,
+            self.aborted,
+            self.ring_dropped
+        );
+        for (c, class) in self.classes.iter().enumerate() {
+            let _ = writeln!(out, "class {} completed {}", CLASS_LABELS[c], class.completed);
+            for (i, &sum) in class.phase_sums.iter().enumerate() {
+                let _ = writeln!(out, "class {} phase {} sum {}", CLASS_LABELS[c], PHASE_LABELS[i], sum);
+            }
+            let _ = writeln!(
+                out,
+                "class {} latency p50 {} p99 {} max {}",
+                CLASS_LABELS[c], class.latency.p50, class.latency.p99, class.latency.max
+            );
+            let _ = writeln!(
+                out,
+                "class {} e2e p50 {} p99 {} max {}",
+                CLASS_LABELS[c], class.e2e.p50, class.e2e.p99, class.e2e.max
+            );
+        }
+        out
+    }
+
+    /// Hand-rolled JSON (the workspace is hermetic) for the CI artifact.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        let _ = write!(
+            out,
+            "{{\"attributed\":{},\"incomplete\":{},\"unmatched\":{},\"window_mismatch\":{},\
+             \"aborted\":{},\"ring_dropped\":{},\"classes\":{{",
+            self.attributed,
+            self.incomplete,
+            self.unmatched,
+            self.window_mismatch,
+            self.aborted,
+            self.ring_dropped
+        );
+        for (c, class) in self.classes.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"completed\":{},\"phases\":{{",
+                CLASS_LABELS[c], class.completed
+            );
+            for (i, &sum) in class.phase_sums.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\"{}\":{{\"sum\":{},\"mean\":{:.1}}}",
+                    PHASE_LABELS[i],
+                    sum,
+                    class.phase_mean(Phase::ALL[i])
+                );
+            }
+            let _ = write!(
+                out,
+                "}},\"latency\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{},\"mean\":{:.1}}},\
+                 \"e2e\":{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{},\"mean\":{:.1}}}}}",
+                class.latency.count,
+                class.latency.p50,
+                class.latency.p99,
+                class.latency.max,
+                class.latency.mean,
+                class.e2e.count,
+                class.e2e.p50,
+                class.e2e.p99,
+                class.e2e.max,
+                class.e2e.mean,
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// One open span during the per-worker replay.
+struct Open {
+    txn: u64,
+    priority: u8,
+    begin_ts: u64,
+    req_id: u64,
+    phases: [u64; PHASES],
+    saw_phase: bool,
+}
+
+/// Replays the merged trace into per-worker span stacks and aggregates
+/// the per-class attribution.
+///
+/// Span protocol (what the worker emits, in ring order): `TxnBegin`
+/// opens a span; `ReqId` binds the innermost open span; every
+/// `TxnPhase` accumulates into the innermost open span; `TxnCommit`
+/// closes it with attribution; `TxnAbort`/`TxnPanic` close it without.
+/// Nesting arises exactly when a preemption runs a higher-priority
+/// transaction on the same worker mid-span — the stack mirrors the
+/// worker's level stack.
+pub fn reconstruct(trace: &MergedTrace) -> AttributionReport {
+    let mut report = AttributionReport {
+        ring_dropped: trace.dropped,
+        ..AttributionReport::default()
+    };
+    let mut latency_samples: [Vec<u64>; CLASSES] = [Vec::new(), Vec::new()];
+    let mut e2e_samples: [Vec<u64>; CLASSES] = [Vec::new(), Vec::new()];
+    for &(worker, _) in &trace.ring_labels {
+        let mut stack: Vec<Open> = Vec::new();
+        for r in trace.worker_records(worker) {
+            match r.event {
+                TraceEvent::TxnBegin { txn, priority } => stack.push(Open {
+                    txn,
+                    priority,
+                    begin_ts: r.ts,
+                    req_id: 0,
+                    phases: [0; PHASES],
+                    saw_phase: false,
+                }),
+                TraceEvent::ReqId { id } => {
+                    if let Some(open) = stack.last_mut() {
+                        open.req_id = id;
+                    }
+                }
+                TraceEvent::TxnPhase { phase, cycles } => {
+                    if let (Some(open), Some(_)) = (stack.last_mut(), Phase::from_u8(phase)) {
+                        open.phases[phase as usize] =
+                            open.phases[phase as usize].saturating_add(cycles);
+                        open.saw_phase = true;
+                    }
+                }
+                TraceEvent::TxnCommit { txn } => {
+                    let Some(open) = stack.pop() else {
+                        report.unmatched += 1;
+                        continue;
+                    };
+                    if open.txn != txn || !open.saw_phase {
+                        // A wrapped ring can splice a commit onto the
+                        // wrong span; refuse to attribute it.
+                        report.unmatched += 1;
+                        continue;
+                    }
+                    let class = usize::from(open.priority > 0);
+                    let window: u64 = open.phases[Phase::Run as usize..].iter().sum();
+                    if window != r.ts.saturating_sub(open.begin_ts) {
+                        report.window_mismatch += 1;
+                    }
+                    let admission = open.phases[Phase::Admission as usize];
+                    let total: u64 = open.phases.iter().sum();
+                    report.attributed += 1;
+                    let cls = &mut report.classes[class];
+                    cls.completed += 1;
+                    for (sum, &p) in cls.phase_sums.iter_mut().zip(open.phases.iter()) {
+                        *sum += p;
+                    }
+                    latency_samples[class].push(total - admission);
+                    e2e_samples[class].push(total);
+                }
+                TraceEvent::TxnAbort { txn } | TraceEvent::TxnPanic { txn }
+                    if stack.last().is_some_and(|o| o.txn == txn) =>
+                {
+                    stack.pop();
+                    report.aborted += 1;
+                }
+                _ => {}
+            }
+        }
+        report.incomplete += stack.len() as u64;
+    }
+    for (c, (lat, e2e)) in latency_samples.into_iter().zip(e2e_samples).enumerate() {
+        report.classes[c].latency = LatencyStats::from_samples(lat);
+        report.classes[c].e2e = LatencyStats::from_samples(e2e);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use preempt_trace::TraceRecord;
+
+    fn rec(ts: u64, worker: u16, seq: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            ts,
+            worker,
+            seq,
+            depth: 0,
+            event,
+        }
+    }
+
+    fn trace_of(mut records: Vec<TraceRecord>, dropped: u64) -> MergedTrace {
+        records.sort_by_key(|r| (r.ts, r.worker, r.seq));
+        let ring_labels = vec![(0, "worker"), (1, "worker")];
+        let ring_drops = vec![(0, "worker", dropped), (1, "worker", 0)];
+        MergedTrace {
+            records,
+            dropped,
+            ring_labels,
+            ring_drops,
+        }
+    }
+
+    /// Emits a full span: begin, req-id, phases, commit.
+    fn span(
+        out: &mut Vec<TraceRecord>,
+        worker: u16,
+        seq: &mut u64,
+        begin_ts: u64,
+        txn: u64,
+        priority: u8,
+        phases: [u64; PHASES],
+    ) {
+        let window: u64 = phases[Phase::Run as usize..].iter().sum();
+        let mut push = |ts, ev| {
+            out.push(rec(ts, worker, *seq, ev));
+            *seq += 1;
+        };
+        push(begin_ts, TraceEvent::TxnBegin { txn, priority });
+        push(begin_ts, TraceEvent::ReqId { id: txn + 1000 });
+        let end = begin_ts + window;
+        for (i, &cycles) in phases.iter().enumerate() {
+            if cycles != 0 {
+                push(
+                    end,
+                    TraceEvent::TxnPhase {
+                        phase: i as u8,
+                        cycles,
+                    },
+                );
+            }
+        }
+        push(end, TraceEvent::TxnCommit { txn });
+    }
+
+    fn phases(admission: u64, queue: u64, run: u64, preempted: u64) -> [u64; PHASES] {
+        let mut p = [0u64; PHASES];
+        p[Phase::Admission as usize] = admission;
+        p[Phase::Queue as usize] = queue;
+        p[Phase::Run as usize] = run;
+        p[Phase::Preempted as usize] = preempted;
+        p
+    }
+
+    #[test]
+    fn attributes_flat_spans_per_class() {
+        let mut records = Vec::new();
+        let mut seq = 0;
+        span(&mut records, 0, &mut seq, 100, 1, 0, phases(0, 50, 200, 0));
+        span(&mut records, 0, &mut seq, 400, 2, 1, phases(5, 10, 80, 0));
+        let report = reconstruct(&trace_of(records, 0));
+        assert_eq!(report.attributed, 2);
+        assert_eq!(report.window_mismatch, 0);
+        assert_eq!(report.classes[0].completed, 1);
+        assert_eq!(report.classes[0].phase_sums[Phase::Queue as usize], 50);
+        assert_eq!(report.classes[0].latency.p50, 250);
+        assert_eq!(report.classes[1].completed, 1);
+        assert_eq!(report.classes[1].latency.p50, 90);
+        assert_eq!(report.classes[1].e2e.p50, 95, "e2e includes admission");
+    }
+
+    #[test]
+    fn nested_preemption_attributes_to_the_inner_span() {
+        // Low-priority span is preempted; a high-priority span runs
+        // nested on the same worker; phases land on the innermost.
+        let mut records = Vec::new();
+        records.push(rec(100, 0, 0, TraceEvent::TxnBegin { txn: 1, priority: 0 }));
+        records.push(rec(100, 0, 1, TraceEvent::ReqId { id: 11 }));
+        let mut seq = 2;
+        span(&mut records, 0, &mut seq, 150, 2, 1, phases(0, 5, 40, 0));
+        // Outer resumes and commits: 60 run + 40 preempted-out.
+        records.push(rec(
+            200,
+            0,
+            seq,
+            TraceEvent::TxnPhase {
+                phase: Phase::Run as u8,
+                cycles: 60,
+            },
+        ));
+        records.push(rec(
+            200,
+            0,
+            seq + 1,
+            TraceEvent::TxnPhase {
+                phase: Phase::Preempted as u8,
+                cycles: 40,
+            },
+        ));
+        records.push(rec(200, 0, seq + 2, TraceEvent::TxnCommit { txn: 1 }));
+        let report = reconstruct(&trace_of(records, 0));
+        assert_eq!(report.attributed, 2);
+        assert_eq!(report.window_mismatch, 0);
+        assert_eq!(report.classes[1].phase_sums[Phase::Run as usize], 40);
+        assert_eq!(report.classes[0].phase_sums[Phase::Run as usize], 60);
+        assert_eq!(report.classes[0].phase_sums[Phase::Preempted as usize], 40);
+    }
+
+    #[test]
+    fn losses_are_counted_not_attributed() {
+        let records = vec![
+            // Unmatched commit (begin lost to wraparound).
+            rec(50, 0, 0, TraceEvent::TxnCommit { txn: 9 }),
+            // Open span never committed (in-flight at shutdown).
+            rec(60, 0, 1, TraceEvent::TxnBegin { txn: 10, priority: 0 }),
+            // Aborted span: no attribution.
+            rec(10, 1, 0, TraceEvent::TxnBegin { txn: 3, priority: 1 }),
+            rec(20, 1, 1, TraceEvent::TxnAbort { txn: 3 }),
+        ];
+        let report = reconstruct(&trace_of(records, 7));
+        assert_eq!(report.attributed, 0);
+        assert_eq!(report.unmatched, 1);
+        assert_eq!(report.incomplete, 1);
+        assert_eq!(report.aborted, 1);
+        assert_eq!(report.ring_dropped, 7);
+    }
+
+    #[test]
+    fn window_mismatch_flags_spans_that_do_not_reconcile() {
+        let records = vec![
+            rec(100, 0, 0, TraceEvent::TxnBegin { txn: 1, priority: 0 }),
+            rec(
+                300,
+                0,
+                1,
+                TraceEvent::TxnPhase {
+                    phase: Phase::Run as u8,
+                    cycles: 150, // span is 200 cycles — off by 50
+                },
+            ),
+            rec(300, 0, 2, TraceEvent::TxnCommit { txn: 1 }),
+        ];
+        let report = reconstruct(&trace_of(records, 0));
+        assert_eq!(report.attributed, 1);
+        assert_eq!(report.window_mismatch, 1);
+    }
+
+    #[test]
+    fn canonical_text_and_json_are_stable() {
+        let mut records = Vec::new();
+        let mut seq = 0;
+        span(&mut records, 0, &mut seq, 100, 1, 1, phases(2, 8, 90, 0));
+        let a = reconstruct(&trace_of(records.clone(), 0));
+        let b = reconstruct(&trace_of(records, 0));
+        assert_eq!(a.canonical_text(), b.canonical_text());
+        assert!(a.canonical_text().contains("class high phase queue sum 8"));
+        let json = a.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"queue\":{\"sum\":8"));
+    }
+}

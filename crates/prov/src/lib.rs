@@ -1,0 +1,278 @@
+//! `preempt-prov`: latency provenance — per-transaction phase
+//! attribution with an SLO-violation flight recorder (DESIGN.md §15).
+//!
+//! The paper's thesis is about *where* tail latency comes from:
+//! preemption wins because it removes queue-wait for high-priority
+//! transactions. Aggregate percentiles cannot show that; this crate
+//! makes the claim machine-checkable by decomposing every committed
+//! transaction's end-to-end latency into named phases:
+//!
+//! | # | phase       | meaning                                          |
+//! |---|-------------|--------------------------------------------------|
+//! | 0 | `admission` | wire arrival → admission gate pass (server runs) |
+//! | 1 | `queue`     | enqueue → first instruction of the body          |
+//! | 2 | `run`       | body execution (residual of the window)          |
+//! | 3 | `preempted` | switched out for a higher-priority transaction   |
+//! | 4 | `latch`     | spinning on MVCC latches                         |
+//! | 5 | `retry`     | backoff between conflict-abort retries           |
+//! | 6 | `handler`   | user-interrupt handler overhead on this context  |
+//! | 7 | `reply`     | serializing + writing the response frame         |
+//!
+//! The invariant the whole plane is built around (and the attribution
+//! gate enforces): **phases sum to the measured end-to-end latency** —
+//! `admission + queue` plus the execution-window phases equals
+//! `finished - ingress`, and in the deterministic simulator the match is
+//! cycle-exact because instrumentation advances no virtual time.
+//!
+//! Mechanics:
+//! * Workers measure `admission`/`queue` from request timestamps and the
+//!   window phases via context-local accumulators ([`charge`]) — one
+//!   copy per preemption level for free, since every level runs on its
+//!   own context. At commit the worker emits the vector as
+//!   `TraceEvent::TxnPhase` events (before `TxnCommit`, no preemption
+//!   point between), feeds the per-class phase histograms in the metrics
+//!   registry, and offers an [`Exemplar`] to its [`FlightRecorder`] when
+//!   the SLO is breached.
+//! * [`reconstruct`] replays the merged trace into per-request span
+//!   timelines and aggregates an [`AttributionReport`] — the second,
+//!   independent path the gate reconciles against the registry.
+//!
+//! Everything callable from instrumentation sites ([`charge`] and
+//! friends) follows the handler-safety discipline of `preempt-trace`:
+//! no allocation (slots are pre-touched by [`init_context`]), no
+//! locking, no panicking — reentrant access degrades to a no-op.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod attr;
+mod flight;
+
+use preempt_context::cls::ClsCell;
+use preempt_metrics::{hist_record, FixedHist};
+use preempt_trace::{emit, TraceEvent};
+
+pub use attr::{reconstruct, AttributionReport, ClassAttribution, CLASSES, CLASS_LABELS};
+pub use flight::{exemplars_to_chrome_json, Exemplar, FlightRecorder};
+
+/// Number of provenance phases; mirrors `preempt_metrics::PHASES`.
+pub const PHASES: usize = preempt_metrics::PHASES;
+
+/// Phase labels, shared with the metrics exporter.
+pub const PHASE_LABELS: [&str; PHASES] = preempt_metrics::PHASE_LABELS;
+
+/// One attributed latency phase. `Phase as u8` is the index carried in
+/// `TraceEvent::TxnPhase` payloads and into the per-class histogram
+/// table (`FixedHist::phase`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Phase {
+    /// Wire arrival → admission-gate pass (zero on simulator runs,
+    /// which have no front door).
+    Admission = 0,
+    /// Enqueue (request creation) → first instruction of the body.
+    Queue = 1,
+    /// Body execution: the residual of the execution window after every
+    /// other window phase is subtracted.
+    Run = 2,
+    /// Switched out while a higher-priority transaction ran.
+    Preempted = 3,
+    /// Spinning on MVCC latches.
+    Latch = 4,
+    /// Backoff between conflict-abort retries.
+    Retry = 5,
+    /// User-interrupt handler overhead absorbed on this context.
+    Handler = 6,
+    /// Serializing and writing the response frame.
+    Reply = 7,
+}
+
+impl Phase {
+    /// Every phase, in index order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Admission,
+        Phase::Queue,
+        Phase::Run,
+        Phase::Preempted,
+        Phase::Latch,
+        Phase::Retry,
+        Phase::Handler,
+        Phase::Reply,
+    ];
+
+    /// The canonical label ("admission", "queue", ...).
+    pub fn label(self) -> &'static str {
+        PHASE_LABELS[self as usize]
+    }
+
+    /// Decodes a `TxnPhase` payload index.
+    pub fn from_u8(v: u8) -> Option<Phase> {
+        Self::ALL.get(v as usize).copied()
+    }
+}
+
+/// Provenance configuration, carried on the driver config.
+#[derive(Clone, Copy, Debug)]
+pub struct ProvConfig {
+    /// Per-class end-to-end latency SLOs in cycles, indexed `[low,
+    /// high]`. A commit whose latency exceeds its class bound is offered
+    /// to the worker's flight recorder as an exemplar.
+    pub slo_cycles: [u64; 2],
+    /// Worst-offender exemplars each worker's flight recorder retains.
+    pub exemplars_per_worker: usize,
+}
+
+impl Default for ProvConfig {
+    fn default() -> ProvConfig {
+        ProvConfig {
+            // Effectively "never breach" until the caller sets real
+            // bounds; the attribution plane still runs.
+            slo_cycles: [u64::MAX, u64::MAX],
+            exemplars_per_worker: 8,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Context-local phase accumulators
+// ---------------------------------------------------------------------
+
+/// The current context's accumulated window phases. Context-local (not
+/// thread-local) on purpose: every preemption level runs on its own
+/// context, so each in-flight transaction accumulates into its own
+/// copy with zero bookkeeping — exactly the CLS property the paper
+/// builds redo logs on (§4.3).
+static ACCUM: ClsCell<[u64; PHASES]> = ClsCell::new(|| [0; PHASES]);
+
+/// Pre-touches this context's accumulator slot so later [`charge`]
+/// calls (including from inside interrupt handlers) never allocate.
+/// Call once per context right after installing trace/metrics state.
+pub fn init_context() {
+    ACCUM.try_with(|_| {});
+}
+
+/// Adds `cycles` to `phase` on the current context's accumulator.
+///
+/// Handler-safe: no allocation (slot pre-touched by [`init_context`]),
+/// no locking, no panic paths; reentrant access degrades to a no-op.
+#[inline]
+pub fn charge(phase: Phase, cycles: u64) {
+    ACCUM.try_with(|a| a[phase as usize] = a[phase as usize].saturating_add(cycles));
+}
+
+/// Charges latch spin time; the MVCC latch calls this next to its
+/// wait-histogram record. Handler-safe; see [`charge`].
+#[inline]
+pub fn latch_stall_add(cycles: u64) {
+    charge(Phase::Latch, cycles);
+}
+
+/// Zeroes the current context's accumulator. Workers call this at the
+/// start of each request so that stale between-transaction charges
+/// (e.g. handler overhead absorbed while idle) are discarded.
+pub fn reset() {
+    ACCUM.try_with(|a| *a = [0; PHASES]);
+}
+
+/// Takes (and zeroes) the current context's accumulated window phases.
+pub fn take() -> [u64; PHASES] {
+    ACCUM.try_with(std::mem::take).unwrap_or([0; PHASES])
+}
+
+// ---------------------------------------------------------------------
+// Commit-side fan-out
+// ---------------------------------------------------------------------
+
+/// Computes the full phase vector for one committed transaction.
+///
+/// `admission`/`queue` come from request timestamps, the window phases
+/// from the context accumulator, and `run` is the residual: the
+/// execution window minus every other window phase (saturating — a
+/// clamped or racing charge can never push another phase negative).
+/// The construction makes the reconciliation identity hold by
+/// construction: the vector sums to `admission + queue + window`.
+pub fn phase_vector(admission: u64, queue: u64, window: u64, accum: &[u64; PHASES]) -> [u64; PHASES] {
+    let mut phases = *accum;
+    phases[Phase::Admission as usize] = admission;
+    phases[Phase::Queue as usize] = queue;
+    let charged: u64 = phases
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != Phase::Admission as usize && i != Phase::Queue as usize)
+        .map(|(_, &c)| c)
+        .sum();
+    phases[Phase::Run as usize] = window.saturating_sub(charged);
+    phases
+}
+
+/// Emits the nonzero phases as `TxnPhase` trace events. The caller
+/// (the worker's commit path) must emit these *before* `TxnCommit`
+/// with no intervening preemption point, so reconstruction attaches
+/// them to the still-open span.
+pub fn emit_phases(phases: &[u64; PHASES]) {
+    for (i, &cycles) in phases.iter().enumerate() {
+        if cycles != 0 {
+            emit(TraceEvent::TxnPhase {
+                phase: i as u8,
+                cycles,
+            });
+        }
+    }
+}
+
+/// Records every phase (zeros included) into the per-class registry
+/// histograms, preserving the count invariant the gate checks: each
+/// phase histogram's count equals the class's completion count.
+pub fn record_phase_hists(phases: &[u64; PHASES], high: bool) {
+    for (i, &cycles) in phases.iter().enumerate() {
+        hist_record(FixedHist::phase(i, high), cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_round_trips_through_u8() {
+        for p in Phase::ALL {
+            assert_eq!(Phase::from_u8(p as u8), Some(p));
+            assert_eq!(p.label(), PHASE_LABELS[p as usize]);
+        }
+        assert_eq!(Phase::from_u8(PHASES as u8), None);
+    }
+
+    #[test]
+    fn accumulator_charges_and_takes() {
+        reset();
+        charge(Phase::Latch, 40);
+        charge(Phase::Latch, 2);
+        charge(Phase::Preempted, 100);
+        let a = take();
+        assert_eq!(a[Phase::Latch as usize], 42);
+        assert_eq!(a[Phase::Preempted as usize], 100);
+        assert_eq!(take(), [0; PHASES], "take resets");
+    }
+
+    #[test]
+    fn phase_vector_sums_to_admission_queue_window() {
+        reset();
+        charge(Phase::Latch, 30);
+        charge(Phase::Handler, 10);
+        let phases = phase_vector(7, 50, 200, &take());
+        assert_eq!(phases[Phase::Admission as usize], 7);
+        assert_eq!(phases[Phase::Queue as usize], 50);
+        assert_eq!(phases[Phase::Run as usize], 160);
+        assert_eq!(phases.iter().sum::<u64>(), 7 + 50 + 200);
+    }
+
+    #[test]
+    fn phase_vector_saturates_when_charges_exceed_window() {
+        // A clamped trace payload or double charge must not underflow;
+        // run degrades to zero and the identity deliberately over-counts
+        // (the gate's mismatch counter surfaces it).
+        let mut accum = [0u64; PHASES];
+        accum[Phase::Latch as usize] = 500;
+        let phases = phase_vector(0, 10, 200, &accum);
+        assert_eq!(phases[Phase::Run as usize], 0);
+    }
+}

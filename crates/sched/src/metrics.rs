@@ -136,19 +136,38 @@ impl Histogram {
     /// prefix of the full run, so subtracting the prefix histogram
     /// leaves exactly the suffix's samples. `min`/`max` are recomputed
     /// from the surviving buckets (bucket-resolution, like percentiles).
+    ///
+    /// If `earlier` is *not* a prefix of `self` — its count, sum, or any
+    /// bucket exceeds this histogram's, the shape left behind when the
+    /// underlying series was reset between the two snapshots — the
+    /// difference is meaningless, so the window restarts from the
+    /// current totals (returns a clone of `self`), matching how
+    /// monotonic-counter consumers treat a reset. An exactly-empty
+    /// window (`earlier == self`) yields a fully-zeroed histogram, with
+    /// no floating-point residue left in the geomean accumulator.
     pub fn subtracting(&self, earlier: &Histogram) -> Histogram {
+        let reset = earlier.count > self.count
+            || earlier.sum > self.sum
+            || earlier
+                .counts
+                .iter()
+                .zip(self.counts.iter())
+                .any(|(b, a)| b > a);
+        if reset {
+            return self.clone();
+        }
         let mut out = Histogram::new();
         for (o, (a, b)) in out
             .counts
             .iter_mut()
             .zip(self.counts.iter().zip(earlier.counts.iter()))
         {
-            *o = a.saturating_sub(*b);
+            *o = a - b;
         }
-        out.count = self.count.saturating_sub(earlier.count);
-        out.sum = self.sum.saturating_sub(earlier.sum);
-        out.log_sum = (self.log_sum - earlier.log_sum).max(0.0);
+        out.count = self.count - earlier.count;
+        out.sum = self.sum - earlier.sum;
         if out.count > 0 {
+            out.log_sum = (self.log_sum - earlier.log_sum).max(0.0);
             let first = out.counts.iter().position(|&c| c > 0).unwrap_or(0);
             let last = out.counts.iter().rposition(|&c| c > 0).unwrap_or(0);
             out.min = Self::bucket_value(first);
@@ -434,6 +453,57 @@ mod tests {
         let empty = full.subtracting(&full);
         assert_eq!(empty.count(), 0);
         assert_eq!(empty.percentile(99.0), 0);
+    }
+
+    /// Satellite regression: a window whose "earlier" snapshot is not a
+    /// prefix (the series was reset in between) must restart from the
+    /// current totals instead of producing saturated garbage.
+    #[test]
+    fn subtracting_detects_counter_resets() {
+        let mut before = Histogram::new();
+        for v in 1..=500u64 {
+            before.record(v * 7);
+        }
+        // Reset: the series started over and recorded fewer samples.
+        let mut after = Histogram::new();
+        for v in 1..=100u64 {
+            after.record(v * 11);
+        }
+        let w = after.subtracting(&before);
+        assert_eq!(w.count(), after.count(), "window restarts at the reset");
+        assert_eq!(w.percentile(99.0), after.percentile(99.0));
+        assert!((w.mean() - after.mean()).abs() < 1e-9);
+
+        // A reset that lands on a *larger* count but shuffled buckets is
+        // still a reset: some bucket must exceed the later snapshot.
+        let mut skew = Histogram::new();
+        for _ in 0..1_000u64 {
+            skew.record(3); // all mass in one low bucket
+        }
+        let mut later = Histogram::new();
+        for v in 1..=2_000u64 {
+            later.record(v * 1_000); // spread high, low bucket ~empty
+        }
+        let w2 = later.subtracting(&skew);
+        assert_eq!(w2.count(), later.count());
+        assert_eq!(w2.max(), later.max());
+    }
+
+    /// Satellite regression: an exactly-empty window reports zeroed
+    /// statistics — no float residue in the geomean, no stale min/max.
+    #[test]
+    fn subtracting_empty_window_is_fully_zeroed() {
+        let mut h = Histogram::new();
+        for v in 1..=1_000u64 {
+            h.record(v * 13);
+        }
+        let w = h.subtracting(&h);
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.min(), 0);
+        assert_eq!(w.max(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.geomean(), 0.0, "no log_sum residue");
+        assert_eq!(w.percentile(50.0), 0);
     }
 
     #[test]

@@ -67,6 +67,14 @@ pub struct Request {
     /// Worker-level re-execution budget when the closure reports
     /// `committed == false`. 0 = never re-execute.
     pub max_retries: u32,
+    /// End-to-end request id for the provenance plane (wire-assigned by
+    /// the server front door). 0 = unassigned; the worker synthesizes
+    /// one so simulator workloads are attributable too.
+    pub req_id: u64,
+    /// Cycle timestamp the request entered the process (wire arrival),
+    /// from which admission-wait is measured. 0 = no front door;
+    /// admission attributes as zero.
+    pub ingress: u64,
     /// The transaction logic, run to completion on a worker. `FnMut` so
     /// an uncommitted attempt can be re-executed under the retry budget.
     pub work: Box<dyn FnMut() -> WorkOutcome + Send>,
@@ -85,8 +93,18 @@ impl Request {
             created_at,
             deadline: None,
             max_retries: 0,
+            req_id: 0,
+            ingress: 0,
             work: Box::new(work),
         }
+    }
+
+    /// Binds the provenance identity: the wire request id and the
+    /// ingress timestamp admission-wait is measured from.
+    pub fn with_provenance(mut self, req_id: u64, ingress: u64) -> Request {
+        self.req_id = req_id;
+        self.ingress = ingress;
+        self
     }
 
     /// Sets an absolute cycle deadline.

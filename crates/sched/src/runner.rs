@@ -70,6 +70,16 @@ pub struct RunReport {
     /// The merged event trace, when the run carried a
     /// [`preempt_trace::TraceSession`] ([`DriverConfig::trace`]).
     pub trace: Option<preempt_trace::MergedTrace>,
+    /// Per-class phase attribution reconstructed from the merged trace
+    /// (`None` without a trace session): where every committed
+    /// transaction's latency went, phase by phase.
+    pub attribution: Option<preempt_prov::AttributionReport>,
+    /// SLO-breach exemplars from every worker's flight recorder, worst
+    /// overage first (empty unless [`DriverConfig::prov`] was set).
+    pub exemplars: Vec<preempt_prov::Exemplar>,
+    /// Exemplar captures lost to recorder contention, summed over
+    /// workers (should be zero; see [`preempt_prov::FlightRecorder`]).
+    pub flight_missed: u64,
     /// Preemption-latency breakdown (send→notice, notice→handler,
     /// handler→switch) derived from the trace; reported next to the
     /// histogram-based latencies.
@@ -209,6 +219,25 @@ fn collect(
     }
     let trace = cfg.trace.as_ref().map(|s| s.merge());
     let preempt_breakdown = trace.as_ref().map(|t| t.breakdown());
+    let attribution = trace.as_ref().map(preempt_prov::reconstruct);
+    // Trace-ring loss lands in the registry at collect time (the rings
+    // only know their overwrite counts once merged), through a dedicated
+    // collector shard so the snapshot below carries it.
+    if let (Some(t), Some(reg)) = (&trace, sched.registry.as_ref()) {
+        if t.dropped > 0 {
+            reg.register_shard("collector", u32::MAX)
+                .bump_by(preempt_metrics::Counter::TraceDropped, t.dropped);
+        }
+    }
+    let mut exemplars: Vec<preempt_prov::Exemplar> = Vec::new();
+    let mut flight_missed = 0;
+    for w in workers {
+        if let Some(fr) = w.flight.get() {
+            exemplars.extend(fr.snapshot());
+            flight_missed += fr.missed();
+        }
+    }
+    exemplars.sort_by_key(|e| (std::cmp::Reverse(e.overage()), e.req_id));
     let metrics_snapshot = sched.registry.as_ref().map(|r| {
         r.refresh_slo_gauges(None);
         r.snapshot()
@@ -224,6 +253,9 @@ fn collect(
         faults: None,
         fault_trace: None,
         trace,
+        attribution,
+        exemplars,
+        flight_missed,
         preempt_breakdown,
         metrics_snapshot,
         panic_messages,
@@ -372,6 +404,11 @@ pub fn cross_check_registry(report: &RunReport) -> Result<(), String> {
     // by the wedged scheduler shard; both planes see the same events.
     err("steals", report.workers.steals, snap.counter(Counter::Steals))?;
     err("shootdowns", s.shootdowns, snap.counter(Counter::Shootdowns))?;
+    // Provenance plane: ring loss is folded into the registry at collect
+    // time, so a report carrying both a trace and a snapshot must agree.
+    if let Some(t) = &report.trace {
+        err("trace_dropped", t.dropped, snap.counter(Counter::TraceDropped))?;
+    }
     Ok(())
 }
 
@@ -464,6 +501,19 @@ fn register_worker_shards(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
     }
 }
 
+/// Installs one SLO-violation flight recorder per worker when the config
+/// carries a provenance section. Runs before the workers start.
+fn register_worker_flight(cfg: &DriverConfig, workers: &[Arc<WorkerShared>]) {
+    if let Some(prov) = &cfg.prov {
+        for w in workers {
+            let _ = w.flight.set(Arc::new(preempt_prov::FlightRecorder::new(
+                prov.exemplars_per_worker,
+                prov.slo_cycles,
+            )));
+        }
+    }
+}
+
 fn run_simulated(
     sim_cfg: SimConfig,
     mut cfg: DriverConfig,
@@ -477,6 +527,7 @@ fn run_simulated(
         .collect();
     register_worker_rings(&cfg, &workers);
     register_worker_shards(&cfg, &workers);
+    register_worker_flight(&cfg, &workers);
     let ranges = shard_ranges(cfg.n_workers, shards);
     if shards > 1 {
         wire_steal_peers(&workers, &ranges);
@@ -534,6 +585,7 @@ fn run_threads(mut cfg: DriverConfig, mut factory: Box<dyn WorkloadFactory>) -> 
         .collect();
     register_worker_rings(&cfg, &workers);
     register_worker_shards(&cfg, &workers);
+    register_worker_flight(&cfg, &workers);
     let ranges = shard_ranges(cfg.n_workers, shards);
     if shards > 1 {
         wire_steal_peers(&workers, &ranges);
@@ -639,6 +691,9 @@ mod tests {
             faults: None,
             fault_trace: None,
             trace: None,
+            attribution: None,
+            exemplars: Vec::new(),
+            flight_missed: 0,
             preempt_breakdown: None,
             metrics_snapshot: None,
             panic_messages: Vec::new(),
@@ -696,6 +751,7 @@ mod tests {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         }
     }
 
@@ -716,6 +772,9 @@ mod tests {
             faults: None,
             fault_trace: None,
             trace: None,
+            attribution: None,
+            exemplars: Vec::new(),
+            flight_missed: 0,
             preempt_breakdown: None,
             metrics_snapshot: None,
             panic_messages: Vec::new(),

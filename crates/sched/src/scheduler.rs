@@ -337,6 +337,13 @@ pub struct DriverConfig {
     /// scheduler creates a private fallback registry because the
     /// controller's sensor plane *is* the registry.
     pub metrics: Option<MetricsRegistry>,
+    /// Latency-provenance configuration: when set, the runner installs
+    /// one SLO-violation flight recorder per worker (exemplar capture on
+    /// breach) and — with `trace` also set — the run report carries a
+    /// per-class phase attribution reconstructed from the merged trace.
+    /// `None` (the default) disables exemplar capture; phase *charging*
+    /// is always on and costs one context-local add per site.
+    pub prov: Option<preempt_prov::ProvConfig>,
 }
 
 impl DriverConfig {
@@ -358,6 +365,7 @@ impl DriverConfig {
             recovery: RecoveryHooks::default(),
             trace: None,
             metrics: None,
+            prov: None,
         }
     }
 
@@ -1387,6 +1395,7 @@ mod tests {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         let workers: Vec<_> = (0..cfg.n_workers)
             .map(|i| WorkerShared::new(i, &cfg.queue_caps))

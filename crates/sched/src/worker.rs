@@ -141,6 +141,10 @@ pub struct WorkerShared {
     /// after worker startup still captures every completion; `None`
     /// means metrics are off and each emit costs one atomic load.
     pub metrics_shard: OnceLock<Arc<preempt_metrics::Shard>>,
+    /// This worker's SLO-violation flight recorder, set by the runner
+    /// when the driver config carries a [`preempt_prov::ProvConfig`].
+    /// Unset means exemplar capture is off.
+    pub flight: OnceLock<Arc<preempt_prov::FlightRecorder>>,
     pub stopped: AtomicBool,
     // ---- failure containment (supervisor ↔ worker handshake) ----
     /// Supervisor order for the *current incarnation* to unwind out of
@@ -209,6 +213,7 @@ impl WorkerShared {
             wake_target: Mutex::new(None),
             starvation: StarvationState::new(),
             metrics_shard: OnceLock::new(),
+            flight: OnceLock::new(),
             stopped: AtomicBool::new(false),
             terminated: AtomicBool::new(false),
             exited: AtomicBool::new(false),
@@ -386,11 +391,19 @@ impl WorkerCtx {
         if let Some(sh) = self.shared.metrics_shard.get() {
             sh.bump(preempt_metrics::Counter::SchedEnterLevel);
         }
+        // Provenance: everything from here until the switch back — the
+        // switch cost itself plus whatever the higher level ran — is
+        // time this context's transaction spent preempted-out.
+        let away_start = now_cycles();
         charge(SWITCH_COST);
         // SAFETY: level TCBs point at contexts owned by this WorkerCtx
         // (or the worker's main context), alive for the worker's run.
         switch_to(unsafe { &*self.level_tcbs[level as usize].get() });
         // Resumed: the drain loop restored current_level on its way back.
+        preempt_prov::charge(
+            preempt_prov::Phase::Preempted,
+            now_cycles().saturating_sub(away_start),
+        );
     }
 
     /// Switches from a drain loop back to the preempted context.
@@ -412,6 +425,25 @@ impl WorkerCtx {
     /// The user-interrupt handler body (Algorithm 1's helper): decide
     /// whether to take the preemption, then perform the passive switch.
     fn on_uintr(&self, vector: u8) {
+        // Provenance: the decision overhead lands on the interrupted
+        // transaction as handler time (zero under the simulator, which
+        // charges no virtual cycles here; real on threads). The switch
+        // and the preempted-away window are charged by `enter_level`.
+        let handler_start = now_cycles();
+        let take = self.uintr_decide(vector);
+        preempt_prov::charge(
+            preempt_prov::Phase::Handler,
+            now_cycles().saturating_sub(handler_start),
+        );
+        if let Some(level) = take {
+            self.shared.preemptions.fetch_add(1, Ordering::Relaxed);
+            self.enter_level(level);
+        }
+    }
+
+    /// The handler's decision half: acknowledge, then decide whether the
+    /// interrupt results in a passive switch (and to which level).
+    fn uintr_decide(&self, vector: u8) -> Option<u8> {
         // Acknowledge delivery before any decline path: the watchdog only
         // re-sends when the interrupt never *reached* the handler, not
         // when the handler chose not to preempt. The Acquire load pairs
@@ -422,25 +454,24 @@ impl WorkerCtx {
         );
         let level = vector;
         if level as usize >= self.level_tcbs.len() {
-            return; // unknown (spurious) vector: acknowledged, ignored
+            return None; // unknown (spurious) vector: acknowledged, ignored
         }
         if self.shared.should_exit() {
-            return;
+            return None;
         }
         // Do not interrupt an equal-or-higher-priority transaction
         // (paper §4.1: in-progress high-priority transactions are not
         // further interrupted in the default two-level configuration).
         let cur = self.current_txn_priority.get().unwrap_or(0);
         if level <= cur.max(self.current_level.get()) {
-            return;
+            return None;
         }
         if self.shared.queues[level as usize].is_empty() {
             // Spurious/empty interrupt (Figure 8's overhead experiment):
             // switch to the preemptive context and straight back, which is
             // exactly what the paper measures as pure overhead.
         }
-        self.shared.preemptions.fetch_add(1, Ordering::Relaxed);
-        self.enter_level(level);
+        Some(level)
     }
 
     // ---- cooperative yielding ----
@@ -481,6 +512,7 @@ impl WorkerCtx {
         // it, exactly like the paper's Figure 8 "without uintr" side.
         if self.policy.sends_uintr() {
             charge(UINTR_POLL_COST);
+            preempt_prov::charge(preempt_prov::Phase::Handler, UINTR_POLL_COST);
             self.receiver.poll();
 
             // Degraded mode: interrupt delivery to this worker is failing,
@@ -498,6 +530,7 @@ impl WorkerCtx {
                 if n >= DEGRADED_YIELD_INTERVAL {
                     self.ops_since_check.set(0);
                     charge(COOP_CHECK_COST);
+                    preempt_prov::charge(preempt_prov::Phase::Handler, COOP_CHECK_COST);
                     self.maybe_coop_switch();
                 } else {
                     self.ops_since_check.set(n);
@@ -514,6 +547,7 @@ impl WorkerCtx {
                     // this is the per-record overhead the paper shows
                     // hurting Q2 (Figure 11, left of the sweep).
                     charge(COOP_CHECK_COST);
+                    preempt_prov::charge(preempt_prov::Phase::Handler, COOP_CHECK_COST);
                     self.maybe_coop_switch();
                 } else {
                     self.ops_since_check.set(n);
@@ -572,6 +606,7 @@ impl WorkerCtx {
                 if n >= block_interval {
                     self.hints_since_check.set(0);
                     charge(COOP_CHECK_COST);
+                    preempt_prov::charge(preempt_prov::Phase::Handler, COOP_CHECK_COST);
                     self.maybe_coop_switch();
                 } else {
                     self.hints_since_check.set(n);
@@ -609,12 +644,27 @@ impl WorkerCtx {
         let started = now_cycles();
         let kind = req.kind;
         let created = req.created_at;
+        let ingress = req.ingress;
         let txn = self.txn_seq.get();
         self.txn_seq.set(txn.wrapping_add(1));
+        // Provenance window opens: drop any stale between-transaction
+        // charges (idle-path polls) so the accumulator holds exactly this
+        // transaction's phases.
+        preempt_prov::reset();
+        // Wire-assigned id, or synthesized (worker+1 in the high bits so
+        // id 0 stays "unassigned") — simulator workloads attribute too.
+        let req_id = if req.req_id != 0 {
+            req.req_id
+        } else {
+            ((self.shared.id as u64 + 1) << 40) | txn
+        };
         preempt_trace::emit(preempt_trace::TraceEvent::TxnBegin {
             txn,
             priority: req.priority,
         });
+        // No preemption point runs between TxnBegin and ReqId, so the
+        // reconstructor can bind the id to the just-opened span.
+        preempt_trace::emit(preempt_trace::TraceEvent::ReqId { id: req_id });
         if let Some(dl) = req.deadline {
             if started >= dl {
                 preempt_trace::emit(preempt_trace::TraceEvent::TxnAbort { txn });
@@ -662,6 +712,15 @@ impl WorkerCtx {
                     // preemptible.
                     let shift = (*attempts - 1).min(RETRY_BACKOFF_MAX_SHIFT);
                     runtime::preempt_point(RETRY_BACKOFF_BASE << shift);
+                    // Provenance: the backoff's nominal cost is redo time.
+                    // Exact in the simulator (preempt_point advances just
+                    // that); a preemption landing inside the backoff is
+                    // charged separately as preempted-out, keeping the
+                    // phase identity intact.
+                    preempt_prov::charge(
+                        preempt_prov::Phase::Retry,
+                        RETRY_BACKOFF_BASE << shift,
+                    );
                     if let Some(dl) = deadline {
                         if now_cycles() >= dl {
                             return TxnEnd::TimedOut;
@@ -679,8 +738,25 @@ impl WorkerCtx {
         if at_level == 0 && is_low {
             self.shared.starvation.low_priority_finished();
         }
+        // Full phase vector for a committed window: explicit charges from
+        // the accumulator, admission/queue from timestamps, run as the
+        // residual — so the vector sums to the measured latency exactly.
+        let committed_phases = matches!(end, TxnEnd::Committed(_)).then(|| {
+            let window = finished.saturating_sub(started);
+            let admission = if ingress == 0 {
+                0
+            } else {
+                created.saturating_sub(ingress)
+            };
+            preempt_prov::phase_vector(admission, sched_latency, window, &preempt_prov::take())
+        });
         match &end {
             TxnEnd::Committed(_) => {
+                // Phase events precede TxnCommit: the reconstructor folds
+                // them into the still-open span the commit then closes.
+                if let Some(phases) = &committed_phases {
+                    preempt_prov::emit_phases(phases);
+                }
                 preempt_trace::emit(preempt_trace::TraceEvent::TxnCommit { txn })
             }
             TxnEnd::Panicked(_) => preempt_trace::emit(preempt_trace::TraceEvent::TxnPanic { txn }),
@@ -694,6 +770,29 @@ impl WorkerCtx {
                 metrics.record(kind, latency, sched_latency, retries);
                 if let Some(sh) = self.shared.metrics_shard.get() {
                     sh.txn_completed(kind, priority, latency, sched_latency, retries);
+                }
+                if let Some(phases) = &committed_phases {
+                    preempt_prov::record_phase_hists(phases, priority > 0);
+                    // Flight recorder: on an end-to-end SLO breach, freeze
+                    // the full attribution as an exemplar.
+                    if let Some(fr) = self.shared.flight.get() {
+                        let class = usize::from(priority > 0);
+                        let slo = fr.slo(class);
+                        let e2e = phases.iter().sum::<u64>();
+                        if e2e > slo {
+                            fr.capture(preempt_prov::Exemplar {
+                                req_id,
+                                txn,
+                                worker: self.shared.id as u16,
+                                class: class as u8,
+                                latency: e2e,
+                                slo,
+                                started,
+                                finished,
+                                phases: *phases,
+                            });
+                        }
+                    }
                 }
             }
             TxnEnd::TimedOut => {
@@ -1012,6 +1111,9 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
             if let Some(sh) = ms.metrics_shard.get() {
                 preempt_metrics::install_current(sh);
             }
+            // Pre-touch the provenance accumulator so handler-path charges
+            // never allocate a CLS slot inside an interrupt.
+            preempt_prov::init_context();
             // SAFETY: wc outlives all its contexts (dropped after them).
             unsafe { (*(wc_ptr as *const WorkerCtx)).drain_loop(level) }
         })
@@ -1028,6 +1130,7 @@ pub fn worker_main(shared: Arc<WorkerShared>, policy: Policy) {
     if let Some(sh) = shared.metrics_shard.get() {
         preempt_metrics::install_current(sh);
     }
+    preempt_prov::init_context();
     if preempt_sim::api::active() {
         // Simulator: per-core hook (a thread-local hook would fire for
         // whichever core happens to be running on this shared OS thread).

@@ -251,12 +251,20 @@ impl Pending {
         core.publish_in_flight();
         core.replies[idx].fetch_add(1, Ordering::AcqRel);
         core.latency[idx].lock().record(latency);
+        // The reply runs inside the worker closure, so serializing the
+        // frame onto the socket lands in the transaction's window —
+        // attribute it as reply-write, not engine run time.
+        let w0 = now_cycles();
         self.conn.send(&Frame::Resp {
             id: self.id,
             status,
             latency_cycles: latency,
             value,
         });
+        preempt_prov::charge(
+            preempt_prov::Phase::Reply,
+            now_cycles().saturating_sub(w0),
+        );
     }
 }
 
@@ -631,7 +639,12 @@ fn handle_req(conn: &Arc<Conn>, db: &Arc<Database>, class: SloClass, id: u64, op
             Box::new(move |_| panic!("injected chaos op (net_boom)")),
         ),
     };
-    db.submit(kind, priority, move || {
+    // Provenance identity: connection id (+1, so the id is never the
+    // "unassigned" 0) in the high half, wire request id in the low —
+    // unique per in-flight request even when reconnecting clients reuse
+    // wire ids.
+    let req_id = (((u64::from(conn.id) + 1) & 0xFFFF) << 32) | (id & 0xFFFF_FFFF);
+    db.submit_traced(kind, priority, req_id, t0, move || {
         let (status, value) = work(&core2);
         let ok = matches!(status, Status::Ok);
         pending.finish(status, value);

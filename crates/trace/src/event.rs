@@ -6,7 +6,7 @@
 //! a 48-bit payload:
 //!
 //! ```text
-//! bits 63..56   kind (1..=13, 0 = empty slot)
+//! bits 63..56   kind (1..=25, 0 = empty slot)
 //! bits 55..48   nesting depth at record time
 //! bits 47..0    kind-specific payload
 //! ```
@@ -44,6 +44,12 @@ pub(crate) const K_SHOOTDOWN: u8 = 20;
 pub(crate) const K_NET_ACCEPT: u8 = 21;
 pub(crate) const K_NET_REQUEST: u8 = 22;
 pub(crate) const K_NET_CLOSE: u8 = 23;
+pub(crate) const K_REQ_ID: u8 = 24;
+pub(crate) const K_TXN_PHASE: u8 = 25;
+
+/// Phase cycle counts wider than this are clamped on encode (40 bits —
+/// ~458 s at 2.4 GHz, far beyond any single transaction).
+pub const MAX_PHASE_CYCLES: u64 = (1 << 40) - 1;
 
 /// One event in the preemption lifecycle.
 ///
@@ -207,6 +213,23 @@ pub enum TraceEvent {
         /// Connection that closed.
         conn: u32,
     },
+    /// Binds the transaction most recently begun on this ring to its
+    /// end-to-end request id (provenance plane; emitted immediately
+    /// after `TxnBegin` with no intervening preemption point).
+    ReqId {
+        /// Request id flowing from the wire protocol (or synthesized by
+        /// the worker for simulator workloads); truncated to 48 bits.
+        id: u64,
+    },
+    /// One attributed latency phase of the transaction currently open on
+    /// this ring (provenance plane; emitted between the last phase
+    /// measurement and `TxnCommit`).
+    TxnPhase {
+        /// Phase index (`preempt-prov`'s `Phase as u8`, 0..8).
+        phase: u8,
+        /// Cycles attributed to the phase (clamped to 40 bits).
+        cycles: u64,
+    },
 }
 
 impl TraceEvent {
@@ -237,6 +260,8 @@ impl TraceEvent {
             TraceEvent::NetAccept { .. } => K_NET_ACCEPT,
             TraceEvent::NetRequest { .. } => K_NET_REQUEST,
             TraceEvent::NetClose { .. } => K_NET_CLOSE,
+            TraceEvent::ReqId { .. } => K_REQ_ID,
+            TraceEvent::TxnPhase { .. } => K_TXN_PHASE,
         }
     }
 
@@ -266,6 +291,8 @@ impl TraceEvent {
             TraceEvent::NetAccept { .. } => "net-accept",
             TraceEvent::NetRequest { .. } => "net-request",
             TraceEvent::NetClose { .. } => "net-close",
+            TraceEvent::ReqId { .. } => "req-id",
+            TraceEvent::TxnPhase { .. } => "txn-phase",
         }
     }
 
@@ -339,6 +366,10 @@ impl TraceEvent {
                 admitted,
             } => u64::from(conn) | u64::from(class) << 32 | u64::from(admitted) << 40,
             TraceEvent::NetClose { conn } => u64::from(conn),
+            TraceEvent::ReqId { id } => id & PAYLOAD_MASK,
+            TraceEvent::TxnPhase { phase, cycles } => {
+                cycles.min(MAX_PHASE_CYCLES) | u64::from(phase) << 40
+            }
         };
         u64::from(self.kind()) << 56 | u64::from(depth) << 48 | (payload & PAYLOAD_MASK)
     }
@@ -423,6 +454,11 @@ impl TraceEvent {
             K_NET_CLOSE => TraceEvent::NetClose {
                 conn: payload as u32,
             },
+            K_REQ_ID => TraceEvent::ReqId { id: payload },
+            K_TXN_PHASE => TraceEvent::TxnPhase {
+                phase: (payload >> 40) as u8,
+                cycles: payload & MAX_PHASE_CYCLES,
+            },
             _ => return None,
         };
         Some((ev, depth))
@@ -492,6 +528,13 @@ mod tests {
                 admitted: false,
             },
             TraceEvent::NetClose { conn: 12 },
+            TraceEvent::ReqId {
+                id: 0x1234_5678_9ABC,
+            },
+            TraceEvent::TxnPhase {
+                phase: 7,
+                cycles: 123_456_789,
+            },
         ];
         for (i, ev) in evs.iter().enumerate() {
             let depth = (i % 4) as u8;
@@ -511,6 +554,22 @@ mod tests {
         let ev = TraceEvent::TxnCommit { txn: u64::MAX };
         let (back, _) = TraceEvent::unpack(ev.pack(0)).expect("known kind");
         assert_eq!(back, TraceEvent::TxnCommit { txn: MAX_TXN_ID });
+    }
+
+    #[test]
+    fn phase_cycles_clamp_to_40_bits() {
+        let ev = TraceEvent::TxnPhase {
+            phase: 3,
+            cycles: u64::MAX,
+        };
+        let (back, _) = TraceEvent::unpack(ev.pack(0)).expect("known kind");
+        assert_eq!(
+            back,
+            TraceEvent::TxnPhase {
+                phase: 3,
+                cycles: MAX_PHASE_CYCLES,
+            }
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use std::sync::Arc;
 
 use preempt_context::cls::ClsCell;
 
-pub use event::{TraceEvent, MAX_TXN_ID};
+pub use event::{TraceEvent, MAX_PHASE_CYCLES, MAX_TXN_ID};
 pub use ring::{RawRecord, RingSnapshot, TraceRing, DEFAULT_CAPACITY};
 pub use session::{
     merge_snapshots, LatencyStats, MergedTrace, PreemptBreakdown, TraceConfig, TraceRecord,

@@ -126,9 +126,11 @@ pub fn merge_snapshots(snaps: &[crate::ring::RingSnapshot]) -> MergedTrace {
     let mut records = Vec::with_capacity(snaps.iter().map(|s| s.events.len()).sum());
     let mut dropped = 0u64;
     let mut ring_labels = Vec::with_capacity(snaps.len());
+    let mut ring_drops = Vec::with_capacity(snaps.len());
     for snap in snaps {
         dropped += snap.dropped;
         ring_labels.push((snap.worker, snap.label));
+        ring_drops.push((snap.worker, snap.label, snap.dropped));
         for r in &snap.events {
             records.push(TraceRecord {
                 ts: r.ts,
@@ -142,10 +144,12 @@ pub fn merge_snapshots(snaps: &[crate::ring::RingSnapshot]) -> MergedTrace {
     // (ts, worker, seq) is a total order: seq is unique per ring.
     records.sort_by_key(|r| (r.ts, r.worker, r.seq));
     ring_labels.sort_unstable();
+    ring_drops.sort_unstable();
     MergedTrace {
         records,
         dropped,
         ring_labels,
+        ring_drops,
     }
 }
 
@@ -173,6 +177,11 @@ pub struct MergedTrace {
     pub dropped: u64,
     /// `(worker, label)` for every ring that contributed.
     pub ring_labels: Vec<(u16, &'static str)>,
+    /// Per-ring overwrite counts as `(worker, label, dropped)`, sorted —
+    /// the lossy rings drop silently at emit time, so any downstream
+    /// analysis (the provenance reconstruction above all) must consult
+    /// this to know which workers' timelines are incomplete.
+    pub ring_drops: Vec<(u16, &'static str, u64)>,
 }
 
 impl std::fmt::Debug for MergedTrace {
@@ -410,6 +419,7 @@ mod tests {
             records,
             dropped: 0,
             ring_labels: vec![(0, "worker"), (u16::MAX, "scheduler")],
+            ring_drops: vec![(0, "worker", 0), (u16::MAX, "scheduler", 0)],
         }
     }
 

@@ -62,6 +62,7 @@ fn main() {
         recovery: Default::default(),
         trace: None,
         metrics: Some(registry.clone()),
+        prov: None,
     };
 
     let worker = std::thread::spawn(move || run(Runtime::Threads, cfg, Box::new(Synthetic)));

@@ -49,6 +49,7 @@ fn main() {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         let report = run(Runtime::Simulated(sim), cfg, Box::new(factory));
 

@@ -41,3 +41,11 @@ cargo run --release -p preempt-bench --bin fig09 -- --check
 # conserves, and the high class holds its p99 SLO under mixed load.
 # Full numbers: BENCH_server.json.
 cargo run --release -p preempt-bench --bin server_bench -- --check
+
+# Attribution gate (DESIGN.md §15): reconstructs per-class phase
+# attribution from the trace rings and fails unless it reconciles with
+# the registry plane exactly, phase sums match end-to-end p99 within
+# tolerance, Preempt shows lower high-class queue-wait than Wait on the
+# same seed, attribution replays byte-identically, and the flight
+# recorder fires on SLO breach. Full numbers: BENCH_attr.json.
+cargo run --release -p preempt-bench --bin attr_gate -- --check

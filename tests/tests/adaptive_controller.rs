@@ -81,6 +81,7 @@ fn small_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> D
         recovery: Default::default(),
         trace,
         metrics: None,
+        prov: None,
     }
 }
 

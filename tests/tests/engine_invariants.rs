@@ -46,6 +46,7 @@ fn tpcc_consistency_survives_preemption() {
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     };
     let report = run(
         Runtime::Simulated(sim),
@@ -140,6 +141,7 @@ fn consistency_is_policy_independent() {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         run(
             Runtime::Simulated(sim),

@@ -88,6 +88,7 @@ fn small_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     }
 }
 

@@ -60,6 +60,7 @@ fn cfg(policy: Policy, registry: Option<MetricsRegistry>) -> DriverConfig {
         recovery: Default::default(),
         trace: None,
         metrics: registry,
+        prov: None,
     }
 }
 

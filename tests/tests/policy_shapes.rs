@@ -52,6 +52,7 @@ fn run_policy(policy: Policy, workers: usize, duration_ms: u64, high_queue: usiz
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     };
     let factory = MixedWorkload::new(tpcc, tpch, 23);
     run(Runtime::Simulated(sim), cfg, Box::new(factory))
@@ -122,6 +123,7 @@ fn starvation_prevention_trades_q2_for_neworder() {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         run(
             Runtime::Simulated(sim),
@@ -180,6 +182,7 @@ fn uintr_machinery_overhead_is_small() {
             recovery: Default::default(),
             trace: None,
             metrics: None,
+            prov: None,
         };
         results.push(run(
             Runtime::Simulated(sim),

@@ -21,6 +21,7 @@ fn thread_cfg(policy: Policy, duration_ms: u64) -> DriverConfig {
         recovery: Default::default(),
         trace: None,
         metrics: None,
+        prov: None,
     }
 }
 

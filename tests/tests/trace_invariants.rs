@@ -65,6 +65,7 @@ fn traced_cfg(policy: Policy, duration_ms: u64, trace: Option<TraceSession>) -> 
         recovery: Default::default(),
         trace,
         metrics: None,
+        prov: None,
     }
 }
 

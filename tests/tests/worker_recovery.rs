@@ -169,6 +169,7 @@ fn bank_cfg(engine: &Engine, duration_ms: u64, rb: RobustnessConfig) -> DriverCo
         },
         trace: None,
         metrics: None,
+        prov: None,
     }
 }
 
@@ -460,6 +461,7 @@ fn synthetic_cfg(duration_ms: u64, rb: RobustnessConfig, trace: Option<TraceSess
         recovery: Default::default(),
         trace,
         metrics: None,
+        prov: None,
     }
 }
 
